@@ -1,0 +1,866 @@
+//! Dynamic code (de)compression (paper §3.2, Figure 4; evaluated §4.2).
+//!
+//! A greedy dictionary compressor in the style the paper adopts from
+//! decoder-based decompression \[20\], extended with the two DISE-specific
+//! features the paper highlights:
+//!
+//! * **Parameterized dictionary entries** — candidate sequences that differ
+//!   only in (consistently renamed) register names or small immediates
+//!   share one entry, instantiated per call site through the codeword's
+//!   three 5-bit parameters.
+//! * **PC-relative branch compression** — a sequence-terminating branch's
+//!   displacement becomes a fused two-parameter field, so two static
+//!   branches whose offsets diverge *after* compression still share an
+//!   entry; each planted codeword carries its own offset, patched after
+//!   final layout.
+//!
+//! Candidate sequences never straddle basic blocks (so no branch can
+//! target a replaced sequence's interior), and expansion is never
+//! recursive. The same machinery drives the dedicated-decompressor
+//! baseline (2-byte codewords, single-instruction compression,
+//! unparameterized entries) and the intermediate configurations of
+//! Figure 7's feature walk.
+
+use crate::{AcfError, Result};
+use dise_core::{ImmDirective, InstSpec, OpDirective, ProductionSet, RegDirective, ReplacementSpec};
+use dise_isa::reloc::{NewItem, Relocator};
+use dise_isa::{Cfg, Inst, Op, OpClass, Program, TextItem};
+use dise_sim::DedicatedDict;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Compressor configuration. Use the named constructors for the paper's
+/// Figure 7 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionConfig {
+    /// Reserved opcode used for 4-byte DISE codewords.
+    pub cw_op: Op,
+    /// Plant 2-byte codewords (dedicated decompressor) instead of 4-byte
+    /// DISE codewords.
+    pub two_byte_codewords: bool,
+    /// Minimum candidate length (1 enables single-instruction
+    /// compression).
+    pub min_seq_len: usize,
+    /// Maximum candidate length.
+    pub max_seq_len: usize,
+    /// Abstract registers/immediates into codeword parameters.
+    pub parameterize: bool,
+    /// Compress sequence-terminating PC-relative branches via a
+    /// two-parameter offset.
+    pub compress_branches: bool,
+    /// Allow jump-format instructions (`jmp`/`jsr`/`ret`) at sequence end
+    /// (they are position-independent).
+    pub allow_jumps: bool,
+    /// Dictionary cost per replacement instruction (4 plain, 8 with
+    /// instantiation directives — paper §4.2).
+    pub entry_bytes_per_inst: u64,
+    /// Maximum dictionary entries (11-bit tags → 2048).
+    pub max_entries: usize,
+}
+
+impl CompressionConfig {
+    /// The dedicated decoder-based decompressor \[20\]: 2-byte codewords,
+    /// single-instruction compression, unparameterized 4-byte/instruction
+    /// entries, no control flow.
+    pub fn dedicated() -> CompressionConfig {
+        CompressionConfig {
+            cw_op: Op::Cw0,
+            two_byte_codewords: true,
+            min_seq_len: 1,
+            max_seq_len: 8,
+            parameterize: false,
+            compress_branches: false,
+            allow_jumps: false,
+            entry_bytes_per_inst: 4,
+            max_entries: 2048,
+        }
+    }
+
+    /// Figure 7's `−1insn`: the dedicated decompressor without
+    /// single-instruction compression.
+    pub fn dedicated_no_single() -> CompressionConfig {
+        CompressionConfig {
+            min_seq_len: 2,
+            ..CompressionConfig::dedicated()
+        }
+    }
+
+    /// Figure 7's `−2byteCW`: 4-byte codewords (the DISE baseline without
+    /// any DISE feature).
+    pub fn dise_unparameterized() -> CompressionConfig {
+        CompressionConfig {
+            two_byte_codewords: false,
+            allow_jumps: true,
+            ..CompressionConfig::dedicated_no_single()
+        }
+    }
+
+    /// Figure 7's `+8byteDE`: 8-byte dictionary entries (the cost of
+    /// instantiation directives without the benefit).
+    pub fn dise_wide_entries() -> CompressionConfig {
+        CompressionConfig {
+            entry_bytes_per_inst: 8,
+            ..CompressionConfig::dise_unparameterized()
+        }
+    }
+
+    /// Figure 7's `+3param`: parameterized entries (up to three 5-bit
+    /// parameters).
+    pub fn dise_parameterized() -> CompressionConfig {
+        CompressionConfig {
+            parameterize: true,
+            ..CompressionConfig::dise_wide_entries()
+        }
+    }
+
+    /// Figure 7's `DISE`: the full system — parameterization plus
+    /// PC-relative branch compression.
+    pub fn dise_full() -> CompressionConfig {
+        CompressionConfig {
+            compress_branches: true,
+            ..CompressionConfig::dise_parameterized()
+        }
+    }
+
+    /// Codeword size in bytes.
+    fn cw_bytes(&self) -> u64 {
+        if self.two_byte_codewords {
+            2
+        } else {
+            4
+        }
+    }
+}
+
+/// Static compression results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Original text size in bytes.
+    pub original_text: u64,
+    /// Compressed text size in bytes.
+    pub compressed_text: u64,
+    /// Dictionary size in bytes (production segment).
+    pub dictionary_bytes: u64,
+    /// Dictionary entries used.
+    pub entries: usize,
+    /// Codewords planted.
+    pub instances: u64,
+    /// Static instructions removed from the text.
+    pub insts_removed: u64,
+}
+
+impl CompressionStats {
+    /// Compressed text size as a fraction of the original (dictionary
+    /// excluded) — the bottom portion of Figure 7's stacks.
+    pub fn code_ratio(&self) -> f64 {
+        self.compressed_text as f64 / self.original_text.max(1) as f64
+    }
+
+    /// Compressed text plus dictionary as a fraction of the original — the
+    /// full Figure 7 stack.
+    pub fn total_ratio(&self) -> f64 {
+        (self.compressed_text + self.dictionary_bytes) as f64 / self.original_text.max(1) as f64
+    }
+}
+
+/// A compressed program plus whatever expands it again.
+#[derive(Debug, Clone)]
+pub struct CompressedProgram {
+    /// The compressed image (branches retargeted, entry/symbols remapped).
+    pub program: Program,
+    /// Aware DISE productions (4-byte-codeword configurations).
+    pub productions: Option<ProductionSet>,
+    /// Dedicated-decompressor dictionary (2-byte-codeword configurations).
+    pub dictionary: Option<DedicatedDict>,
+    /// Static statistics.
+    pub stats: CompressionStats,
+}
+
+impl CompressedProgram {
+    /// Attaches the decompression machinery to a machine loaded with
+    /// [`CompressedProgram::program`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction errors.
+    pub fn attach(
+        &self,
+        machine: &mut dise_sim::Machine,
+        engine_config: dise_core::EngineConfig,
+    ) -> Result<()> {
+        if let Some(set) = &self.productions {
+            machine.attach_engine(dise_core::DiseEngine::with_productions(
+                engine_config,
+                set.clone(),
+            )?);
+        }
+        if let Some(dict) = &self.dictionary {
+            machine.attach_dedicated(dict.clone());
+        }
+        Ok(())
+    }
+}
+
+/// One occurrence of a shape in the original program.
+#[derive(Debug, Clone, Copy)]
+struct Instance {
+    /// Index of the first instruction (into the flat instruction list).
+    start: usize,
+    /// PC of the first instruction.
+    pc: u64,
+    /// Codeword parameters.
+    params: [u8; 3],
+    /// For branch-compressed shapes: the branch's original absolute
+    /// target.
+    branch_target: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct ShapeData {
+    len: usize,
+    parameterized: bool,
+    instances: Vec<Instance>,
+}
+
+/// The greedy dictionary compressor. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Compressor {
+    config: CompressionConfig,
+}
+
+impl Compressor {
+    /// Creates a compressor.
+    pub fn new(config: CompressionConfig) -> Compressor {
+        Compressor { config }
+    }
+
+    /// Compresses `program`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input programs (undecodable text, already
+    /// compressed) or if a patched branch parameter overflows (cannot
+    /// happen for shrink-only transformations; reported defensively).
+    pub fn compress(&self, program: &Program) -> Result<CompressedProgram> {
+        let cfg = &self.config;
+        let graph = Cfg::build(program)?;
+        let insts: Vec<(u64, Inst)> = graph
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().copied())
+            .collect();
+
+        // ---- enumerate candidates -------------------------------------
+        let mut shapes: HashMap<Vec<InstSpec>, ShapeData> = HashMap::new();
+        let mut idx_base = 0usize;
+        for block in &graph.blocks {
+            let n = block.insts.len();
+            for start in 0..n {
+                for len in cfg.min_seq_len..=cfg.max_seq_len.min(n - start) {
+                    let window = &block.insts[start..start + len];
+                    if let Some((specs, instance)) =
+                        self.shape_of(window, idx_base + start)
+                    {
+                        let data = shapes.entry(specs).or_default();
+                        data.len = len;
+                        data.instances.push(instance);
+                    }
+                }
+            }
+            idx_base += n;
+        }
+        let mut shape_list: Vec<(Vec<InstSpec>, ShapeData)> = shapes.into_iter().collect();
+        // Deterministic order for reproducible dictionaries.
+        shape_list.sort_by_key(|(_, d)| {
+            (
+                usize::MAX - d.len,
+                usize::MAX - d.instances.len(),
+                d.instances.first().map(|i| i.pc).unwrap_or(0),
+            )
+        });
+        for (_, d) in &mut shape_list {
+            d.parameterized = d.len > 0;
+            d.instances.sort_by_key(|i| i.start);
+        }
+
+        // ---- greedy selection (lazy re-evaluation) ---------------------
+        let mut claimed = vec![false; insts.len()];
+        let cw_bytes = cfg.cw_bytes();
+        let profit_of = |data: &ShapeData, claimed: &[bool]| -> (i64, u64) {
+            let mut k = 0u64;
+            let mut next_free = 0usize;
+            for inst in &data.instances {
+                if inst.start < next_free {
+                    continue; // overlaps an instance already counted
+                }
+                if claimed[inst.start..inst.start + data.len].iter().any(|c| *c) {
+                    continue;
+                }
+                k += 1;
+                next_free = inst.start + data.len;
+            }
+            let param_entry = {
+                // Entry cost: parameterized entries cost 8 bytes per
+                // instruction; plain ones cfg.entry_bytes_per_inst.
+                cfg.entry_bytes_per_inst
+            };
+            let saving = k as i64 * (data.len as i64 * 4 - cw_bytes as i64);
+            let cost = data.len as i64 * param_entry as i64;
+            (saving - cost, k)
+        };
+
+        let mut heap: BinaryHeap<(i64, usize)> = shape_list
+            .iter()
+            .enumerate()
+            .map(|(i, (_, d))| (profit_of(d, &claimed).0, i))
+            .filter(|(p, _)| *p > 0)
+            .collect();
+        let mut selected: Vec<(u16, usize, Vec<Instance>)> = Vec::new(); // (tag, shape idx, claimed instances)
+        while selected.len() < cfg.max_entries {
+            let Some((stale_profit, sid)) = heap.pop() else {
+                break;
+            };
+            let (profit, _) = profit_of(&shape_list[sid].1, &claimed);
+            if profit <= 0 {
+                continue;
+            }
+            if profit < stale_profit {
+                // Re-insert with the refreshed profit unless it still beats
+                // the next-best candidate.
+                if let Some((next_best, _)) = heap.peek() {
+                    if profit < *next_best {
+                        heap.push((profit, sid));
+                        continue;
+                    }
+                }
+            }
+            // Claim this shape's non-overlapping unclaimed instances.
+            let data = &shape_list[sid].1;
+            let mut taken = Vec::new();
+            let mut next_free = 0usize;
+            for inst in &data.instances {
+                if inst.start < next_free
+                    || claimed[inst.start..inst.start + data.len].iter().any(|c| *c)
+                {
+                    continue;
+                }
+                taken.push(*inst);
+                next_free = inst.start + data.len;
+            }
+            for inst in &taken {
+                for c in &mut claimed[inst.start..inst.start + data.len] {
+                    *c = true;
+                }
+            }
+            let tag = selected.len() as u16;
+            selected.push((tag, sid, taken));
+        }
+
+        // ---- emission ---------------------------------------------------
+        let mut starts: HashMap<usize, (u16, Instance, usize)> = HashMap::new();
+        for (tag, sid, taken) in &selected {
+            let len = shape_list[*sid].1.len;
+            for inst in taken {
+                starts.insert(inst.start, (*tag, *inst, len));
+            }
+        }
+        let mut relocator = Relocator::new(program)?;
+        let mut span_ordinal = 0usize;
+        let mut codeword_spans: Vec<(usize, u16, Instance)> = Vec::new();
+        let mut i = 0usize;
+        while i < insts.len() {
+            if let Some((tag, inst, len)) = starts.get(&i).copied() {
+                let item = if cfg.two_byte_codewords {
+                    TextItem::Short(tag)
+                } else {
+                    TextItem::Inst(Inst::codeword(
+                        cfg.cw_op,
+                        inst.params[0],
+                        inst.params[1],
+                        inst.params[2],
+                        tag,
+                    ))
+                };
+                relocator.replace(len, vec![NewItem::plain(item)])?;
+                if inst.branch_target.is_some() {
+                    codeword_spans.push((span_ordinal, tag, inst));
+                }
+                i += len;
+            } else {
+                relocator.keep()?;
+                i += 1;
+            }
+            span_ordinal += 1;
+        }
+        let out = relocator.finish()?;
+        let mut compressed = out.program;
+
+        // ---- patch parameterized branch offsets -------------------------
+        for (ordinal, tag, inst) in &codeword_spans {
+            let cw_addr = out.item_addrs[*ordinal];
+            let old_target = inst.branch_target.expect("recorded with targets only");
+            let new_target = *out.old_to_new.get(&old_target).ok_or_else(|| {
+                AcfError::Compress(format!(
+                    "compressed branch target {old_target:#x} no longer addressable"
+                ))
+            })?;
+            let disp = new_target as i64 - (cw_addr as i64 + 4);
+            if disp % 4 != 0 || !(-(1 << 11)..(1 << 11)).contains(&disp) {
+                return Err(AcfError::Compress(format!(
+                    "patched branch offset {disp} exceeds the two-parameter range"
+                )));
+            }
+            let d10 = ((disp >> 2) & 0x3FF) as u32;
+            let (p2, p3) = ((d10 & 31) as u8, ((d10 >> 5) & 31) as u8);
+            let word = Inst::codeword(cfg.cw_op, inst.params[0], p2, p3, *tag)
+                .encode()
+                .expect("codewords always encode");
+            let off = (cw_addr - compressed.text_base) as usize;
+            compressed.text[off..off + 4].copy_from_slice(&word.to_be_bytes());
+        }
+
+        // ---- build the dictionary ---------------------------------------
+        let mut productions = None;
+        let mut dictionary = None;
+        let mut dict_bytes = 0u64;
+        if cfg.two_byte_codewords {
+            let mut entries = Vec::with_capacity(selected.len());
+            for (_, sid, _) in &selected {
+                let specs = &shape_list[*sid].0;
+                let nop = Inst::nop();
+                let insts: Vec<Inst> = specs
+                    .iter()
+                    .map(|s| s.instantiate(&nop, 0).expect("literal specs"))
+                    .collect();
+                dict_bytes += insts.len() as u64 * cfg.entry_bytes_per_inst;
+                entries.push(insts);
+            }
+            dictionary = Some(DedicatedDict::new(entries));
+        } else {
+            let mut set = ProductionSet::new();
+            for (tag, sid, _) in &selected {
+                let mut specs = shape_list[*sid].0.clone();
+                // Absolute-target branch entries were recorded against the
+                // original layout; remap them to the compressed one.
+                for s in &mut specs {
+                    if let InstSpec::Templated {
+                        imm: ImmDirective::AbsTarget(target),
+                        ..
+                    } = s
+                    {
+                        *target = *out.old_to_new.get(target).ok_or_else(|| {
+                            AcfError::Compress(format!(
+                                "shared branch target {target:#x} no longer addressable"
+                            ))
+                        })?;
+                    }
+                }
+                dict_bytes += specs.len() as u64 * cfg.entry_bytes_per_inst;
+                set.add_aware(cfg.cw_op, *tag, ReplacementSpec::new(specs))?;
+            }
+            productions = Some(set);
+        }
+
+        let instances: u64 = selected.iter().map(|(_, _, t)| t.len() as u64).sum();
+        let insts_removed: u64 = selected
+            .iter()
+            .map(|(_, sid, t)| (t.len() * shape_list[*sid].1.len) as u64)
+            .sum();
+        let stats = CompressionStats {
+            original_text: program.text_size(),
+            compressed_text: compressed.text_size(),
+            dictionary_bytes: dict_bytes,
+            entries: selected.len(),
+            instances,
+            insts_removed,
+        };
+        Ok(CompressedProgram {
+            program: compressed,
+            productions,
+            dictionary,
+            stats,
+        })
+    }
+
+    /// Computes the (shape, instance) of one candidate window, or `None`
+    /// if the window is not compressible under this configuration.
+    fn shape_of(
+        &self,
+        window: &[(u64, Inst)],
+        start_idx: usize,
+    ) -> Option<(Vec<InstSpec>, Instance)> {
+        let cfg = &self.config;
+        let last = window.len() - 1;
+        // Eligibility.
+        for (i, (_, inst)) in window.iter().enumerate() {
+            match inst.op.class() {
+                OpClass::Codeword | OpClass::Misc => return None,
+                OpClass::CondBranch | OpClass::UncondBranch
+                    if (!cfg.compress_branches || i != last) => {
+                        return None;
+                    }
+                OpClass::IndirectJump
+                    if (!cfg.allow_jumps || i != last) => {
+                        return None;
+                    }
+                _ => {}
+            }
+        }
+
+        let mut params = [0u8; 3];
+        let mut used = [false; 3];
+        let mut reg_slots: HashMap<dise_isa::Reg, u8> = HashMap::new();
+        let mut imm_slots: HashMap<i64, u8> = HashMap::new();
+        let mut branch_target = None;
+
+        // A terminating PC-relative branch is parameterized one of two
+        // ways. Short offsets go into a fused two-parameter field (the
+        // displacement relative to the planted codeword — the whole
+        // sequence collapses to one instruction). Long offsets that all
+        // point at one shared absolute target (error handlers, common call
+        // targets) instead use an `AbsTarget` directive: the IL computes
+        // the displacement from the trigger's PC at expansion time, so
+        // sites at different addresses still share one dictionary entry.
+        let mut abs_branch_target = None;
+        let branch_pc = match window[last] {
+            (pc, inst)
+                if matches!(
+                    inst.op.class(),
+                    OpClass::CondBranch | OpClass::UncondBranch
+                ) =>
+            {
+                let target = (pc + 4).wrapping_add_signed(inst.imm);
+                let disp_from_cw = target as i64 - (window[0].0 as i64 + 4);
+                if (-(1 << 11)..(1 << 11)).contains(&disp_from_cw) && disp_from_cw % 4 == 0 {
+                    used[1] = true;
+                    used[2] = true;
+                    branch_target = Some(target);
+                    let d10 = ((disp_from_cw >> 2) & 0x3FF) as u32;
+                    params[1] = (d10 & 31) as u8;
+                    params[2] = ((d10 >> 5) & 31) as u8;
+                    Some(pc)
+                } else {
+                    abs_branch_target = Some(target);
+                    Some(pc)
+                }
+            }
+            _ => None,
+        };
+
+        let alloc = |used: &mut [bool; 3]| -> Option<u8> {
+            (0..3u8).find(|s| {
+                if !used[*s as usize] {
+                    used[*s as usize] = true;
+                    true
+                } else {
+                    false
+                }
+            })
+        };
+
+        let mut specs = Vec::with_capacity(window.len());
+        for (i, (_, inst)) in window.iter().enumerate() {
+            let reg_dir = |r: dise_isa::Reg,
+                               params: &mut [u8; 3],
+                               used: &mut [bool; 3],
+                               reg_slots: &mut HashMap<dise_isa::Reg, u8>|
+             -> RegDirective {
+                if !cfg.parameterize || r.is_zero() {
+                    return RegDirective::Literal(r);
+                }
+                if let Some(slot) = reg_slots.get(&r) {
+                    return RegDirective::Param(*slot);
+                }
+                match alloc(used) {
+                    Some(slot) => {
+                        reg_slots.insert(r, slot);
+                        params[slot as usize] = r.index() as u8;
+                        RegDirective::Param(slot)
+                    }
+                    None => RegDirective::Literal(r),
+                }
+            };
+            let is_term_branch = branch_pc.is_some() && i == last;
+            let imm_dir = if is_term_branch {
+                match abs_branch_target {
+                    // The entry carries the *original* absolute target;
+                    // it is remapped to the post-layout address when the
+                    // dictionary is built.
+                    Some(target) => ImmDirective::AbsTarget(target),
+                    None => ImmDirective::Param2 {
+                        lo: 1,
+                        hi: 2,
+                        shift: 2,
+                        signed: true,
+                    },
+                }
+            } else if cfg.parameterize
+                && inst.imm != 0
+                && matches!(
+                    inst.op.format(),
+                    dise_isa::op::Format::Memory | dise_isa::op::Format::Operate
+                )
+            {
+                let (lo, hi, signed) = if inst.uses_lit {
+                    (1, 31, false) // operate literals are unsigned
+                } else {
+                    (-16, 15, true)
+                };
+                if (lo..=hi).contains(&inst.imm) {
+                    if let Some(slot) = imm_slots.get(&inst.imm) {
+                        ImmDirective::Param {
+                            slot: *slot,
+                            shift: 0,
+                            signed,
+                        }
+                    } else {
+                        match alloc(&mut used) {
+                            Some(slot) => {
+                                imm_slots.insert(inst.imm, slot);
+                                params[slot as usize] = (inst.imm & 31) as u8;
+                                ImmDirective::Param {
+                                    slot,
+                                    shift: 0,
+                                    signed,
+                                }
+                            }
+                            None => ImmDirective::Literal(inst.imm),
+                        }
+                    }
+                } else {
+                    ImmDirective::Literal(inst.imm)
+                }
+            } else {
+                ImmDirective::Literal(inst.imm)
+            };
+            specs.push(InstSpec::Templated {
+                op: OpDirective::Literal(inst.op),
+                ra: reg_dir(inst.ra, &mut params, &mut used, &mut reg_slots),
+                rb: reg_dir(inst.rb, &mut params, &mut used, &mut reg_slots),
+                rc: reg_dir(inst.rc, &mut params, &mut used, &mut reg_slots),
+                imm: imm_dir,
+                uses_lit: inst.uses_lit,
+                dise_branch: false,
+            });
+        }
+
+        // Verify: instantiating the shape against the would-be codeword
+        // recreates the original window exactly.
+        #[cfg(debug_assertions)]
+        {
+            let cw = Inst::codeword(cfg.cw_op, params[0], params[1], params[2], 0);
+            let trigger = if cfg.parameterize || branch_pc.is_some() { cw } else { Inst::nop() };
+            for (s, (pc0, orig)) in specs.iter().zip(window) {
+                let inst = s.instantiate(&trigger, window[0].0).expect("shape instantiation");
+                let ok = if branch_pc == Some(*pc0) {
+                    (window[0].0 + 4).wrapping_add_signed(inst.imm)
+                        == (pc0 + 4).wrapping_add_signed(orig.imm)
+                } else { inst == *orig };
+                if !ok {
+                    panic!("SHAPEBUG: spec {s} gave {inst}, expected {orig} (window[0] pc {:#x})", window[0].0);
+                }
+            }
+        }
+        Some((
+            specs,
+            Instance {
+                start: start_idx,
+                pc: window[0].0,
+                params,
+                branch_target,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_core::EngineConfig;
+    use dise_isa::{Assembler, Reg};
+    use dise_sim::Machine;
+
+    /// A program with lots of redundancy: the same address-compute/load/
+    /// compare idiom repeated with different registers (Figure 4's shape).
+    fn redundant_program() -> Program {
+        let mut listing = String::new();
+        for (a, b) in [(1, 2), (3, 4), (5, 6), (7, 8), (9, 10), (11, 12)] {
+            listing.push_str(&format!(
+                "lda r{a}, 8(r{a})
+                 ldq r{b}, 0(r{a})
+                 cmplt r{b}, r0, r{b}
+                 addq r{b}, #1, r{b}\n"
+            ));
+        }
+        listing.push_str("halt");
+        Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+            .assemble(&listing)
+            .unwrap()
+    }
+
+    #[test]
+    fn parameterized_sharing_beats_unparameterized() {
+        let p = redundant_program();
+        let unparam = Compressor::new(CompressionConfig::dise_wide_entries())
+            .compress(&p)
+            .unwrap();
+        let param = Compressor::new(CompressionConfig::dise_parameterized())
+            .compress(&p)
+            .unwrap();
+        assert!(
+            param.stats.total_ratio() < unparam.stats.total_ratio(),
+            "parameterization must improve total ratio: {} vs {}",
+            param.stats.total_ratio(),
+            unparam.stats.total_ratio()
+        );
+        // All six idiom instances share entries under parameterization.
+        assert!(param.stats.entries < unparam.stats.entries.max(2));
+    }
+
+    #[test]
+    fn compressed_program_is_functionally_identical() {
+        let p = Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+            .assemble(
+                "       lda r1, 10(r31)
+                        lda r9, 0(r31)
+                 loop:  lda r2, 8(r2)
+                        ldq r3, 0(r2)
+                        addq r9, r3, r9
+                        lda r4, 8(r4)
+                        ldq r5, 0(r4)
+                        addq r9, r5, r9
+                        subq r1, #1, r1
+                        bne r1, loop
+                        halt",
+            )
+            .unwrap();
+        let data = Program::segment_base(Program::DATA_SEGMENT);
+        let run_orig = {
+            let mut m = Machine::load(&p);
+            m.set_reg(Reg::R2, data);
+            m.set_reg(Reg::r(4), data + 512);
+            for i in 0..200 {
+                m.mem.store_u64(data + i * 8, i);
+            }
+            m.run(100_000).unwrap();
+            m.reg(Reg::r(9))
+        };
+        for config in [
+            CompressionConfig::dedicated(),
+            CompressionConfig::dedicated_no_single(),
+            CompressionConfig::dise_unparameterized(),
+            CompressionConfig::dise_parameterized(),
+            CompressionConfig::dise_full(),
+        ] {
+            let c = Compressor::new(config).compress(&p).unwrap();
+            let mut m = Machine::load(&c.program);
+            c.attach(&mut m, EngineConfig::default().perfect_rt()).unwrap();
+            m.set_reg(Reg::R2, data);
+            m.set_reg(Reg::r(4), data + 512);
+            for i in 0..200 {
+                m.mem.store_u64(data + i * 8, i);
+            }
+            let r = m.run(100_000).unwrap();
+            assert!(r.halted(), "{config:?}");
+            assert_eq!(m.reg(Reg::r(9)), run_orig, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn branch_compression_requires_full_config() {
+        // Six identical counted loops, each body ending in a backward
+        // branch: only the full configuration can fold the branches into
+        // the dictionary entry (their displacements live in parameters).
+        let mut listing = String::new();
+        for i in 0..6 {
+            listing.push_str(&format!(
+                "       lda r1, 5(r31)
+                 l{i}:  addq r2, #1, r2
+                        subq r1, #1, r1
+                        bne r1, l{i}\n"
+            ));
+        }
+        listing.push_str("halt");
+        let p = Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+            .assemble(&listing)
+            .unwrap();
+        let no_br = Compressor::new(CompressionConfig::dise_parameterized())
+            .compress(&p)
+            .unwrap();
+        let with_br = Compressor::new(CompressionConfig::dise_full())
+            .compress(&p)
+            .unwrap();
+        assert!(
+            with_br.stats.compressed_text < no_br.stats.compressed_text,
+            "branch compression must shrink the text further: {} vs {}",
+            with_br.stats.compressed_text,
+            no_br.stats.compressed_text
+        );
+        // And both still run correctly.
+        for c in [no_br, with_br] {
+            let mut m = Machine::load(&c.program);
+            c.attach(&mut m, EngineConfig::default().perfect_rt()).unwrap();
+            m.run(10_000).unwrap();
+            assert_eq!(m.reg(Reg::R2), 30, "6 loops x 5 increments");
+        }
+    }
+
+    #[test]
+    fn two_byte_codewords_compress_better_per_instance() {
+        let p = redundant_program();
+        let dedicated = Compressor::new(CompressionConfig::dedicated())
+            .compress(&p)
+            .unwrap();
+        let four_byte = Compressor::new(CompressionConfig::dise_unparameterized())
+            .compress(&p)
+            .unwrap();
+        assert!(dedicated.stats.compressed_text <= four_byte.stats.compressed_text);
+        assert!(dedicated.dictionary.is_some());
+        assert!(four_byte.productions.is_some());
+    }
+
+    #[test]
+    fn dictionary_entry_budget_is_respected() {
+        let p = redundant_program();
+        let mut config = CompressionConfig::dise_parameterized();
+        config.max_entries = 1;
+        let c = Compressor::new(config).compress(&p).unwrap();
+        assert!(c.stats.entries <= 1);
+    }
+
+    #[test]
+    fn incompressible_programs_pass_through() {
+        // Every instruction distinct and referencing large immediates: no
+        // profitable sharing for parameterless dedicated compression of
+        // length ≥ 2.
+        let mut listing = String::new();
+        for i in 0..20 {
+            listing.push_str(&format!("lda r{}, {}(r31)\n", (i % 28) + 1, 1000 + 37 * i));
+        }
+        listing.push_str("halt");
+        let p = Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+            .assemble(&listing)
+            .unwrap();
+        let c = Compressor::new(CompressionConfig::dedicated_no_single())
+            .compress(&p)
+            .unwrap();
+        assert_eq!(c.stats.entries, 0);
+        assert_eq!(c.stats.compressed_text, c.stats.original_text);
+        assert_eq!(c.program.text, p.text);
+    }
+
+    #[test]
+    fn stats_are_self_consistent() {
+        let p = redundant_program();
+        let c = Compressor::new(CompressionConfig::dise_full())
+            .compress(&p)
+            .unwrap();
+        let s = c.stats;
+        assert_eq!(
+            s.compressed_text,
+            s.original_text - s.insts_removed * 4 + s.instances * 4,
+            "every removed sequence is replaced by one 4-byte codeword"
+        );
+        assert!(s.code_ratio() < 1.0);
+        assert!(s.total_ratio() <= 1.0 + f64::EPSILON + 1.0);
+    }
+}

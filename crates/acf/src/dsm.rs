@@ -1,0 +1,319 @@
+//! Fine-grained software distributed shared memory (paper §3.1).
+//!
+//! Shasta-style software DSM monitors *every* memory operation to decide
+//! whether it touches shared data and whether that data is present in the
+//! right state — which is exactly an access-check ACF, so a DISE-capable
+//! machine "can be configured to have the appearance of hardware-supported
+//! fine-grained DSM without custom hardware".
+//!
+//! Memory is divided into blocks of `2^block_shift` bytes; a state table
+//! (one 8-byte word per block) records each block's coherence state:
+//!
+//! | state | meaning |
+//! |-------|---------|
+//! | 0     | invalid — any access must trap to the coherence handler |
+//! | 1     | read-only — stores must trap |
+//! | 2     | writable — all accesses proceed |
+//!
+//! Loads expand to a state lookup plus an invalid-check; stores to a state
+//! lookup plus a writable-check. The checks use the same machinery as
+//! fault isolation — dedicated registers, an expansion-time absolute
+//! branch to the handler — just with a table lookup instead of a
+//! segment compare.
+
+use crate::Result;
+use dise_core::{
+    ImmDirective, InstSpec, OpDirective, Pattern, ProductionSet, RegDirective, ReplacementSpec,
+};
+use dise_isa::{Op, OpClass, Reg};
+
+/// Block state: any access traps.
+pub const INVALID: u64 = 0;
+/// Block state: loads proceed, stores trap.
+pub const READ_ONLY: u64 = 1;
+/// Block state: all accesses proceed.
+pub const WRITABLE: u64 = 2;
+
+/// Dedicated scratch register holding the effective address / slot.
+pub const SLOT_REG: Reg = Reg::dr(4);
+/// Dedicated register holding the state-table base.
+pub const TABLE_REG: Reg = Reg::dr(5);
+/// Dedicated register holding the block-index mask (`entries - 1`).
+pub const MASK_REG: Reg = Reg::dr(6);
+/// Dedicated scratch register holding the loaded state.
+pub const STATE_REG: Reg = Reg::dr(7);
+/// Dedicated register holding the [`WRITABLE`] constant.
+pub const WRITABLE_REG: Reg = Reg::dr(8);
+
+/// The fine-grained DSM access-check ACF.
+///
+/// ```
+/// use dise_acf::dsm::Dsm;
+/// let set = Dsm::new(7).with_miss_handler(0x9000).productions().unwrap();
+/// assert_eq!(set.num_rules(), 2); // loads and stores
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Dsm {
+    block_shift: u8,
+    miss_handler: u64,
+}
+
+impl Dsm {
+    /// Creates the builder for blocks of `2^block_shift` bytes (Shasta
+    /// used line/block granularities of 64–256 bytes; 7 → 128B).
+    pub fn new(block_shift: u8) -> Dsm {
+        Dsm {
+            block_shift,
+            miss_handler: 0,
+        }
+    }
+
+    /// Sets the coherence-miss handler address.
+    pub fn with_miss_handler(mut self, addr: u64) -> Dsm {
+        self.miss_handler = addr;
+        self
+    }
+
+    /// The common slot-computation prefix: effective address → state-table
+    /// slot address in [`SLOT_REG`], state in [`STATE_REG`].
+    fn lookup_prefix(&self) -> Vec<InstSpec> {
+        let lit = RegDirective::Literal;
+        let zero = lit(Reg::ZERO);
+        vec![
+            // Effective address.
+            InstSpec::Templated {
+                op: OpDirective::Literal(Op::Lda),
+                ra: lit(SLOT_REG),
+                rb: RegDirective::TriggerRs,
+                rc: zero,
+                imm: ImmDirective::TriggerImm,
+                uses_lit: false,
+                dise_branch: false,
+            },
+            // Block number, masked to the table size.
+            InstSpec::Templated {
+                op: OpDirective::Literal(Op::Srl),
+                ra: lit(SLOT_REG),
+                rb: zero,
+                rc: lit(SLOT_REG),
+                imm: ImmDirective::Literal(self.block_shift as i64),
+                uses_lit: true,
+                dise_branch: false,
+            },
+            InstSpec::Templated {
+                op: OpDirective::Literal(Op::And),
+                ra: lit(SLOT_REG),
+                rb: lit(MASK_REG),
+                rc: lit(SLOT_REG),
+                imm: ImmDirective::Literal(0),
+                uses_lit: false,
+                dise_branch: false,
+            },
+            InstSpec::Templated {
+                op: OpDirective::Literal(Op::S8addq),
+                ra: lit(SLOT_REG),
+                rb: lit(TABLE_REG),
+                rc: lit(SLOT_REG),
+                imm: ImmDirective::Literal(0),
+                uses_lit: false,
+                dise_branch: false,
+            },
+            InstSpec::Templated {
+                op: OpDirective::Literal(Op::Ldq),
+                ra: lit(STATE_REG),
+                rb: lit(SLOT_REG),
+                rc: zero,
+                imm: ImmDirective::Literal(0),
+                uses_lit: false,
+                dise_branch: false,
+            },
+        ]
+    }
+
+    /// Builds the production set: loads trap on [`INVALID`], stores trap on
+    /// anything below [`WRITABLE`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates production-validation errors.
+    pub fn productions(&self) -> Result<ProductionSet> {
+        let lit = RegDirective::Literal;
+        let zero = lit(Reg::ZERO);
+        let mut set = ProductionSet::new();
+
+        // Loads: trap when state == INVALID.
+        let mut load_seq = self.lookup_prefix();
+        load_seq.push(InstSpec::Templated {
+            op: OpDirective::Literal(Op::Beq),
+            ra: lit(STATE_REG),
+            rb: zero,
+            rc: zero,
+            imm: ImmDirective::AbsTarget(self.miss_handler),
+            uses_lit: false,
+            dise_branch: false,
+        });
+        load_seq.push(InstSpec::Trigger);
+        set.add_transparent(Pattern::opclass(OpClass::Load), ReplacementSpec::new(load_seq))?;
+
+        // Stores: trap unless state == WRITABLE.
+        let mut store_seq = self.lookup_prefix();
+        store_seq.push(InstSpec::Templated {
+            op: OpDirective::Literal(Op::Cmpeq),
+            ra: lit(STATE_REG),
+            rb: lit(WRITABLE_REG),
+            rc: lit(STATE_REG),
+            imm: ImmDirective::Literal(0),
+            uses_lit: false,
+            dise_branch: false,
+        });
+        store_seq.push(InstSpec::Templated {
+            op: OpDirective::Literal(Op::Beq),
+            ra: lit(STATE_REG),
+            rb: zero,
+            rc: zero,
+            imm: ImmDirective::AbsTarget(self.miss_handler),
+            uses_lit: false,
+            dise_branch: false,
+        });
+        store_seq.push(InstSpec::Trigger);
+        set.add_transparent(
+            Pattern::opclass(OpClass::Store),
+            ReplacementSpec::new(store_seq),
+        )?;
+        Ok(set)
+    }
+
+    /// Initializes a machine for DSM checking: `table` is the state-table
+    /// base (needs `entries * 8` zeroed bytes — everything starts
+    /// [`INVALID`]) and `entries` must be a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn init_machine(&self, machine: &mut dise_sim::Machine, table: u64, entries: u64) {
+        assert!(entries.is_power_of_two());
+        machine.set_reg(TABLE_REG, table);
+        machine.set_reg(MASK_REG, entries - 1);
+        machine.set_reg(WRITABLE_REG, WRITABLE);
+    }
+
+    /// Sets the coherence state of the block containing `addr` (what a
+    /// real DSM's protocol handler would do after fetching the data).
+    pub fn set_block_state(
+        &self,
+        machine: &mut dise_sim::Machine,
+        table: u64,
+        entries: u64,
+        addr: u64,
+        state: u64,
+    ) {
+        let slot = (addr >> self.block_shift) & (entries - 1);
+        machine.mem.store_u64(table + slot * 8, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_core::{DiseEngine, EngineConfig};
+    use dise_isa::{Assembler, Program};
+    use dise_sim::Machine;
+
+    const ENTRIES: u64 = 256;
+
+    fn setup(listing: &str) -> (Program, Machine, Dsm, u64) {
+        let p = Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+            .assemble(listing)
+            .unwrap();
+        let dsm = Dsm::new(7).with_miss_handler(p.symbol("dsm_miss").unwrap());
+        let mut m = Machine::load(&p);
+        m.attach_engine(
+            DiseEngine::with_productions(EngineConfig::default(), dsm.productions().unwrap())
+                .unwrap(),
+        );
+        let table = Program::segment_base(Program::DATA_SEGMENT) + 0x100000;
+        dsm.init_machine(&mut m, table, ENTRIES);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        (p, m, dsm, table)
+    }
+
+    #[test]
+    fn invalid_blocks_trap_on_load() {
+        let (p, mut m, _dsm, _t) = setup(
+            "       ldq r3, 0(r2)
+                    halt
+             dsm_miss: lda r9, 1(r31)
+                    halt",
+        );
+        m.run(1_000).unwrap();
+        assert_eq!(m.reg(Reg::r(9)), 1, "load of an invalid block must trap");
+        assert!(m.pc().0 > p.symbol("dsm_miss").unwrap() - 4);
+    }
+
+    #[test]
+    fn state_machine_gates_loads_and_stores() {
+        let data = Program::segment_base(Program::DATA_SEGMENT);
+        // READ_ONLY: load passes, store traps.
+        let (_p, mut m, dsm, table) = setup(
+            "       ldq r3, 0(r2)
+                    stq r3, 0(r2)
+                    halt
+             dsm_miss: lda r9, 1(r31)
+                    halt",
+        );
+        dsm.set_block_state(&mut m, table, ENTRIES, data, READ_ONLY);
+        m.run(1_000).unwrap();
+        assert_eq!(m.reg(Reg::r(9)), 1, "store to a read-only block must trap");
+
+        // WRITABLE: everything passes.
+        let (_p, mut m, dsm, table) = setup(
+            "       lda r1, 42(r31)
+                    stq r1, 0(r2)
+                    ldq r3, 0(r2)
+                    halt
+             dsm_miss: lda r9, 1(r31)
+                    halt",
+        );
+        dsm.set_block_state(&mut m, table, ENTRIES, data, WRITABLE);
+        m.run(1_000).unwrap();
+        assert_eq!(m.reg(Reg::r(9)), 0, "writable blocks never trap");
+        assert_eq!(m.reg(Reg::r(3)), 42);
+    }
+
+    #[test]
+    fn block_granularity_respected() {
+        let data = Program::segment_base(Program::DATA_SEGMENT);
+        let (_p, mut m, dsm, table) = setup(
+            "       ldq r3, 0(r2)      ; block 0: valid
+                    ldq r4, 128(r2)    ; block 1: invalid → trap
+                    halt
+             dsm_miss: lda r9, 1(r31)
+                    halt",
+        );
+        dsm.set_block_state(&mut m, table, ENTRIES, data, READ_ONLY);
+        m.run(1_000).unwrap();
+        assert_eq!(m.reg(Reg::r(9)), 1, "the adjacent block is still invalid");
+    }
+
+    #[test]
+    fn handler_can_upgrade_and_resume() {
+        // Simulate the coherence protocol: trap, "fetch" the block
+        // (upgrade its state), and restart the access — the classic DSM
+        // miss flow, driven from outside like an OS handler would be.
+        let data = Program::segment_base(Program::DATA_SEGMENT);
+        let (p, mut m, dsm, table) = setup(
+            "start: ldq r3, 8(r2)
+                    addq r3, #1, r3
+                    halt
+             dsm_miss: halt",
+        );
+        m.mem.store_u64(data + 8, 6);
+        m.run(1_000).unwrap();
+        assert_eq!(m.pc().0, p.symbol("dsm_miss").unwrap(), "first access traps");
+        // Protocol handler: make the block readable, restart the access.
+        dsm.set_block_state(&mut m, table, ENTRIES, data, READ_ONLY);
+        m.set_pc(p.symbol("start").unwrap());
+        m.run(1_000).unwrap();
+        assert_eq!(m.reg(Reg::r(3)), 7, "restarted access completes");
+    }
+}

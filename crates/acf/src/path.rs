@@ -1,0 +1,241 @@
+//! PC-indexed edge profiling (paper §3.1, after the authors' companion
+//! DISE path profiler \[8\]).
+//!
+//! Where [`crate::profile`] keeps two global counters, this ACF keeps a
+//! *table* of per-branch counters in application memory, indexed by a hash
+//! of the branch's PC — which is possible because the instantiation logic
+//! can embed the trigger's PC in a replacement immediate (`T.PC`, §2.1).
+//! Post-execution, the table reconstructs per-branch execution and
+//! taken/not-taken counts, the building block of path profiles.
+//!
+//! Per conditional branch the expansion is:
+//!
+//! ```text
+//! lda    $dr10, T.PC(r31)     ; the trigger's PC, via the IL
+//! srl    $dr10, #2, $dr10
+//! and    $dr10, #<mask>, $dr10
+//! s8addq $dr10, $dr11, $dr10  ; $dr11 = table base
+//! ldq    $dr12, 0($dr10)      ; executed++
+//! lda    $dr12, 1($dr12)
+//! stq    $dr12, 0($dr10)
+//! T.INSN
+//! ldq    $dr12, <H>($dr10)    ; not-taken++ — squashed when taken (§2.1)
+//! lda    $dr12, 1($dr12)
+//! stq    $dr12, <H>($dr10)
+//! ```
+
+use crate::Result;
+use dise_core::{
+    ImmDirective, InstSpec, OpDirective, Pattern, ProductionSet, RegDirective, ReplacementSpec,
+};
+use dise_isa::{Op, OpClass, Reg};
+
+/// Dedicated register holding the table slot address (scratch).
+pub const SLOT_REG: Reg = Reg::dr(14);
+/// Dedicated register holding the table base.
+pub const TABLE_REG: Reg = Reg::dr(15);
+/// Dedicated register used as the counter scratch.
+pub const COUNTER_REG: Reg = Reg::dr(9);
+
+/// Number of table slots (each slot: one executed + one not-taken
+/// counter). PCs are hashed by `(pc >> 2) & (SLOTS - 1)`.
+pub const SLOTS: usize = 256;
+
+/// Byte offset from the executed-counter half of the table to the
+/// not-taken half.
+const NOT_TAKEN_OFF: i64 = (SLOTS * 8) as i64;
+
+/// One slot of the read-back profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeCounts {
+    /// Conditional branches hashing to this slot that executed.
+    pub executed: u64,
+    /// Of those, how many fell through.
+    pub not_taken: u64,
+}
+
+impl EdgeCounts {
+    /// Taken count.
+    pub fn taken(&self) -> u64 {
+        self.executed - self.not_taken
+    }
+}
+
+/// The PC-indexed edge profiler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathProfiler;
+
+impl PathProfiler {
+    /// Creates the builder.
+    pub fn new() -> PathProfiler {
+        PathProfiler
+    }
+
+    /// Builds the production set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates production-validation errors.
+    pub fn productions(&self) -> Result<ProductionSet> {
+        let lit = RegDirective::Literal;
+        let zero = lit(Reg::ZERO);
+        let alu_ri = |op: Op, ra: RegDirective, k: i64, rc: RegDirective| InstSpec::Templated {
+            op: OpDirective::Literal(op),
+            ra,
+            rb: zero,
+            rc,
+            imm: ImmDirective::Literal(k),
+            uses_lit: true,
+            dise_branch: false,
+        };
+        let mem = |op: Op, ra: RegDirective, off: i64, rb: RegDirective| InstSpec::Templated {
+            op: OpDirective::Literal(op),
+            ra,
+            rb,
+            rc: zero,
+            imm: ImmDirective::Literal(off),
+            uses_lit: false,
+            dise_branch: false,
+        };
+        let bump = |off: i64| {
+            vec![
+                mem(Op::Ldq, lit(COUNTER_REG), off, lit(SLOT_REG)),
+                mem(Op::Lda, lit(COUNTER_REG), 1, lit(COUNTER_REG)),
+                mem(Op::Stq, lit(COUNTER_REG), off, lit(SLOT_REG)),
+            ]
+        };
+        let mut insts = vec![
+            // Slot address from the trigger's PC.
+            InstSpec::Templated {
+                op: OpDirective::Literal(Op::Lda),
+                ra: lit(SLOT_REG),
+                rb: zero,
+                rc: zero,
+                imm: ImmDirective::TriggerPc,
+                uses_lit: false,
+                dise_branch: false,
+            },
+            alu_ri(Op::Srl, lit(SLOT_REG), 2, lit(SLOT_REG)),
+            alu_ri(Op::And, lit(SLOT_REG), (SLOTS - 1) as i64, lit(SLOT_REG)),
+            InstSpec::Templated {
+                op: OpDirective::Literal(Op::S8addq),
+                ra: lit(SLOT_REG),
+                rb: lit(TABLE_REG),
+                rc: lit(SLOT_REG),
+                imm: ImmDirective::Literal(0),
+                uses_lit: false,
+                dise_branch: false,
+            },
+        ];
+        insts.extend(bump(0)); // executed++
+        insts.push(InstSpec::Trigger);
+        insts.extend(bump(NOT_TAKEN_OFF)); // not-taken++, squashed if taken
+        let mut set = ProductionSet::new();
+        set.add_transparent(Pattern::opclass(OpClass::CondBranch), ReplacementSpec::new(insts))?;
+        Ok(set)
+    }
+
+    /// Points the counter table at `table` (needs `2 * SLOTS * 8` bytes of
+    /// zeroed memory).
+    pub fn init_machine(machine: &mut dise_sim::Machine, table: u64) {
+        machine.set_reg(TABLE_REG, table);
+    }
+
+    /// Reads the table back.
+    pub fn read(machine: &dise_sim::Machine, table: u64) -> Vec<EdgeCounts> {
+        (0..SLOTS)
+            .map(|i| EdgeCounts {
+                executed: machine.mem.load_u64(table + (i * 8) as u64),
+                not_taken: machine
+                    .mem
+                    .load_u64(table + (i * 8) as u64 + NOT_TAKEN_OFF as u64),
+            })
+            .collect()
+    }
+
+    /// The table slot a branch at `pc` hashes to.
+    pub fn slot_of(pc: u64) -> usize {
+        ((pc >> 2) as usize) & (SLOTS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_core::{DiseEngine, EngineConfig};
+    use dise_isa::{Assembler, Program};
+    use dise_sim::Machine;
+
+    #[test]
+    fn per_branch_counters() {
+        // Two branches: the loop back-edge (taken 7/8) and a never-taken
+        // branch inside the loop.
+        let p = Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+            .assemble(
+                "       lda r1, 8(r31)
+                 loop:  bne r31, loop      ; never taken
+                        subq r1, #1, r1
+                        bne r1, loop       ; taken 7, not taken 1
+                        halt",
+            )
+            .unwrap();
+        let mut m = Machine::load(&p);
+        m.attach_engine(
+            DiseEngine::with_productions(
+                EngineConfig::default(),
+                PathProfiler::new().productions().unwrap(),
+            )
+            .unwrap(),
+        );
+        let table = Program::segment_base(Program::DATA_SEGMENT) + 0x40000;
+        PathProfiler::init_machine(&mut m, table);
+        m.run(10_000).unwrap();
+        let counts = PathProfiler::read(&m, table);
+        let never = counts[PathProfiler::slot_of(p.symbol("loop").unwrap())];
+        assert_eq!(never.executed, 8);
+        assert_eq!(never.taken(), 0);
+        let backedge = counts[PathProfiler::slot_of(p.symbol("loop").unwrap() + 8)];
+        assert_eq!(backedge.executed, 8);
+        assert_eq!(backedge.taken(), 7);
+        // Total across all slots matches the branch count.
+        let total: u64 = counts.iter().map(|c| c.executed).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn profiled_run_is_otherwise_unchanged() {
+        let p = dise_workload_like();
+        let mut plain = Machine::load(&p);
+        plain.run(100_000).unwrap();
+        let mut m = Machine::load(&p);
+        m.attach_engine(
+            DiseEngine::with_productions(
+                EngineConfig::default(),
+                PathProfiler::new().productions().unwrap(),
+            )
+            .unwrap(),
+        );
+        let table = Program::segment_base(Program::DATA_SEGMENT) + 0x40000;
+        PathProfiler::init_machine(&mut m, table);
+        m.run(1_000_000).unwrap();
+        for i in 0..25 {
+            assert_eq!(plain.reg(Reg::r(i)), m.reg(Reg::r(i)));
+        }
+    }
+
+    fn dise_workload_like() -> Program {
+        Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+            .assemble(
+                "       lda r1, 50(r31)
+                        lda r2, 1(r31)
+                 loop:  mulq r2, #3, r2
+                        and r2, #4, r3
+                        beq r3, skip
+                        addq r4, #1, r4
+                 skip:  subq r1, #1, r1
+                        bne r1, loop
+                        halt",
+            )
+            .unwrap()
+    }
+}

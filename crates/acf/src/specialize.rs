@@ -1,0 +1,282 @@
+//! Dynamic code specialization (paper §3.2, "other aware ACFs").
+//!
+//! DISE as a substrate for fast dynamic code generation: the paper's
+//! example is a loop containing a multiply with one loop-invariant
+//! operand. A DISE-aware tool replaces the multiply with a codeword; at
+//! run time, *before entering the loop*, the invariant's value is
+//! inspected and a specialized replacement sequence is installed for the
+//! codeword's tag:
+//!
+//! * power of two → a single shift;
+//! * sum of two powers of two → two shifts and an add (the case the paper
+//!   highlights: trivial in DISE, painful for a software specializer which
+//!   must grow the code, retarget branches and scavenge a register);
+//! * anything else → the original multiply.
+//!
+//! The new productions take effect through the ordinary PT/RT fill path —
+//! no self-modifying code, no instruction-cache flush.
+
+use crate::Result;
+use dise_core::{
+    DiseEngine, ImmDirective, InstSpec, OpDirective, RegDirective, ReplacementId,
+    ReplacementSpec,
+};
+use dise_isa::{Inst, Op, Reg};
+
+/// Dedicated scratch register for the two-shift case.
+pub const TEMP_REG: Reg = Reg::dr(13);
+
+/// How a multiply-by-constant was specialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Specialization {
+    /// `x * 2^k` → `sll x, #k`.
+    Shift {
+        /// The shift amount `k`.
+        k: u8,
+    },
+    /// `x * (2^j + 2^k)` → two shifts and an add.
+    ShiftAddShift {
+        /// The larger power.
+        j: u8,
+        /// The smaller power.
+        k: u8,
+    },
+    /// No useful structure: the original multiply.
+    Multiply,
+}
+
+impl Specialization {
+    /// Chooses the specialization for a runtime multiplier value.
+    pub fn for_multiplier(value: u64) -> Specialization {
+        if value.is_power_of_two() {
+            return Specialization::Shift {
+                k: value.trailing_zeros() as u8,
+            };
+        }
+        if value.count_ones() == 2 {
+            let k = value.trailing_zeros() as u8;
+            let j = (63 - value.leading_zeros()) as u8;
+            return Specialization::ShiftAddShift { j, k };
+        }
+        Specialization::Multiply
+    }
+
+    /// Number of replacement instructions this specialization expands to.
+    pub fn len(&self) -> usize {
+        match self {
+            Specialization::Shift { .. } => 1,
+            Specialization::ShiftAddShift { .. } => 3,
+            Specialization::Multiply => 1,
+        }
+    }
+
+    /// True if the expansion is a single instruction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The multiply specializer.
+///
+/// Static side: [`Specializer::codeword`] produces the codeword the
+/// DISE-aware tool plants in place of `mulq x, invariant, y` (parameter 1
+/// = source register, parameter 2 = destination register). Dynamic side:
+/// [`Specializer::install`] inspects the runtime value and installs the
+/// specialized productions.
+#[derive(Debug, Clone, Copy)]
+pub struct Specializer {
+    cw_op: Op,
+    tag: u16,
+}
+
+impl Specializer {
+    /// Creates a specializer using reserved opcode `cw_op` and dictionary
+    /// tag `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw_op` is not a reserved codeword opcode.
+    pub fn new(cw_op: Op, tag: u16) -> Specializer {
+        assert!(cw_op.is_codeword());
+        Specializer { cw_op, tag }
+    }
+
+    /// The codeword that replaces `mulq src, <invariant>, dst` in the
+    /// static image.
+    pub fn codeword(&self, src: Reg, dst: Reg) -> Inst {
+        Inst::codeword(
+            self.cw_op,
+            src.arch_num().expect("application registers only"),
+            dst.arch_num().expect("application registers only"),
+            0,
+            self.tag,
+        )
+    }
+
+    /// The replacement sequence for a given runtime multiplier value.
+    pub fn spec_for(&self, value: u64) -> ReplacementSpec {
+        let src = RegDirective::Param(0);
+        let dst = RegDirective::Param(1);
+        let zero = RegDirective::Literal(Reg::ZERO);
+        let sll = |ra: RegDirective, k: u8, rc: RegDirective| InstSpec::Templated {
+            op: OpDirective::Literal(Op::Sll),
+            ra,
+            rb: zero,
+            rc,
+            imm: ImmDirective::Literal(k as i64),
+            uses_lit: true,
+            dise_branch: false,
+        };
+        match Specialization::for_multiplier(value) {
+            Specialization::Shift { k } => ReplacementSpec::new(vec![sll(src, k, dst)]),
+            Specialization::ShiftAddShift { j, k } => ReplacementSpec::new(vec![
+                sll(src, j, RegDirective::Literal(TEMP_REG)),
+                sll(src, k, dst),
+                InstSpec::Templated {
+                    op: OpDirective::Literal(Op::Addq),
+                    ra: RegDirective::Literal(TEMP_REG),
+                    rb: dst,
+                    rc: dst,
+                    imm: ImmDirective::Literal(0),
+                    uses_lit: false,
+                    dise_branch: false,
+                },
+            ]),
+            Specialization::Multiply => {
+                // value may exceed the 8-bit operate literal; materialize it
+                // in the dedicated temp first when needed.
+                if value <= 255 {
+                    ReplacementSpec::new(vec![InstSpec::Templated {
+                        op: OpDirective::Literal(Op::Mulq),
+                        ra: src,
+                        rb: zero,
+                        rc: dst,
+                        imm: ImmDirective::Literal(value as i64),
+                        uses_lit: true,
+                        dise_branch: false,
+                    }])
+                } else {
+                    ReplacementSpec::new(vec![
+                        InstSpec::Templated {
+                            op: OpDirective::Literal(Op::Lda),
+                            ra: RegDirective::Literal(TEMP_REG),
+                            rb: RegDirective::Literal(Reg::ZERO),
+                            rc: zero,
+                            imm: ImmDirective::Literal(value as i64),
+                            uses_lit: false,
+                            dise_branch: false,
+                        },
+                        InstSpec::Templated {
+                            op: OpDirective::Literal(Op::Mulq),
+                            ra: src,
+                            rb: RegDirective::Literal(TEMP_REG),
+                            rc: dst,
+                            imm: ImmDirective::Literal(0),
+                            uses_lit: false,
+                            dise_branch: false,
+                        },
+                    ])
+                }
+            }
+        }
+    }
+
+    /// Installs the specialization for the observed runtime value into a
+    /// live engine (replacing any previous specialization under this tag).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine installation errors.
+    pub fn install(&self, engine: &mut DiseEngine, value: u64) -> Result<ReplacementId> {
+        Ok(engine.install_aware(self.cw_op, self.tag, self.spec_for(value))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_core::EngineConfig;
+    use dise_isa::{Program, ProgramBuilder};
+    use dise_sim::Machine;
+
+    #[test]
+    fn specialization_classification() {
+        assert_eq!(
+            Specialization::for_multiplier(8),
+            Specialization::Shift { k: 3 }
+        );
+        assert_eq!(
+            Specialization::for_multiplier(1),
+            Specialization::Shift { k: 0 }
+        );
+        assert_eq!(
+            Specialization::for_multiplier(10),
+            Specialization::ShiftAddShift { j: 3, k: 1 }
+        );
+        assert_eq!(
+            Specialization::for_multiplier(7),
+            Specialization::Multiply
+        );
+    }
+
+    /// The paper's scenario end to end: a loop multiplying by a
+    /// loop-invariant operand, specialized at run time for three different
+    /// invariant values.
+    #[test]
+    fn specialized_loops_compute_correct_products() {
+        let spec = Specializer::new(Op::Cw1, 9);
+        // for i in 1..=5 { acc += i * M }  with the multiply replaced by a
+        // codeword (src r1, dst r2).
+        let mut b = ProgramBuilder::new(Program::segment_base(Program::TEXT_SEGMENT));
+        b.push(Inst::li(5, Reg::R1));
+        b.label("loop");
+        b.push(spec.codeword(Reg::R1, Reg::R2));
+        b.push(Inst::alu_rr(Op::Addq, Reg::R3, Reg::R2, Reg::R3));
+        b.push(Inst::alu_ri(Op::Subq, Reg::R1, 1, Reg::R1));
+        b.branch_to(Op::Bne, Reg::R1, "loop");
+        b.push(Inst::halt());
+        let p = b.finish().unwrap();
+
+        for (value, kind) in [
+            (16u64, Specialization::Shift { k: 4 }),
+            (10, Specialization::ShiftAddShift { j: 3, k: 1 }),
+            (7, Specialization::Multiply),
+            (1000, Specialization::Multiply),
+        ] {
+            assert_eq!(Specialization::for_multiplier(value), kind);
+            let mut m = Machine::load(&p);
+            let mut engine = DiseEngine::new(EngineConfig::default());
+            // "Prior to entering the loop the value of the operand is
+            // tested and used to define the replacement appropriately."
+            spec.install(&mut engine, value).unwrap();
+            m.attach_engine(engine);
+            let r = m.run(10_000).unwrap();
+            assert!(r.halted());
+            let expected: u64 = (1..=5u64).map(|i| i * value).sum();
+            assert_eq!(m.reg(Reg::R3), expected, "value {value}");
+        }
+    }
+
+    /// Re-specialization: install a new value for the same tag mid-run
+    /// (e.g. the loop is re-entered with a different invariant).
+    #[test]
+    fn respecialization_takes_effect() {
+        let spec = Specializer::new(Op::Cw1, 3);
+        let p = Program::from_insts(
+            Program::segment_base(Program::TEXT_SEGMENT),
+            &[spec.codeword(Reg::R1, Reg::R2), Inst::halt()],
+        )
+        .unwrap();
+        let run_with = |value: u64| {
+            let mut m = Machine::load(&p);
+            let mut engine = DiseEngine::new(EngineConfig::default());
+            spec.install(&mut engine, value).unwrap();
+            m.attach_engine(engine);
+            m.set_reg(Reg::R1, 6);
+            m.run(100).unwrap();
+            m.reg(Reg::R2)
+        };
+        assert_eq!(run_with(4), 24);
+        assert_eq!(run_with(12), 72);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion benchmarks for the greedy dictionary compressor: end-to-end
+//! compression throughput (bytes of input text per second) for the
+//! dedicated and full-DISE configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dise_acf::compress::{CompressionConfig, Compressor};
+use dise_workloads::{Benchmark, WorkloadConfig};
+
+fn bench_compress(c: &mut Criterion) {
+    let p = Benchmark::Parser.build(&WorkloadConfig::tiny());
+    let mut group = c.benchmark_group("compressor");
+    group.throughput(Throughput::Bytes(p.text_size()));
+    group.sample_size(10);
+    for (name, config) in [
+        ("dedicated", CompressionConfig::dedicated()),
+        ("dise_full", CompressionConfig::dise_full()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    Compressor::new(config)
+                        .compress(black_box(&p))
+                        .unwrap()
+                        .stats,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

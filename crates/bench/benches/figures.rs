@@ -1,0 +1,68 @@
+//! Small-scale versions of the paper's figure experiments, wired into
+//! `cargo bench` so the full pipeline (workload generation → ACF →
+//! simulation) is exercised and timed on every bench run. The full-scale
+//! sweeps live in the `fig6_mfi`, `fig7_compression` and `fig8_composition`
+//! binaries (see EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dise_acf::compress::CompressionConfig;
+use dise_acf::mfi::{Mfi, MfiVariant};
+use dise_core::{DiseEngine, EngineConfig};
+use dise_rewrite::RewriteMfi;
+use dise_sim::{ExpansionCost, Machine, SimConfig, Simulator};
+use dise_workloads::{Benchmark, WorkloadConfig};
+
+fn tiny(bench: Benchmark) -> dise_isa::Program {
+    bench.build(&WorkloadConfig::tiny().with_dyn_insts(20_000))
+}
+
+fn fig6_mini(c: &mut Criterion) {
+    let p = tiny(Benchmark::Bzip2);
+    let mut group = c.benchmark_group("fig6_mini");
+    group.sample_size(10);
+    group.bench_function("dise3_free", |b| {
+        b.iter(|| {
+            let mut m = Machine::load(&p);
+            let set = Mfi::new(MfiVariant::Dise3)
+                .with_error_handler(p.symbol("mfi_error").unwrap())
+                .productions()
+                .unwrap();
+            m.attach_engine(DiseEngine::with_productions(EngineConfig::default(), set).unwrap());
+            Mfi::init_machine(&mut m);
+            let mut sim =
+                Simulator::new(SimConfig::default().with_expansion_cost(ExpansionCost::Free), m);
+            black_box(sim.run(50_000_000).unwrap().stats.cycles)
+        })
+    });
+    group.bench_function("rewrite", |b| {
+        b.iter(|| {
+            let rewritten = RewriteMfi::new().rewrite(&p).unwrap().program;
+            let mut sim = Simulator::new(SimConfig::default(), Machine::load(&rewritten));
+            black_box(sim.run(50_000_000).unwrap().stats.cycles)
+        })
+    });
+    group.finish();
+}
+
+fn fig7_mini(c: &mut Criterion) {
+    let p = tiny(Benchmark::Mcf);
+    let mut group = c.benchmark_group("fig7_mini");
+    group.sample_size(10);
+    group.bench_function("compress_run", |b| {
+        b.iter(|| {
+            let compressed = dise_acf::compress::Compressor::new(CompressionConfig::dise_full())
+                .compress(&p)
+                .unwrap();
+            let mut m = Machine::load(&compressed.program);
+            compressed
+                .attach(&mut m, EngineConfig::default().perfect_rt())
+                .unwrap();
+            let mut sim = Simulator::new(SimConfig::default(), m);
+            black_box(sim.run(50_000_000).unwrap().stats.cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig6_mini, fig7_mini);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the functional machine and the cycle-level
+//! timing model: simulated instructions per second on a real workload,
+//! with and without DISE expansion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dise_acf::mfi::{Mfi, MfiVariant};
+use dise_core::{DiseEngine, EngineConfig};
+use dise_sim::{Machine, SimConfig, Simulator};
+use dise_workloads::{Benchmark, WorkloadConfig};
+
+const INSTS: u64 = 50_000;
+
+fn workload() -> dise_isa::Program {
+    Benchmark::Mcf.build(&WorkloadConfig::tiny().with_dyn_insts(INSTS))
+}
+
+fn bench_functional(c: &mut Criterion) {
+    let p = workload();
+    let mut group = c.benchmark_group("machine_functional");
+    group.throughput(Throughput::Elements(INSTS));
+    group.sample_size(10);
+    group.bench_function("mcf_tiny", |b| {
+        b.iter_batched(
+            || Machine::load(&p),
+            |mut m| m.run(100_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let p = workload();
+    let mut group = c.benchmark_group("simulator_timing");
+    group.throughput(Throughput::Elements(INSTS));
+    group.sample_size(10);
+    group.bench_function("mcf_tiny_baseline", |b| {
+        b.iter_batched(
+            || Simulator::new(SimConfig::default(), Machine::load(&p)),
+            |mut sim| sim.run(100_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("mcf_tiny_dise_mfi", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::load(&p);
+                let set = Mfi::new(MfiVariant::Dise3)
+                    .with_error_handler(p.symbol("mfi_error").unwrap())
+                    .productions()
+                    .unwrap();
+                m.attach_engine(
+                    DiseEngine::with_productions(EngineConfig::default(), set).unwrap(),
+                );
+                Mfi::init_machine(&mut m);
+                Simulator::new(SimConfig::default(), m)
+            },
+            |mut sim| sim.run(100_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional, bench_timing);
+criterion_main!(benches);

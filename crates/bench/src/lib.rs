@@ -1,0 +1,188 @@
+#![warn(missing_docs)]
+
+//! # dise-bench: the experiment harness
+//!
+//! One binary per figure of the paper's evaluation (§4):
+//!
+//! * `fig6_mfi` — memory fault isolation: DISE vs. binary rewriting
+//!   (`top`), across I-cache sizes (`cache`), across processor widths
+//!   (`width`).
+//! * `fig7_compression` — code compression: compression-ratio feature walk
+//!   (`ratio`), execution time across I-cache sizes (`perf`), RT
+//!   configurations (`rt`).
+//! * `fig8_composition` — composed decompression + fault isolation across
+//!   I-cache sizes (`cache`) and RT configurations / miss latencies
+//!   (`rt`).
+//!
+//! Each prints the same rows/series the paper's figures plot. The dynamic
+//! instruction budget per run defaults to 1M application instructions and
+//! can be overridden with the `DISE_BENCH_DYN` environment variable;
+//! `DISE_BENCH_FILTER=gcc,mcf` restricts the benchmark set.
+
+use dise_acf::compress::{CompressedProgram, CompressionConfig, Compressor};
+use dise_acf::mfi::{Mfi, MfiVariant};
+use dise_core::{compose, Controller, DiseEngine, EngineConfig, ProductionSet};
+use dise_isa::Program;
+use dise_rewrite::RewriteMfi;
+use dise_sim::{ExpansionCost, Machine, SimConfig, SimStats, Simulator};
+use dise_workloads::{Benchmark, WorkloadConfig};
+
+/// Default dynamic application-instruction budget per run.
+pub const DEFAULT_DYN: u64 = 1_000_000;
+
+/// Reads the per-run dynamic budget (env `DISE_BENCH_DYN`).
+pub fn dyn_budget() -> u64 {
+    std::env::var("DISE_BENCH_DYN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_DYN)
+}
+
+/// The benchmark set, honoring `DISE_BENCH_FILTER`.
+pub fn benchmarks() -> Vec<Benchmark> {
+    match std::env::var("DISE_BENCH_FILTER") {
+        Ok(filter) => Benchmark::ALL
+            .into_iter()
+            .filter(|b| filter.split(',').any(|f| f.trim() == b.name()))
+            .collect(),
+        Err(_) => Benchmark::ALL.to_vec(),
+    }
+}
+
+/// Generates the workload program for a benchmark at the configured
+/// budget.
+pub fn workload(bench: Benchmark) -> Program {
+    bench.build(&WorkloadConfig::default().with_dyn_insts(dyn_budget()))
+}
+
+/// Simulation fuel: generous multiple of the application budget so
+/// expanded streams and replays fit.
+fn fuel() -> u64 {
+    dyn_budget().saturating_mul(40).max(10_000_000)
+}
+
+/// Runs a bare program (no ACFs).
+pub fn run_baseline(program: &Program, config: SimConfig) -> SimStats {
+    let mut sim = Simulator::new(config, Machine::load(program));
+    sim.run(fuel()).expect("baseline run").stats
+}
+
+/// Builds the MFI production set for `program` (error handler at its
+/// `mfi_error` symbol).
+pub fn mfi_productions(program: &Program, variant: MfiVariant) -> ProductionSet {
+    Mfi::new(variant)
+        .with_error_handler(program.symbol("mfi_error").expect("workloads define mfi_error"))
+        .productions()
+        .expect("MFI productions build")
+}
+
+/// Runs a program under DISE memory fault isolation.
+pub fn run_dise_mfi(
+    program: &Program,
+    variant: MfiVariant,
+    cost: ExpansionCost,
+    config: SimConfig,
+) -> SimStats {
+    let mut m = Machine::load(program);
+    m.attach_engine(
+        DiseEngine::with_productions(EngineConfig::default(), mfi_productions(program, variant))
+            .expect("engine"),
+    );
+    Mfi::init_machine(&mut m);
+    let mut sim = Simulator::new(config.with_expansion_cost(cost), m);
+    sim.run(fuel()).expect("DISE MFI run").stats
+}
+
+/// Runs a program under binary-rewriting memory fault isolation.
+pub fn run_rewrite_mfi(program: &Program, config: SimConfig) -> SimStats {
+    let rewritten = RewriteMfi::new().rewrite(program).expect("rewrite").program;
+    let mut sim = Simulator::new(config, Machine::load(&rewritten));
+    sim.run(fuel()).expect("rewrite MFI run").stats
+}
+
+/// Compresses a program under a Figure 7 configuration.
+pub fn compress(program: &Program, config: CompressionConfig) -> CompressedProgram {
+    Compressor::new(config).compress(program).expect("compression")
+}
+
+/// Runs a compressed program with its decompressor attached.
+pub fn run_compressed(
+    compressed: &CompressedProgram,
+    engine_config: EngineConfig,
+    config: SimConfig,
+) -> SimStats {
+    let mut m = Machine::load(&compressed.program);
+    compressed
+        .attach(&mut m, engine_config)
+        .expect("attach decompressor");
+    let mut sim = Simulator::new(config, m);
+    sim.run(fuel()).expect("compressed run").stats
+}
+
+/// Runs the full DISE+DISE composition: a compressed program whose aware
+/// decompression sequences get transparent MFI inlined *at RT-miss time*
+/// (§3.3/§4.3). With `eager`, the composition is instead performed up
+/// front (productions composed in software; misses stay 30 cycles).
+pub fn run_composed_dise(
+    compressed: &CompressedProgram,
+    engine_config: EngineConfig,
+    config: SimConfig,
+    eager: bool,
+) -> SimStats {
+    let aware = compressed
+        .productions
+        .clone()
+        .expect("DISE compression produces productions");
+    let mfi = mfi_productions(&compressed.program, MfiVariant::Dise3);
+    let mut m = Machine::load(&compressed.program);
+    let engine = if eager {
+        let composed = compose::compose_nested(&mfi, &aware).expect("eager composition");
+        DiseEngine::with_productions(engine_config, composed).expect("engine")
+    } else {
+        let controller = Controller::new({
+            // The engine must also apply MFI to uncompressed instructions,
+            // so the active set holds both ACFs; only aware fills compose.
+            let mut set = mfi.clone();
+            set.absorb(&aware).expect("absorb aware productions");
+            set
+        })
+        .with_inline_on_fill(mfi);
+        DiseEngine::with_controller(engine_config, controller)
+    };
+    m.attach_engine(engine);
+    Mfi::init_machine(&mut m);
+    let mut sim = Simulator::new(config, m);
+    sim.run(fuel()).expect("composed run").stats
+}
+
+/// Formats one table row.
+pub fn row(name: &str, cells: &[f64]) -> String {
+    let mut s = format!("{name:>10}");
+    for c in cells {
+        s.push_str(&format!(" {c:>9.3}"));
+    }
+    s
+}
+
+/// Prints a table with a geometric-mean footer.
+pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    let mut h = format!("{:>10}", "bench");
+    for c in header {
+        h.push_str(&format!(" {c:>9}"));
+    }
+    println!("{h}");
+    let ncols = header.len();
+    let mut product = vec![1.0f64; ncols];
+    for (name, cells) in rows {
+        println!("{}", row(name, cells));
+        for (i, c) in cells.iter().enumerate() {
+            product[i] *= c.max(1e-12);
+        }
+    }
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        let gmean: Vec<f64> = product.into_iter().map(|p| p.powf(1.0 / n)).collect();
+        println!("{}", row("gmean", &gmean));
+    }
+}

@@ -1,0 +1,391 @@
+//! Pattern specifications.
+//!
+//! A pattern may constrain any combination of opcode, opcode class, the
+//! trigger's register roles (`T.RS`/`T.RT`/`T.RD`), and its immediate field
+//! or an attribute thereof (paper §2.1: *"loads that use the stack-pointer
+//! as their address register"*, *"conditional branches with negative
+//! offsets"*). When several patterns match a fetched instruction, the most
+//! specific one wins (§2.2), which is what makes overlapping and negative
+//! pattern specifications expressible.
+
+use dise_isa::{Inst, Op, OpClass, Reg};
+use std::fmt;
+
+/// A predicate over the trigger's immediate field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImmPredicate {
+    /// `T.IMM == v`
+    Eq(i64),
+    /// `T.IMM < 0`
+    Negative,
+    /// `T.IMM >= 0`
+    NonNegative,
+}
+
+impl ImmPredicate {
+    /// Evaluates the predicate.
+    pub fn matches(&self, imm: i64) -> bool {
+        match self {
+            ImmPredicate::Eq(v) => imm == *v,
+            ImmPredicate::Negative => imm < 0,
+            ImmPredicate::NonNegative => imm >= 0,
+        }
+    }
+}
+
+impl fmt::Display for ImmPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImmPredicate::Eq(v) => write!(f, "T.IMM == {v}"),
+            ImmPredicate::Negative => write!(f, "T.IMM < 0"),
+            ImmPredicate::NonNegative => write!(f, "T.IMM >= 0"),
+        }
+    }
+}
+
+/// A pattern specification. All present constraints must hold for a fetched
+/// instruction to trigger (conjunction).
+///
+/// ```
+/// use dise_core::Pattern;
+/// use dise_isa::{Inst, OpClass, Reg};
+///
+/// // "Loads that use the stack pointer as their address register."
+/// let p = Pattern::opclass(OpClass::Load).with_rs(Reg::SP);
+/// let hit: Inst = "ldq r1, 8(r30)".parse().unwrap();
+/// let miss: Inst = "ldq r1, 8(r7)".parse().unwrap();
+/// assert!(p.matches(&hit));
+/// assert!(!p.matches(&miss));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pattern {
+    /// Exact opcode constraint.
+    pub op: Option<Op>,
+    /// Opcode-class constraint.
+    pub class: Option<OpClass>,
+    /// Constraint on the trigger's `T.RS` role (primary source / address
+    /// register).
+    pub rs: Option<Reg>,
+    /// Constraint on the trigger's `T.RT` role (secondary source / store
+    /// data register).
+    pub rt: Option<Reg>,
+    /// Constraint on the trigger's `T.RD` role (destination).
+    pub rd: Option<Reg>,
+    /// Constraint on the trigger's immediate field.
+    pub imm: Option<ImmPredicate>,
+}
+
+impl Pattern {
+    /// A pattern constraining only the opcode class.
+    pub fn opclass(class: OpClass) -> Pattern {
+        Pattern {
+            class: Some(class),
+            ..Pattern::default()
+        }
+    }
+
+    /// A pattern constraining only the exact opcode.
+    pub fn opcode(op: Op) -> Pattern {
+        Pattern {
+            op: Some(op),
+            ..Pattern::default()
+        }
+    }
+
+    /// Adds a `T.RS` constraint.
+    pub fn with_rs(mut self, r: Reg) -> Pattern {
+        self.rs = Some(r);
+        self
+    }
+
+    /// Adds a `T.RT` constraint.
+    pub fn with_rt(mut self, r: Reg) -> Pattern {
+        self.rt = Some(r);
+        self
+    }
+
+    /// Adds a `T.RD` constraint.
+    pub fn with_rd(mut self, r: Reg) -> Pattern {
+        self.rd = Some(r);
+        self
+    }
+
+    /// Adds an immediate predicate.
+    pub fn with_imm(mut self, p: ImmPredicate) -> Pattern {
+        self.imm = Some(p);
+        self
+    }
+
+    /// True if the pattern has no constraints at all (matches everything).
+    pub fn is_empty(&self) -> bool {
+        *self == Pattern::default()
+    }
+
+    /// Tests a fetched instruction against the pattern.
+    pub fn matches(&self, inst: &Inst) -> bool {
+        if let Some(op) = self.op {
+            if inst.op != op {
+                return false;
+            }
+        }
+        if let Some(class) = self.class {
+            if inst.op.class() != class {
+                return false;
+            }
+        }
+        if let Some(rs) = self.rs {
+            if inst.rs() != Some(rs) {
+                return false;
+            }
+        }
+        if let Some(rt) = self.rt {
+            if inst.rt() != Some(rt) {
+                return false;
+            }
+        }
+        if let Some(rd) = self.rd {
+            if inst.rd() != Some(rd) {
+                return false;
+            }
+        }
+        if let Some(p) = self.imm {
+            if !p.matches(inst.imm) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Specificity score for most-specific-wins resolution: the pattern that
+    /// constrains more instruction bits wins. An exact opcode is more
+    /// specific than an opcode class; each register or immediate constraint
+    /// adds specificity.
+    pub fn specificity(&self) -> u32 {
+        let mut s = 0;
+        if self.op.is_some() {
+            s += 4;
+        }
+        if self.class.is_some() {
+            s += 2;
+        }
+        s += [self.rs.is_some(), self.rt.is_some(), self.rd.is_some()]
+            .iter()
+            .filter(|b| **b)
+            .count() as u32;
+        if self.imm.is_some() {
+            s += 1;
+        }
+        s
+    }
+
+    /// Conservative static implication test: does every instruction matched
+    /// by `self` also match `other`? Used by composition to decide whether
+    /// an outer production applies to an inner `T.INSN` entry (see
+    /// [`crate::compose`]).
+    pub fn implies(&self, other: &Pattern) -> bool {
+        let op_ok = match other.op {
+            None => true,
+            Some(o) => self.op == Some(o),
+        };
+        let class_ok = match other.class {
+            None => true,
+            Some(c) => {
+                self.class == Some(c) || self.op.map(|o| o.class() == c).unwrap_or(false)
+            }
+        };
+        let reg_ok = |mine: Option<Reg>, theirs: Option<Reg>| match theirs {
+            None => true,
+            Some(r) => mine == Some(r),
+        };
+        let imm_ok = match other.imm {
+            None => true,
+            Some(p) => self.imm == Some(p),
+        };
+        op_ok
+            && class_ok
+            && reg_ok(self.rs, other.rs)
+            && reg_ok(self.rt, other.rt)
+            && reg_ok(self.rd, other.rd)
+            && imm_ok
+    }
+
+    /// Conservative static disjointness test: is it impossible for any
+    /// instruction to match both `self` and `other`? Used by composition to
+    /// prove an outer production does *not* apply to an inner entry.
+    pub fn disjoint(&self, other: &Pattern) -> bool {
+        if let (Some(a), Some(b)) = (self.op, other.op) {
+            if a != b {
+                return true;
+            }
+        }
+        // Effective class (from explicit class or from an exact opcode).
+        let class_of = |p: &Pattern| p.class.or(p.op.map(|o| o.class()));
+        if let (Some(a), Some(b)) = (class_of(self), class_of(other)) {
+            if a != b {
+                return true;
+            }
+        }
+        let reg_conflict = |a: Option<Reg>, b: Option<Reg>| matches!((a, b), (Some(x), Some(y)) if x != y);
+        if reg_conflict(self.rs, other.rs)
+            || reg_conflict(self.rt, other.rt)
+            || reg_conflict(self.rd, other.rd)
+        {
+            return true;
+        }
+        matches!(
+            (self.imm, other.imm),
+            (Some(ImmPredicate::Negative), Some(ImmPredicate::NonNegative))
+                | (Some(ImmPredicate::NonNegative), Some(ImmPredicate::Negative))
+        ) || matches!(
+            (self.imm, other.imm),
+            (Some(ImmPredicate::Eq(a)), Some(ImmPredicate::Eq(b))) if a != b
+        )
+    }
+
+    /// The opcodes this pattern can match, used by the pattern-counter
+    /// table (PT miss detection is per-opcode, paper §2.3). `None` means
+    /// the pattern is not opcode-restricted and applies to all opcodes in
+    /// its class (or all opcodes entirely).
+    pub fn opcodes(&self) -> Vec<Op> {
+        if let Some(op) = self.op {
+            return vec![op];
+        }
+        match self.class {
+            Some(class) => Op::ALL
+                .iter()
+                .copied()
+                .filter(|o| o.class() == class)
+                .collect(),
+            None => Op::ALL.to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(op) = self.op {
+            parts.push(format!("T.OP == {op}"));
+        }
+        if let Some(c) = self.class {
+            parts.push(format!("T.OPCLASS == {c}"));
+        }
+        if let Some(r) = self.rs {
+            parts.push(format!("T.RS == {r}"));
+        }
+        if let Some(r) = self.rt {
+            parts.push(format!("T.RT == {r}"));
+        }
+        if let Some(r) = self.rd {
+            parts.push(format!("T.RD == {r}"));
+        }
+        if let Some(p) = self.imm {
+            parts.push(p.to_string());
+        }
+        if parts.is_empty() {
+            f.write_str("true")
+        } else {
+            f.write_str(&parts.join(" && "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(s: &str) -> Inst {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn opclass_matching() {
+        let p = Pattern::opclass(OpClass::Store);
+        assert!(p.matches(&i("stq r1, 0(r2)")));
+        assert!(p.matches(&i("stl r1, 0(r2)")));
+        assert!(!p.matches(&i("ldq r1, 0(r2)")));
+    }
+
+    #[test]
+    fn opcode_more_specific_than_class() {
+        let by_op = Pattern::opcode(Op::Ldq);
+        let by_class = Pattern::opclass(OpClass::Load);
+        assert!(by_op.specificity() > by_class.specificity());
+    }
+
+    #[test]
+    fn register_role_constraints() {
+        // Stores through the stack pointer.
+        let p = Pattern::opclass(OpClass::Store).with_rs(Reg::SP);
+        assert!(p.matches(&i("stq r1, 8(r30)")));
+        assert!(!p.matches(&i("stq r1, 8(r2)")));
+        // Stores *of* r5 (data register is T.RT).
+        let q = Pattern::opclass(OpClass::Store).with_rt(Reg::r(5));
+        assert!(q.matches(&i("stq r5, 8(r2)")));
+        assert!(!q.matches(&i("stq r6, 8(r2)")));
+    }
+
+    #[test]
+    fn immediate_predicates() {
+        let neg = Pattern::opclass(OpClass::CondBranch).with_imm(ImmPredicate::Negative);
+        assert!(neg.matches(&i("bne r1, -8")));
+        assert!(!neg.matches(&i("bne r1, 8")));
+        let eq = Pattern::opcode(Op::Lda).with_imm(ImmPredicate::Eq(0));
+        assert!(eq.matches(&i("lda r1, 0(r2)")));
+        assert!(!eq.matches(&i("lda r1, 4(r2)")));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let p = Pattern::default();
+        assert!(p.is_empty());
+        assert!(p.matches(&i("nop")));
+        assert!(p.matches(&i("stq r1, 0(r2)")));
+        assert_eq!(p.specificity(), 0);
+    }
+
+    #[test]
+    fn implication() {
+        let ldq = Pattern::opcode(Op::Ldq);
+        let load = Pattern::opclass(OpClass::Load);
+        assert!(ldq.implies(&load));
+        assert!(!load.implies(&ldq));
+        assert!(ldq.implies(&Pattern::default()));
+        let sp_load = Pattern::opclass(OpClass::Load).with_rs(Reg::SP);
+        assert!(sp_load.implies(&load));
+        assert!(!load.implies(&sp_load));
+    }
+
+    #[test]
+    fn disjointness() {
+        let load = Pattern::opclass(OpClass::Load);
+        let store = Pattern::opclass(OpClass::Store);
+        assert!(load.disjoint(&store));
+        assert!(!load.disjoint(&Pattern::opcode(Op::Ldq)));
+        assert!(store.disjoint(&Pattern::opcode(Op::Ldq)));
+        let sp = Pattern::opclass(OpClass::Load).with_rs(Reg::SP);
+        let r7 = Pattern::opclass(OpClass::Load).with_rs(Reg::r(7));
+        assert!(sp.disjoint(&r7));
+        assert!(!sp.disjoint(&load));
+        let neg = Pattern::default().with_imm(ImmPredicate::Negative);
+        let pos = Pattern::default().with_imm(ImmPredicate::NonNegative);
+        assert!(neg.disjoint(&pos));
+        assert!(Pattern::default()
+            .with_imm(ImmPredicate::Eq(1))
+            .disjoint(&Pattern::default().with_imm(ImmPredicate::Eq(2))));
+    }
+
+    #[test]
+    fn opcodes_enumeration() {
+        assert_eq!(Pattern::opcode(Op::Ldq).opcodes(), vec![Op::Ldq]);
+        let loads = Pattern::opclass(OpClass::Load).opcodes();
+        assert_eq!(loads, vec![Op::Ldl, Op::Ldq]);
+        assert_eq!(Pattern::default().opcodes().len(), Op::ALL.len());
+    }
+
+    #[test]
+    fn display() {
+        let p = Pattern::opclass(OpClass::Load).with_rs(Reg::SP);
+        assert_eq!(p.to_string(), "T.OPCLASS == load && T.RS == r30");
+    }
+}

@@ -1,0 +1,443 @@
+//! Textual assembly.
+//!
+//! Two entry points: `str::parse::<Inst>()` assembles a single instruction
+//! (numeric branch displacements only), and [`Assembler`] assembles a
+//! multi-line listing with labels into a [`Program`].
+//!
+//! Syntax follows the disassembler output exactly, so
+//! `inst.to_string().parse()` always round-trips:
+//!
+//! ```text
+//! ldq r1, 8(r2)        ; memory
+//! addq r1, #26, r3     ; operate with literal
+//! bne r1, -8           ; branch, byte displacement
+//! bne.d $dr1, @3       ; DISE-internal branch to sequence index 3
+//! jsr r26, (r4)        ; indirect jump
+//! cw0 r1, r2, r3, tag=7
+//! ```
+//!
+//! Comments start with `;` or `//`. In [`Assembler`] listings a branch's
+//! displacement operand may instead be a label.
+
+use crate::builder::ProgramBuilder;
+use crate::inst::Inst;
+use crate::op::{Format, Op, OpClass};
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::{IsaError, Result};
+
+fn err(msg: impl Into<String>) -> IsaError {
+    IsaError::Parse(msg.into())
+}
+
+/// Strips comments and whitespace; returns `None` for blank lines.
+fn clean(line: &str) -> Option<&str> {
+    let line = line.split(';').next().unwrap_or("");
+    let line = line.split("//").next().unwrap_or("");
+    let line = line.trim();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+/// Splits an operand list on top-level commas.
+fn split_operands(s: &str) -> Vec<&str> {
+    if s.trim().is_empty() {
+        return Vec::new();
+    }
+    s.split(',').map(str::trim).collect()
+}
+
+fn parse_int(s: &str) -> Result<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(format!("invalid integer `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// The branch-target operand of a parsed instruction line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BranchTarget {
+    Disp(i64),
+    Label(String),
+    DisePc(u8),
+}
+
+/// A parsed line: the instruction with displacement 0 plus, for branches,
+/// how to resolve the target.
+#[derive(Debug, Clone)]
+struct ParsedInst {
+    inst: Inst,
+    target: Option<BranchTarget>,
+}
+
+fn parse_line(line: &str) -> Result<ParsedInst> {
+    let line = line.trim();
+    let (mnem, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let (mnem, dise) = match mnem.strip_suffix(".d") {
+        Some(m) => (m, true),
+        None => (mnem, false),
+    };
+    let op = Op::from_mnemonic(mnem).ok_or_else(|| err(format!("unknown mnemonic `{mnem}`")))?;
+    if dise && op.format() != Format::Branch {
+        return Err(err(format!("`.d` suffix only valid on branches: `{line}`")));
+    }
+    let ops = split_operands(rest);
+    let wrong_count = || err(format!("wrong operand count for `{line}`"));
+    let reg = |s: &str| -> Result<Reg> { s.parse() };
+
+    let parsed = match op.format() {
+        Format::Memory => {
+            // ra, disp(rb)
+            if ops.len() != 2 {
+                return Err(wrong_count());
+            }
+            let ra = reg(ops[0])?;
+            let (disp_s, rb_s) = ops[1]
+                .strip_suffix(')')
+                .and_then(|s| s.split_once('('))
+                .ok_or_else(|| err(format!("expected `disp(reg)`, got `{}`", ops[1])))?;
+            let disp = parse_int(disp_s)?;
+            let disp = i16::try_from(disp).map_err(|_| IsaError::ImmOutOfRange {
+                op,
+                value: disp,
+            })?;
+            ParsedInst {
+                inst: Inst::mem(op, ra, reg(rb_s)?, disp),
+                target: None,
+            }
+        }
+        Format::Branch => {
+            // ra, target — or shorthand `br target` / `bsr target`.
+            let (ra, target_s) = match ops.len() {
+                2 => (reg(ops[0])?, ops[1]),
+                1 if op.class() == OpClass::UncondBranch => {
+                    let link = if op == Op::Bsr { Reg::RA } else { Reg::ZERO };
+                    (link, ops[0])
+                }
+                _ => return Err(wrong_count()),
+            };
+            let target = if let Some(ix) = target_s.strip_prefix('@') {
+                if !dise {
+                    return Err(err(format!("`@` target requires `.d` branch: `{line}`")));
+                }
+                BranchTarget::DisePc(
+                    ix.parse()
+                        .map_err(|_| err(format!("bad DISEPC target `{target_s}`")))?,
+                )
+            } else if dise {
+                return Err(err(format!("DISE branch requires `@index` target: `{line}`")));
+            } else if target_s
+                .starts_with(|c: char| c.is_ascii_digit() || c == '-')
+            {
+                BranchTarget::Disp(parse_int(target_s)?)
+            } else {
+                BranchTarget::Label(target_s.to_string())
+            };
+            let inst = if dise {
+                let BranchTarget::DisePc(ix) = target else {
+                    unreachable!()
+                };
+                return Ok(ParsedInst {
+                    inst: Inst::dise_branch(op, ra, ix),
+                    target: None,
+                });
+            } else {
+                Inst::branch(op, ra, 0)
+            };
+            match target {
+                BranchTarget::Disp(d) => ParsedInst {
+                    inst: Inst::branch(op, ra, i32::try_from(d).map_err(|_| {
+                        IsaError::ImmOutOfRange { op, value: d }
+                    })?),
+                    target: None,
+                },
+                label @ BranchTarget::Label(_) => ParsedInst {
+                    inst,
+                    target: Some(label),
+                },
+                BranchTarget::DisePc(_) => unreachable!(),
+            }
+        }
+        Format::Jump => {
+            // ra, (rb) — or shorthand `ret` for `ret r31, (r26)`.
+            if ops.is_empty() && op == Op::Ret {
+                ParsedInst {
+                    inst: Inst::jump(Op::Ret, Reg::ZERO, Reg::RA),
+                    target: None,
+                }
+            } else {
+                if ops.len() != 2 {
+                    return Err(wrong_count());
+                }
+                let rb_s = ops[1]
+                    .strip_prefix('(')
+                    .and_then(|s| s.strip_suffix(')'))
+                    .ok_or_else(|| err(format!("expected `(reg)`, got `{}`", ops[1])))?;
+                ParsedInst {
+                    inst: Inst::jump(op, reg(ops[0])?, reg(rb_s)?),
+                    target: None,
+                }
+            }
+        }
+        Format::Operate => {
+            if ops.len() != 3 {
+                return Err(wrong_count());
+            }
+            let ra = reg(ops[0])?;
+            let rc = reg(ops[2])?;
+            let inst = if let Some(lit) = ops[1].strip_prefix('#') {
+                let v = parse_int(lit)?;
+                let v = u8::try_from(v).map_err(|_| IsaError::ImmOutOfRange {
+                    op,
+                    value: v,
+                })?;
+                Inst::alu_ri(op, ra, v, rc)
+            } else {
+                Inst::alu_rr(op, ra, reg(ops[1])?, rc)
+            };
+            ParsedInst { inst, target: None }
+        }
+        Format::Codeword => {
+            // p1, p2, p3, tag=N
+            if ops.len() != 4 {
+                return Err(wrong_count());
+            }
+            let p = |s: &str| -> Result<u8> {
+                let r: Reg = s.parse()?;
+                r.arch_num()
+                    .ok_or_else(|| err("codeword params must be architectural registers"))
+            };
+            let tag_s = ops[3]
+                .strip_prefix("tag=")
+                .ok_or_else(|| err(format!("expected `tag=N`, got `{}`", ops[3])))?;
+            let tag = parse_int(tag_s)?;
+            let tag = u16::try_from(tag)
+                .ok()
+                .filter(|t| *t <= crate::inst::MAX_TAG)
+                .ok_or_else(|| err(format!("codeword tag out of range: {tag}")))?;
+            ParsedInst {
+                inst: Inst::codeword(op, p(ops[0])?, p(ops[1])?, p(ops[2])?, tag),
+                target: None,
+            }
+        }
+        Format::Misc => {
+            if !ops.is_empty() {
+                return Err(wrong_count());
+            }
+            ParsedInst {
+                inst: Inst { op, ..Inst::nop() },
+                target: None,
+            }
+        }
+    };
+    Ok(parsed)
+}
+
+impl std::str::FromStr for Inst {
+    type Err = IsaError;
+
+    /// Assembles a single instruction. Branch targets must be numeric
+    /// displacements (use [`Assembler`] for labels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Parse`] on malformed input.
+    fn from_str(s: &str) -> Result<Inst> {
+        let line = clean(s).ok_or_else(|| err("empty instruction"))?;
+        let parsed = parse_line(line)?;
+        match parsed.target {
+            None => Ok(parsed.inst),
+            Some(BranchTarget::Label(l)) => Err(err(format!(
+                "label `{l}` not allowed outside an Assembler listing"
+            ))),
+            Some(_) => Ok(parsed.inst),
+        }
+    }
+}
+
+/// Assembles multi-line listings with labels into [`Program`]s.
+///
+/// ```
+/// use dise_isa::Assembler;
+/// # fn main() -> dise_isa::Result<()> {
+/// let program = Assembler::new(0x0400_0000).assemble(
+///     "        lda r1, 3(r31)
+///      loop:  subq r1, #1, r1
+///             bne r1, loop
+///             halt",
+/// )?;
+/// assert_eq!(program.text_size(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    text_base: u64,
+}
+
+impl Assembler {
+    /// Creates an assembler targeting `text_base`.
+    pub fn new(text_base: u64) -> Assembler {
+        Assembler { text_base }
+    }
+
+    /// Assembles a listing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Parse`] on malformed lines and
+    /// [`IsaError::UndefinedLabel`] for branches to missing labels.
+    pub fn assemble(&self, listing: &str) -> Result<Program> {
+        let mut b = ProgramBuilder::new(self.text_base);
+        for raw in listing.lines() {
+            let Some(mut line) = clean(raw) else {
+                continue;
+            };
+            // Leading `name:` defines a label.
+            while let Some((label, rest)) = line.split_once(':') {
+                let label = label.trim();
+                if label.is_empty()
+                    || !label
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                {
+                    return Err(err(format!("bad label in `{raw}`")));
+                }
+                b.label(label);
+                line = rest.trim();
+                if line.is_empty() {
+                    break;
+                }
+            }
+            if line.is_empty() {
+                continue;
+            }
+            let parsed = parse_line(line)?;
+            match parsed.target {
+                Some(BranchTarget::Label(l)) => {
+                    b.branch_to(parsed.inst.op, parsed.inst.ra, &l);
+                }
+                _ => {
+                    b.push(parsed.inst);
+                }
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_instruction_round_trip() {
+        let cases = [
+            "ldq r1, 8(r2)",
+            "stl r9, -4(r30)",
+            "lda r3, 100(r31)",
+            "addq r1, r2, r3",
+            "srl r4, #26, r5",
+            "bne r1, -8",
+            "br r31, 16",
+            "jsr r26, (r4)",
+            "ret r31, (r26)",
+            "cw0 r1, r2, r3, tag=7",
+            "nop",
+            "halt",
+        ];
+        for c in cases {
+            let i: Inst = c.parse().unwrap();
+            assert_eq!(i.to_string(), c);
+            // And the re-rendered text parses back to the same thing.
+            assert_eq!(i.to_string().parse::<Inst>().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn dedicated_registers_and_dise_branches() {
+        let i: Inst = "srl $dr1, #26, $dr2".parse().unwrap();
+        assert!(i.uses_dedicated());
+        let b: Inst = "bne.d $dr1, @3".parse().unwrap();
+        assert!(b.dise_branch);
+        assert_eq!(b.imm, 3);
+        assert_eq!(b.to_string(), "bne.d $dr1, @3");
+    }
+
+    #[test]
+    fn shorthand_forms() {
+        let r: Inst = "ret".parse().unwrap();
+        assert_eq!(r, Inst::jump(Op::Ret, Reg::ZERO, Reg::RA));
+        let br: Inst = "br 8".parse().unwrap();
+        assert_eq!(br.ra, Reg::ZERO);
+        let bsr: Inst = "bsr 8".parse().unwrap();
+        assert_eq!(bsr.ra, Reg::RA);
+    }
+
+    #[test]
+    fn comments_and_hex() {
+        let i: Inst = "ldq r1, 0x10(r2) ; comment".parse().unwrap();
+        assert_eq!(i.imm, 16);
+        let j: Inst = "lda r1, -0x8(r31) // c".parse().unwrap();
+        assert_eq!(j.imm, -8);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<Inst>().is_err());
+        assert!("bogus r1, r2".parse::<Inst>().is_err());
+        assert!("ldq r1".parse::<Inst>().is_err());
+        assert!("addq r1, r2".parse::<Inst>().is_err());
+        assert!("addq r1, #256, r3".parse::<Inst>().is_err());
+        assert!("bne r1, somewhere".parse::<Inst>().is_err()); // label outside listing
+        assert!("bne.d r1, 4".parse::<Inst>().is_err()); // DISE branch needs @
+        assert!("addq.d r1, r2, r3".parse::<Inst>().is_err());
+        assert!("cw0 r1, r2, r3, tag=9999".parse::<Inst>().is_err());
+    }
+
+    #[test]
+    fn listing_with_labels() {
+        let p = Assembler::new(0x1000)
+            .assemble(
+                "start: lda r1, 2(r31)
+                 loop:  subq r1, #1, r1
+                        bne r1, loop
+                        br r31, done
+                        nop
+                 done:  halt",
+            )
+            .unwrap();
+        assert_eq!(p.symbol("loop"), Some(0x1004));
+        assert_eq!(p.symbol("done"), Some(0x1014));
+        let d = p.disassemble();
+        assert!(d.contains("bne r1, -8"));
+        assert!(d.contains("br r31, 4"));
+    }
+
+    #[test]
+    fn label_on_its_own_line() {
+        let p = Assembler::new(0)
+            .assemble("top:\n  nop\n  br r31, top\n  halt")
+            .unwrap();
+        assert_eq!(p.symbol("top"), Some(0));
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let r = Assembler::new(0).assemble("bne r1, nowhere");
+        assert!(matches!(r, Err(IsaError::UndefinedLabel(_))));
+    }
+}

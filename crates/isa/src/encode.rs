@@ -1,0 +1,220 @@
+//! Binary instruction encoding.
+//!
+//! Instructions serialize big-endian so the opcode lives in the first byte
+//! of the stream. This is what lets compressed program images mix 4-byte
+//! instructions with the dedicated decompressor's 2-byte codewords (paper
+//! §4.2): a leading byte ≥ 0xF8 (top five bits `0b11111`, an escape prefix
+//! carved out of the opcode space) marks a 2-byte codeword; anything else
+//! starts an ordinary 4-byte instruction.
+//!
+//! Bit layout of the 32-bit word (`op` = 6-bit opcode number):
+//!
+//! ```text
+//! memory   [op:6][ra:5][rb:5][disp:16]
+//! branch   [op:6][ra:5][disp:21]
+//! jump     [op:6][ra:5][rb:5][0:16]
+//! operate  [op:6][ra:5][rb:5 | lit:8][0s][islit:1][0:7][rc:5]
+//! codeword [op:6][p1:5][p2:5][p3:5][tag:11]
+//! misc     [op:6][0:26]
+//! ```
+
+use crate::inst::Inst;
+use crate::op::{Format, Op};
+use crate::reg::Reg;
+use crate::{IsaError, Result};
+
+/// First-byte escape threshold for 2-byte dedicated-decompressor codewords.
+pub const SHORT_CODEWORD_ESCAPE: u8 = 0xF8;
+
+/// Maximum dictionary index expressible in a 2-byte codeword (11 bits).
+pub const MAX_SHORT_INDEX: u16 = 0x7FF;
+
+const ISLIT_BIT: u32 = 1 << 12;
+
+impl Inst {
+    /// Encodes an architectural instruction to its 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Unencodable`] if the instruction names a DISE
+    /// dedicated register or is a DISE-internal branch, and
+    /// [`IsaError::ImmOutOfRange`] if an immediate does not fit its field.
+    pub fn encode(&self) -> Result<u32> {
+        self.validate()?;
+        if self.uses_dedicated() {
+            return Err(IsaError::Unencodable(format!(
+                "{self}: names a dedicated register"
+            )));
+        }
+        if self.dise_branch {
+            return Err(IsaError::Unencodable(format!(
+                "{self}: DISE-internal branch"
+            )));
+        }
+        let op = (self.op.number() as u32) << 26;
+        let ra = (self.ra.index() as u32) << 21;
+        let rb = (self.rb.index() as u32) << 16;
+        let rc = self.rc.index() as u32;
+        let word = match self.op.format() {
+            Format::Memory => op | ra | rb | (self.imm as u32 & 0xFFFF),
+            Format::Branch => op | ra | (self.imm as u32 & 0x1F_FFFF),
+            Format::Jump => op | ra | rb,
+            Format::Operate => {
+                if self.uses_lit {
+                    op | ra | ((self.imm as u32 & 0xFF) << 13) | ISLIT_BIT | rc
+                } else {
+                    op | ra | rb | rc
+                }
+            }
+            Format::Codeword => op | ra | rb | (rc << 11) | (self.imm as u32 & 0x7FF),
+            Format::Misc => op,
+        };
+        Ok(word)
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadEncoding`] if the opcode number is unassigned.
+    pub fn decode(word: u32) -> Result<Inst> {
+        let op = Op::from_number((word >> 26) as u8).ok_or(IsaError::BadEncoding(word))?;
+        let ra = Reg::from_index(((word >> 21) & 0x1F) as u8);
+        let rb = Reg::from_index(((word >> 16) & 0x1F) as u8);
+        let rc = Reg::from_index((word & 0x1F) as u8);
+        let inst = match op.format() {
+            Format::Memory => Inst::mem(op, ra, rb, (word & 0xFFFF) as u16 as i16),
+            Format::Branch => {
+                // Sign-extend the 21-bit displacement.
+                let disp = ((word & 0x1F_FFFF) << 11) as i32 >> 11;
+                Inst::branch(op, ra, disp)
+            }
+            Format::Jump => Inst::jump(op, ra, rb),
+            Format::Operate => {
+                if word & ISLIT_BIT != 0 {
+                    Inst::alu_ri(op, ra, ((word >> 13) & 0xFF) as u8, rc)
+                } else {
+                    Inst::alu_rr(op, ra, rb, rc)
+                }
+            }
+            Format::Codeword => Inst::codeword(
+                op,
+                ra.index() as u8,
+                rb.index() as u8,
+                ((word >> 11) & 0x1F) as u8,
+                (word & 0x7FF) as u16,
+            ),
+            Format::Misc => Inst {
+                op,
+                ..Inst::nop()
+            },
+        };
+        Ok(inst)
+    }
+}
+
+/// Encodes a 2-byte dedicated-decompressor codeword for dictionary entry
+/// `index`.
+///
+/// # Panics
+///
+/// Panics if `index` exceeds [`MAX_SHORT_INDEX`].
+pub fn encode_short_codeword(index: u16) -> [u8; 2] {
+    assert!(index <= MAX_SHORT_INDEX, "short codeword index is 11 bits");
+    let half = 0xF800u16 | index;
+    half.to_be_bytes()
+}
+
+/// Decodes a 2-byte dedicated-decompressor codeword, returning the
+/// dictionary index, or `None` if the bytes are not a short codeword.
+pub fn decode_short_codeword(bytes: [u8; 2]) -> Option<u16> {
+    if bytes[0] >= SHORT_CODEWORD_ESCAPE {
+        Some(u16::from_be_bytes(bytes) & 0x7FF)
+    } else {
+        None
+    }
+}
+
+/// True if a text stream starting with `first_byte` holds a 2-byte codeword
+/// (as opposed to a 4-byte instruction).
+pub fn is_short_codeword_byte(first_byte: u8) -> bool {
+    first_byte >= SHORT_CODEWORD_ESCAPE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Inst) {
+        let w = i.encode().unwrap();
+        assert_eq!(Inst::decode(w).unwrap(), i, "word {w:#010x}");
+    }
+
+    #[test]
+    fn round_trip_all_formats() {
+        round_trip(Inst::mem(Op::Ldq, Reg::R1, Reg::R2, -32768));
+        round_trip(Inst::mem(Op::Stl, Reg::r(9), Reg::SP, 32767));
+        round_trip(Inst::mem(Op::Lda, Reg::R3, Reg::ZERO, -1));
+        round_trip(Inst::branch(Op::Bne, Reg::R4, -4));
+        round_trip(Inst::branch(Op::Br, Reg::ZERO, (1 << 20) - 1));
+        round_trip(Inst::branch(Op::Bsr, Reg::RA, -(1 << 20)));
+        round_trip(Inst::jump(Op::Ret, Reg::ZERO, Reg::RA));
+        round_trip(Inst::alu_rr(Op::Addq, Reg::R1, Reg::R2, Reg::R3));
+        round_trip(Inst::alu_ri(Op::Srl, Reg::R7, 255, Reg::R8));
+        round_trip(Inst::alu_ri(Op::Sll, Reg::R7, 0, Reg::R8));
+        round_trip(Inst::codeword(Op::Cw0, 31, 0, 17, 2047));
+        round_trip(Inst::nop());
+        round_trip(Inst::halt());
+    }
+
+    #[test]
+    fn opcode_in_first_byte() {
+        let w = Inst::mem(Op::Ldq, Reg::R1, Reg::R2, 8).encode().unwrap();
+        let first = w.to_be_bytes()[0];
+        assert_eq!(first >> 2, Op::Ldq.number());
+        assert!(!is_short_codeword_byte(first));
+    }
+
+    #[test]
+    fn no_opcode_collides_with_escape() {
+        for &op in Op::ALL {
+            // Highest possible first byte for this opcode (opcode bits plus
+            // the top two ra bits set).
+            let first = (op.number() << 2) | 0b11;
+            assert!(
+                !is_short_codeword_byte(first),
+                "{op} first byte can look like a short codeword"
+            );
+        }
+    }
+
+    #[test]
+    fn short_codeword_round_trip() {
+        for index in [0u16, 1, 1000, MAX_SHORT_INDEX] {
+            let b = encode_short_codeword(index);
+            assert!(is_short_codeword_byte(b[0]));
+            assert_eq!(decode_short_codeword(b), Some(index));
+        }
+        assert_eq!(decode_short_codeword([0x00, 0x12]), None);
+    }
+
+    #[test]
+    fn dedicated_registers_unencodable() {
+        let i = Inst::alu_ri(Op::Srl, Reg::dr(1), 26, Reg::dr(2));
+        assert!(matches!(i.encode(), Err(IsaError::Unencodable(_))));
+    }
+
+    #[test]
+    fn dise_branch_unencodable() {
+        let i = Inst::dise_branch(Op::Bne, Reg::R1, 2);
+        assert!(matches!(i.encode(), Err(IsaError::Unencodable(_))));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(
+            Inst::decode(0xFFFF_FFFF),
+            Err(IsaError::BadEncoding(_))
+        ));
+    }
+}

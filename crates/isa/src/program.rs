@@ -1,0 +1,334 @@
+//! Program images.
+//!
+//! A [`Program`] is a text segment (a byte stream of big-endian-encoded
+//! instructions, possibly containing 2-byte dedicated-decompressor
+//! codewords), an entry point, a data-segment description, and a symbol
+//! table. PCs are byte-granular.
+
+use crate::encode::{decode_short_codeword, is_short_codeword_byte};
+use crate::inst::Inst;
+use crate::{IsaError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One item of a text stream: a full instruction or a 2-byte dedicated
+/// decompressor codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextItem {
+    /// A 4-byte instruction.
+    Inst(Inst),
+    /// A 2-byte dedicated-decompressor codeword holding a dictionary index.
+    Short(u16),
+}
+
+impl TextItem {
+    /// Size of this item in the text stream, in bytes.
+    pub fn size(&self) -> u64 {
+        match self {
+            TextItem::Inst(_) => 4,
+            TextItem::Short(_) => 2,
+        }
+    }
+
+    /// The instruction, if this is a full instruction.
+    pub fn inst(&self) -> Option<Inst> {
+        match self {
+            TextItem::Inst(i) => Some(*i),
+            TextItem::Short(_) => None,
+        }
+    }
+
+    /// Serializes the item to bytes.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        match self {
+            TextItem::Inst(i) => Ok(i.encode()?.to_be_bytes().to_vec()),
+            TextItem::Short(ix) => Ok(crate::encode::encode_short_codeword(*ix).to_vec()),
+        }
+    }
+}
+
+impl fmt::Display for TextItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextItem::Inst(i) => write!(f, "{i}"),
+            TextItem::Short(ix) => write!(f, "short[{ix}]"),
+        }
+    }
+}
+
+/// A program image: text bytes, entry point, data segment, symbols.
+///
+/// Memory layout convention (matching the paper's fault-isolation framing,
+/// where the high-order bits of an address identify its segment): the text
+/// segment lives in the segment selected by [`Program::TEXT_SEGMENT`], the
+/// data segment in [`Program::DATA_SEGMENT`]. Segment identifiers are a
+/// 64-bit address's bits above [`Program::SEGMENT_SHIFT`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Base address of the text segment.
+    pub text_base: u64,
+    /// The raw text bytes (big-endian instruction stream).
+    pub text: Vec<u8>,
+    /// Entry-point PC.
+    pub entry: u64,
+    /// Base address of the data segment.
+    pub data_base: u64,
+    /// Size of the data segment in bytes.
+    pub data_size: u64,
+    /// Initial data-segment contents (zero-filled beyond this).
+    pub data_init: Vec<u8>,
+    /// Named addresses.
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl Program {
+    /// Address bits at and above this position form the segment identifier
+    /// (the paper's MFI productions use `srl T.RS, 26`; we use a 64-bit
+    /// machine with a 26-bit segment offset, giving the same check shape).
+    pub const SEGMENT_SHIFT: u32 = 26;
+    /// Segment identifier of the text segment.
+    pub const TEXT_SEGMENT: u64 = 1;
+    /// Segment identifier of the data segment.
+    pub const DATA_SEGMENT: u64 = 2;
+    /// Segment identifier of the stack (top of the data segment area in
+    /// these experiments; kept distinct for fault-isolation tests).
+    pub const STACK_SEGMENT: u64 = 3;
+
+    /// The segment identifier of an address.
+    pub fn segment_of(addr: u64) -> u64 {
+        addr >> Self::SEGMENT_SHIFT
+    }
+
+    /// Base address of a segment identifier.
+    pub fn segment_base(segment: u64) -> u64 {
+        segment << Self::SEGMENT_SHIFT
+    }
+
+    /// Builds a program from a list of instructions laid out contiguously
+    /// from `text_base`, with entry at `text_base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any instruction is unencodable.
+    pub fn from_insts(text_base: u64, insts: &[Inst]) -> Result<Program> {
+        let mut text = Vec::with_capacity(insts.len() * 4);
+        for i in insts {
+            text.extend_from_slice(&i.encode()?.to_be_bytes());
+        }
+        Ok(Program {
+            text_base,
+            text,
+            entry: text_base,
+            data_base: Self::segment_base(Self::DATA_SEGMENT),
+            data_size: 1 << 20,
+            data_init: Vec::new(),
+            symbols: BTreeMap::new(),
+        })
+    }
+
+    /// Builds a program from text items (instructions and/or short
+    /// codewords).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any instruction is unencodable.
+    pub fn from_items(text_base: u64, items: &[TextItem]) -> Result<Program> {
+        let mut text = Vec::with_capacity(items.len() * 4);
+        for it in items {
+            text.extend_from_slice(&it.to_bytes()?);
+        }
+        Ok(Program {
+            text_base,
+            text,
+            entry: text_base,
+            data_base: Self::segment_base(Self::DATA_SEGMENT),
+            data_size: 1 << 20,
+            data_init: Vec::new(),
+            symbols: BTreeMap::new(),
+        })
+    }
+
+    /// One-past-the-end address of the text segment.
+    pub fn text_end(&self) -> u64 {
+        self.text_base + self.text.len() as u64
+    }
+
+    /// Static text size in bytes (the paper's compression metric).
+    pub fn text_size(&self) -> u64 {
+        self.text.len() as u64
+    }
+
+    /// True if `pc` lies within the text segment.
+    pub fn contains(&self, pc: u64) -> bool {
+        pc >= self.text_base && pc < self.text_end()
+    }
+
+    /// Decodes the text item at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadAddress`] if `pc` is outside the text segment
+    /// or the item would run off its end, or [`IsaError::BadEncoding`] for
+    /// invalid bytes.
+    pub fn fetch(&self, pc: u64) -> Result<TextItem> {
+        if !self.contains(pc) {
+            return Err(IsaError::BadAddress(pc));
+        }
+        let off = (pc - self.text_base) as usize;
+        let first = self.text[off];
+        if is_short_codeword_byte(first) {
+            if off + 2 > self.text.len() {
+                return Err(IsaError::BadAddress(pc));
+            }
+            let ix = decode_short_codeword([self.text[off], self.text[off + 1]])
+                .expect("escape byte checked");
+            Ok(TextItem::Short(ix))
+        } else {
+            if off + 4 > self.text.len() {
+                return Err(IsaError::BadAddress(pc));
+            }
+            let word = u32::from_be_bytes(self.text[off..off + 4].try_into().unwrap());
+            Ok(TextItem::Inst(Inst::decode(word)?))
+        }
+    }
+
+    /// Iterates over `(pc, item)` pairs from the start of the text segment.
+    /// Stops early (yielding an `Err`) on undecodable bytes.
+    pub fn iter(&self) -> ProgramIter<'_> {
+        ProgramIter {
+            program: self,
+            pc: self.text_base,
+        }
+    }
+
+    /// Decodes the entire text segment.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any undecodable bytes.
+    pub fn items(&self) -> Result<Vec<(u64, TextItem)>> {
+        self.iter().collect()
+    }
+
+    /// Looks up a symbol's address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// A full disassembly listing, for debugging and golden tests.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for entry in self.iter() {
+            match entry {
+                Ok((pc, item)) => {
+                    let _ = writeln!(out, "{pc:#010x}: {item}");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "<error: {e}>");
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Iterator over the text items of a [`Program`]. Created by
+/// [`Program::iter`].
+#[derive(Debug)]
+pub struct ProgramIter<'a> {
+    program: &'a Program,
+    pc: u64,
+}
+
+impl Iterator for ProgramIter<'_> {
+    type Item = Result<(u64, TextItem)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pc >= self.program.text_end() {
+            return None;
+        }
+        let pc = self.pc;
+        match self.program.fetch(pc) {
+            Ok(item) => {
+                self.pc += item.size();
+                Some(Ok((pc, item)))
+            }
+            Err(e) => {
+                self.pc = self.program.text_end();
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::reg::Reg;
+
+    fn small_program() -> Program {
+        Program::from_insts(
+            Program::segment_base(Program::TEXT_SEGMENT),
+            &[
+                Inst::li(1, Reg::R1),
+                Inst::alu_rr(Op::Addq, Reg::R1, Reg::R1, Reg::R2),
+                Inst::halt(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fetch_and_iterate() {
+        let p = small_program();
+        assert_eq!(p.text_size(), 12);
+        let items = p.items().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].0, p.text_base);
+        assert_eq!(items[1].0, p.text_base + 4);
+        assert_eq!(
+            items[1].1,
+            TextItem::Inst(Inst::alu_rr(Op::Addq, Reg::R1, Reg::R1, Reg::R2))
+        );
+    }
+
+    #[test]
+    fn fetch_out_of_range() {
+        let p = small_program();
+        assert!(p.fetch(p.text_base - 4).is_err());
+        assert!(p.fetch(p.text_end()).is_err());
+    }
+
+    #[test]
+    fn mixed_short_codewords() {
+        let items = [
+            TextItem::Inst(Inst::li(1, Reg::R1)),
+            TextItem::Short(42),
+            TextItem::Inst(Inst::halt()),
+        ];
+        let p = Program::from_items(0x1000_0000, &items).unwrap();
+        assert_eq!(p.text_size(), 10);
+        let decoded: Vec<_> = p.items().unwrap();
+        assert_eq!(decoded[1], (0x1000_0004, TextItem::Short(42)));
+        assert_eq!(decoded[2].0, 0x1000_0006);
+    }
+
+    #[test]
+    fn segments() {
+        assert_eq!(Program::segment_of(Program::segment_base(2) + 100), 2);
+        let p = small_program();
+        assert_eq!(Program::segment_of(p.text_base), Program::TEXT_SEGMENT);
+        assert_eq!(Program::segment_of(p.data_base), Program::DATA_SEGMENT);
+    }
+
+    #[test]
+    fn disassembly_lists_every_item() {
+        let p = small_program();
+        let d = p.disassemble();
+        assert_eq!(d.lines().count(), 3);
+        assert!(d.contains("addq r1, r1, r2"));
+    }
+}

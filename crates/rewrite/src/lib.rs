@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # dise-rewrite: the paper's non-DISE baselines
+//!
+//! Figure 6 compares DISE memory fault isolation against a **static binary
+//! rewriting** implementation; Figure 7 compares DISE decompression against
+//! a **dedicated decoder-based decompressor**; Figure 8 composes them. This
+//! crate provides both baselines:
+//!
+//! * [`mfi::RewriteMfi`] — software fault isolation by binary rewriting
+//!   (Wahbe et al.-style segment matching, §3.1): every load, store and
+//!   indirect jump is preceded by a four-instruction check sequence built
+//!   from *scavenged* registers, all branches are retargeted, and a check
+//!   prologue/error block is added. Unlike the DISE version, the check
+//!   instructions occupy the static image — they consume I-cache capacity
+//!   and fetch bandwidth.
+//! * [`dedicated`] — the dedicated decompressor model: 2-byte codewords
+//!   expanded at decode from an on-chip dictionary with no cycle cost
+//!   (mechanics shared with [`dise_acf::compress`]; the decoder itself is
+//!   [`dise_sim::DedicatedDict`]).
+
+pub mod dedicated;
+pub mod mfi;
+
+pub use dedicated::DedicatedDecompressor;
+pub use mfi::{RewriteMfi, RewriteOutput, RewriteStats};
+
+/// Errors produced by the rewriting baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// Underlying ISA error (relocation, encoding).
+    Isa(dise_isa::IsaError),
+    /// Underlying compression error.
+    Acf(dise_acf::AcfError),
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::Isa(e) => write!(f, "{e}"),
+            RewriteError::Acf(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<dise_isa::IsaError> for RewriteError {
+    fn from(e: dise_isa::IsaError) -> RewriteError {
+        RewriteError::Isa(e)
+    }
+}
+
+impl From<dise_acf::AcfError> for RewriteError {
+    fn from(e: dise_acf::AcfError) -> RewriteError {
+        RewriteError::Acf(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, RewriteError>;

@@ -1,0 +1,230 @@
+//! Branch prediction: gshare direction predictor, branch target buffer,
+//! and return-address stack ("aggressive branch speculation", paper §4).
+//!
+//! Because the timing model is driven by the correct-path oracle, the
+//! predictor's job is to decide — per control transfer — whether the front
+//! end would have followed it correctly; a wrong decision costs a pipeline
+//! redirect. Per §2.2, DISE-internal branches and non-trigger replacement
+//! branches are never predicted: taken ones always redirect.
+
+/// Branch predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpredConfig {
+    /// log2 of the gshare pattern-history-table size.
+    pub gshare_bits: u32,
+    /// Branch-target-buffer entries (direct-mapped).
+    pub btb_entries: usize,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+}
+
+impl Default for BpredConfig {
+    fn default() -> BpredConfig {
+        BpredConfig {
+            gshare_bits: 14,
+            btb_entries: 2048,
+            ras_depth: 16,
+        }
+    }
+}
+
+/// Prediction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BpredStats {
+    /// Conditional-branch predictions made.
+    pub cond_predictions: u64,
+    /// Conditional-branch direction mispredictions.
+    pub cond_mispredicts: u64,
+    /// Indirect-jump target mispredictions (BTB/RAS misses).
+    pub target_mispredicts: u64,
+}
+
+/// The predictor.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: BpredConfig,
+    /// 2-bit saturating counters.
+    pht: Vec<u8>,
+    history: u64,
+    /// Direct-mapped BTB: `btb[i] = (tag, target)`.
+    btb: Vec<(u64, u64)>,
+    ras: Vec<u64>,
+    stats: BpredStats,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor.
+    pub fn new(config: BpredConfig) -> BranchPredictor {
+        BranchPredictor {
+            config,
+            pht: vec![1; 1 << config.gshare_bits],
+            history: 0,
+            btb: vec![(u64::MAX, 0); config.btb_entries.max(1)],
+            ras: Vec::with_capacity(config.ras_depth),
+            stats: BpredStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BpredStats {
+        self.stats
+    }
+
+    /// Predicts and trains on a conditional branch at `pc` with actual
+    /// outcome `taken` and target `target`. Returns true if the front end
+    /// followed the correct path (direction correct, and target known when
+    /// taken).
+    pub fn cond_branch(&mut self, pc: u64, taken: bool, target: u64) -> bool {
+        self.stats.cond_predictions += 1;
+        let ix =
+            ((pc >> 2) ^ self.history) as usize & ((1 << self.config.gshare_bits) - 1);
+        let counter = &mut self.pht[ix];
+        let predicted_taken = *counter >= 2;
+        // Train.
+        if taken {
+            *counter = (*counter + 1).min(3);
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+        self.history =
+            ((self.history << 1) | taken as u64) & ((1 << self.config.gshare_bits) - 1);
+        let mut correct = predicted_taken == taken;
+        if taken {
+            // Even a correct taken prediction needs the target from the
+            // BTB at fetch time.
+            if !self.btb_lookup_update(pc, target) && predicted_taken {
+                correct = false;
+            }
+        }
+        if !correct {
+            self.stats.cond_mispredicts += 1;
+        }
+        correct
+    }
+
+    /// Unconditional PC-relative branch (`br`/`bsr`): direction is known,
+    /// the target comes from the BTB. `push_ras` pushes the return address
+    /// for calls.
+    pub fn uncond_branch(&mut self, pc: u64, target: u64, push_ras: Option<u64>) -> bool {
+        let hit = self.btb_lookup_update(pc, target);
+        if let Some(ra) = push_ras {
+            if self.ras.len() == self.config.ras_depth {
+                self.ras.remove(0);
+            }
+            self.ras.push(ra);
+        }
+        if !hit {
+            self.stats.target_mispredicts += 1;
+        }
+        hit
+    }
+
+    /// Indirect jump (`jmp`/`jsr`): target predicted by the BTB. `push_ras`
+    /// pushes the return address for calls.
+    pub fn indirect(&mut self, pc: u64, target: u64, push_ras: Option<u64>) -> bool {
+        let hit = self.btb_lookup_update(pc, target);
+        if let Some(ra) = push_ras {
+            if self.ras.len() == self.config.ras_depth {
+                self.ras.remove(0);
+            }
+            self.ras.push(ra);
+        }
+        if !hit {
+            self.stats.target_mispredicts += 1;
+        }
+        hit
+    }
+
+    /// Function return: target predicted by the return-address stack.
+    pub fn ret(&mut self, target: u64) -> bool {
+        let predicted = self.ras.pop();
+        let hit = predicted == Some(target);
+        if !hit {
+            self.stats.target_mispredicts += 1;
+        }
+        hit
+    }
+
+    /// Looks `pc` up in the BTB and installs/updates the mapping. Returns
+    /// true if the correct target was present.
+    fn btb_lookup_update(&mut self, pc: u64, target: u64) -> bool {
+        let ix = (pc as usize >> 2) % self.btb.len();
+        let hit = self.btb[ix] == (pc, target);
+        self.btb[ix] = (pc, target);
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred() -> BranchPredictor {
+        BranchPredictor::new(BpredConfig::default())
+    }
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = pred();
+        let mut wrong_late = 0;
+        for i in 0..200 {
+            if !p.cond_branch(0x1000, true, 0x2000) && i >= 100 {
+                wrong_late += 1;
+            }
+        }
+        assert!(
+            wrong_late <= 2,
+            "biased-taken branch should be learned, {wrong_late} wrong after warmup"
+        );
+    }
+
+    #[test]
+    fn alternating_branch_with_history() {
+        // gshare uses global history, so a strict alternation becomes
+        // predictable after warmup.
+        let mut p = pred();
+        let mut wrong_late = 0;
+        for i in 0..200 {
+            let taken = i % 2 == 0;
+            let correct = p.cond_branch(0x1000, taken, 0x2000);
+            if i >= 100 && !correct {
+                wrong_late += 1;
+            }
+        }
+        assert!(wrong_late <= 5, "{wrong_late} late mispredictions");
+    }
+
+    #[test]
+    fn ras_predicts_returns() {
+        let mut p = pred();
+        // call from 0x100 returning to 0x104, then ret.
+        p.indirect(0x100, 0x4000, Some(0x104));
+        assert!(p.ret(0x104));
+        // Mismatched return target misses.
+        p.indirect(0x100, 0x4000, Some(0x104));
+        assert!(!p.ret(0x999));
+    }
+
+    #[test]
+    fn ras_depth_bounded() {
+        let mut p = BranchPredictor::new(BpredConfig {
+            ras_depth: 2,
+            ..BpredConfig::default()
+        });
+        p.uncond_branch(0x0, 0x100, Some(0x4));
+        p.uncond_branch(0x10, 0x100, Some(0x14));
+        p.uncond_branch(0x20, 0x100, Some(0x24));
+        assert!(p.ret(0x24));
+        assert!(p.ret(0x14));
+        assert!(!p.ret(0x4), "deepest frame was pushed out");
+    }
+
+    #[test]
+    fn btb_learns_targets() {
+        let mut p = pred();
+        assert!(!p.uncond_branch(0x40, 0x4000, None), "cold BTB");
+        assert!(p.uncond_branch(0x40, 0x4000, None), "warm BTB");
+        assert!(!p.indirect(0x40, 0x8000, None), "target changed");
+        assert!(p.indirect(0x40, 0x8000, None));
+    }
+}

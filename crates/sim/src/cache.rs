@@ -1,0 +1,311 @@
+//! Set-associative caches and the two-level memory hierarchy.
+//!
+//! The paper's configuration: 32KB L1 instruction and data caches and a
+//! unified 1MB L2 (§4); Figure 6 middle and Figure 7 middle sweep the
+//! I-cache from 8KB to perfect.
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. `None` models a perfect (always-hit) cache.
+    pub size: Option<u64>,
+    /// Associativity.
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line: u64,
+}
+
+impl CacheConfig {
+    /// A cache of `size` bytes with default 2-way associativity and 64-byte
+    /// lines.
+    pub fn of_size(size: u64) -> CacheConfig {
+        CacheConfig {
+            size: Some(size),
+            assoc: 2,
+            line: 64,
+        }
+    }
+
+    /// A perfect (always-hit) cache.
+    pub fn perfect() -> CacheConfig {
+        CacheConfig {
+            size: None,
+            assoc: 1,
+            line: 64,
+        }
+    }
+}
+
+/// Hit/miss statistics for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative cache with LRU replacement. Tags only (no data —
+/// the functional machine holds the actual values).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[i]` holds tags, MRU first. Empty vector for perfect caches.
+    sets: Vec<Vec<u64>>,
+    num_sets: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (size smaller than one line,
+    /// associativity of zero).
+    pub fn new(config: CacheConfig) -> Cache {
+        let num_sets = match config.size {
+            None => 0,
+            Some(size) => {
+                assert!(config.assoc > 0, "associativity must be positive");
+                assert!(
+                    size >= config.line * config.assoc as u64,
+                    "cache smaller than one set"
+                );
+                size / (config.line * config.assoc as u64)
+            }
+        };
+        Cache {
+            config,
+            sets: vec![Vec::new(); num_sets as usize],
+            num_sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Probes the cache for the line containing `addr`; fills on miss.
+    /// Returns true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        if self.config.size.is_none() {
+            return true;
+        }
+        let line = addr / self.config.line;
+        let set_ix = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        let set = &mut self.sets[set_ix];
+        if let Some(pos) = set.iter().position(|t| *t == tag) {
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            self.stats.misses += 1;
+            set.insert(0, tag);
+            set.truncate(self.config.assoc as usize);
+            false
+        }
+    }
+
+    /// True if an access spanning `[addr, addr+len)` crosses a line
+    /// boundary (the caller should probe both lines).
+    pub fn straddles(&self, addr: u64, len: u64) -> bool {
+        len > 0 && (addr / self.config.line) != ((addr + len - 1) / self.config.line)
+    }
+}
+
+/// Latencies and configuration for the full hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryHierarchyConfig {
+    /// L1 instruction cache.
+    pub icache: CacheConfig,
+    /// L1 data cache.
+    pub dcache: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// L1 hit latency (cycles).
+    pub l1_latency: u64,
+    /// L2 hit latency.
+    pub l2_latency: u64,
+    /// Main-memory latency.
+    pub mem_latency: u64,
+}
+
+impl Default for MemoryHierarchyConfig {
+    fn default() -> MemoryHierarchyConfig {
+        MemoryHierarchyConfig {
+            icache: CacheConfig::of_size(32 * 1024),
+            dcache: CacheConfig::of_size(32 * 1024),
+            l2: CacheConfig {
+                size: Some(1024 * 1024),
+                assoc: 4,
+                line: 64,
+            },
+            l1_latency: 1,
+            l2_latency: 12,
+            mem_latency: 100,
+        }
+    }
+}
+
+/// The I-cache + D-cache + unified-L2 hierarchy. Returns access latencies;
+/// the timing model turns them into stalls.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    config: MemoryHierarchyConfig,
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+}
+
+impl MemoryHierarchy {
+    /// Creates the hierarchy.
+    pub fn new(config: MemoryHierarchyConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            l2: Cache::new(config.l2),
+            config,
+        }
+    }
+
+    /// Instruction fetch of `len` bytes at `addr`: returns total latency.
+    pub fn ifetch(&mut self, addr: u64, len: u64) -> u64 {
+        let mut latency = self.config.l1_latency;
+        for a in Self::lines_touched(addr, len, self.icache.config().line) {
+            if !self.icache.access(a) {
+                latency += if self.l2.access(a) {
+                    self.config.l2_latency
+                } else {
+                    self.config.l2_latency + self.config.mem_latency
+                };
+            }
+        }
+        latency
+    }
+
+    /// Data access at `addr`: returns total latency (loads); stores use the
+    /// same path for tag state but the timing model does not stall on them.
+    pub fn daccess(&mut self, addr: u64) -> u64 {
+        if self.dcache.access(addr) {
+            self.config.l1_latency
+        } else if self.l2.access(addr) {
+            self.config.l1_latency + self.config.l2_latency
+        } else {
+            self.config.l1_latency + self.config.l2_latency + self.config.mem_latency
+        }
+    }
+
+    fn lines_touched(addr: u64, len: u64, line: u64) -> impl Iterator<Item = u64> {
+        let first = addr / line;
+        let last = (addr + len.max(1) - 1) / line;
+        (first..=last).map(move |l| l * line)
+    }
+
+    /// I-cache statistics.
+    pub fn icache_stats(&self) -> CacheStats {
+        self.icache.stats()
+    }
+
+    /// D-cache statistics.
+    pub fn dcache_stats(&self) -> CacheStats {
+        self.dcache.stats()
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_within_a_set() {
+        // 2 sets × 2 ways × 64B lines = 256B cache.
+        let mut c = Cache::new(CacheConfig {
+            size: Some(256),
+            assoc: 2,
+            line: 64,
+        });
+        // Three lines mapping to set 0: 0, 128, 256.
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        assert!(c.access(0), "still resident");
+        assert!(!c.access(256), "fills, evicting LRU (128)");
+        assert!(!c.access(128), "128 was evicted");
+        assert_eq!(c.stats().accesses, 5);
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn perfect_cache_always_hits() {
+        let mut c = Cache::new(CacheConfig::perfect());
+        for a in (0..100_000).step_by(4096) {
+            assert!(c.access(a));
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn working_set_behaviour() {
+        // An 8KB cache thrashes on a 16KB loop but holds a 4KB one.
+        let mut c = Cache::new(CacheConfig::of_size(8 * 1024));
+        for _ in 0..4 {
+            for a in (0..4 * 1024).step_by(64) {
+                c.access(a);
+            }
+        }
+        let small_misses = c.stats().misses;
+        assert_eq!(small_misses, 64, "only compulsory misses");
+        let mut c = Cache::new(CacheConfig::of_size(8 * 1024));
+        for _ in 0..4 {
+            for a in (0..16 * 1024).step_by(64) {
+                c.access(a);
+            }
+        }
+        assert!(c.stats().misses > 600, "16KB loop thrashes an 8KB cache");
+    }
+
+    #[test]
+    fn hierarchy_latencies() {
+        let mut h = MemoryHierarchy::new(MemoryHierarchyConfig::default());
+        // Cold: L1 miss + L2 miss.
+        assert_eq!(h.ifetch(0, 4), 1 + 12 + 100);
+        // Warm: L1 hit.
+        assert_eq!(h.ifetch(0, 4), 1);
+        // Data access to the same line: D-cache cold but L2 warm.
+        assert_eq!(h.daccess(8), 1 + 12);
+        assert_eq!(h.daccess(8), 1);
+    }
+
+    #[test]
+    fn line_straddling_fetch_probes_both_lines() {
+        let mut h = MemoryHierarchy::new(MemoryHierarchyConfig::default());
+        let lat = h.ifetch(62, 4); // touches lines 0 and 64
+        assert_eq!(lat, 1 + 2 * 112);
+        assert_eq!(h.icache_stats().accesses, 2);
+    }
+}

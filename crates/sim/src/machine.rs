@@ -1,0 +1,983 @@
+//! The functional (architectural) machine.
+//!
+//! [`Machine`] executes programs exactly as a DISE-enabled processor would
+//! at the architectural level: every fetched instruction is inspected by
+//! the attached [`DiseEngine`]; triggers are macro-expanded and their
+//! replacement sequences executed under the PC:DISEPC two-level control
+//! model (paper §2.1):
+//!
+//! * every dynamic instruction carries a `(PC, DISEPC)` pair; precise state
+//!   is defined at those boundaries, so execution can be interrupted
+//!   mid-sequence and resumed at the same `(PC, DISEPC)`;
+//! * DISE-internal branches move the DISEPC only;
+//! * application branches inside replacement sequences leave the sequence
+//!   when taken (effectively predicted not-taken);
+//! * one dynamic sequence can never jump into the middle of another.
+//!
+//! The machine also expands 2-byte codewords through a [`DedicatedDict`],
+//! modeling the dedicated decoder-based decompressor the paper compares
+//! against (§4.2).
+
+use crate::mem::Memory;
+use crate::{Result, SimError};
+use dise_core::{DiseEngine, Expansion};
+use dise_isa::{Inst, Op, OpClass, Program, Reg, TextItem};
+
+/// The dictionary of a dedicated hardware decompressor: entry `i` is the
+/// instruction sequence that a 2-byte codeword with index `i` expands to.
+#[derive(Debug, Clone, Default)]
+pub struct DedicatedDict {
+    entries: Vec<Vec<Inst>>,
+}
+
+impl DedicatedDict {
+    /// Creates a dictionary from entries.
+    pub fn new(entries: Vec<Vec<Inst>>) -> DedicatedDict {
+        DedicatedDict { entries }
+    }
+
+    /// The sequence for codeword index `ix`.
+    pub fn get(&self, ix: u16) -> Option<&[Inst]> {
+        self.entries.get(ix as usize).map(Vec::as_slice)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total dictionary size in bytes (4 bytes per instruction — entries
+    /// are unparameterized).
+    pub fn size_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.len() as u64 * 4).sum()
+    }
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Stack size in bytes; SP starts at the top of the stack segment.
+    pub stack_size: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            stack_size: 1 << 20,
+        }
+    }
+}
+
+/// What kind of control transfer a retired instruction performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctrl {
+    Next,
+    AppJump(u64),
+    DiseJump(u8),
+    Halt,
+}
+
+/// Everything the timing model needs to know about one retired dynamic
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Application PC (the trigger's PC for replacement instructions).
+    pub pc: u64,
+    /// Offset within the replacement sequence (0 for the first instruction
+    /// and for ordinary application instructions).
+    pub disepc: u8,
+    /// The executed instruction.
+    pub inst: Inst,
+    /// True for instructions produced by expansion (DISE RT or dedicated
+    /// dictionary) — these consume pipeline slots but are not fetched from
+    /// the I-cache.
+    pub is_replacement: bool,
+    /// True when this step begins a new application fetch (probe the
+    /// I-cache for `fetch_size` bytes at `pc`).
+    pub first_of_fetch: bool,
+    /// Size in bytes of the fetched item (4, or 2 for short codewords).
+    pub fetch_size: u64,
+    /// Length of the expansion that began here (1 when not expanded); valid
+    /// when `first_of_fetch`.
+    pub expansion_len: u8,
+    /// An expansion began at this step (for the stall-per-expansion cost
+    /// model of Figure 6).
+    pub expanded: bool,
+    /// For application control transfers: whether it was taken.
+    pub taken: Option<bool>,
+    /// Taken-branch target.
+    pub target: Option<u64>,
+    /// This instruction is a taken DISE-internal branch (always a redirect:
+    /// DISE branches are not predicted, §2.2).
+    pub dise_taken: bool,
+    /// This application control transfer is eligible for branch prediction
+    /// (ordinary instructions and trigger branches; non-trigger replacement
+    /// branches are suppressed from prediction, §2.2).
+    pub predicted: bool,
+    /// Effective address for memory operations.
+    pub mem_addr: Option<u64>,
+    /// DISE PT/RT miss stall cycles charged at this step (pipeline flush +
+    /// fill).
+    pub dise_stall: u64,
+}
+
+/// Result of a [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total dynamic instructions executed (application + replacement).
+    pub total_insts: u64,
+    /// Application instructions (fetched items) executed.
+    pub app_insts: u64,
+    /// True if the program executed `halt`.
+    pub halted: bool,
+}
+
+impl RunResult {
+    /// True if the program executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[derive(Debug)]
+enum ExpState {
+    /// An unexpanded instruction.
+    Single(Inst),
+    /// A DISE expansion in progress.
+    Dise {
+        id: dise_core::ReplacementId,
+        len: u8,
+        trigger: Inst,
+    },
+    /// A dedicated-decompressor expansion in progress (dictionary index).
+    Dedicated { ix: u16 },
+}
+
+/// The functional machine. See the module docs.
+#[derive(Debug)]
+pub struct Machine {
+    regs: [u64; dise_isa::reg::NUM_REGS],
+    /// Data memory (text is fetched from the program image).
+    pub mem: Memory,
+    program: Program,
+    pc: u64,
+    disepc: u8,
+    exp: Option<ExpState>,
+    engine: Option<DiseEngine>,
+    dedicated: Option<DedicatedDict>,
+    halted: bool,
+    total_insts: u64,
+    app_insts: u64,
+}
+
+impl Machine {
+    /// Loads a program with the default configuration: data segment
+    /// initialized, SP at the top of the stack segment.
+    pub fn load(program: &Program) -> Machine {
+        Machine::with_config(program, MachineConfig::default())
+    }
+
+    /// Loads a program with an explicit configuration.
+    pub fn with_config(program: &Program, config: MachineConfig) -> Machine {
+        let mut mem = Memory::new();
+        mem.store_bytes(program.data_base, &program.data_init);
+        let mut regs = [0u64; dise_isa::reg::NUM_REGS];
+        regs[Reg::SP.index()] =
+            Program::segment_base(Program::STACK_SEGMENT) + config.stack_size;
+        Machine {
+            regs,
+            mem,
+            pc: program.entry,
+            disepc: 0,
+            exp: None,
+            engine: None,
+            dedicated: None,
+            halted: false,
+            total_insts: 0,
+            app_insts: 0,
+            program: program.clone(),
+        }
+    }
+
+    /// Attaches a DISE engine; every subsequently fetched instruction is
+    /// inspected by it.
+    pub fn attach_engine(&mut self, engine: DiseEngine) {
+        self.engine = Some(engine);
+    }
+
+    /// Attaches a dedicated-decompressor dictionary for 2-byte codewords.
+    pub fn attach_dedicated(&mut self, dict: DedicatedDict) {
+        self.dedicated = Some(dict);
+    }
+
+    /// The attached engine, if any.
+    pub fn engine(&self) -> Option<&DiseEngine> {
+        self.engine.as_ref()
+    }
+
+    /// Mutable access to the attached engine (e.g. to reset statistics).
+    pub fn engine_mut(&mut self) -> Option<&mut DiseEngine> {
+        self.engine.as_mut()
+    }
+
+    /// Reads a register (the zero register reads 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register (writes to the zero register are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The current `(PC, DISEPC)` pair.
+    pub fn pc(&self) -> (u64, u8) {
+        (self.pc, self.disepc)
+    }
+
+    /// Overrides the PC, resetting any in-flight expansion and clearing a
+    /// halt — the hook an external "OS handler" uses to restart execution
+    /// (e.g. a DSM protocol handler resuming a trapped access).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+        self.disepc = 0;
+        self.exp = None;
+        self.halted = false;
+    }
+
+    /// True once `halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Counts of executed instructions `(total, application)`.
+    pub fn inst_counts(&self) -> (u64, u64) {
+        (self.total_insts, self.app_insts)
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Simulates an interrupt at the current `(PC, DISEPC)`: in-flight
+    /// expansion state is discarded exactly as a pipeline flush would, and
+    /// the next [`Machine::step`] re-fetches PC and re-expands starting at
+    /// DISEPC (precise-state model, §2.1).
+    pub fn interrupt(&mut self) {
+        self.exp = None;
+    }
+
+    /// Executes one dynamic instruction. Returns `None` once halted.
+    ///
+    /// # Errors
+    ///
+    /// Fails on fetch errors, unexpandable codewords, or engine errors.
+    pub fn step(&mut self) -> Result<Option<StepInfo>> {
+        if self.halted {
+            return Ok(None);
+        }
+        let mut dise_stall = 0u64;
+        let mut expanded = false;
+        let first_of_fetch = self.exp.is_none() && self.disepc == 0;
+
+        // Establish the expansion state if needed (initial fetch, or
+        // re-fetch after an interrupt mid-sequence).
+        if self.exp.is_none() {
+            let item = self.program.fetch(self.pc)?;
+            self.exp = Some(match item {
+                TextItem::Short(ix) => {
+                    let dict = self.dedicated.as_ref().ok_or(SimError::BadShortCodeword {
+                        pc: self.pc,
+                        index: ix,
+                    })?;
+                    if dict.get(ix).is_none() {
+                        return Err(SimError::BadShortCodeword {
+                            pc: self.pc,
+                            index: ix,
+                        });
+                    }
+                    ExpState::Dedicated { ix }
+                }
+                TextItem::Inst(inst) => {
+                    if let Some(engine) = self.engine.as_mut() {
+                        loop {
+                            match engine.inspect(&inst) {
+                                Expansion::Miss { penalty, .. } => dise_stall += penalty,
+                                Expansion::Fault { .. } => {
+                                    return Err(SimError::UnexpandedCodeword { pc: self.pc })
+                                }
+                                Expansion::None => {
+                                    if inst.op.is_codeword() {
+                                        return Err(SimError::UnexpandedCodeword {
+                                            pc: self.pc,
+                                        });
+                                    }
+                                    break ExpState::Single(inst);
+                                }
+                                Expansion::Expand { id, len } => {
+                                    expanded = self.disepc == 0;
+                                    break ExpState::Dise {
+                                        id,
+                                        len,
+                                        trigger: inst,
+                                    };
+                                }
+                            }
+                        }
+                    } else if inst.op.is_codeword() {
+                        return Err(SimError::UnexpandedCodeword { pc: self.pc });
+                    } else {
+                        ExpState::Single(inst)
+                    }
+                }
+            });
+        }
+
+        // Produce the current dynamic instruction.
+        let (inst, len, fetch_size, is_replacement, trigger_inst) = match self
+            .exp
+            .as_ref()
+            .expect("established above")
+        {
+            ExpState::Single(i) => (*i, 1u8, 4u64, false, None),
+            ExpState::Dise { id, len, trigger } => {
+                let id = *id;
+                let len = *len;
+                let trigger = *trigger;
+                let engine = self.engine.as_mut().expect("Dise expansion needs engine");
+                let before = engine.stats().stall_cycles;
+                let inst = engine.fetch_replacement(id, self.disepc, &trigger, self.pc)?;
+                dise_stall += engine.stats().stall_cycles - before;
+                (inst, len, 4, true, Some(trigger))
+            }
+            ExpState::Dedicated { ix } => {
+                let insts = self
+                    .dedicated
+                    .as_ref()
+                    .expect("dictionary checked at fetch")
+                    .get(*ix)
+                    .expect("dictionary checked at fetch");
+                let inst = insts[self.disepc as usize];
+                (inst, insts.len() as u8, 2, true, None)
+            }
+        };
+
+        // Execute.
+        let (ctrl, mem_addr, taken) = self.exec(inst, fetch_size)?;
+        self.total_insts += 1;
+        if first_of_fetch {
+            self.app_insts += 1;
+        }
+
+        // Prediction eligibility: ordinary instructions, the trigger
+        // instance (T.INSN), and the *final* instruction of a replacement
+        // sequence (it determines the next fetch PC, so the front end
+        // predicts it at the trigger's address — this is what makes
+        // compressed sequence-terminating branches predictable). Sequence-
+        // internal branches are never predicted (§2.2): taken ones
+        // redirect, untaken ones are free.
+        let predicted = !is_replacement
+            || trigger_inst == Some(inst)
+            || self.disepc + 1 == len;
+        let info = StepInfo {
+            pc: self.pc,
+            disepc: self.disepc,
+            inst,
+            is_replacement: is_replacement && len > 1,
+            first_of_fetch,
+            fetch_size,
+            expansion_len: len,
+            expanded,
+            taken,
+            target: match ctrl {
+                Ctrl::AppJump(t) => Some(t),
+                _ => None,
+            },
+            dise_taken: matches!(ctrl, Ctrl::DiseJump(_)),
+            predicted,
+            mem_addr,
+            dise_stall,
+        };
+
+        // Advance (PC, DISEPC).
+        match ctrl {
+            Ctrl::Halt => {
+                self.halted = true;
+                self.exp = None;
+            }
+            Ctrl::AppJump(t) => {
+                self.pc = t;
+                self.disepc = 0;
+                self.exp = None;
+            }
+            Ctrl::DiseJump(ix) => {
+                self.disepc = ix;
+            }
+            Ctrl::Next => {
+                if self.disepc + 1 < len {
+                    self.disepc += 1;
+                } else {
+                    self.pc += fetch_size;
+                    self.disepc = 0;
+                    self.exp = None;
+                }
+            }
+        }
+        Ok(Some(info))
+    }
+
+    /// Runs until halt or `max_steps` dynamic instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors; returns [`SimError::OutOfFuel`] if the
+    /// budget is exhausted first.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult> {
+        for _ in 0..max_steps {
+            if self.step()?.is_none() {
+                return Ok(RunResult {
+                    total_insts: self.total_insts,
+                    app_insts: self.app_insts,
+                    halted: true,
+                });
+            }
+        }
+        if self.halted {
+            Ok(RunResult {
+                total_insts: self.total_insts,
+                app_insts: self.app_insts,
+                halted: true,
+            })
+        } else {
+            Err(SimError::OutOfFuel)
+        }
+    }
+
+    /// Executes one instruction's semantics, returning control outcome,
+    /// effective address, and taken-ness (for application control).
+    fn exec(&mut self, inst: Inst, item_size: u64) -> Result<(Ctrl, Option<u64>, Option<bool>)> {
+        use Op::*;
+        let ra = self.reg(inst.ra);
+        let rb = self.reg(inst.rb);
+        let next_pc = self.pc + item_size;
+        let imm = inst.imm;
+        let op2 = if inst.uses_lit { imm as u64 } else { rb };
+
+        let mut mem_addr = None;
+        let mut taken = None;
+        let ctrl = match inst.op {
+            Halt => Ctrl::Halt,
+            Nop => Ctrl::Next,
+            Lda => {
+                self.set_reg(inst.ra, rb.wrapping_add_signed(imm));
+                Ctrl::Next
+            }
+            Ldah => {
+                self.set_reg(inst.ra, rb.wrapping_add_signed(imm << 16));
+                Ctrl::Next
+            }
+            Ldl => {
+                let addr = rb.wrapping_add_signed(imm);
+                mem_addr = Some(addr);
+                let v = self.mem.load_u32(addr) as i32 as i64 as u64;
+                self.set_reg(inst.ra, v);
+                Ctrl::Next
+            }
+            Ldq => {
+                let addr = rb.wrapping_add_signed(imm);
+                mem_addr = Some(addr);
+                let v = self.mem.load_u64(addr);
+                self.set_reg(inst.ra, v);
+                Ctrl::Next
+            }
+            Stl => {
+                let addr = rb.wrapping_add_signed(imm);
+                mem_addr = Some(addr);
+                self.mem.store_u32(addr, ra as u32);
+                Ctrl::Next
+            }
+            Stq => {
+                let addr = rb.wrapping_add_signed(imm);
+                mem_addr = Some(addr);
+                self.mem.store_u64(addr, ra);
+                Ctrl::Next
+            }
+            Br | Bsr => {
+                self.set_reg(inst.ra, next_pc);
+                taken = Some(true);
+                Ctrl::AppJump(next_pc.wrapping_add_signed(imm))
+            }
+            Beq | Bne | Blt | Ble | Bgt | Bge | Blbc | Blbs => {
+                let cond = match inst.op {
+                    Beq => ra == 0,
+                    Bne => ra != 0,
+                    Blt => (ra as i64) < 0,
+                    Ble => (ra as i64) <= 0,
+                    Bgt => (ra as i64) > 0,
+                    Bge => (ra as i64) >= 0,
+                    Blbc => ra & 1 == 0,
+                    Blbs => ra & 1 == 1,
+                    _ => unreachable!(),
+                };
+                if inst.dise_branch {
+                    if cond {
+                        Ctrl::DiseJump(imm as u8)
+                    } else {
+                        Ctrl::Next
+                    }
+                } else {
+                    taken = Some(cond);
+                    if cond {
+                        Ctrl::AppJump(next_pc.wrapping_add_signed(imm))
+                    } else {
+                        Ctrl::Next
+                    }
+                }
+            }
+            Jmp | Jsr | Ret => {
+                self.set_reg(inst.ra, next_pc);
+                taken = Some(true);
+                Ctrl::AppJump(rb)
+            }
+            Addq => {
+                self.set_reg(inst.rc, ra.wrapping_add(op2));
+                Ctrl::Next
+            }
+            Subq => {
+                self.set_reg(inst.rc, ra.wrapping_sub(op2));
+                Ctrl::Next
+            }
+            Addl => {
+                self.set_reg(inst.rc, (ra as u32).wrapping_add(op2 as u32) as i32 as i64 as u64);
+                Ctrl::Next
+            }
+            Subl => {
+                self.set_reg(inst.rc, (ra as u32).wrapping_sub(op2 as u32) as i32 as i64 as u64);
+                Ctrl::Next
+            }
+            S4addq => {
+                self.set_reg(inst.rc, (ra << 2).wrapping_add(op2));
+                Ctrl::Next
+            }
+            S8addq => {
+                self.set_reg(inst.rc, (ra << 3).wrapping_add(op2));
+                Ctrl::Next
+            }
+            Mulq => {
+                self.set_reg(inst.rc, ra.wrapping_mul(op2));
+                Ctrl::Next
+            }
+            And => {
+                self.set_reg(inst.rc, ra & op2);
+                Ctrl::Next
+            }
+            Bis => {
+                self.set_reg(inst.rc, ra | op2);
+                Ctrl::Next
+            }
+            Xor => {
+                self.set_reg(inst.rc, ra ^ op2);
+                Ctrl::Next
+            }
+            Bic => {
+                self.set_reg(inst.rc, ra & !op2);
+                Ctrl::Next
+            }
+            Ornot => {
+                self.set_reg(inst.rc, ra | !op2);
+                Ctrl::Next
+            }
+            Sll => {
+                self.set_reg(inst.rc, ra << (op2 & 63));
+                Ctrl::Next
+            }
+            Srl => {
+                self.set_reg(inst.rc, ra >> (op2 & 63));
+                Ctrl::Next
+            }
+            Sra => {
+                self.set_reg(inst.rc, ((ra as i64) >> (op2 & 63)) as u64);
+                Ctrl::Next
+            }
+            Cmpeq => {
+                self.set_reg(inst.rc, (ra == op2) as u64);
+                Ctrl::Next
+            }
+            Cmplt => {
+                self.set_reg(inst.rc, ((ra as i64) < op2 as i64) as u64);
+                Ctrl::Next
+            }
+            Cmple => {
+                self.set_reg(inst.rc, ((ra as i64) <= op2 as i64) as u64);
+                Ctrl::Next
+            }
+            Cmpult => {
+                self.set_reg(inst.rc, (ra < op2) as u64);
+                Ctrl::Next
+            }
+            Cmpule => {
+                self.set_reg(inst.rc, (ra <= op2) as u64);
+                Ctrl::Next
+            }
+            Cmoveq => {
+                if ra == 0 {
+                    self.set_reg(inst.rc, op2);
+                }
+                Ctrl::Next
+            }
+            Cmovne => {
+                if ra != 0 {
+                    self.set_reg(inst.rc, op2);
+                }
+                Ctrl::Next
+            }
+            Cw0 | Cw1 | Cw2 | Cw3 => {
+                return Err(SimError::UnexpandedCodeword { pc: self.pc });
+            }
+        };
+        Ok((ctrl, mem_addr, taken))
+    }
+}
+
+/// The registers an instruction's *timing* depends on: its architectural
+/// sources, plus the old destination value for conditional moves.
+pub fn timing_sources(inst: &Inst) -> impl Iterator<Item = Reg> {
+    let cmov_extra = matches!(inst.op, Op::Cmoveq | Op::Cmovne).then_some(inst.rc);
+    inst.sources()
+        .into_iter()
+        .flatten()
+        .chain(cmov_extra)
+        .filter(|r| !r.is_zero())
+}
+
+/// Execution latency (cycles) by opcode class, excluding memory hierarchy
+/// time for loads.
+pub fn exec_latency(class: OpClass) -> u64 {
+    match class {
+        OpClass::IntMult => 7,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_core::{dsl, DiseEngine, EngineConfig};
+    use dise_isa::Assembler;
+    use std::collections::BTreeMap;
+
+    fn asm(listing: &str) -> Program {
+        Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+            .assemble(listing)
+            .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_loop() {
+        // Sum 1..=10 via a loop.
+        let p = asm(
+            "       lda r1, 10(r31)     ; i = 10
+                    lda r2, 0(r31)      ; sum = 0
+             loop:  addq r2, r1, r2
+                    subq r1, #1, r1
+                    bne r1, loop
+                    halt",
+        );
+        let mut m = Machine::load(&p);
+        let r = m.run(1000).unwrap();
+        assert!(r.halted());
+        assert_eq!(m.reg(Reg::R2), 55);
+        assert_eq!(r.app_insts, 2 + 3 * 10 + 1);
+    }
+
+    #[test]
+    fn memory_round_trip_and_widths() {
+        let p = asm(
+            "       lda r1, -1(r31)          ; r1 = 0xFFFF...FFFF
+                    stq r1, 0(r2)
+                    ldq r3, 0(r2)
+                    stl r1, 8(r2)
+                    ldl r4, 8(r2)
+                    halt",
+        );
+        let mut m = Machine::load(&p);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::r(3)), u64::MAX);
+        assert_eq!(m.reg(Reg::r(4)), u64::MAX, "ldl sign-extends");
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let p = asm(
+            "       bsr f
+                    halt
+             f:     lda r1, 42(r31)
+                    ret",
+        );
+        let mut m = Machine::load(&p);
+        let r = m.run(100).unwrap();
+        assert!(r.halted());
+        assert_eq!(m.reg(Reg::R1), 42);
+    }
+
+    #[test]
+    fn zero_register_semantics() {
+        let p = asm(
+            "       lda r31, 7(r31)
+                    addq r31, #3, r1
+                    halt",
+        );
+        let mut m = Machine::load(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::ZERO), 0);
+        assert_eq!(m.reg(Reg::R1), 3);
+    }
+
+    #[test]
+    fn shifts_compares_cmov() {
+        let p = asm(
+            "       lda r1, 1(r31)
+                    sll r1, #8, r2       ; 256
+                    sra r2, #4, r3       ; 16
+                    cmplt r3, r2, r4     ; 1
+                    cmoveq r4, r2, r5    ; not moved (r4 != 0)
+                    cmovne r4, r3, r6    ; moved: r6 = 16
+                    mulq r3, r3, r7      ; 256
+                    halt",
+        );
+        let mut m = Machine::load(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R2), 256);
+        assert_eq!(m.reg(Reg::r(3)), 16);
+        assert_eq!(m.reg(Reg::r(4)), 1);
+        assert_eq!(m.reg(Reg::r(5)), 0);
+        assert_eq!(m.reg(Reg::r(6)), 16);
+        assert_eq!(m.reg(Reg::r(7)), 256);
+    }
+
+    fn mfi_engine(error_handler: u64) -> DiseEngine {
+        let set = dsl::parse(
+            "P1: T.OPCLASS == store -> R1
+             P2: T.OPCLASS == load  -> R1
+             R1: srl T.RS, #26, $dr1
+                 cmpeq $dr1, $dr2, $dr1
+                 beq $dr1, =error
+                 T.INSN",
+            &[("error".to_string(), error_handler)]
+                .into_iter()
+                .collect::<BTreeMap<_, _>>(),
+        )
+        .unwrap();
+        DiseEngine::with_productions(EngineConfig::default(), set).unwrap()
+    }
+
+    #[test]
+    fn dise_expansion_preserves_semantics() {
+        let p = asm(
+            "       stq r1, 0(r2)
+                    ldq r3, 0(r2)
+                    halt
+             error: halt",
+        );
+        let data = Program::segment_base(Program::DATA_SEGMENT);
+        // Plain run.
+        let mut plain = Machine::load(&p);
+        plain.set_reg(Reg::R1, 99);
+        plain.set_reg(Reg::R2, data);
+        plain.run(100).unwrap();
+        // DISE MFI run.
+        let mut dise = Machine::load(&p);
+        dise.set_reg(Reg::R1, 99);
+        dise.set_reg(Reg::R2, data);
+        let mut e = mfi_engine(p.symbol("error").unwrap());
+        e.reset_stats();
+        dise.attach_engine(e);
+        // $dr2 holds the legal segment id.
+        dise.set_reg(Reg::dr(2), Program::DATA_SEGMENT);
+        let r = dise.run(1000).unwrap();
+        assert!(r.halted());
+        assert_eq!(dise.reg(Reg::r(3)), 99, "loads still load");
+        // The checks pass: we halt at the first halt, not the error one.
+        assert_eq!(dise.pc().0, p.symbol("error").unwrap() - 4);
+        // 3 app insts reached halt; each mem op became 4 dynamic insts.
+        assert_eq!(r.app_insts, 3);
+        assert_eq!(r.total_insts, 4 + 4 + 1);
+        let stats = dise.engine().unwrap().stats();
+        assert_eq!(stats.expansions, 2);
+    }
+
+    #[test]
+    fn mfi_catches_out_of_segment_store() {
+        let p = asm(
+            "       stq r1, 0(r2)
+                    lda r4, 1(r31)       ; should be skipped on fault
+                    halt
+             error: lda r5, 1(r31)
+                    halt",
+        );
+        let mut m = Machine::load(&p);
+        // Address in the *text* segment — illegal for data access.
+        m.set_reg(Reg::R2, Program::segment_base(Program::TEXT_SEGMENT));
+        m.attach_engine(mfi_engine(p.symbol("error").unwrap()));
+        m.set_reg(Reg::dr(2), Program::DATA_SEGMENT);
+        let r = m.run(1000).unwrap();
+        assert!(r.halted());
+        assert_eq!(m.reg(Reg::r(5)), 1, "error handler ran");
+        assert_eq!(m.reg(Reg::r(4)), 0, "fall-through was skipped");
+        // The store itself must have been suppressed (the taken branch
+        // aborted the rest of the sequence).
+        assert_eq!(m.mem.load_u64(Program::segment_base(Program::TEXT_SEGMENT)), 0);
+    }
+
+    #[test]
+    fn dise_internal_branches_move_disepc_only() {
+        // An engine whose sequence skips an instruction with a DISE branch:
+        //   0: bne.d T-cond… we use $dr1 preset to 1 → branch to @2
+        //   1: lda $dr4, 1(r31)   (skipped)
+        //   2: T.INSN
+        let set = dsl::parse(
+            "P1: T.OPCLASS == store -> R1
+             R1: bne.d $dr1, @2
+                 lda $dr4, 1(r31)
+                 T.INSN",
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        let p = asm("stq r1, 0(r2)\nhalt");
+        let mut m = Machine::load(&p);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        m.attach_engine(DiseEngine::with_productions(EngineConfig::default(), set).unwrap());
+        m.set_reg(Reg::dr(1), 1);
+        let r = m.run(100).unwrap();
+        assert!(r.halted());
+        assert_eq!(m.reg(Reg::dr(4)), 0, "lda was skipped by the DISE branch");
+        // And with the condition false, the lda executes.
+        let set = dsl::parse(
+            "P1: T.OPCLASS == store -> R1
+             R1: bne.d $dr1, @2
+                 lda $dr4, 1(r31)
+                 T.INSN",
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        let mut m = Machine::load(&p);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        m.attach_engine(DiseEngine::with_productions(EngineConfig::default(), set).unwrap());
+        let r = m.run(100).unwrap();
+        assert!(r.halted());
+        assert_eq!(m.reg(Reg::dr(4)), 1);
+    }
+
+    #[test]
+    fn interrupt_mid_sequence_resumes_precisely() {
+        let p = asm("stq r1, 0(r2)\nhalt\nerror: halt");
+        let mut m = Machine::load(&p);
+        m.set_reg(Reg::R1, 7);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        m.attach_engine(mfi_engine(p.symbol("error").unwrap()));
+        m.set_reg(Reg::dr(2), Program::DATA_SEGMENT);
+        // Execute two replacement instructions, then "interrupt".
+        let s0 = m.step().unwrap().unwrap();
+        assert_eq!(s0.disepc, 0);
+        let s1 = m.step().unwrap().unwrap();
+        assert_eq!(s1.disepc, 1);
+        m.interrupt();
+        // Post-handler: fetch restarts at PC with DISEPC 2 — the beq, then
+        // the store, then halt.
+        let s2 = m.step().unwrap().unwrap();
+        assert_eq!((s2.pc, s2.disepc), (s0.pc, 2));
+        let s3 = m.step().unwrap().unwrap();
+        assert_eq!(s3.inst.op, Op::Stq);
+        let r = m.run(10).unwrap();
+        assert!(r.halted());
+        assert_eq!(
+            m.mem.load_u64(Program::segment_base(Program::DATA_SEGMENT)),
+            7
+        );
+    }
+
+    #[test]
+    fn dedicated_dictionary_expansion() {
+        // Compressed program: short codeword expands to [lda r1, 5(r31);
+        // addq r1, r1, r2].
+        let items = [
+            TextItem::Short(0),
+            TextItem::Inst(Inst::halt()),
+        ];
+        let p = Program::from_items(Program::segment_base(Program::TEXT_SEGMENT), &items)
+            .unwrap();
+        let dict = DedicatedDict::new(vec![vec![
+            Inst::li(5, Reg::R1),
+            Inst::alu_rr(Op::Addq, Reg::R1, Reg::R1, Reg::R2),
+        ]]);
+        let mut m = Machine::load(&p);
+        m.attach_dedicated(dict);
+        let r = m.run(100).unwrap();
+        assert!(r.halted());
+        assert_eq!(m.reg(Reg::R2), 10);
+        assert_eq!(r.app_insts, 2);
+        assert_eq!(r.total_insts, 3);
+    }
+
+    #[test]
+    fn unexpanded_codewords_fault() {
+        let p = Program::from_insts(
+            0x0400_0000,
+            &[Inst::codeword(Op::Cw0, 0, 0, 0, 5), Inst::halt()],
+        )
+        .unwrap();
+        let mut m = Machine::load(&p);
+        assert!(matches!(
+            m.step(),
+            Err(SimError::UnexpandedCodeword { .. })
+        ));
+        // Same with a short codeword and no dictionary.
+        let p = Program::from_items(0x0400_0000, &[TextItem::Short(3)]).unwrap();
+        let mut m = Machine::load(&p);
+        assert!(matches!(m.step(), Err(SimError::BadShortCodeword { .. })));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let p = asm("loop: br r31, loop");
+        let mut m = Machine::load(&p);
+        assert!(matches!(m.run(100), Err(SimError::OutOfFuel)));
+    }
+
+    #[test]
+    fn step_info_flags() {
+        let p = asm("stq r1, 0(r2)\nhalt\nerror: halt");
+        let mut m = Machine::load(&p);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        m.attach_engine(mfi_engine(p.symbol("error").unwrap()));
+        m.set_reg(Reg::dr(2), Program::DATA_SEGMENT);
+        let s0 = m.step().unwrap().unwrap();
+        assert!(s0.first_of_fetch);
+        assert!(s0.expanded);
+        assert!(s0.is_replacement);
+        assert_eq!(s0.expansion_len, 4);
+        assert!(s0.dise_stall > 0, "cold PT/RT misses were charged");
+        let s1 = m.step().unwrap().unwrap();
+        assert!(!s1.first_of_fetch);
+        assert_eq!(s1.dise_stall, 0);
+        let s2 = m.step().unwrap().unwrap(); // beq (not taken)
+        assert_eq!(s2.taken, Some(false));
+        assert!(!s2.predicted, "non-trigger replacement branch unpredicted");
+        let s3 = m.step().unwrap().unwrap(); // the store (trigger instance)
+        assert!(s3.predicted);
+        assert!(s3.mem_addr.is_some());
+    }
+}

@@ -1,0 +1,135 @@
+//! Sparse paged data memory.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse 64-bit byte-addressable memory. Pages are allocated on first
+/// touch and zero-filled, so programs may use any address without explicit
+/// mapping (fault isolation is an ACF concern, not a memory-model one).
+///
+/// ```
+/// use dise_sim::Memory;
+/// let mut m = Memory::new();
+/// m.store_u64(0x8000_0000, 0xDEAD_BEEF);
+/// assert_eq!(m.load_u64(0x8000_0000), 0xDEAD_BEEF);
+/// assert_eq!(m.load_u64(0x1234_5678), 0, "untouched memory reads zero");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Loads one byte.
+    pub fn load_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Stores one byte.
+    pub fn store_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Loads a little-endian 32-bit value (may straddle pages; the address
+    /// space wraps, so even `u64::MAX` is a valid base).
+    pub fn load_u32(&self, addr: u64) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.load_u8(addr.wrapping_add(i as u64));
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Stores a little-endian 32-bit value.
+    pub fn store_u32(&mut self, addr: u64, value: u32) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Loads a little-endian 64-bit value.
+    pub fn load_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.load_u8(addr.wrapping_add(i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Stores a little-endian 64-bit value.
+    pub fn store_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn store_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_round_trip() {
+        let mut m = Memory::new();
+        assert_eq!(m.load_u64(0), 0);
+        m.store_u64(16, u64::MAX);
+        assert_eq!(m.load_u64(16), u64::MAX);
+        m.store_u32(16, 7);
+        assert_eq!(m.load_u32(16), 7);
+        assert_eq!(m.load_u64(16), (u64::MAX << 32) | 7);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let boundary = PAGE_SIZE as u64 - 4;
+        m.store_u64(boundary, 0x1122_3344_5566_7788);
+        assert_eq!(m.load_u64(boundary), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn wraparound_access_is_defined() {
+        let mut m = Memory::new();
+        m.store_u64(u64::MAX - 3, 0x0102_0304_0506_0708);
+        assert_eq!(m.load_u64(u64::MAX - 3), 0x0102_0304_0506_0708);
+        assert_eq!(m.load_u8(0), 0x04, "high bytes wrapped to address 0");
+    }
+
+    #[test]
+    fn sparse_addresses() {
+        let mut m = Memory::new();
+        m.store_u8(0xFFFF_FFFF_FFFF_FFFF, 0xAB);
+        assert_eq!(m.load_u8(0xFFFF_FFFF_FFFF_FFFF), 0xAB);
+        m.store_bytes(0x4_0000_0000, &[1, 2, 3]);
+        assert_eq!(m.load_u8(0x4_0000_0002), 3);
+    }
+}

@@ -1,0 +1,665 @@
+//! The cycle-level out-of-order timing model.
+//!
+//! A timestamp-dataflow model of the paper's machine: a MIPS R10000-like
+//! superscalar, default 4-wide with a 12-stage pipeline (10 cycles of
+//! front-end depth between fetch and dispatch), a 128-entry reorder buffer
+//! and 80 reservation stations, aggressive branch prediction
+//! (gshare + BTB + RAS) and load speculation with store-to-load forwarding
+//! (§4). The functional [`Machine`] is the oracle: it produces the
+//! correct-path dynamic instruction stream (including DISE replacement
+//! sequences), and this model computes when each instruction would fetch,
+//! dispatch, issue, complete and commit. Wrong-path work appears as fetch
+//! redirect bubbles charged with the full front-end depth — the standard
+//! oracle-driven timing-shell approximation.
+//!
+//! DISE costs modeled (paper §4.1):
+//!
+//! * replacement instructions consume fetch/decode/dispatch slots, RS and
+//!   ROB entries, and execution resources, but do not access the I-cache;
+//! * PT/RT misses flush the pipeline and stall fetch (30/150 cycles);
+//! * the engine's placement cost is selectable via [`ExpansionCost`]:
+//!   `Free` (idealized), `StallPerExpansion` (PT/RT in parallel with the
+//!   decoder, one bubble per actual expansion) or `ExtraStage` (PT/RT in
+//!   series, one additional front-end stage, growing every branch
+//!   misprediction penalty);
+//! * taken DISE-internal branches and taken non-trigger replacement
+//!   branches always redirect (they are never predicted, §2.2).
+
+use crate::bpred::{BpredConfig, BpredStats, BranchPredictor};
+use crate::cache::{CacheStats, MemoryHierarchy, MemoryHierarchyConfig};
+use crate::machine::{exec_latency, timing_sources, Machine, StepInfo};
+use crate::{Result, SimError};
+use dise_isa::OpClass;
+use std::collections::{HashMap, VecDeque};
+
+/// Where the DISE engine sits relative to the decoder (Figure 6 top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpansionCost {
+    /// Idealized: expansion is free.
+    #[default]
+    Free,
+    /// PT/RT accessed in parallel with the decoder: a one-cycle fetch
+    /// bubble per actual expansion (the paper's `+stall`).
+    StallPerExpansion,
+    /// PT/RT in series with the decoder: one extra front-end stage, paid on
+    /// every pipeline fill — i.e. a one-cycle-deeper misprediction penalty
+    /// on all code, ACF-free or not (the paper's `+pipe`).
+    ExtraStage,
+}
+
+/// Timing-model configuration. Defaults are the paper's baseline machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Superscalar width (fetch/decode/issue/commit per cycle).
+    pub width: u64,
+    /// Front-end depth in cycles from fetch to dispatch (12-stage pipeline
+    /// ≈ 10 cycles of front end before the out-of-order core).
+    pub frontend_depth: u64,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Reservation stations.
+    pub rs_size: usize,
+    /// Memory hierarchy.
+    pub mem: MemoryHierarchyConfig,
+    /// Branch predictor.
+    pub bpred: BpredConfig,
+    /// DISE engine placement cost.
+    pub expansion_cost: ExpansionCost,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            width: 4,
+            frontend_depth: 10,
+            rob_size: 128,
+            rs_size: 80,
+            mem: MemoryHierarchyConfig::default(),
+            bpred: BpredConfig::default(),
+            expansion_cost: ExpansionCost::Free,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the superscalar width.
+    pub fn with_width(mut self, width: u64) -> SimConfig {
+        self.width = width;
+        self
+    }
+
+    /// Sets the I-cache size (`None` = perfect I-cache).
+    pub fn with_icache_size(mut self, size: Option<u64>) -> SimConfig {
+        self.mem.icache = match size {
+            Some(s) => crate::cache::CacheConfig::of_size(s),
+            None => crate::cache::CacheConfig::perfect(),
+        };
+        self
+    }
+
+    /// Sets the DISE expansion cost model.
+    pub fn with_expansion_cost(mut self, cost: ExpansionCost) -> SimConfig {
+        self.expansion_cost = cost;
+        self
+    }
+}
+
+/// Counters accumulated by a timing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Total cycles (commit time of the last instruction).
+    pub cycles: u64,
+    /// Application (fetched) instructions committed.
+    pub app_insts: u64,
+    /// All dynamic instructions committed (application + replacement).
+    pub total_insts: u64,
+    /// I-cache statistics.
+    pub icache: CacheStats,
+    /// D-cache statistics.
+    pub dcache: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Branch predictor statistics.
+    pub bpred: BpredStats,
+    /// Fetch redirects (mispredictions + taken unpredicted replacement/DISE
+    /// branches).
+    pub redirects: u64,
+    /// Cycles stalled for DISE PT/RT misses.
+    pub dise_stall_cycles: u64,
+    /// DISE expansions performed.
+    pub expansions: u64,
+}
+
+impl SimStats {
+    /// Committed application instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.app_insts as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Result of a timing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Timing statistics.
+    pub stats: SimStats,
+    /// True if the program halted within the budget.
+    pub halted: bool,
+}
+
+/// Width-limited slot allocator: at most `width` events per cycle, never
+/// moving backwards.
+#[derive(Debug, Clone, Copy)]
+struct SlotAlloc {
+    width: u64,
+    cycle: u64,
+    used: u64,
+}
+
+impl SlotAlloc {
+    fn new(width: u64) -> SlotAlloc {
+        SlotAlloc {
+            width,
+            cycle: 0,
+            used: 0,
+        }
+    }
+
+    /// Allocates a slot no earlier than `ready`; returns its cycle.
+    fn alloc(&mut self, ready: u64) -> u64 {
+        if ready > self.cycle {
+            self.cycle = ready;
+            self.used = 0;
+        }
+        if self.used >= self.width {
+            self.cycle += 1;
+            self.used = 0;
+        }
+        self.used += 1;
+        self.cycle
+    }
+
+    /// Ends the current group: the next slot starts a new cycle.
+    fn break_group(&mut self) {
+        self.used = self.width;
+    }
+}
+
+/// The timing simulator. Owns the functional oracle machine.
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    machine: Machine,
+    mem: MemoryHierarchy,
+    bpred: BranchPredictor,
+    fetch: SlotAlloc,
+    commit: SlotAlloc,
+    /// Commit times of in-flight instructions (ROB occupancy).
+    rob: VecDeque<u64>,
+    /// Issue times of in-flight instructions (RS occupancy).
+    rs: VecDeque<u64>,
+    /// Completion time of the last producer of each register.
+    reg_ready: [u64; dise_isa::reg::NUM_REGS],
+    /// Completion time of the last store to each 8-byte granule
+    /// (store-to-load forwarding).
+    store_ready: HashMap<u64, u64>,
+    last_commit: u64,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Creates a simulator over a loaded machine.
+    pub fn new(config: SimConfig, machine: Machine) -> Simulator {
+        let frontend_extra = match config.expansion_cost {
+            ExpansionCost::ExtraStage => 1,
+            _ => 0,
+        };
+        let mut config = config;
+        config.frontend_depth += frontend_extra;
+        Simulator {
+            mem: MemoryHierarchy::new(config.mem),
+            bpred: BranchPredictor::new(config.bpred),
+            fetch: SlotAlloc::new(config.width),
+            commit: SlotAlloc::new(config.width),
+            rob: VecDeque::with_capacity(config.rob_size),
+            rs: VecDeque::with_capacity(config.rs_size),
+            reg_ready: [0; dise_isa::reg::NUM_REGS],
+            store_ready: HashMap::new(),
+            last_commit: 0,
+            stats: SimStats::default(),
+            config,
+            machine,
+        }
+    }
+
+    /// The oracle machine (e.g. to read final register state).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the oracle machine (e.g. to initialize dedicated
+    /// registers before running).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Runs until the program halts or `max_insts` dynamic instructions
+    /// have committed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-machine errors; returns
+    /// [`SimError::OutOfFuel`] if the budget is exhausted first.
+    pub fn run(&mut self, max_insts: u64) -> Result<SimResult> {
+        for _ in 0..max_insts {
+            let Some(info) = self.machine.step()? else {
+                return Ok(self.finish(true));
+            };
+            self.account(&info);
+        }
+        if self.machine.halted() {
+            Ok(self.finish(true))
+        } else {
+            Err(SimError::OutOfFuel)
+        }
+    }
+
+    fn finish(&mut self, halted: bool) -> SimResult {
+        let (total, app) = self.machine.inst_counts();
+        self.stats.total_insts = total;
+        self.stats.app_insts = app;
+        self.stats.cycles = self.last_commit.max(1);
+        self.stats.icache = self.mem.icache_stats();
+        self.stats.dcache = self.mem.dcache_stats();
+        self.stats.l2 = self.mem.l2_stats();
+        self.stats.bpred = self.bpred.stats();
+        if let Some(e) = self.machine.engine() {
+            self.stats.expansions = e.stats().expansions;
+        }
+        SimResult {
+            stats: self.stats,
+            halted,
+        }
+    }
+
+    /// Accounts one retired dynamic instruction.
+    fn account(&mut self, info: &StepInfo) {
+        let cfg = &self.config;
+
+        // ---- fetch ----------------------------------------------------
+        let mut fetch_ready = 0u64;
+
+        // DISE PT/RT miss: pipeline flush + fixed stall (§2.3).
+        if info.dise_stall > 0 {
+            self.stats.dise_stall_cycles += info.dise_stall;
+            fetch_ready = self.fetch.cycle + info.dise_stall;
+            self.fetch.break_group();
+        }
+
+        // Structural back-pressure: ROB and RS occupancy throttle fetch.
+        if self.rob.len() >= cfg.rob_size {
+            let freed = self.rob.pop_front().expect("non-empty");
+            fetch_ready = fetch_ready.max(freed.saturating_sub(cfg.frontend_depth));
+        }
+        if self.rs.len() >= cfg.rs_size {
+            let freed = self.rs.pop_front().expect("non-empty");
+            fetch_ready = fetch_ready.max(freed.saturating_sub(cfg.frontend_depth));
+        }
+
+        let mut fetch_time = self.fetch.alloc(fetch_ready);
+
+        // Stall-per-expansion engine placement: the PT/RT read costs one
+        // cycle per actual expansion, delaying everything behind the
+        // trigger by a cycle.
+        if info.expanded && cfg.expansion_cost == ExpansionCost::StallPerExpansion {
+            self.fetch.cycle = fetch_time + 1;
+            self.fetch.used = 0;
+        }
+
+        // I-cache access for newly fetched application items (replacement
+        // instructions stream from the RT and skip the I-cache).
+        if info.first_of_fetch {
+            let latency = self.mem.ifetch(info.pc, info.fetch_size);
+            if latency > cfg.mem.l1_latency {
+                // Miss: fetch stalls until the fill returns.
+                fetch_time += latency - cfg.mem.l1_latency;
+                self.fetch.cycle = fetch_time;
+                self.fetch.used = 1;
+            }
+        }
+
+        // ---- dispatch / issue / complete -------------------------------
+        let dispatch = fetch_time + cfg.frontend_depth;
+        let mut ready = dispatch + 1;
+        for src in timing_sources(&info.inst) {
+            ready = ready.max(self.reg_ready[src.index()]);
+        }
+        let class = info.inst.op.class();
+        // Loads wait for the youngest older store to the same granule
+        // (perfect memory-dependence speculation with forwarding).
+        if class == OpClass::Load {
+            if let Some(addr) = info.mem_addr {
+                if let Some(t) = self.store_ready.get(&(addr >> 3)) {
+                    ready = ready.max(*t);
+                }
+            }
+        }
+        let issue = ready;
+        let complete = match class {
+            OpClass::Load => issue + self.mem.daccess(info.mem_addr.unwrap_or(0)),
+            OpClass::Store => {
+                // Stores retire from the store queue; touch the D-cache tags
+                // for later loads but do not stall the pipeline.
+                if let Some(addr) = info.mem_addr {
+                    self.mem.daccess(addr);
+                    self.store_ready.insert(addr >> 3, issue + 1);
+                }
+                issue + 1
+            }
+            _ => issue + exec_latency(class),
+        };
+        if let Some(dest) = info.inst.dest() {
+            if !dest.is_zero() {
+                self.reg_ready[dest.index()] = complete;
+            }
+        }
+
+        // ---- control flow ----------------------------------------------
+        let mut redirect = false;
+        if info.dise_taken {
+            // Taken DISE-internal branch: interpreted as a misprediction
+            // (§2.2).
+            redirect = true;
+        } else if let Some(taken) = info.taken {
+            let target = info.target.unwrap_or(0);
+            if info.predicted {
+                let correct = match class {
+                    OpClass::CondBranch => self.bpred.cond_branch(info.pc, taken, target),
+                    OpClass::UncondBranch => {
+                        let push = (info.inst.op == dise_isa::Op::Bsr)
+                            .then(|| info.pc + info.fetch_size);
+                        self.bpred.uncond_branch(info.pc, target, push)
+                    }
+                    OpClass::IndirectJump => {
+                        if info.inst.op == dise_isa::Op::Ret {
+                            self.bpred.ret(target)
+                        } else {
+                            let push = (info.inst.op == dise_isa::Op::Jsr)
+                                .then(|| info.pc + info.fetch_size);
+                            self.bpred.indirect(info.pc, target, push)
+                        }
+                    }
+                    _ => true,
+                };
+                if !correct {
+                    redirect = true;
+                } else if taken {
+                    // Correctly-predicted taken branch ends the fetch group.
+                    self.fetch.break_group();
+                }
+            } else if taken {
+                // Non-trigger replacement branches are effectively
+                // predicted not-taken: taken ones redirect (§2.2).
+                redirect = true;
+            }
+        }
+        if redirect {
+            self.stats.redirects += 1;
+            // Fetch resumes after the branch resolves.
+            self.fetch.cycle = self.fetch.cycle.max(complete);
+            self.fetch.break_group();
+        }
+
+        // ---- commit -----------------------------------------------------
+        let commit = self.commit.alloc(complete.max(self.last_commit));
+        self.last_commit = commit.max(self.last_commit);
+        self.rob.push_back(commit);
+        self.rs.push_back(issue + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_core::{dsl, DiseEngine, EngineConfig};
+    use dise_isa::{Assembler, Program, Reg};
+    use std::collections::BTreeMap;
+
+    fn asm(listing: &str) -> Program {
+        Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+            .assemble(listing)
+            .unwrap()
+    }
+
+    fn counted_loop(n: u32) -> Program {
+        asm(&format!(
+            "       lda r1, {n}(r31)
+             loop:  subq r1, #1, r1
+                    bne r1, loop
+                    halt"
+        ))
+    }
+
+    fn run(config: SimConfig, p: &Program) -> SimStats {
+        let mut sim = Simulator::new(config, Machine::load(p));
+        sim.run(10_000_000).unwrap().stats
+    }
+
+    #[test]
+    fn ipc_bounded_by_width() {
+        let p = counted_loop(2000);
+        let s = run(SimConfig::default(), &p);
+        assert!(s.ipc() <= 4.0);
+        assert!(s.ipc() > 0.5, "IPC {} unexpectedly low", s.ipc());
+    }
+
+    #[test]
+    fn wider_machines_are_not_slower() {
+        // Independent chains to give wide machines something to do.
+        let body: String = (1..=12)
+            .map(|r| format!("addq r{r}, #1, r{r}\n"))
+            .collect();
+        let p = asm(&format!(
+            "       lda r20, 300(r31)
+             loop:  {body}
+                    subq r20, #1, r20
+                    bne r20, loop
+                    halt"
+        ));
+        let narrow = run(SimConfig::default().with_width(2), &p);
+        let wide = run(SimConfig::default().with_width(8), &p);
+        assert!(
+            wide.cycles < narrow.cycles,
+            "8-wide {} !< 2-wide {}",
+            wide.cycles,
+            narrow.cycles
+        );
+    }
+
+    #[test]
+    fn dependent_chain_limits_ilp() {
+        // A serial dependence chain cannot exceed IPC 1.
+        let chain: String = (0..16).map(|_| "addq r1, #1, r1\n".to_string()).collect();
+        let p = asm(&format!(
+            "       lda r20, 200(r31)
+             loop:  {chain}
+                    subq r20, #1, r20
+                    bne r20, loop
+                    halt"
+        ));
+        let s = run(SimConfig::default(), &p);
+        assert!(s.ipc() <= 1.3, "serial chain IPC {} too high", s.ipc());
+    }
+
+    #[test]
+    fn small_icache_hurts_large_loops() {
+        // A loop body of ~24KB: fits in 32KB, thrashes 8KB.
+        let body: String = (0..6000).map(|_| "addq r1, r2, r3\n".to_string()).collect();
+        let p = asm(&format!(
+            "       lda r20, 20(r31)
+             loop:  {body}
+                    subq r20, #1, r20
+                    bne r20, loop
+                    halt"
+        ));
+        let big = run(SimConfig::default().with_icache_size(Some(32 * 1024)), &p);
+        let small = run(SimConfig::default().with_icache_size(Some(8 * 1024)), &p);
+        assert!(small.icache.misses > big.icache.misses * 5);
+        assert!(
+            small.cycles as f64 > big.cycles as f64 * 1.3,
+            "8KB {} vs 32KB {}",
+            small.cycles,
+            big.cycles
+        );
+        let perfect = run(SimConfig::default().with_icache_size(None), &p);
+        assert!(perfect.cycles <= big.cycles);
+        assert_eq!(perfect.icache.misses, 0);
+    }
+
+    #[test]
+    fn mispredictions_cost_frontend_depth() {
+        // A data-dependent, hard-to-predict branch: bit 13 of an LCG.
+        let p = asm(
+            "       lda r1, 12345(r31)
+                    lda r20, 2000(r31)
+             loop:  mulq r1, #163, r1
+                    addq r1, #57, r1
+                    srl r1, #13, r2
+                    and r2, #1, r2
+                    bne r2, skip
+                    addq r4, #1, r4
+             skip:  subq r20, #1, r20
+                    bne r20, loop
+                    halt",
+        );
+        let s = run(SimConfig::default(), &p);
+        assert!(
+            s.bpred.cond_mispredicts > 100,
+            "expected plenty of mispredictions, got {}",
+            s.bpred.cond_mispredicts
+        );
+        // Deeper front end (the +pipe model) costs more on mispredict-heavy
+        // code.
+        let deeper = run(
+            SimConfig::default().with_expansion_cost(ExpansionCost::ExtraStage),
+            &p,
+        );
+        assert!(deeper.cycles > s.cycles);
+    }
+
+    fn mfi_engine(p: &Program) -> DiseEngine {
+        let set = dsl::parse(
+            "P1: T.OPCLASS == store -> R1
+             P2: T.OPCLASS == load  -> R1
+             R1: srl T.RS, #26, $dr1
+                 cmpeq $dr1, $dr2, $dr1
+                 beq $dr1, =error
+                 T.INSN",
+            &[("error".to_string(), p.symbol("error").unwrap())]
+                .into_iter()
+                .collect::<BTreeMap<_, _>>(),
+        )
+        .unwrap();
+        DiseEngine::with_productions(EngineConfig::default(), set).unwrap()
+    }
+
+    fn store_loop() -> Program {
+        asm(
+            "       lda r20, 2000(r31)
+             loop:  stq r20, 0(r2)
+                    ldq r3, 0(r2)
+                    addq r3, r3, r4
+                    subq r20, #1, r20
+                    bne r20, loop
+                    halt
+             error: halt",
+        )
+    }
+
+    fn run_mfi(cost: ExpansionCost) -> SimStats {
+        let p = store_loop();
+        let mut m = Machine::load(&p);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        m.attach_engine(mfi_engine(&p));
+        m.set_reg(Reg::dr(2), Program::DATA_SEGMENT);
+        let mut sim = Simulator::new(SimConfig::default().with_expansion_cost(cost), m);
+        sim.run(10_000_000).unwrap().stats
+    }
+
+    #[test]
+    fn dise_overhead_ordering() {
+        let p = store_loop();
+        let mut m = Machine::load(&p);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        let base = {
+            let mut sim = Simulator::new(SimConfig::default(), m);
+            sim.run(10_000_000).unwrap().stats
+        };
+        let free = run_mfi(ExpansionCost::Free);
+        let stall = run_mfi(ExpansionCost::StallPerExpansion);
+        assert!(free.expansions > 3000, "loads+stores expanded");
+        assert!(
+            free.cycles >= base.cycles,
+            "ACF code cannot speed things up"
+        );
+        assert!(
+            stall.cycles > free.cycles,
+            "stall-per-expansion must cost more than free ({} !> {})",
+            stall.cycles,
+            free.cycles
+        );
+        assert!(free.dise_stall_cycles > 0, "cold PT/RT misses counted");
+        assert_eq!(free.app_insts, base.app_insts, "same application work");
+        assert!(free.total_insts > base.total_insts);
+    }
+
+    #[test]
+    fn perfect_vs_finite_rt() {
+        // Many distinct aware sequences blow a tiny RT.
+        let mut set = dise_core::ProductionSet::new();
+        let mut listing = String::from("lda r20, 50(r31)\n");
+        for tag in 0..64u16 {
+            let spec = dsl::parse_sequence("addq T.P1, #1, T.P2\naddq T.P2, #1, T.P3").unwrap();
+            set.add_aware(dise_isa::Op::Cw0, tag, spec).unwrap();
+        }
+        listing.push_str("loop:\n");
+        // The loop touches all 64 codewords.
+        let mut insts: Vec<dise_isa::Inst> = Vec::new();
+        let base = Program::segment_base(Program::TEXT_SEGMENT);
+        let mut b = dise_isa::ProgramBuilder::new(base);
+        b.push(dise_isa::Inst::li(50, Reg::r(20)));
+        b.label("loop");
+        for tag in 0..64u16 {
+            b.push(dise_isa::Inst::codeword(dise_isa::Op::Cw0, 1, 2, 3, tag));
+        }
+        b.push(dise_isa::Inst::alu_ri(dise_isa::Op::Subq, Reg::r(20), 1, Reg::r(20)));
+        b.branch_to(dise_isa::Op::Bne, Reg::r(20), "loop");
+        b.push(dise_isa::Inst::halt());
+        let p = b.finish().unwrap();
+        insts.clear();
+
+        let run_with = |org: dise_core::RtOrganization, set: dise_core::ProductionSet| {
+            let mut m = Machine::load(&p);
+            let config = EngineConfig {
+                rt_entries: 16,
+                rt_org: org,
+                ..EngineConfig::default()
+            };
+            m.attach_engine(DiseEngine::with_productions(config, set).unwrap());
+            let mut sim = Simulator::new(SimConfig::default(), m);
+            sim.run(10_000_000).unwrap().stats
+        };
+        let tiny = run_with(dise_core::RtOrganization::DirectMapped, set.clone());
+        let perfect = run_with(dise_core::RtOrganization::Perfect, set);
+        assert!(
+            tiny.dise_stall_cycles > perfect.dise_stall_cycles * 10,
+            "tiny RT must thrash: {} vs {}",
+            tiny.dise_stall_cycles,
+            perfect.dise_stall_cycles
+        );
+        assert!(tiny.cycles > perfect.cycles * 2);
+    }
+}

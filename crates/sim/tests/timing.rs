@@ -1,0 +1,194 @@
+//! Timing-model integration tests: microarchitectural behaviors the
+//! figure experiments rely on, each exercised through the public API.
+
+use dise_isa::{Assembler, Program};
+use dise_sim::{ExpansionCost, Machine, SimConfig, Simulator};
+
+fn asm(listing: &str) -> Program {
+    Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+        .assemble(listing)
+        .unwrap()
+}
+
+fn run(config: SimConfig, p: &Program) -> dise_sim::SimStats {
+    let mut sim = Simulator::new(config, Machine::load(p));
+    sim.run(100_000_000).unwrap().stats
+}
+
+#[test]
+fn returns_are_predicted_through_the_ras() {
+    // Deeply alternating call/return behavior: with a RAS, returns are
+    // nearly free; the misprediction count must stay tiny.
+    let p = asm(
+        "       lda r1, 500(r31)
+         loop:  bsr f
+                bsr g
+                subq r1, #1, r1
+                bne r1, loop
+                halt
+         f:     addq r2, #1, r2
+                ret
+         g:     addq r3, #1, r3
+                ret",
+    );
+    let s = run(SimConfig::default(), &p);
+    assert!(
+        s.bpred.target_mispredicts < 20,
+        "{} return/target mispredictions",
+        s.bpred.target_mispredicts
+    );
+}
+
+#[test]
+fn store_to_load_forwarding_beats_cache_misses() {
+    // A tight store→load dependence to one address: after warmup the load
+    // must not pay memory latency every iteration (forwarding), so IPC
+    // stays reasonable.
+    let p = asm(
+        "       lda r1, 2000(r31)
+         loop:  stq r1, 0(r2)
+                ldq r3, 0(r2)
+                addq r3, #1, r4
+                subq r1, #1, r1
+                bne r1, loop
+                halt",
+    );
+    let mut m = Machine::load(&p);
+    m.set_reg(dise_isa::Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+    let mut sim = Simulator::new(SimConfig::default(), m);
+    let s = sim.run(100_000_000).unwrap().stats;
+    // 5 insts/iteration; forwarding keeps this well above memory-bound IPC.
+    assert!(s.ipc() > 1.0, "IPC {} suggests no forwarding", s.ipc());
+    // And the D-cache was not thrashed — one line is touched.
+    assert!(s.dcache.misses <= 2);
+}
+
+#[test]
+fn extra_stage_costs_little_on_acf_free_code() {
+    // The +pipe design's whole selling point (paper §4.1): ACF-free code
+    // pays only the deeper mispredict penalty, ≈1% for predictable code.
+    let p = asm(
+        "       lda r1, 20000(r31)
+         loop:  addq r2, #1, r2
+                xor r2, r1, r3
+                subq r1, #1, r1
+                bne r1, loop
+                halt",
+    );
+    let base = run(SimConfig::default(), &p).cycles as f64;
+    let piped = run(
+        SimConfig::default().with_expansion_cost(ExpansionCost::ExtraStage),
+        &p,
+    )
+    .cycles as f64;
+    let overhead = piped / base - 1.0;
+    assert!(
+        overhead < 0.02,
+        "extra decode stage cost {:.1}% on predictable ACF-free code",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn icache_and_dcache_share_the_l2() {
+    // A loop whose data working set fits L2 but not L1: L2 hits must be
+    // visible in the stats.
+    let p = asm(
+        "       lda r1, 64(r31)
+         outer: lda r4, 1024(r31)
+                bis r2, r2, r5
+         inner: ldq r3, 0(r5)
+                lda r5, 64(r5)
+                subq r4, #1, r4
+                bne r4, inner
+                subq r1, #1, r1
+                bne r1, outer
+                halt",
+    );
+    let mut m = Machine::load(&p);
+    m.set_reg(dise_isa::Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+    let mut sim = Simulator::new(SimConfig::default(), m);
+    let s = sim.run(100_000_000).unwrap().stats;
+    // 64KB data working set: misses L1 (32KB) but fits L2 after warmup.
+    assert!(s.dcache.misses > 10_000, "{} D$ misses", s.dcache.misses);
+    let l2_local_miss_rate = s.l2.miss_rate();
+    assert!(
+        l2_local_miss_rate < 0.2,
+        "L2 should absorb the D$ misses after warmup ({l2_local_miss_rate:.2})"
+    );
+}
+
+#[test]
+fn rob_bounds_memory_level_parallelism() {
+    // Independent loads that all miss: a bigger window should overlap more
+    // misses and finish sooner.
+    let body: String = (0..8)
+        .map(|i| format!("ldq r{}, {}(r2)\n", 3 + i, i * 4096))
+        .collect();
+    let p = asm(&format!(
+        "       lda r1, 500(r31)
+         loop:  {body}
+                lda r2, 8(r2)
+                subq r1, #1, r1
+                bne r1, loop
+                halt"
+    ));
+    let run_rob = |rob: usize| {
+        let mut m = Machine::load(&p);
+        m.set_reg(dise_isa::Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        let config = SimConfig {
+            rob_size: rob,
+            rs_size: rob.min(80),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(config, m);
+        sim.run(100_000_000).unwrap().stats.cycles
+    };
+    let small = run_rob(8);
+    let large = run_rob(128);
+    assert!(
+        large < small,
+        "128-entry ROB ({large}) should beat 8-entry ({small}) on MLP code"
+    );
+}
+
+#[test]
+fn timing_never_disagrees_with_functional_results() {
+    // The timing model is an observer: running under it must produce the
+    // same architectural state as the bare machine.
+    let p = asm(
+        "       lda r1, 300(r31)
+                lda r7, 99(r31)
+         loop:  mulq r7, #17, r7
+                and r7, #63, r3
+                addq r3, r2, r4
+                stq r7, 0(r4)
+                ldq r5, 0(r4)
+                addq r6, r5, r6
+                subq r1, #1, r1
+                bne r1, loop
+                halt",
+    );
+    let data = Program::segment_base(Program::DATA_SEGMENT);
+    let mut plain = Machine::load(&p);
+    plain.set_reg(dise_isa::Reg::R2, data);
+    plain.run(1_000_000).unwrap();
+    let mut m = Machine::load(&p);
+    m.set_reg(dise_isa::Reg::R2, data);
+    let mut sim = Simulator::new(SimConfig::default(), m);
+    sim.run(1_000_000).unwrap();
+    for i in 0..32 {
+        let r = dise_isa::Reg::r(i);
+        assert_eq!(plain.reg(r), sim.machine().reg(r), "{r}");
+    }
+}
+
+#[test]
+fn halting_is_reported_and_fuel_errors_are_not_fatal() {
+    let p = asm("loop: br r31, loop");
+    let mut sim = Simulator::new(SimConfig::default(), Machine::load(&p));
+    assert!(matches!(sim.run(1000), Err(dise_sim::SimError::OutOfFuel)));
+    let p = asm("halt");
+    let mut sim = Simulator::new(SimConfig::default(), Machine::load(&p));
+    assert!(sim.run(1000).unwrap().halted);
+}

@@ -1,0 +1,151 @@
+#![warn(missing_docs)]
+
+//! # dise-workloads: a synthetic SPEC2000-integer-like benchmark suite
+//!
+//! The paper evaluates DISE on the SPEC2000 integer benchmarks compiled
+//! for Alpha EV6 (§4). Real SPEC binaries are unavailable (licensing, no
+//! Alpha toolchain, and this reproduction's ISA is Alpha-*like*), so this
+//! crate substitutes twelve deterministic synthetic programs named after
+//! the suite. Each is generated from a per-benchmark [`Profile`] that
+//! captures the properties the paper's experiments are actually sensitive
+//! to:
+//!
+//! * **static text size and hot working set** — drives the I-cache
+//!   crossovers of Figure 6 middle / Figure 7 middle (the paper notes all
+//!   benchmarks except `crafty`, `gzip` and `vpr` fit a 32KB I-cache, and
+//!   about half exceed 8KB);
+//! * **instruction mix** — loads + stores ≈ 30–40% of dynamic
+//!   instructions, so fault isolation expands ≈30% of the stream (§4.1);
+//! * **branch frequency and predictability** — drives the ≈1% `+pipe`
+//!   penalty of Figure 6 top;
+//! * **code redundancy** — idioms are drawn from a limited per-benchmark
+//!   vocabulary, so compression ratios vary per benchmark as in Figure 7;
+//! * **dictionary working-set size** — hot code spread drives the
+//!   RT-capacity sensitivity of Figure 7 bottom.
+//!
+//! Programs use registers `r1`–`r24` plus `r26` (the link register),
+//! leaving `r25`/`r27`–`r29` free for the binary rewriter to scavenge, and
+//! end with a `mfi_error: halt` block for fault-isolation handlers. Every
+//! loop is counted, so every program terminates; all memory traffic stays
+//! in the data segment.
+//!
+//! ```
+//! use dise_workloads::{Benchmark, WorkloadConfig};
+//! use dise_sim::Machine;
+//!
+//! let program = Benchmark::Mcf.build(&WorkloadConfig::tiny());
+//! let mut m = Machine::load(&program);
+//! assert!(m.run(20_000_000).unwrap().halted());
+//! ```
+
+mod gen;
+mod profile;
+
+pub use gen::build;
+pub use profile::Profile;
+
+use dise_isa::Program;
+
+/// The twelve SPEC2000-integer-like synthetic benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Bzip2,
+    Crafty,
+    Eon,
+    Gap,
+    Gcc,
+    Gzip,
+    Mcf,
+    Parser,
+    Perlbmk,
+    Twolf,
+    Vortex,
+    Vpr,
+}
+
+impl Benchmark {
+    /// All benchmarks, in alphabetical order.
+    pub const ALL: [Benchmark; 12] = [
+        Benchmark::Bzip2,
+        Benchmark::Crafty,
+        Benchmark::Eon,
+        Benchmark::Gap,
+        Benchmark::Gcc,
+        Benchmark::Gzip,
+        Benchmark::Mcf,
+        Benchmark::Parser,
+        Benchmark::Perlbmk,
+        Benchmark::Twolf,
+        Benchmark::Vortex,
+        Benchmark::Vpr,
+    ];
+
+    /// The benchmark's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bzip2 => "bzip2",
+            Benchmark::Crafty => "crafty",
+            Benchmark::Eon => "eon",
+            Benchmark::Gap => "gap",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Gzip => "gzip",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Parser => "parser",
+            Benchmark::Perlbmk => "perlbmk",
+            Benchmark::Twolf => "twolf",
+            Benchmark::Vortex => "vortex",
+            Benchmark::Vpr => "vpr",
+        }
+    }
+
+    /// The benchmark's generation profile.
+    pub fn profile(self) -> Profile {
+        profile::profile_of(self)
+    }
+
+    /// Generates the program (deterministic for a given config).
+    pub fn build(self, config: &WorkloadConfig) -> Program {
+        gen::build(self, config)
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generation knobs shared across benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Approximate dynamic application-instruction target per run.
+    pub dyn_insts: u64,
+    /// Extra seed entropy (vary to get different program instances).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig {
+            dyn_insts: 2_000_000,
+            seed: 0,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A small configuration for unit tests (~100K dynamic instructions).
+    pub fn tiny() -> WorkloadConfig {
+        WorkloadConfig {
+            dyn_insts: 100_000,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// Sets the dynamic-instruction target.
+    pub fn with_dyn_insts(mut self, n: u64) -> WorkloadConfig {
+        self.dyn_insts = n;
+        self
+    }
+}

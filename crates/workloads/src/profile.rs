@@ -1,0 +1,104 @@
+//! Per-benchmark generation profiles.
+//!
+//! Numbers are calibrated to reproduce the *relative* behaviors the
+//! paper's evaluation depends on, not the absolute properties of the real
+//! SPEC binaries. Text sizes are scaled down together with the cache sizes
+//! being swept (8KB–128KB); the paper's qualitative facts are preserved:
+//! `crafty`, `gzip` and `vpr` exceed a 32KB I-cache, roughly half the
+//! suite exceeds 8KB, and `mcf`/`bzip2`/`parser` have small production
+//! working sets while `gcc`/`crafty`/`perlbmk` have large ones.
+
+use crate::Benchmark;
+
+/// Generation parameters for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Approximate static text size in KB (hot + cold functions).
+    pub text_kb: u32,
+    /// Approximate hot (steady-state loop) working set in KB.
+    pub hot_kb: u32,
+    /// Number of idiom instances per basic block (block "density").
+    pub block_idioms: u32,
+    /// Basic blocks per function.
+    pub blocks_per_fn: u32,
+    /// Inner-loop trip count per function call.
+    pub fn_trips: u32,
+    /// Idiom vocabulary richness in [1, 8]: smaller = more code
+    /// redundancy = better compression.
+    pub variety: u32,
+    /// Fraction (percent) of conditional branches conditioned on
+    /// pseudo-random data rather than loop counters.
+    pub unpredictable_pct: u32,
+    /// Percent weight of memory idioms (loads/stores) in block
+    /// construction.
+    pub mem_pct: u32,
+}
+
+/// The profile of one benchmark.
+pub fn profile_of(b: Benchmark) -> Profile {
+    // (text, hot, density, blocks, trips, variety, unpred%, mem%)
+    let p = |text_kb, hot_kb, block_idioms, blocks_per_fn, fn_trips, variety, unpredictable_pct, mem_pct| Profile {
+        text_kb,
+        hot_kb,
+        block_idioms,
+        blocks_per_fn,
+        fn_trips,
+        variety,
+        unpredictable_pct,
+        mem_pct,
+    };
+    match b {
+        // Small, tight, loop-dominated compression kernels.
+        Benchmark::Bzip2 => p(16, 6, 5, 4, 12, 2, 20, 45),
+        Benchmark::Gzip => p(64, 40, 4, 5, 6, 3, 25, 45),
+        // Chess: huge evaluation function, big I-footprint.
+        Benchmark::Crafty => p(96, 48, 6, 6, 4, 5, 35, 35),
+        // C++ ray tracer: many small functions, call-heavy.
+        Benchmark::Eon => p(40, 7, 3, 3, 3, 4, 20, 40),
+        Benchmark::Gap => p(48, 7, 4, 4, 5, 4, 30, 40),
+        // Compiler: biggest text, branchy, moderate hot set.
+        Benchmark::Gcc => p(128, 24, 4, 5, 3, 6, 40, 35),
+        // Tiny memory-bound kernel.
+        Benchmark::Mcf => p(8, 4, 4, 3, 16, 2, 25, 55),
+        Benchmark::Parser => p(32, 8, 4, 4, 6, 3, 45, 40),
+        Benchmark::Perlbmk => p(96, 20, 4, 5, 4, 5, 30, 40),
+        Benchmark::Twolf => p(32, 8, 5, 4, 8, 3, 35, 45),
+        Benchmark::Vortex => p(80, 16, 4, 4, 4, 4, 25, 45),
+        // Place-and-route: big hot loop.
+        Benchmark::Vpr => p(64, 36, 5, 5, 6, 4, 30, 40),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_working_set_facts_hold() {
+        let hot = |b: Benchmark| profile_of(b).hot_kb;
+        // crafty, gzip, vpr exceed 32KB.
+        for b in [Benchmark::Crafty, Benchmark::Gzip, Benchmark::Vpr] {
+            assert!(hot(b) > 32, "{b} must exceed a 32KB I-cache");
+        }
+        // Everyone else fits in 32KB.
+        for b in Benchmark::ALL {
+            if ![Benchmark::Crafty, Benchmark::Gzip, Benchmark::Vpr].contains(&b) {
+                assert!(hot(b) <= 32, "{b} must fit a 32KB I-cache");
+            }
+        }
+        // About half the suite exceeds 8KB.
+        let over_8k = Benchmark::ALL.iter().filter(|b| hot(**b) > 8).count();
+        assert!((5..=9).contains(&over_8k), "{over_8k} benchmarks over 8KB");
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for b in Benchmark::ALL {
+            let p = profile_of(b);
+            assert!(p.hot_kb <= p.text_kb);
+            assert!((1..=8).contains(&p.variety));
+            assert!(p.unpredictable_pct <= 100 && p.mem_pct <= 100);
+            assert!(p.fn_trips >= 1 && p.blocks_per_fn >= 1 && p.block_idioms >= 1);
+        }
+    }
+}

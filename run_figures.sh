@@ -1,0 +1,11 @@
+#!/bin/sh
+set -e
+export DISE_BENCH_DYN=${DISE_BENCH_DYN:-500000}
+cd /root/repo
+echo "== fig6 ($(date)) =="
+./target/release/fig6_mfi  > results/fig6.txt 2> results/fig6.log
+echo "== fig7 ($(date)) =="
+./target/release/fig7_compression > results/fig7.txt 2> results/fig7.log
+echo "== fig8 ($(date)) =="
+./target/release/fig8_composition > results/fig8.txt 2> results/fig8.log
+echo "== done ($(date)) =="
