@@ -63,6 +63,64 @@ fn bench_fetch_replacement(c: &mut Criterion) {
     group.finish();
 }
 
+fn engine_with_mfi_config(config: EngineConfig) -> DiseEngine {
+    let set = Mfi::new(MfiVariant::Dise3)
+        .with_error_handler(0x7000)
+        .productions()
+        .unwrap();
+    DiseEngine::with_productions(config, set).unwrap()
+}
+
+/// The frontend fast path against the seed algorithm: per-opcode PT index
+/// plus expansion/instantiation memos (default config) vs the linear scan
+/// (`slow_path`). Same engine state, same stats, different lookup cost.
+fn bench_fast_path(c: &mut Criterion) {
+    let alu: Inst = "addq r1, r2, r3".parse().unwrap();
+    let store: Inst = "stq r1, 0(r2)".parse().unwrap();
+    let (alu_raw, store_raw) = (alu.encode().unwrap(), store.encode().unwrap());
+
+    let mut group = c.benchmark_group("engine_fast_path");
+    group.throughput(Throughput::Elements(1));
+    for (path, config) in [
+        ("fast", EngineConfig::default()),
+        ("slow", EngineConfig::default().slow_path()),
+    ] {
+        // Steady-state inspect of a non-covered instruction (memo hit /
+        // counter early-exit).
+        let mut engine = engine_with_mfi_config(config.clone());
+        let _ = engine.inspect_decoded(&alu, alu_raw);
+        group.bench_function(&format!("inspect_none/{path}"), |b| {
+            b.iter(|| black_box(engine.inspect_decoded(black_box(&alu), alu_raw)))
+        });
+
+        // Steady-state inspect of an expanding store (memo hit / PT match).
+        let mut engine = engine_with_mfi_config(config.clone());
+        while matches!(engine.inspect_decoded(&store, store_raw), Expansion::Miss { .. }) {}
+        group.bench_function(&format!("inspect_expand/{path}"), |b| {
+            b.iter(|| black_box(engine.inspect_decoded(black_box(&store), store_raw)))
+        });
+
+        // Steady-state replacement instantiation (memo hit / re-instantiate).
+        let mut engine = engine_with_mfi_config(config);
+        let id = loop {
+            match engine.inspect_decoded(&store, store_raw) {
+                Expansion::Expand { id, .. } => break id,
+                _ => continue,
+            }
+        };
+        group.bench_function(&format!("instantiate/{path}"), |b| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .fetch_replacement_decoded(id, 0, &store, store_raw, 0x1000)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_compose(c: &mut Criterion) {
     // The software cost the 150-cycle composing-miss penalty models: inline
     // the MFI production set into a decompression dictionary entry.
@@ -85,5 +143,11 @@ fn bench_compose(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inspect, bench_fetch_replacement, bench_compose);
+criterion_group!(
+    benches,
+    bench_inspect,
+    bench_fetch_replacement,
+    bench_fast_path,
+    bench_compose
+);
 criterion_main!(benches);

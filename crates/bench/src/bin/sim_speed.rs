@@ -1,0 +1,296 @@
+//! Frontend fast-path speed harness.
+//!
+//! Measures functional-simulation throughput (KIPS — thousands of
+//! simulated dynamic instructions per wall-clock second) with the
+//! frontend fast path on and off, over four scenarios per benchmark:
+//!
+//! * `baseline` — no engine attached (exercises the predecode table);
+//! * `mfi` — DISE3 memory fault isolation (exercises the per-opcode PT
+//!   index and both memos on an expansion-heavy stream);
+//! * `compress` — full DISE decompression (codeword-dense stream);
+//! * `composed` — decompression with MFI composed in (the heaviest
+//!   frontend: expansions of expansions).
+//!
+//! Each KIPS figure is the best of three runs (the harness box is shared,
+//! so max-of-N is the low-noise estimator). Each scenario also gets one
+//! cycle-level timing run per path whose [IPC] must agree bit-for-bit —
+//! the speedups are guaranteed to compare identical work. Results go to
+//! `results/BENCH_frontend.json`; everything in the file except the
+//! measured rates is deterministic.
+//!
+//! `DISE_BENCH_DYN` / `DISE_BENCH_FILTER` are honored as in the figure
+//! binaries.
+//!
+//! The slow-path configuration reproduces the seed *fetch/inspect
+//! algorithm* (per-step decode, linear PT scan) but still benefits from
+//! this tree's cross-cutting optimizations (paged-memory word accesses,
+//! `StepInfo` elision), so it understates the gain over the actual seed
+//! build. `scripts/bench_frontend_seed.sh` measures the real seed commit
+//! on the same workloads; point `DISE_SEED_LOG` at its output and the
+//! harness folds true seed KIPS into the report (after checking that the
+//! seed executed the exact same instruction counts) and computes the
+//! headline against the seed. Without the log the headline falls back to
+//! the conservative slow-path comparison.
+//!
+//! [IPC]: dise_sim::SimStats::ipc
+
+use std::time::Instant;
+
+use dise_acf::compress::{CompressedProgram, CompressionConfig};
+use dise_acf::mfi::{Mfi, MfiVariant};
+use dise_bench::{benchmarks, compress, mfi_productions, workload};
+use dise_core::{compose, DiseEngine, EngineConfig};
+use dise_isa::Program;
+use dise_sim::{Machine, MachineConfig, SimConfig, Simulator};
+
+const REPS: usize = 3;
+
+fn machine_config(fast: bool) -> MachineConfig {
+    if fast {
+        MachineConfig::default()
+    } else {
+        MachineConfig::default().slow_path()
+    }
+}
+
+fn engine_config(fast: bool) -> EngineConfig {
+    if fast {
+        EngineConfig::default()
+    } else {
+        EngineConfig::default().slow_path()
+    }
+}
+
+/// A scenario is a recipe for building a machine at a given path setting.
+struct Scenario<'a> {
+    name: &'static str,
+    build: Box<dyn Fn(bool) -> Machine + 'a>,
+}
+
+fn scenarios<'a>(p: &'a Program, c: &'a CompressedProgram) -> Vec<Scenario<'a>> {
+    vec![
+        Scenario {
+            name: "baseline",
+            build: Box::new(|fast| Machine::with_config(p, machine_config(fast))),
+        },
+        Scenario {
+            name: "mfi",
+            build: Box::new(|fast| {
+                let mut m = Machine::with_config(p, machine_config(fast));
+                m.attach_engine(
+                    DiseEngine::with_productions(
+                        engine_config(fast),
+                        mfi_productions(p, MfiVariant::Dise3),
+                    )
+                    .expect("engine"),
+                );
+                Mfi::init_machine(&mut m);
+                m
+            }),
+        },
+        Scenario {
+            name: "compress",
+            build: Box::new(|fast| {
+                let mut m = Machine::with_config(&c.program, machine_config(fast));
+                c.attach(&mut m, engine_config(fast)).expect("attach");
+                m
+            }),
+        },
+        Scenario {
+            name: "composed",
+            build: Box::new(|fast| {
+                let aware = c.productions.clone().expect("aware productions");
+                let mfi = mfi_productions(&c.program, MfiVariant::Dise3);
+                let composed = compose::compose_nested(&mfi, &aware).expect("compose");
+                let mut m = Machine::with_config(&c.program, machine_config(fast));
+                m.attach_engine(
+                    DiseEngine::with_productions(engine_config(fast), composed)
+                        .expect("engine"),
+                );
+                Mfi::init_machine(&mut m);
+                m
+            }),
+        },
+    ]
+}
+
+/// Best-of-N functional throughput plus a checked final state.
+fn measure_kips(build: &dyn Fn(bool) -> Machine, fast: bool) -> (f64, u64, Vec<u64>) {
+    let mut best = 0f64;
+    let mut total = 0u64;
+    let mut state = Vec::new();
+    for _ in 0..REPS {
+        let mut m = build(fast);
+        let t = Instant::now();
+        m.run(u64::MAX).expect("run");
+        let elapsed = t.elapsed().as_secs_f64();
+        total = m.inst_counts().0;
+        state = (0..32).map(|i| m.reg(dise_isa::Reg::r(i))).collect();
+        best = best.max(total as f64 / elapsed / 1e3);
+    }
+    (best, total, state)
+}
+
+/// Deterministic cycle-level IPC for one path setting.
+fn measure_ipc(build: &dyn Fn(bool) -> Machine, fast: bool) -> f64 {
+    let mut sim = Simulator::new(SimConfig::default(), build(fast));
+    sim.run(u64::MAX).expect("timing run").stats.ipc()
+}
+
+/// Parses a `scripts/bench_frontend_seed.sh` log: one
+/// `SEED <bench> <scenario> <kips> <insts> <hash>` line per run.
+fn read_seed_log() -> std::collections::HashMap<(String, String), (f64, u64)> {
+    let mut map = std::collections::HashMap::new();
+    let Ok(path) = std::env::var("DISE_SEED_LOG") else {
+        return map;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("DISE_SEED_LOG {path}: {e}"));
+    for line in text.lines() {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if let ["SEED", bench, scenario, kips, insts, _hash] = f[..] {
+            map.insert(
+                (bench.to_string(), scenario.to_string()),
+                (kips.parse().expect("seed kips"), insts.parse().expect("seed insts")),
+            );
+        }
+    }
+    map
+}
+
+fn main() {
+    let seed_log = read_seed_log();
+    let mut bench_blocks = Vec::new();
+    // Per scenario: (name, seed seconds, slow seconds, fast seconds, insts).
+    let mut totals: Vec<(&'static str, Option<f64>, f64, f64, u64)> = Vec::new();
+    for bench in benchmarks() {
+        let p = workload(bench);
+        let c = compress(&p, CompressionConfig::dise_full());
+        let mut row_json = Vec::new();
+        for s in scenarios(&p, &c) {
+            let (kips_slow, insts_s, state_s) = measure_kips(&s.build, false);
+            let (kips_fast, insts_f, state_f) = measure_kips(&s.build, true);
+            assert_eq!(insts_s, insts_f, "{bench}/{}: inst counts diverged", s.name);
+            assert_eq!(state_s, state_f, "{bench}/{}: state diverged", s.name);
+            let ipc_slow = measure_ipc(&s.build, false);
+            let ipc_fast = measure_ipc(&s.build, true);
+            assert!(
+                (ipc_slow - ipc_fast).abs() < 1e-12,
+                "{bench}/{}: IPC diverged",
+                s.name
+            );
+            let speedup = kips_fast / kips_slow;
+            let seed = seed_log.get(&(bench.name().to_string(), s.name.to_string()));
+            if let Some((_, seed_insts)) = seed {
+                // The seed build must have simulated the exact same stream,
+                // or its rate is not comparable.
+                assert_eq!(
+                    *seed_insts, insts_f,
+                    "{bench}/{}: seed log inst count diverged",
+                    s.name
+                );
+            }
+            let seed_part = seed.map_or(String::new(), |(kips_seed, _)| {
+                format!(
+                    ", \"kips_seed\": {kips_seed:.1}, \
+                     \"speedup_vs_seed\": {:.3}",
+                    kips_fast / kips_seed
+                )
+            });
+            println!(
+                "{bench:>8} {:>8}: {kips_slow:>9.0} -> {kips_fast:>9.0} KIPS \
+                 ({speedup:.2}x{}), IPC {ipc_fast:.3}",
+                s.name,
+                seed.map_or(String::new(), |(k, _)| format!(
+                    ", {:.2}x vs seed",
+                    kips_fast / k
+                )),
+            );
+            let (slow_s, fast_s) = (
+                insts_f as f64 / (kips_slow * 1e3),
+                insts_f as f64 / (kips_fast * 1e3),
+            );
+            let seed_s = seed.map(|(k, _)| insts_f as f64 / (k * 1e3));
+            match totals.iter_mut().find(|t| t.0 == s.name) {
+                Some(t) => {
+                    t.1 = t.1.zip(seed_s).map(|(a, b)| a + b);
+                    t.2 += slow_s;
+                    t.3 += fast_s;
+                    t.4 += insts_f;
+                }
+                None => totals.push((s.name, seed_s, slow_s, fast_s, insts_f)),
+            }
+            row_json.push(format!(
+                "      {{\"scenario\": \"{}\", \"insts\": {insts_f}, \
+                 \"ipc\": {ipc_fast:.6}, \"kips_slow\": {kips_slow:.1}, \
+                 \"kips_fast\": {kips_fast:.1}, \"speedup\": {speedup:.3}{seed_part}}}",
+                s.name
+            ));
+        }
+        bench_blocks.push(format!(
+            "    {{\"benchmark\": \"{}\", \"runs\": [\n{}\n    ]}}",
+            bench.name(),
+            row_json.join(",\n")
+        ));
+    }
+
+    let mut agg = Vec::new();
+    let have_seed = !totals.is_empty() && totals.iter().all(|t| t.1.is_some());
+    let (mut engine_base_s, mut engine_fast_s, mut engine_insts) = (0.0, 0.0, 0u64);
+    for (name, seed_s, slow_s, fast_s, insts) in &totals {
+        let seed_part = seed_s.map_or(String::new(), |s| {
+            format!(
+                ", \"kips_seed\": {:.1}, \"speedup_vs_seed\": {:.3}",
+                *insts as f64 / s / 1e3,
+                s / fast_s
+            )
+        });
+        agg.push(format!(
+            "    {{\"scenario\": \"{name}\", \"kips_slow\": {:.1}, \
+             \"kips_fast\": {:.1}, \"speedup\": {:.3}{seed_part}}}",
+            *insts as f64 / slow_s / 1e3,
+            *insts as f64 / fast_s / 1e3,
+            slow_s / fast_s
+        ));
+        if *name != "baseline" {
+            engine_base_s += if have_seed { seed_s.unwrap() } else { *slow_s };
+            engine_fast_s += fast_s;
+            engine_insts += insts;
+        }
+        println!(
+            "aggregate {name:>8}: {:>9.0} -> {:>9.0} KIPS ({:.2}x{})",
+            *insts as f64 / slow_s / 1e3,
+            *insts as f64 / fast_s / 1e3,
+            slow_s / fast_s,
+            seed_s.map_or(String::new(), |s| format!(", {:.2}x vs seed", s / fast_s)),
+        );
+    }
+    // Headline: the DISE-active scenarios, which are what the fast path is
+    // for (the baseline scenario only benefits from predecode) — measured
+    // against the true seed build when a seed log was supplied, otherwise
+    // against the conservative in-tree slow-path configuration.
+    let headline = engine_base_s / engine_fast_s;
+    let headline_vs = if have_seed { "seed" } else { "slow_path" };
+    println!(
+        "frontend speedup (engine-attached scenarios, {engine_insts} insts, \
+         vs {headline_vs}): {headline:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"frontend_fast_path\",\n  \
+         \"headline_speedup\": {headline:.3},\n  \
+         \"headline_vs\": \"{headline_vs}\",\n  \"aggregate\": [\n{}\n  ],\n  \
+         \"benchmarks\": [\n{}\n  ]\n}}\n",
+        agg.join(",\n"),
+        bench_blocks.join(",\n")
+    );
+    // DISE_BENCH_OUT redirects the report (e.g. to /tmp for a quick
+    // identity check that should not clobber the committed artifact).
+    let out = std::env::var("DISE_BENCH_OUT")
+        .unwrap_or_else(|_| "results/BENCH_frontend.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("results dir");
+    }
+    std::fs::write(&out, json).expect("write results");
+    println!("wrote {out}");
+}

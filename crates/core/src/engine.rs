@@ -54,6 +54,14 @@ pub struct EngineConfig {
     /// Pipeline stall charged for an RT miss whose handler must compose
     /// productions (transparent-into-aware inlining, §3.3/§4.3).
     pub compose_penalty: u64,
+    /// Enables the host-side frontend fast path: the per-opcode PT match
+    /// index, the expansion memo, and the instantiation memo. Purely a
+    /// simulation-speed knob — architectural results and every
+    /// [`EngineStats`] counter are bit-identical either way (the memos are
+    /// invalidated on every event that could change an outcome, and memo
+    /// hits replay the slow path's RT reference so LRU state stays in
+    /// lockstep). Off reproduces the original linear-scan decode path.
+    pub fast_path: bool,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +73,7 @@ impl Default for EngineConfig {
             rt_block: 1,
             miss_penalty: 30,
             compose_penalty: 150,
+            fast_path: true,
         }
     }
 }
@@ -74,6 +83,12 @@ impl EngineConfig {
     /// Figure 7 middle / Figure 8 top.
     pub fn perfect_rt(mut self) -> EngineConfig {
         self.rt_org = RtOrganization::Perfect;
+        self
+    }
+
+    /// Disables the frontend fast path (see [`EngineConfig::fast_path`]).
+    pub fn slow_path(mut self) -> EngineConfig {
+        self.fast_path = false;
         self
     }
 }
@@ -197,6 +212,36 @@ impl RtStore {
             % num_sets
     }
 
+    /// Re-references `(id, disepc)` with exactly the LRU effect of
+    /// [`RtStore::get`], without touching the spec. Returns whether the
+    /// entry is resident. Skips the rotation when the entry is already at
+    /// MRU — the resulting order is identical, which is what keeps memo
+    /// hits bit-compatible with the slow path's miss pattern.
+    fn touch(&mut self, id: ReplacementId, disepc: u8) -> bool {
+        let base = self.base_of(disepc);
+        let off = (disepc - base) as usize;
+        match self {
+            RtStore::Perfect { map, .. } => map
+                .get(&(id, base))
+                .is_some_and(|e| off < e.specs.len()),
+            RtStore::Cache { sets, .. } => {
+                let num_sets = sets.len();
+                let set = &mut sets[Self::set_index(num_sets, id, base)];
+                let Some(pos) = set
+                    .iter()
+                    .position(|e| e.id == id && e.base == base && off < e.specs.len())
+                else {
+                    return false;
+                };
+                if pos > 0 {
+                    let entry = set.remove(pos);
+                    set.insert(0, entry);
+                }
+                true
+            }
+        }
+    }
+
     /// The spec at `disepc`, if its block is resident. Updates LRU state.
     fn get(&mut self, id: ReplacementId, disepc: u8) -> Option<(&InstSpec, u8)> {
         let base = self.base_of(disepc);
@@ -276,6 +321,20 @@ impl RtStore {
     }
 }
 
+/// Number of slots in the direct-mapped expansion memo. Sized to cover
+/// the static footprint of a large benchmark (tens of thousands of
+/// distinct instruction words) — at ~32 bytes a slot the table stays
+/// well under a megabyte while keeping conflict misses rare.
+const EXP_MEMO_SLOTS: usize = 32768;
+/// Number of slots in the direct-mapped instantiation memo.
+const INST_MEMO_SLOTS: usize = 32768;
+
+/// Instantiation-memo key. The trigger's raw word stands in for its
+/// decoded fields; `trigger_pc` must be part of the key because
+/// PC-relative immediate directives (`T.PC`, absolute-target rewriting)
+/// instantiate differently at different trigger addresses.
+type InstMemoKey = (ReplacementId, u8, u32, u64);
+
 /// The DISE engine: PT + RT + pattern-counter table + instantiation logic,
 /// fed by a [`Controller`] that owns the architectural production set.
 ///
@@ -290,6 +349,19 @@ pub struct DiseEngine {
     pt_resident: Vec<usize>,
     /// Pattern-counter table: per opcode number, (active, resident).
     counters: [(u16, u16); 64],
+    /// Fast-path match index: per opcode number, the subset of
+    /// `pt_resident` whose patterns cover that opcode. Maintained by
+    /// `fill_pt` / `context_switch`; lets `inspect` scan candidates only
+    /// instead of the whole fully-associative PT.
+    pt_index: Vec<Vec<usize>>,
+    /// Direct-mapped memo of steady-state `inspect` outcomes, keyed by the
+    /// trigger's raw instruction word. Caches only `None` and `Expand`
+    /// (misses and faults mutate or depend on transient table state).
+    /// Invalidated on installs, context switches, and PT/RT fills.
+    exp_memo: Box<[Option<(u32, Expansion)>]>,
+    /// Direct-mapped memo of `spec.instantiate` results, keyed by
+    /// `(id, disepc, trigger word, trigger pc)`. Same invalidation rules.
+    inst_memo: Box<[Option<(InstMemoKey, Inst)>]>,
     rt: RtStore,
     stats: EngineStats,
 }
@@ -333,8 +405,37 @@ impl DiseEngine {
             controller,
             pt_resident: Vec::new(),
             counters,
+            pt_index: vec![Vec::new(); 64],
+            exp_memo: vec![None; EXP_MEMO_SLOTS].into_boxed_slice(),
+            inst_memo: vec![None; INST_MEMO_SLOTS].into_boxed_slice(),
             stats: EngineStats::default(),
         }
+    }
+
+    #[inline]
+    fn exp_slot(raw: u32) -> usize {
+        let bits = EXP_MEMO_SLOTS.trailing_zeros();
+        (raw.wrapping_mul(0x9E37_79B9) >> (32 - bits)) as usize
+    }
+
+    #[inline]
+    fn inst_slot(key: &InstMemoKey) -> usize {
+        let (id, disepc, raw, pc) = *key;
+        let h = (id as u64 ^ ((disepc as u64) << 32))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (raw as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ pc.rotate_left(17);
+        (h >> 48) as usize % INST_MEMO_SLOTS
+    }
+
+    /// Drops every memoized outcome. Called on any event that could change
+    /// an inspection or instantiation result *or* the RT's miss behavior:
+    /// production installs, context switches, and PT/RT fills (fills can
+    /// evict, so a memo hit after one could skip a miss the slow path
+    /// would model).
+    fn invalidate_memos(&mut self) {
+        self.exp_memo.fill(None);
+        self.inst_memo.fill(None);
     }
 
     /// The engine configuration.
@@ -345,6 +446,13 @@ impl DiseEngine {
     /// Accumulated statistics.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Accumulated miss-stall cycles (hot-path accessor: avoids copying
+    /// the whole [`EngineStats`] when only the stall delta is needed).
+    #[inline]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stats.stall_cycles
     }
 
     /// Resets statistics (not table contents).
@@ -379,10 +487,17 @@ impl DiseEngine {
             return Expansion::None;
         }
         // Fully-associative match over resident patterns, most specific
-        // wins.
+        // wins. The fast path consults the per-opcode index instead of
+        // scanning the whole PT; a pattern can only match instructions
+        // whose opcode it covers, and the winning key is unique (it
+        // includes the rule index), so both scans pick the same rule.
         let rules = self.controller.productions().rules();
-        let best = self
-            .pt_resident
+        let candidates: &[usize] = if self.config.fast_path {
+            &self.pt_index[opn]
+        } else {
+            &self.pt_resident
+        };
+        let best = candidates
             .iter()
             .map(|i| (*i, &rules[*i]))
             .filter(|(_, r)| r.pattern.matches(inst))
@@ -420,6 +535,53 @@ impl DiseEngine {
         Expansion::Expand { id, len }
     }
 
+    /// [`DiseEngine::inspect`] with the trigger's raw instruction word in
+    /// hand (a predecoded frontend knows it for free). When the fast path
+    /// is enabled, steady-state outcomes are served from a direct-mapped
+    /// memo keyed by the word: the pattern match and RT length lookup are
+    /// skipped, but stats deltas and the RT's LRU reference are replayed
+    /// exactly, so [`EngineStats`] and future miss behavior are
+    /// bit-identical to the slow path.
+    pub fn inspect_decoded(&mut self, inst: &Inst, raw: u32) -> Expansion {
+        if !self.config.fast_path {
+            return self.inspect(inst);
+        }
+        // Opcodes no pattern covers (the common case) resolve from the
+        // live counters alone — cheaper than a memo probe, and literally
+        // the same early-exit `inspect` takes.
+        if self.counters[inst.op.number() as usize] == (0, 0) {
+            self.stats.inspected += 1;
+            return Expansion::None;
+        }
+        let slot = Self::exp_slot(raw);
+        if let Some((word, outcome)) = self.exp_memo[slot] {
+            if word == raw {
+                match outcome {
+                    Expansion::None => {
+                        self.stats.inspected += 1;
+                        return Expansion::None;
+                    }
+                    // The slow path would call `rt.get(id, 0)` here;
+                    // replay its LRU effect. Residency is guaranteed (any
+                    // eviction since the memo store invalidated it), but
+                    // fall through defensively if not.
+                    Expansion::Expand { id, len } if self.rt.touch(id, 0) => {
+                        self.stats.inspected += 1;
+                        self.stats.expansions += 1;
+                        self.stats.replacement_insts += len as u64;
+                        return Expansion::Expand { id, len };
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let outcome = self.inspect(inst);
+        if matches!(outcome, Expansion::None | Expansion::Expand { .. }) {
+            self.exp_memo[slot] = Some((raw, outcome));
+        }
+        outcome
+    }
+
     /// Architectural (miss-free) inspection: what would this instruction
     /// expand to, ignoring table state? Used by functional-only execution
     /// and by tests.
@@ -454,6 +616,41 @@ impl DiseEngine {
         spec.instantiate(trigger, trigger_pc)
     }
 
+    /// [`DiseEngine::fetch_replacement`] with the trigger's raw word in
+    /// hand. When the fast path is enabled, successful instantiations are
+    /// memoized by `(id, disepc, trigger word, trigger pc)`; a hit skips
+    /// the spec lookup and template evaluation but replays the RT's LRU
+    /// reference, keeping miss modeling bit-identical to the slow path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DiseEngine::fetch_replacement`].
+    pub fn fetch_replacement_decoded(
+        &mut self,
+        id: ReplacementId,
+        disepc: u8,
+        trigger: &Inst,
+        raw: u32,
+        trigger_pc: u64,
+    ) -> Result<Inst> {
+        if !self.config.fast_path {
+            return self.fetch_replacement(id, disepc, trigger, trigger_pc);
+        }
+        let key = (id, disepc, raw, trigger_pc);
+        let slot = Self::inst_slot(&key);
+        if let Some((k, inst)) = self.inst_memo[slot] {
+            // Residency is guaranteed on a hit (fills and installs
+            // invalidate the memo), so `touch` replays the slow path's
+            // `contains` + `get` pair; fall through defensively if not.
+            if k == key && self.rt.touch(id, disepc) {
+                return Ok(inst);
+            }
+        }
+        let inst = self.fetch_replacement(id, disepc, trigger, trigger_pc)?;
+        self.inst_memo[slot] = Some((key, inst));
+        Ok(inst)
+    }
+
     /// Length of sequence `id`, if installed.
     pub fn seq_len(&self, id: ReplacementId) -> Option<u8> {
         self.controller
@@ -483,6 +680,8 @@ impl DiseEngine {
         for op in pattern.opcodes() {
             self.counters[op.number() as usize].0 += 1;
         }
+        // Previously memoized `None` outcomes may now expand.
+        self.invalidate_memos();
         Ok(id)
     }
 
@@ -511,6 +710,9 @@ impl DiseEngine {
             self.counters[cw_op.number() as usize].0 += 1;
         }
         self.rt.invalidate(id);
+        // Memoized expansions/instantiations for `id` are stale, and
+        // memo hits assume RT residency (which `rt.invalidate` just broke).
+        self.invalidate_memos();
         Ok(id)
     }
 
@@ -521,10 +723,14 @@ impl DiseEngine {
     /// event; results never change.
     pub fn context_switch(&mut self) {
         self.pt_resident.clear();
+        for bucket in &mut self.pt_index {
+            bucket.clear();
+        }
         for c in &mut self.counters {
             c.1 = 0;
         }
         self.rt = RtStore::new(&self.config);
+        self.invalidate_memos();
     }
 
     fn fill_pt(&mut self, op: Op) -> u64 {
@@ -543,13 +749,17 @@ impl DiseEngine {
                 let evicted = self.pt_resident.pop().expect("non-empty");
                 for o in rules[evicted].pattern.opcodes() {
                     self.counters[o.number() as usize].1 -= 1;
+                    self.pt_index[o.number() as usize].retain(|&i| i != evicted);
                 }
             }
             self.pt_resident.insert(0, idx);
             for o in rules[idx].pattern.opcodes() {
                 self.counters[o.number() as usize].1 += 1;
+                self.pt_index[o.number() as usize].push(idx);
             }
         }
+        // Residency changed, so memoized inspect outcomes are stale.
+        self.invalidate_memos();
         self.config.miss_penalty
     }
 
@@ -560,6 +770,9 @@ impl DiseEngine {
         let len = spec.len() as u8;
         let specs: Vec<InstSpec> = spec.insts.clone();
         self.rt.insert_sequence(id, len, &specs);
+        // The insert may have evicted another sequence whose expansions
+        // or instantiations are memoized.
+        self.invalidate_memos();
         if composed {
             self.stats.composed_fills += 1;
             Ok(self.config.compose_penalty)
@@ -840,6 +1053,133 @@ mod tests {
             misses_before + 2,
             "context switch costs exactly one refill of each table"
         );
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_slow_path() {
+        let build = |config: EngineConfig| {
+            let mut set = ProductionSet::new();
+            set.add_transparent(Pattern::opclass(OpClass::Store), two_inst_spec())
+                .unwrap();
+            set.add_aware(Op::Cw0, 3, two_inst_spec()).unwrap();
+            DiseEngine::with_productions(config, set).unwrap()
+        };
+        let config = EngineConfig {
+            rt_entries: 4,
+            rt_org: RtOrganization::DirectMapped,
+            ..EngineConfig::default()
+        };
+        let mut fast = build(config);
+        let mut slow = build(config.slow_path());
+        let insts = [
+            i("stq r1, 0(r2)"),
+            i("ldq r1, 0(r2)"),
+            i("stl r5, 8(r2)"),
+            i("nop"),
+            Inst::codeword(Op::Cw0, 0, 4, 0, 3),
+        ];
+        for round in 0..6 {
+            for (n, inst) in insts.iter().enumerate() {
+                let raw = inst.encode().unwrap();
+                let f = fast.inspect_decoded(inst, raw);
+                let s = slow.inspect(inst);
+                assert_eq!(f, s, "round {round} inst {n}: {inst}");
+                if let Expansion::Expand { id, len } = f {
+                    for disepc in 0..len {
+                        let ff = fast.fetch_replacement_decoded(id, disepc, inst, raw, 0x1000);
+                        let ss = slow.fetch_replacement(id, disepc, inst, 0x1000);
+                        assert_eq!(ff, ss, "round {round} inst {n} disepc {disepc}");
+                    }
+                }
+            }
+            if round == 2 {
+                fast.context_switch();
+                slow.context_switch();
+            }
+        }
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn install_transparent_invalidates_memoized_outcomes() {
+        let mut e = DiseEngine::new(EngineConfig::default());
+        let st = i("stq r1, 0(r2)");
+        let raw = st.encode().unwrap();
+        // Memoize the pass-through outcome (second call is a memo hit).
+        assert_eq!(e.inspect_decoded(&st, raw), Expansion::None);
+        assert_eq!(e.inspect_decoded(&st, raw), Expansion::None);
+        // Installing a store production must flush the stale `None`.
+        e.install_transparent(Pattern::opclass(OpClass::Store), two_inst_spec())
+            .unwrap();
+        assert!(matches!(e.inspect_decoded(&st, raw), Expansion::Miss { .. }));
+        assert!(matches!(e.inspect_decoded(&st, raw), Expansion::Miss { .. }));
+        assert!(matches!(
+            e.inspect_decoded(&st, raw),
+            Expansion::Expand { len: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn install_aware_invalidates_memoized_instantiations() {
+        let param_spec = |op: Op| {
+            ReplacementSpec::new(vec![InstSpec::Templated {
+                op: OpDirective::Literal(op),
+                ra: RegDirective::Param(0),
+                rb: RegDirective::Literal(Reg::ZERO),
+                rc: RegDirective::Literal(Reg::dr(1)),
+                imm: ImmDirective::Literal(2),
+                uses_lit: true,
+                dise_branch: false,
+            }])
+        };
+        let mut e = DiseEngine::new(EngineConfig::default());
+        e.install_aware(Op::Cw0, 4, param_spec(Op::Srl)).unwrap();
+        let cw = Inst::codeword(Op::Cw0, 0, 2, 0, 4);
+        let raw = cw.encode().unwrap();
+        let id = loop {
+            match e.inspect_decoded(&cw, raw) {
+                Expansion::Expand { id, .. } => break id,
+                Expansion::Miss { .. } => continue,
+                other => panic!("{other:?}"),
+            }
+        };
+        // Memoize the instantiation (second call is a memo hit).
+        assert_eq!(
+            e.fetch_replacement_decoded(id, 0, &cw, raw, 0).unwrap().op,
+            Op::Srl
+        );
+        assert_eq!(
+            e.fetch_replacement_decoded(id, 0, &cw, raw, 0).unwrap().op,
+            Op::Srl
+        );
+        // Reinstallation must flush both memos.
+        e.install_aware(Op::Cw0, 4, param_spec(Op::Sll)).unwrap();
+        let id = loop {
+            match e.inspect_decoded(&cw, raw) {
+                Expansion::Expand { id, .. } => break id,
+                Expansion::Miss { .. } => continue,
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(
+            e.fetch_replacement_decoded(id, 0, &cw, raw, 0).unwrap().op,
+            Op::Sll
+        );
+    }
+
+    #[test]
+    fn context_switch_invalidates_memos() {
+        let mut e = engine_with_store_rule(EngineConfig::default());
+        let st = i("stq r1, 0(r2)");
+        let raw = st.encode().unwrap();
+        let _ = e.inspect_decoded(&st, raw);
+        let _ = e.inspect_decoded(&st, raw);
+        assert!(matches!(e.inspect_decoded(&st, raw), Expansion::Expand { .. }));
+        assert!(matches!(e.inspect_decoded(&st, raw), Expansion::Expand { .. }));
+        // After a context switch the tables are cold again; a stale memo
+        // hit would wrongly report an expansion with no miss.
+        e.context_switch();
+        assert!(matches!(e.inspect_decoded(&st, raw), Expansion::Miss { .. }));
     }
 
     #[test]

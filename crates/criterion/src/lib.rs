@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! vendors the subset of the Criterion API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`Throughput`],
+//! [`BatchSize`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! It is a real (if simple) benchmark runner: each bench is warmed up,
+//! then timed over enough iterations to fill a short measurement
+//! window, and the mean wall-clock time per iteration — plus element
+//! throughput when declared — is printed in a Criterion-like format.
+//! There is no statistical analysis, HTML report, or saved baseline;
+//! the numbers are honest but the machinery is intentionally minimal.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration measurement target. Kept short so `cargo bench` on the
+/// full suite stays interactive; raise via `DISE_BENCH_MEASURE_MS`.
+fn measurement_window() -> Duration {
+    let ms = std::env::var("DISE_BENCH_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Declared throughput of one iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The stand-in times
+/// each routine invocation individually, so the hint is accepted but
+/// does not change behavior.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors Criterion's CLI handling; the stand-in ignores argv
+    /// (cargo passes `--bench`).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/reporting settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sample-count hint; accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        run_bench(&label, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report flushing in real Criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; collects timed iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement window.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup + calibration: one untimed call.
+        black_box(routine());
+        let window = measurement_window();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let window = measurement_window();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < window {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F>(label: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<40} (no measurement)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(", {:.3} Melem/s", n as f64 / per_iter / 1e6),
+        Throughput::Bytes(n) => format!(", {:.3} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+    });
+    println!(
+        "{label:<40} {:>12}/iter ({} iters){}",
+        format_time(per_iter),
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Groups benchmark functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runner_smoke() {
+        std::env::set_var("DISE_BENCH_MEASURE_MS", "5");
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(10);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -171,25 +171,31 @@ impl Program {
     /// or the item would run off its end, or [`IsaError::BadEncoding`] for
     /// invalid bytes.
     pub fn fetch(&self, pc: u64) -> Result<TextItem> {
-        if !self.contains(pc) {
-            return Err(IsaError::BadAddress(pc));
-        }
-        let off = (pc - self.text_base) as usize;
-        let first = self.text[off];
-        if is_short_codeword_byte(first) {
-            if off + 2 > self.text.len() {
-                return Err(IsaError::BadAddress(pc));
+        // One range computation serves both the segment check and the item
+        // length checks: slicing from `off` and asking for 2 or 4 bytes
+        // covers out-of-segment PCs and items straddling the end of text.
+        let tail = pc
+            .checked_sub(self.text_base)
+            .and_then(|off| self.text.get(off as usize..))
+            .ok_or(IsaError::BadAddress(pc))?;
+        match tail {
+            [first, rest @ ..] if is_short_codeword_byte(*first) => match rest {
+                [second, ..] => Ok(TextItem::Short(
+                    decode_short_codeword([*first, *second]).expect("escape byte checked"),
+                )),
+                [] => Err(IsaError::BadAddress(pc)),
+            },
+            [b0, b1, b2, b3, ..] => {
+                let word = u32::from_be_bytes([*b0, *b1, *b2, *b3]);
+                Ok(TextItem::Inst(Inst::decode(word)?))
             }
-            let ix = decode_short_codeword([self.text[off], self.text[off + 1]])
-                .expect("escape byte checked");
-            Ok(TextItem::Short(ix))
-        } else {
-            if off + 4 > self.text.len() {
-                return Err(IsaError::BadAddress(pc));
-            }
-            let word = u32::from_be_bytes(self.text[off..off + 4].try_into().unwrap());
-            Ok(TextItem::Inst(Inst::decode(word)?))
+            _ => Err(IsaError::BadAddress(pc)),
         }
+    }
+
+    /// Builds a [`Predecode`] table for this program's text segment.
+    pub fn predecode(&self) -> Predecode {
+        Predecode::build(self)
     }
 
     /// Iterates over `(pc, item)` pairs from the start of the text segment.
@@ -231,6 +237,93 @@ impl Program {
             }
         }
         out
+    }
+}
+
+/// One entry of a [`Predecode`] table: the decoded item starting at a byte
+/// offset plus the raw bits it was decoded from. The raw word doubles as
+/// the key for the engine's expansion memo, saving a re-encode per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredecodedItem {
+    /// The decoded text item.
+    pub item: TextItem,
+    /// The raw big-endian 32-bit word for instructions; the zero-extended
+    /// 2-byte codeword halfword for short codewords.
+    pub raw: u32,
+}
+
+/// A predecoded view of a program's text segment: for every *even* byte
+/// offset, the [`TextItem`] that decodes starting there. Items are 2 or 4
+/// bytes and the text base is aligned, so every PC real control flow can
+/// produce is even — indexing by `offset / 2` halves the table (it is the
+/// simulator's hottest data structure, so density is cache locality).
+/// Built once at load time; the byte-accurate [`Program::fetch`] stays the
+/// source of truth — odd PCs and offsets whose bytes do not decode return
+/// `None`, and callers fall back to `fetch` for the exact item or error.
+/// The table must be rebuilt if the text bytes are ever relocated or
+/// patched ([`Predecode::covers`] guards against stale use against a
+/// different image).
+#[derive(Debug, Clone)]
+pub struct Predecode {
+    text_base: u64,
+    text_len: usize,
+    items: Vec<Option<PredecodedItem>>,
+}
+
+impl Predecode {
+    /// Decodes every even byte offset of `program`'s text segment.
+    pub fn build(program: &Program) -> Predecode {
+        let text = &program.text;
+        let items = (0..text.len())
+            .step_by(2)
+            .map(|off| {
+                let first = text[off];
+                if is_short_codeword_byte(first) {
+                    let second = *text.get(off + 1)?;
+                    let ix = decode_short_codeword([first, second]).expect("escape byte checked");
+                    Some(PredecodedItem {
+                        item: TextItem::Short(ix),
+                        raw: u32::from(u16::from_be_bytes([first, second])),
+                    })
+                } else {
+                    let quad: [u8; 4] = text.get(off..off + 4)?.try_into().ok()?;
+                    let word = u32::from_be_bytes(quad);
+                    let inst = Inst::decode(word).ok()?;
+                    Some(PredecodedItem {
+                        item: TextItem::Inst(inst),
+                        raw: word,
+                    })
+                }
+            })
+            .collect();
+        Predecode {
+            text_base: program.text_base,
+            text_len: text.len(),
+            items,
+        }
+    }
+
+    /// The predecoded item at `pc`, or `None` when `pc` is odd, out of
+    /// range, or its bytes do not decode (fall back to [`Program::fetch`]
+    /// to learn which).
+    #[inline]
+    pub fn get(&self, pc: u64) -> Option<PredecodedItem> {
+        let off = pc.checked_sub(self.text_base)? as usize;
+        if off & 1 != 0 {
+            return None;
+        }
+        *self.items.get(off / 2)?
+    }
+
+    /// True if this table was built over a text segment with the same base
+    /// and length as `program`'s (a cheap staleness guard).
+    pub fn covers(&self, program: &Program) -> bool {
+        self.text_base == program.text_base && self.text_len == program.text.len()
+    }
+
+    /// Number of even byte offsets holding a decodable item.
+    pub fn decodable_offsets(&self) -> usize {
+        self.items.iter().filter(|i| i.is_some()).count()
     }
 }
 
@@ -330,5 +423,76 @@ mod tests {
         let d = p.disassemble();
         assert_eq!(d.lines().count(), 3);
         assert!(d.contains("addq r1, r1, r2"));
+    }
+
+    #[test]
+    fn fetch_rejects_items_straddling_end_of_text() {
+        // A truncated 4-byte instruction: only 3 of its bytes are present.
+        let mut p = small_program();
+        p.text.truncate(11);
+        let last_pc = p.text_base + 8;
+        assert!(p.contains(last_pc), "PC itself is in range");
+        assert!(
+            matches!(p.fetch(last_pc), Err(IsaError::BadAddress(pc)) if pc == last_pc),
+            "truncated instruction must fault, not read out of bounds"
+        );
+        // A short codeword cut to a single byte at the very end.
+        let mut p = small_program();
+        p.text.push(crate::encode::SHORT_CODEWORD_ESCAPE);
+        let cw_pc = p.text_base + 12;
+        assert!(
+            matches!(p.fetch(cw_pc), Err(IsaError::BadAddress(pc)) if pc == cw_pc),
+            "codeword straddling end of text must fault"
+        );
+        // A complete short codeword ending exactly at end of text is fine.
+        let items = [
+            TextItem::Inst(Inst::li(1, Reg::R1)),
+            TextItem::Short(42),
+        ];
+        let p = Program::from_items(0x1000_0000, &items).unwrap();
+        assert_eq!(p.fetch(0x1000_0004).unwrap(), TextItem::Short(42));
+    }
+
+    #[test]
+    fn predecode_agrees_with_fetch_at_every_offset() {
+        let items = [
+            TextItem::Inst(Inst::li(1, Reg::R1)),
+            TextItem::Short(42),
+            TextItem::Inst(Inst::alu_rr(Op::Addq, Reg::R1, Reg::R1, Reg::R2)),
+            TextItem::Inst(Inst::halt()),
+        ];
+        let p = Program::from_items(0x1000_0000, &items).unwrap();
+        let pd = p.predecode();
+        assert!(pd.covers(&p));
+        // Every even byte offset (not just item starts): the table and the
+        // byte-accurate decoder must agree. Odd PCs are always a table miss
+        // (they fall back to `fetch`), never a wrong answer.
+        for pc in p.text_base..p.text_end() + 4 {
+            if pc & 1 != 0 {
+                assert!(pd.get(pc).is_none(), "odd pc {pc:#x} must miss");
+                continue;
+            }
+            match (pd.get(pc), p.fetch(pc)) {
+                (Some(pi), Ok(item)) => {
+                    assert_eq!(pi.item, item, "pc {pc:#x}");
+                    if let TextItem::Inst(i) = item {
+                        assert_eq!(Inst::decode(pi.raw).unwrap(), i, "raw word at {pc:#x}");
+                    }
+                }
+                (None, Err(_)) => {}
+                (got, want) => panic!("pc {pc:#x}: predecode {got:?} vs fetch {want:?}"),
+            }
+        }
+        assert!(pd.get(p.text_base - 1).is_none());
+        assert!(pd.decodable_offsets() > 0);
+    }
+
+    #[test]
+    fn predecode_staleness_guard() {
+        let p = small_program();
+        let pd = p.predecode();
+        let mut patched = p.clone();
+        patched.text.extend_from_slice(&Inst::nop().encode().unwrap().to_be_bytes());
+        assert!(!pd.covers(&patched), "patched text must invalidate the table");
     }
 }

@@ -21,7 +21,7 @@
 use crate::mem::Memory;
 use crate::{Result, SimError};
 use dise_core::{DiseEngine, Expansion};
-use dise_isa::{Inst, Op, OpClass, Program, Reg, TextItem};
+use dise_isa::{Inst, Op, OpClass, Predecode, Program, Reg, TextItem};
 
 /// The dictionary of a dedicated hardware decompressor: entry `i` is the
 /// instruction sequence that a 2-byte codeword with index `i` expands to.
@@ -63,13 +63,28 @@ impl DedicatedDict {
 pub struct MachineConfig {
     /// Stack size in bytes; SP starts at the top of the stack segment.
     pub stack_size: u64,
+    /// Use the predecoded-text fast path (and, when an engine is attached,
+    /// its memoized inspect/instantiate entry points). Purely a
+    /// simulation-speed knob: results, statistics, and error behavior are
+    /// bit-identical with it off.
+    pub fast_path: bool,
 }
 
 impl Default for MachineConfig {
     fn default() -> MachineConfig {
         MachineConfig {
             stack_size: 1 << 20,
+            fast_path: true,
         }
+    }
+}
+
+impl MachineConfig {
+    /// Disables the fast path (predecode + engine memoization) — used by
+    /// differential tests and honest baseline measurements.
+    pub fn slow_path(mut self) -> MachineConfig {
+        self.fast_path = false;
+        self
     }
 }
 
@@ -148,11 +163,14 @@ impl RunResult {
 enum ExpState {
     /// An unexpanded instruction.
     Single(Inst),
-    /// A DISE expansion in progress.
+    /// A DISE expansion in progress. `raw` is the trigger's encoded word
+    /// when it came off the predecode table (keys the engine's
+    /// instantiation memo); `None` on the byte-accurate fallback path.
     Dise {
         id: dise_core::ReplacementId,
         len: u8,
         trigger: Inst,
+        raw: Option<u32>,
     },
     /// A dedicated-decompressor expansion in progress (dictionary index).
     Dedicated { ix: u16 },
@@ -161,10 +179,17 @@ enum ExpState {
 /// The functional machine. See the module docs.
 #[derive(Debug)]
 pub struct Machine {
-    regs: [u64; dise_isa::reg::NUM_REGS],
+    /// Register file, padded to a power of two so `Reg::index()` (< 48 by
+    /// construction) can be masked instead of bounds-checked on the hot
+    /// path. Slots 48–63 are never addressed.
+    regs: [u64; 64],
     /// Data memory (text is fetched from the program image).
     pub mem: Memory,
     program: Program,
+    /// Per-byte-offset decode of the text segment (`None` when the fast
+    /// path is disabled). The program is immutable after load, so this
+    /// never goes stale.
+    predecode: Option<Predecode>,
     pc: u64,
     disepc: u8,
     exp: Option<ExpState>,
@@ -186,7 +211,7 @@ impl Machine {
     pub fn with_config(program: &Program, config: MachineConfig) -> Machine {
         let mut mem = Memory::new();
         mem.store_bytes(program.data_base, &program.data_init);
-        let mut regs = [0u64; dise_isa::reg::NUM_REGS];
+        let mut regs = [0u64; 64];
         regs[Reg::SP.index()] =
             Program::segment_base(Program::STACK_SEGMENT) + config.stack_size;
         Machine {
@@ -200,6 +225,7 @@ impl Machine {
             halted: false,
             total_insts: 0,
             app_insts: 0,
+            predecode: config.fast_path.then(|| program.predecode()),
             program: program.clone(),
         }
     }
@@ -226,18 +252,20 @@ impl Machine {
     }
 
     /// Reads a register (the zero register reads 0).
+    #[inline]
     pub fn reg(&self, r: Reg) -> u64 {
         if r.is_zero() {
             0
         } else {
-            self.regs[r.index()]
+            self.regs[r.index() & 63]
         }
     }
 
     /// Writes a register (writes to the zero register are discarded).
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u64) {
         if !r.is_zero() {
-            self.regs[r.index()] = value;
+            self.regs[r.index() & 63] = value;
         }
     }
 
@@ -285,8 +313,20 @@ impl Machine {
     ///
     /// Fails on fetch errors, unexpandable codewords, or engine errors.
     pub fn step(&mut self) -> Result<Option<StepInfo>> {
+        let mut out = None;
+        self.step_inner::<true>(&mut out)?;
+        Ok(out)
+    }
+
+    /// The step body, monomorphized on whether the caller wants a
+    /// [`StepInfo`]. [`Machine::run`] only needs halt/continue, so its
+    /// instantiation drops the report assembly (and everything feeding
+    /// only it) at compile time; execution is otherwise identical.
+    /// Returns `false` once halted; `out` is filled iff `INFO` and a step
+    /// retired.
+    fn step_inner<const INFO: bool>(&mut self, out: &mut Option<StepInfo>) -> Result<bool> {
         if self.halted {
-            return Ok(None);
+            return Ok(false);
         }
         let mut dise_stall = 0u64;
         let mut expanded = false;
@@ -295,7 +335,14 @@ impl Machine {
         // Establish the expansion state if needed (initial fetch, or
         // re-fetch after an interrupt mid-sequence).
         if self.exp.is_none() {
-            let item = self.program.fetch(self.pc)?;
+            // Fast path: the predecoded text table. Misses (no table, or an
+            // undecodable/out-of-range PC) fall back to the byte-accurate
+            // `fetch`, which either succeeds identically or produces the
+            // exact architectural error.
+            let (item, raw) = match self.predecode.as_ref().and_then(|p| p.get(self.pc)) {
+                Some(pi) => (pi.item, Some(pi.raw)),
+                None => (self.program.fetch(self.pc)?, None),
+            };
             self.exp = Some(match item {
                 TextItem::Short(ix) => {
                     let dict = self.dedicated.as_ref().ok_or(SimError::BadShortCodeword {
@@ -313,7 +360,11 @@ impl Machine {
                 TextItem::Inst(inst) => {
                     if let Some(engine) = self.engine.as_mut() {
                         loop {
-                            match engine.inspect(&inst) {
+                            let outcome = match raw {
+                                Some(raw) => engine.inspect_decoded(&inst, raw),
+                                None => engine.inspect(&inst),
+                            };
+                            match outcome {
                                 Expansion::Miss { penalty, .. } => dise_stall += penalty,
                                 Expansion::Fault { .. } => {
                                     return Err(SimError::UnexpandedCodeword { pc: self.pc })
@@ -332,6 +383,7 @@ impl Machine {
                                         id,
                                         len,
                                         trigger: inst,
+                                        raw,
                                     };
                                 }
                             }
@@ -352,14 +404,25 @@ impl Machine {
             .expect("established above")
         {
             ExpState::Single(i) => (*i, 1u8, 4u64, false, None),
-            ExpState::Dise { id, len, trigger } => {
+            ExpState::Dise {
+                id,
+                len,
+                trigger,
+                raw,
+            } => {
                 let id = *id;
                 let len = *len;
                 let trigger = *trigger;
+                let raw = *raw;
                 let engine = self.engine.as_mut().expect("Dise expansion needs engine");
-                let before = engine.stats().stall_cycles;
-                let inst = engine.fetch_replacement(id, self.disepc, &trigger, self.pc)?;
-                dise_stall += engine.stats().stall_cycles - before;
+                let before = engine.stall_cycles();
+                let inst = match raw {
+                    Some(raw) => {
+                        engine.fetch_replacement_decoded(id, self.disepc, &trigger, raw, self.pc)?
+                    }
+                    None => engine.fetch_replacement(id, self.disepc, &trigger, self.pc)?,
+                };
+                dise_stall += engine.stall_cycles() - before;
                 (inst, len, 4, true, Some(trigger))
             }
             ExpState::Dedicated { ix } => {
@@ -388,28 +451,30 @@ impl Machine {
         // compressed sequence-terminating branches predictable). Sequence-
         // internal branches are never predicted (§2.2): taken ones
         // redirect, untaken ones are free.
-        let predicted = !is_replacement
-            || trigger_inst == Some(inst)
-            || self.disepc + 1 == len;
-        let info = StepInfo {
-            pc: self.pc,
-            disepc: self.disepc,
-            inst,
-            is_replacement: is_replacement && len > 1,
-            first_of_fetch,
-            fetch_size,
-            expansion_len: len,
-            expanded,
-            taken,
-            target: match ctrl {
-                Ctrl::AppJump(t) => Some(t),
-                _ => None,
-            },
-            dise_taken: matches!(ctrl, Ctrl::DiseJump(_)),
-            predicted,
-            mem_addr,
-            dise_stall,
-        };
+        if INFO {
+            let predicted = !is_replacement
+                || trigger_inst == Some(inst)
+                || self.disepc + 1 == len;
+            *out = Some(StepInfo {
+                pc: self.pc,
+                disepc: self.disepc,
+                inst,
+                is_replacement: is_replacement && len > 1,
+                first_of_fetch,
+                fetch_size,
+                expansion_len: len,
+                expanded,
+                taken,
+                target: match ctrl {
+                    Ctrl::AppJump(t) => Some(t),
+                    _ => None,
+                },
+                dise_taken: matches!(ctrl, Ctrl::DiseJump(_)),
+                predicted,
+                mem_addr,
+                dise_stall,
+            });
+        }
 
         // Advance (PC, DISEPC).
         match ctrl {
@@ -435,7 +500,7 @@ impl Machine {
                 }
             }
         }
-        Ok(Some(info))
+        Ok(true)
     }
 
     /// Runs until halt or `max_steps` dynamic instructions.
@@ -445,8 +510,9 @@ impl Machine {
     /// Propagates step errors; returns [`SimError::OutOfFuel`] if the
     /// budget is exhausted first.
     pub fn run(&mut self, max_steps: u64) -> Result<RunResult> {
+        let mut out = None;
         for _ in 0..max_steps {
-            if self.step()?.is_none() {
+            if !self.step_inner::<false>(&mut out)? {
                 return Ok(RunResult {
                     total_insts: self.total_insts,
                     app_insts: self.app_insts,

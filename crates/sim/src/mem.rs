@@ -1,9 +1,33 @@
 //! Sparse paged data memory.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Multiplicative hasher for page numbers. Page numbers are already
+/// well-distributed (distinct segments), so a single Fibonacci multiply
+/// beats SipHash by an order of magnitude on the simulator's hottest map.
+#[derive(Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; fold bytes in as one word.
+        let mut word = [0u8; 8];
+        word[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+        self.write_u64(u64::from_le_bytes(word));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(32);
+    }
+}
 
 /// A sparse 64-bit byte-addressable memory. Pages are allocated on first
 /// touch and zero-filled, so programs may use any address without explicit
@@ -18,7 +42,7 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>,
 }
 
 impl Memory {
@@ -39,6 +63,7 @@ impl Memory {
     }
 
     /// Loads one byte.
+    #[inline]
     pub fn load_u8(&self, addr: u64) -> u8 {
         match self.pages.get(&(addr >> PAGE_BITS)) {
             Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
@@ -47,13 +72,23 @@ impl Memory {
     }
 
     /// Stores one byte.
+    #[inline]
     pub fn store_u8(&mut self, addr: u64, value: u8) {
         self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
 
     /// Loads a little-endian 32-bit value (may straddle pages; the address
     /// space wraps, so even `u64::MAX` is a valid base).
+    #[inline]
     pub fn load_u32(&self, addr: u64) -> u32 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            // Fast path: the word lies within one page — one map lookup.
+            return match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(p) => u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes")),
+                None => 0,
+            };
+        }
         let mut bytes = [0u8; 4];
         for (i, b) in bytes.iter_mut().enumerate() {
             *b = self.load_u8(addr.wrapping_add(i as u64));
@@ -62,14 +97,28 @@ impl Memory {
     }
 
     /// Stores a little-endian 32-bit value.
+    #[inline]
     pub fn store_u32(&mut self, addr: u64, value: u32) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         for (i, b) in value.to_le_bytes().into_iter().enumerate() {
             self.store_u8(addr.wrapping_add(i as u64), b);
         }
     }
 
     /// Loads a little-endian 64-bit value.
+    #[inline]
     pub fn load_u64(&self, addr: u64) -> u64 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 8 {
+            return match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
+                None => 0,
+            };
+        }
         let mut bytes = [0u8; 8];
         for (i, b) in bytes.iter_mut().enumerate() {
             *b = self.load_u8(addr.wrapping_add(i as u64));
@@ -78,7 +127,13 @@ impl Memory {
     }
 
     /// Stores a little-endian 64-bit value.
+    #[inline]
     pub fn store_u64(&mut self, addr: u64, value: u64) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 8 {
+            self.page_mut(addr)[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         for (i, b) in value.to_le_bytes().into_iter().enumerate() {
             self.store_u8(addr.wrapping_add(i as u64), b);
         }

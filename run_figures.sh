@@ -1,11 +1,24 @@
 #!/bin/sh
+# Regenerates the paper figures. `--smoke` runs the same binaries on a
+# tiny dynamic-instruction budget and a three-benchmark subset, writing to
+# results/smoke/ — a minutes-to-seconds end-to-end check that every
+# harness still runs, not a source of publishable numbers.
 set -e
-export DISE_BENCH_DYN=${DISE_BENCH_DYN:-500000}
-cd /root/repo
+OUT=results
+if [ "${1:-}" = "--smoke" ]; then
+    export DISE_BENCH_DYN=${DISE_BENCH_DYN:-20000}
+    export DISE_BENCH_FILTER=${DISE_BENCH_FILTER:-gzip,mcf,gcc}
+    OUT=results/smoke
+    echo "== smoke mode: DYN=$DISE_BENCH_DYN FILTER=$DISE_BENCH_FILTER =="
+else
+    export DISE_BENCH_DYN=${DISE_BENCH_DYN:-500000}
+fi
+cd "$(dirname "$0")"
+mkdir -p "$OUT"
 echo "== fig6 ($(date)) =="
-./target/release/fig6_mfi  > results/fig6.txt 2> results/fig6.log
+./target/release/fig6_mfi  > "$OUT"/fig6.txt 2> "$OUT"/fig6.log
 echo "== fig7 ($(date)) =="
-./target/release/fig7_compression > results/fig7.txt 2> results/fig7.log
+./target/release/fig7_compression > "$OUT"/fig7.txt 2> "$OUT"/fig7.log
 echo "== fig8 ($(date)) =="
-./target/release/fig8_composition > results/fig8.txt 2> results/fig8.log
+./target/release/fig8_composition > "$OUT"/fig8.txt 2> "$OUT"/fig8.log
 echo "== done ($(date)) =="

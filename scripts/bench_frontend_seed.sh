@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Measures seed-commit simulator throughput on the benchmark suite.
+#
+# Checks out the repository's root (seed) commit into a scratch worktree,
+# swaps its crates-io dependencies for the in-tree shims (the build must
+# work offline), drops dev-dependency/bench sections that would pull in
+# proptest/criterion, adds scripts/seed_speed.rs as a measurement bin, and
+# runs it. The resulting log (results/seed_speed.log) feeds the sim_speed
+# harness via DISE_SEED_LOG:
+#
+#   ./scripts/bench_frontend_seed.sh
+#   DISE_SEED_LOG=results/seed_speed.log ./target/release/sim_speed
+#
+# DISE_BENCH_DYN / DISE_BENCH_FILTER pass through to the seed run; use the
+# same values for both commands or sim_speed will reject the log when the
+# instruction counts disagree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WT=.seedwt
+SEED_COMMIT=$(git rev-list --max-parents=0 HEAD)
+
+if [ ! -d "$WT" ]; then
+    git worktree add "$WT" "$SEED_COMMIT"
+fi
+
+sed -i 's#^rand = .*#rand = { path = "'"$PWD"'/crates/rand" }#; /^proptest = /d; /^criterion = /d' "$WT/Cargo.toml"
+python3 - "$WT" <<'EOF'
+import re, sys, glob
+wt = sys.argv[1]
+for f in [f"{wt}/Cargo.toml"] + glob.glob(f"{wt}/crates/*/Cargo.toml"):
+    s = open(f).read()
+    s = re.sub(r"\n\[dev-dependencies\][^\[]*", "\n", s)
+    s = re.sub(r"\n\[\[bench\]\][^\[]*", "\n", s)
+    open(f, "w").write(s)
+EOF
+
+cp scripts/seed_speed.rs "$WT/crates/bench/src/bin/seed_speed.rs"
+(cd "$WT" && cargo build --release -p dise-bench --bin seed_speed)
+
+mkdir -p results
+(cd "$WT" && ./target/release/seed_speed) | tee results/seed_speed.log
+echo "seed log written to results/seed_speed.log (commit $SEED_COMMIT)"
+echo "remove the scratch worktree with: git worktree remove --force $WT"

@@ -1,0 +1,87 @@
+//! Seed-path throughput measurement (scratch, not part of the tree).
+//!
+//! Runs the same four scenarios as the main tree's `sim_speed` harness on
+//! the unmodified seed simulator and prints one parseable line per run:
+//! `SEED <bench> <scenario> <kips> <insts> <state_fnv>`.
+
+use std::time::Instant;
+
+use dise_acf::compress::{CompressedProgram, CompressionConfig};
+use dise_acf::mfi::{Mfi, MfiVariant};
+use dise_bench::{benchmarks, compress, mfi_productions, workload};
+use dise_core::{compose, DiseEngine, EngineConfig};
+use dise_isa::Program;
+use dise_sim::Machine;
+
+const REPS: usize = 3;
+
+fn main() {
+    for bench in benchmarks() {
+        let p = workload(bench);
+        let c = compress(&p, CompressionConfig::dise_full());
+        let scenarios: Vec<(&str, Box<dyn Fn() -> Machine>)> = vec![
+            ("baseline", {
+                let p = p.clone();
+                Box::new(move || Machine::load(&p))
+            }),
+            ("mfi", {
+                let p = p.clone();
+                Box::new(move || {
+                    let mut m = Machine::load(&p);
+                    m.attach_engine(
+                        DiseEngine::with_productions(
+                            EngineConfig::default(),
+                            mfi_productions(&p, MfiVariant::Dise3),
+                        )
+                        .expect("engine"),
+                    );
+                    Mfi::init_machine(&mut m);
+                    m
+                })
+            }),
+            ("compress", {
+                let c = c.clone();
+                Box::new(move || {
+                    let mut m = Machine::load(&c.program);
+                    c.attach(&mut m, EngineConfig::default()).expect("attach");
+                    m
+                })
+            }),
+            ("composed", {
+                let c = c.clone();
+                Box::new(move || {
+                    let aware = c.productions.clone().expect("aware productions");
+                    let mfi = mfi_productions(&c.program, MfiVariant::Dise3);
+                    let composed =
+                        compose::compose_nested(&mfi, &aware).expect("compose");
+                    let mut m = Machine::load(&c.program);
+                    m.attach_engine(
+                        DiseEngine::with_productions(EngineConfig::default(), composed)
+                            .expect("engine"),
+                    );
+                    Mfi::init_machine(&mut m);
+                    m
+                })
+            }),
+        ];
+        for (name, build) in scenarios {
+            let mut best = 0f64;
+            let mut total = 0u64;
+            let mut fnv = 0u64;
+            for _ in 0..REPS {
+                let mut m = build();
+                let t = Instant::now();
+                m.run(u64::MAX).expect("run");
+                let elapsed = t.elapsed().as_secs_f64();
+                total = m.inst_counts().0;
+                fnv = 0xcbf2_9ce4_8422_2325;
+                for i in 0..32 {
+                    fnv = (fnv ^ m.reg(dise_isa::Reg::r(i)))
+                        .wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                best = best.max(total as f64 / elapsed / 1e3);
+            }
+            println!("SEED {} {name} {best:.1} {total} {fnv:#018x}", bench.name());
+        }
+    }
+}

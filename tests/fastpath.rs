@@ -1,0 +1,202 @@
+//! Differential tests for the frontend fast path.
+//!
+//! The predecode table, the per-opcode PT index, and the expansion /
+//! instantiation memos are pure simulation-speed devices: every test here
+//! runs the same workload with the fast path on (the default) and off
+//! (`MachineConfig::slow_path` + `EngineConfig::slow_path`) and demands
+//! *bit-identical* results — architectural state, retirement counts,
+//! cycle-level timing, engine statistics, and the executed instruction
+//! stream.
+
+use dise::acf::compress::{CompressionConfig, Compressor};
+use dise::acf::mfi::{Mfi, MfiVariant};
+use dise::engine::{DiseEngine, EngineConfig, RtOrganization};
+use dise::isa::{Inst, Program, Reg};
+use dise::sim::{Machine, MachineConfig, SimConfig, Simulator};
+use dise::workloads::{Benchmark, WorkloadConfig};
+
+fn workload(bench: Benchmark) -> Program {
+    bench.build(&WorkloadConfig::tiny().with_dyn_insts(30_000))
+}
+
+fn final_state(m: &Machine) -> Vec<u64> {
+    (0..32).map(|i| m.reg(Reg::r(i))).collect()
+}
+
+/// An MFI-protected machine over `p`, fast path on or off in *both* the
+/// machine (predecode) and the engine (index + memos).
+fn mfi_machine(p: &Program, fast: bool) -> Machine {
+    let mconfig = if fast {
+        MachineConfig::default()
+    } else {
+        MachineConfig::default().slow_path()
+    };
+    let econfig = if fast {
+        EngineConfig::default()
+    } else {
+        EngineConfig::default().slow_path()
+    };
+    let mut m = Machine::with_config(p, mconfig);
+    let set = Mfi::new(MfiVariant::Dise3)
+        .with_error_handler(p.symbol("mfi_error").unwrap())
+        .productions()
+        .unwrap();
+    m.attach_engine(DiseEngine::with_productions(econfig, set).unwrap());
+    Mfi::init_machine(&mut m);
+    m
+}
+
+#[test]
+fn mfi_timing_identical_fast_and_slow() {
+    for bench in [Benchmark::Mcf, Benchmark::Gcc, Benchmark::Crafty] {
+        let p = workload(bench);
+        let mut fast = Simulator::new(SimConfig::default(), mfi_machine(&p, true));
+        let mut slow = Simulator::new(SimConfig::default(), mfi_machine(&p, false));
+        let rf = fast.run(u64::MAX).unwrap();
+        let rs = slow.run(u64::MAX).unwrap();
+        assert_eq!(rf, rs, "{bench}: SimResult diverged");
+        assert_eq!(
+            fast.machine().engine().unwrap().stats(),
+            slow.machine().engine().unwrap().stats(),
+            "{bench}: EngineStats diverged"
+        );
+        assert_eq!(
+            final_state(fast.machine()),
+            final_state(slow.machine()),
+            "{bench}: architectural state diverged"
+        );
+        assert_eq!(fast.machine().inst_counts(), slow.machine().inst_counts());
+    }
+}
+
+#[test]
+fn mfi_executed_stream_identical_fast_and_slow() {
+    // Step both machines in lockstep and require the same dynamic
+    // instruction stream — PCs, DISEPCs, disassembly, and stall charges.
+    let p = workload(Benchmark::Gzip);
+    let mut fast = mfi_machine(&p, true);
+    let mut slow = mfi_machine(&p, false);
+    let mut steps = 0u64;
+    loop {
+        let sf = fast.step().unwrap();
+        let ss = slow.step().unwrap();
+        assert_eq!(sf, ss, "step {steps} diverged");
+        let Some(info) = sf else { break };
+        // Disassembly identity (Display is the disassembler).
+        assert_eq!(info.inst.to_string(), ss.unwrap().inst.to_string());
+        steps += 1;
+    }
+    assert!(steps > 10_000, "workload too small to be meaningful");
+    assert!(fast.halted() && slow.halted());
+}
+
+#[test]
+fn compression_identical_fast_and_slow_with_finite_rt() {
+    // A finite direct-mapped RT makes the LRU order observable through
+    // miss counts: a memo hit that failed to replay the RT touch would
+    // show up as diverging rt_misses / stall cycles here.
+    let p = workload(Benchmark::Parser);
+    let c = Compressor::new(CompressionConfig::dise_full())
+        .compress(&p)
+        .unwrap();
+    let econfig = EngineConfig {
+        rt_entries: 16,
+        rt_org: RtOrganization::DirectMapped,
+        ..EngineConfig::default()
+    };
+
+    let mut fast = Machine::load(&c.program);
+    c.attach(&mut fast, econfig).unwrap();
+    let mut slow = Machine::with_config(&c.program, MachineConfig::default().slow_path());
+    c.attach(&mut slow, econfig.slow_path()).unwrap();
+
+    let mut fast = Simulator::new(SimConfig::default(), fast);
+    let mut slow = Simulator::new(SimConfig::default(), slow);
+    let rf = fast.run(u64::MAX).unwrap();
+    let rs = slow.run(u64::MAX).unwrap();
+    assert_eq!(rf, rs, "SimResult diverged");
+    assert_eq!(
+        fast.machine().engine().unwrap().stats(),
+        slow.machine().engine().unwrap().stats(),
+        "EngineStats diverged"
+    );
+    assert_eq!(final_state(fast.machine()), final_state(slow.machine()));
+}
+
+#[test]
+fn interrupts_do_not_perturb_fast_path_identity() {
+    // Interrupt mid-sequence every 97 steps: the re-fetch path must take
+    // the same memoized decisions as the slow path's re-inspection.
+    let p = workload(Benchmark::Vpr);
+    let mut fast = mfi_machine(&p, true);
+    let mut slow = mfi_machine(&p, false);
+    let mut steps = 0u64;
+    loop {
+        if steps % 97 == 96 {
+            fast.interrupt();
+            slow.interrupt();
+        }
+        let sf = fast.step().unwrap();
+        let ss = slow.step().unwrap();
+        assert_eq!(sf, ss, "step {steps} diverged");
+        if sf.is_none() {
+            break;
+        }
+        steps += 1;
+    }
+    assert_eq!(
+        fast.engine().unwrap().stats(),
+        slow.engine().unwrap().stats()
+    );
+    assert_eq!(final_state(&fast), final_state(&slow));
+}
+
+#[test]
+fn predecode_fallback_handles_undecodable_pc_identically() {
+    // Jumping outside the text segment must produce the same error with
+    // the predecode table as with byte-accurate fetch.
+    let p = workload(Benchmark::Mcf);
+    let mut fast = Machine::with_config(&p, MachineConfig::default());
+    let mut slow = Machine::with_config(&p, MachineConfig::default().slow_path());
+    for m in [&mut fast, &mut slow] {
+        m.set_pc(0xDEAD_0000);
+    }
+    let ef = fast.step().unwrap_err();
+    let es = slow.step().unwrap_err();
+    assert_eq!(format!("{ef}"), format!("{es}"));
+}
+
+#[test]
+fn raw_words_round_trip_through_engine_memo_keys() {
+    // Two different raw words decoding to *different* instructions must
+    // never alias in the expansion memo to the point of changing outcomes:
+    // exercise the hash slots with every opcode's canonical encoding.
+    let p = workload(Benchmark::Twolf);
+    let set = Mfi::new(MfiVariant::Dise3)
+        .with_error_handler(p.symbol("mfi_error").unwrap())
+        .productions()
+        .unwrap();
+    let mut fast = DiseEngine::with_productions(EngineConfig::default(), set.clone()).unwrap();
+    let mut slow =
+        DiseEngine::with_productions(EngineConfig::default().slow_path(), set).unwrap();
+    let insts: Vec<Inst> = p
+        .items()
+        .unwrap()
+        .into_iter()
+        .filter_map(|(_, item)| match item {
+            dise::isa::TextItem::Inst(i) => Some(i),
+            dise::isa::TextItem::Short(_) => None,
+        })
+        .collect();
+    for round in 0..3 {
+        for inst in &insts {
+            let raw = inst.encode().unwrap();
+            assert_eq!(
+                fast.inspect_decoded(inst, raw),
+                slow.inspect(inst),
+                "round {round}: {inst}"
+            );
+        }
+    }
+    assert_eq!(fast.stats(), slow.stats());
+}

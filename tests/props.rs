@@ -1,190 +1,235 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: instruction encoding, assembly, pattern matching,
-//! relocation, compression round-trips, and RT-capacity invisibility.
+//! Property-based tests on the core data structures and invariants:
+//! instruction encoding, assembly, pattern matching, compression
+//! round-trips, and RT-capacity invisibility.
+//!
+//! These were originally written against `proptest`; the offline build
+//! environment cannot fetch it, so the same properties are exercised by
+//! deterministic seeded fuzz loops over hand-rolled generators. Every
+//! run checks the same cases, and a failure prints the case index so it
+//! can be replayed under a debugger by re-running the loop.
 
 use dise::acf::compress::{CompressionConfig, Compressor};
 use dise::engine::{DiseEngine, EngineConfig, ImmPredicate, Pattern, RtOrganization};
 use dise::isa::{Inst, Op, OpClass, Program, ProgramBuilder, Reg};
 use dise::sim::Machine;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: any architectural register.
-fn arch_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::r)
+const FUZZ_SEED: u64 = 0xD15E_0001;
+
+/// Any architectural register.
+fn arch_reg(rng: &mut StdRng) -> Reg {
+    Reg::r(rng.gen_range(0..32u8))
 }
 
-/// Strategy: an arbitrary *encodable* instruction.
-fn encodable_inst() -> impl Strategy<Value = Inst> {
-    let mem_ops = prop_oneof![
-        Just(Op::Lda),
-        Just(Op::Ldah),
-        Just(Op::Ldl),
-        Just(Op::Ldq),
-        Just(Op::Stl),
-        Just(Op::Stq),
-    ];
-    let branch_ops = prop_oneof![
-        Just(Op::Br),
-        Just(Op::Bsr),
-        Just(Op::Beq),
-        Just(Op::Bne),
-        Just(Op::Blt),
-        Just(Op::Ble),
-        Just(Op::Bgt),
-        Just(Op::Bge),
-        Just(Op::Blbc),
-        Just(Op::Blbs),
-    ];
-    let jump_ops = prop_oneof![Just(Op::Jmp), Just(Op::Jsr), Just(Op::Ret)];
-    let alu_ops = prop_oneof![
-        Just(Op::Addq),
-        Just(Op::Subq),
-        Just(Op::Addl),
-        Just(Op::Subl),
-        Just(Op::S4addq),
-        Just(Op::S8addq),
-        Just(Op::Mulq),
-        Just(Op::And),
-        Just(Op::Bis),
-        Just(Op::Xor),
-        Just(Op::Bic),
-        Just(Op::Ornot),
-        Just(Op::Sll),
-        Just(Op::Srl),
-        Just(Op::Sra),
-        Just(Op::Cmpeq),
-        Just(Op::Cmplt),
-        Just(Op::Cmple),
-        Just(Op::Cmpult),
-        Just(Op::Cmpule),
-        Just(Op::Cmoveq),
-        Just(Op::Cmovne),
-    ];
-    prop_oneof![
-        (mem_ops, arch_reg(), arch_reg(), any::<i16>())
-            .prop_map(|(op, ra, rb, d)| Inst::mem(op, ra, rb, d)),
-        (branch_ops, arch_reg(), -(1i32 << 20)..(1i32 << 20))
-            .prop_map(|(op, ra, d)| Inst::branch(op, ra, d)),
-        (jump_ops, arch_reg(), arch_reg()).prop_map(|(op, ra, rb)| Inst::jump(op, ra, rb)),
-        (alu_ops.clone(), arch_reg(), arch_reg(), arch_reg())
-            .prop_map(|(op, ra, rb, rc)| Inst::alu_rr(op, ra, rb, rc)),
-        (alu_ops, arch_reg(), any::<u8>(), arch_reg())
-            .prop_map(|(op, ra, lit, rc)| Inst::alu_ri(op, ra, lit, rc)),
-        (0u8..32, 0u8..32, 0u8..32, 0u16..2048)
-            .prop_map(|(a, b, c, t)| Inst::codeword(Op::Cw0, a, b, c, t)),
-        Just(Inst::nop()),
-        Just(Inst::halt()),
-    ]
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
 }
 
-proptest! {
-    /// encode ∘ decode is the identity on encodable instructions.
-    #[test]
-    fn encode_decode_round_trip(inst in encodable_inst()) {
-        let word = inst.encode().unwrap();
-        prop_assert_eq!(Inst::decode(word).unwrap(), inst);
+/// An arbitrary *encodable* instruction.
+fn encodable_inst(rng: &mut StdRng) -> Inst {
+    const MEM_OPS: [Op; 6] = [Op::Lda, Op::Ldah, Op::Ldl, Op::Ldq, Op::Stl, Op::Stq];
+    const BRANCH_OPS: [Op; 10] = [
+        Op::Br,
+        Op::Bsr,
+        Op::Beq,
+        Op::Bne,
+        Op::Blt,
+        Op::Ble,
+        Op::Bgt,
+        Op::Bge,
+        Op::Blbc,
+        Op::Blbs,
+    ];
+    const JUMP_OPS: [Op; 3] = [Op::Jmp, Op::Jsr, Op::Ret];
+    const ALU_OPS: [Op; 22] = [
+        Op::Addq,
+        Op::Subq,
+        Op::Addl,
+        Op::Subl,
+        Op::S4addq,
+        Op::S8addq,
+        Op::Mulq,
+        Op::And,
+        Op::Bis,
+        Op::Xor,
+        Op::Bic,
+        Op::Ornot,
+        Op::Sll,
+        Op::Srl,
+        Op::Sra,
+        Op::Cmpeq,
+        Op::Cmplt,
+        Op::Cmple,
+        Op::Cmpult,
+        Op::Cmpule,
+        Op::Cmoveq,
+        Op::Cmovne,
+    ];
+    match rng.gen_range(0..8u32) {
+        0 => Inst::mem(
+            pick(rng, &MEM_OPS),
+            arch_reg(rng),
+            arch_reg(rng),
+            rng.gen_range(i16::MIN..=i16::MAX),
+        ),
+        1 => Inst::branch(
+            pick(rng, &BRANCH_OPS),
+            arch_reg(rng),
+            rng.gen_range(-(1i32 << 20)..(1i32 << 20)),
+        ),
+        2 => Inst::jump(pick(rng, &JUMP_OPS), arch_reg(rng), arch_reg(rng)),
+        3 => Inst::alu_rr(
+            pick(rng, &ALU_OPS),
+            arch_reg(rng),
+            arch_reg(rng),
+            arch_reg(rng),
+        ),
+        4 => Inst::alu_ri(
+            pick(rng, &ALU_OPS),
+            arch_reg(rng),
+            rng.gen_range(0..=255u8),
+            arch_reg(rng),
+        ),
+        5 => Inst::codeword(
+            Op::Cw0,
+            rng.gen_range(0..32u8),
+            rng.gen_range(0..32u8),
+            rng.gen_range(0..32u8),
+            rng.gen_range(0..2048u16),
+        ),
+        6 => Inst::nop(),
+        _ => Inst::halt(),
     }
+}
 
-    /// Disassembly re-assembles to the same instruction.
-    #[test]
-    fn display_parse_round_trip(inst in encodable_inst()) {
+/// encode ∘ decode is the identity on encodable instructions.
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED);
+    for case in 0..512 {
+        let inst = encodable_inst(&mut rng);
+        let word = inst.encode().unwrap();
+        assert_eq!(Inst::decode(word).unwrap(), inst, "case {case}: {inst}");
+    }
+}
+
+/// Disassembly re-assembles to the same instruction.
+#[test]
+fn display_parse_round_trip() {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED ^ 1);
+    for case in 0..512 {
+        let inst = encodable_inst(&mut rng);
         let text = inst.to_string();
         let parsed: Inst = text.parse().unwrap();
-        prop_assert_eq!(parsed, inst, "via `{}`", text);
+        assert_eq!(parsed, inst, "case {case} via `{text}`");
     }
+}
 
-    /// Decoding any 32-bit word either fails or re-encodes to itself
-    /// modulo reserved (must-be-zero) bits — i.e. decode is a partial
-    /// inverse of encode.
-    #[test]
-    fn decode_is_partial_inverse(word in any::<u32>()) {
+/// Decoding any 32-bit word either fails or re-encodes to itself modulo
+/// reserved (must-be-zero) bits — i.e. decode is a partial inverse of
+/// encode.
+#[test]
+fn decode_is_partial_inverse() {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED ^ 2);
+    for case in 0..4096 {
+        let word: u32 = rng.gen_range(0..=u32::MAX);
         if let Ok(inst) = Inst::decode(word) {
             let reencoded = inst.encode().unwrap();
-            prop_assert_eq!(Inst::decode(reencoded).unwrap(), inst);
+            assert_eq!(
+                Inst::decode(reencoded).unwrap(),
+                inst,
+                "case {case}: word {word:#010x}"
+            );
         }
     }
+}
 
-    /// Pattern specificity: a pattern that implies another is at least as
-    /// specific, and implication means every matching instruction also
-    /// matches the implied pattern.
-    #[test]
-    fn pattern_implication_sound(inst in encodable_inst(), use_op in any::<bool>()) {
-        let specific = if use_op {
+/// Pattern specificity: a pattern that implies another is at least as
+/// specific, and implication means every matching instruction also
+/// matches the implied pattern.
+#[test]
+fn pattern_implication_sound() {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED ^ 3);
+    for _ in 0..512 {
+        let inst = encodable_inst(&mut rng);
+        let specific = if rng.gen_bool_fair() {
             Pattern::opcode(inst.op)
         } else {
             Pattern::opclass(inst.op.class())
         };
         let general = Pattern::opclass(inst.op.class());
         if specific.implies(&general) {
-            prop_assert!(specific.specificity() >= general.specificity());
+            assert!(specific.specificity() >= general.specificity());
             if specific.matches(&inst) {
-                prop_assert!(general.matches(&inst));
+                assert!(general.matches(&inst), "{inst}");
             }
-        }
-    }
-
-    /// Disjoint patterns never match the same instruction.
-    #[test]
-    fn pattern_disjointness_sound(
-        inst in encodable_inst(),
-        c1 in prop::sample::select(OpClass::ALL.to_vec()),
-        c2 in prop::sample::select(OpClass::ALL.to_vec()),
-        neg in any::<bool>(),
-    ) {
-        let mut p1 = Pattern::opclass(c1);
-        let p2 = Pattern::opclass(c2);
-        if neg {
-            p1 = p1.with_imm(ImmPredicate::Negative);
-        }
-        if p1.disjoint(&p2) {
-            prop_assert!(!(p1.matches(&inst) && p2.matches(&inst)));
         }
     }
 }
 
-/// Builds a random but *well-formed* straight-line-plus-loops program from
-/// a sequence of instruction picks. All memory traffic goes through r2
-/// (pointed at the data segment), every loop is counted, and the program
-/// halts.
-fn arb_program() -> impl Strategy<Value = Program> {
-    let step = prop_oneof![
-        // idiom picks: (kind, reg-ish values)
-        (0u8..6, 1u8..8, 1u8..8, 0u8..16i32 as u8),
-    ];
-    proptest::collection::vec(step, 4..60).prop_map(|steps| {
-        let mut b = ProgramBuilder::new(Program::segment_base(Program::TEXT_SEGMENT));
-        b.push(Inst::li(3, Reg::r(20)));
-        b.label("outer");
-        for (kind, x, y, k) in &steps {
-            let (x, y) = (Reg::r(*x), Reg::r(*y));
-            match kind % 6 {
-                0 => {
-                    b.push(Inst::mem(Op::Ldq, x, Reg::R2, (*k as i16) * 8));
-                }
-                1 => {
-                    b.push(Inst::mem(Op::Stq, x, Reg::R2, (*k as i16) * 8));
-                }
-                2 => {
-                    b.push(Inst::alu_rr(Op::Addq, x, y, x));
-                }
-                3 => {
-                    b.push(Inst::alu_ri(Op::Sll, x, k % 8, y));
-                }
-                4 => {
-                    b.push(Inst::alu_rr(Op::Xor, x, y, y));
-                }
-                _ => {
-                    b.push(Inst::alu_ri(Op::Subq, x, 1, x));
-                }
+/// Disjoint patterns never match the same instruction.
+#[test]
+fn pattern_disjointness_sound() {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED ^ 4);
+    for _ in 0..512 {
+        let inst = encodable_inst(&mut rng);
+        let c1 = pick(&mut rng, &OpClass::ALL);
+        let c2 = pick(&mut rng, &OpClass::ALL);
+        let mut p1 = Pattern::opclass(c1);
+        let p2 = Pattern::opclass(c2);
+        if rng.gen_bool_fair() {
+            p1 = p1.with_imm(ImmPredicate::Negative);
+        }
+        if p1.disjoint(&p2) {
+            assert!(
+                !(p1.matches(&inst) && p2.matches(&inst)),
+                "{c1:?}/{c2:?} both match {inst}"
+            );
+        }
+    }
+}
+
+/// Builds a random but *well-formed* straight-line-plus-loops program.
+/// All memory traffic goes through r2 (pointed at the data segment),
+/// every loop is counted, and the program halts.
+fn arb_program(rng: &mut StdRng) -> Program {
+    let steps = rng.gen_range(4..60usize);
+    let mut b = ProgramBuilder::new(Program::segment_base(Program::TEXT_SEGMENT));
+    b.push(Inst::li(3, Reg::r(20)));
+    b.label("outer");
+    for _ in 0..steps {
+        let kind: u8 = rng.gen_range(0..6);
+        let x = Reg::r(rng.gen_range(1..8u8));
+        let y = Reg::r(rng.gen_range(1..8u8));
+        let k: u8 = rng.gen_range(0..16);
+        match kind {
+            0 => {
+                b.push(Inst::mem(Op::Ldq, x, Reg::R2, (k as i16) * 8));
+            }
+            1 => {
+                b.push(Inst::mem(Op::Stq, x, Reg::R2, (k as i16) * 8));
+            }
+            2 => {
+                b.push(Inst::alu_rr(Op::Addq, x, y, x));
+            }
+            3 => {
+                b.push(Inst::alu_ri(Op::Sll, x, k % 8, y));
+            }
+            4 => {
+                b.push(Inst::alu_rr(Op::Xor, x, y, y));
+            }
+            _ => {
+                b.push(Inst::alu_ri(Op::Subq, x, 1, x));
             }
         }
-        b.push(Inst::alu_ri(Op::Subq, Reg::r(20), 1, Reg::r(20)));
-        b.branch_to(Op::Bne, Reg::r(20), "outer");
-        b.push(Inst::halt());
-        let mut p = b.finish().unwrap();
-        p.entry = p.text_base;
-        p
-    })
+    }
+    b.push(Inst::alu_ri(Op::Subq, Reg::r(20), 1, Reg::r(20)));
+    b.branch_to(Op::Bne, Reg::r(20), "outer");
+    b.push(Inst::halt());
+    let mut p = b.finish().unwrap();
+    p.entry = p.text_base;
+    p
 }
 
 fn run_to_state(p: &Program, attach: impl FnOnce(&mut Machine)) -> Vec<u64> {
@@ -195,42 +240,49 @@ fn run_to_state(p: &Program, attach: impl FnOnce(&mut Machine)) -> Vec<u64> {
     (0..25).map(|i| m.reg(Reg::r(i))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Compression round-trip: for arbitrary well-formed programs and
-    /// every compression configuration, the decompressed execution matches
-    /// the original exactly.
-    #[test]
-    fn compression_preserves_execution(p in arb_program(), which in 0usize..5) {
-        let configs = [
-            CompressionConfig::dedicated(),
-            CompressionConfig::dedicated_no_single(),
-            CompressionConfig::dise_unparameterized(),
-            CompressionConfig::dise_parameterized(),
-            CompressionConfig::dise_full(),
-        ];
-        let config = configs[which];
+/// Compression round-trip: for arbitrary well-formed programs and every
+/// compression configuration, the decompressed execution matches the
+/// original exactly.
+#[test]
+fn compression_preserves_execution() {
+    let configs = [
+        CompressionConfig::dedicated(),
+        CompressionConfig::dedicated_no_single(),
+        CompressionConfig::dise_unparameterized(),
+        CompressionConfig::dise_parameterized(),
+        CompressionConfig::dise_full(),
+    ];
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED ^ 5);
+    for case in 0..40 {
+        let p = arb_program(&mut rng);
+        let config = configs[case % configs.len()];
         let reference = run_to_state(&p, |_| {});
         let c = Compressor::new(config).compress(&p).unwrap();
-        prop_assert!(c.stats.compressed_text <= c.stats.original_text);
+        assert!(
+            c.stats.compressed_text <= c.stats.original_text,
+            "case {case}: compression grew the text"
+        );
         let state = run_to_state(&c.program, |m| {
             c.attach(m, EngineConfig::default().perfect_rt()).unwrap();
         });
-        prop_assert_eq!(reference, state);
+        assert_eq!(reference, state, "case {case} ({config:?})");
     }
+}
 
-    /// RT geometry is architecturally invisible: any finite RT produces
-    /// the same results as a perfect one.
-    #[test]
-    fn rt_capacity_never_changes_results(
-        p in arb_program(),
-        entries in 2usize..64,
-        assoc in 1u32..4,
-    ) {
-        let c = Compressor::new(CompressionConfig::dise_full()).compress(&p).unwrap();
+/// RT geometry is architecturally invisible: any finite RT produces the
+/// same results as a perfect one.
+#[test]
+fn rt_capacity_never_changes_results() {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED ^ 6);
+    for case in 0..24 {
+        let p = arb_program(&mut rng);
+        let entries: usize = rng.gen_range(2..64);
+        let assoc: u32 = rng.gen_range(1..4);
+        let c = Compressor::new(CompressionConfig::dise_full())
+            .compress(&p)
+            .unwrap();
         if c.productions.is_none() {
-            return Ok(());
+            continue;
         }
         let perfect = run_to_state(&c.program, |m| {
             c.attach(m, EngineConfig::default().perfect_rt()).unwrap();
@@ -247,19 +299,27 @@ proptest! {
             };
             c.attach(m, config).unwrap();
         });
-        prop_assert_eq!(perfect, finite);
+        assert_eq!(
+            perfect, finite,
+            "case {case}: {entries} entries, {assoc}-way"
+        );
     }
+}
 
-    /// The engine's finite-table path agrees with the architectural
-    /// (infinite-table) production lookup on every instruction.
-    #[test]
-    fn engine_matches_architectural_semantics(inst in encodable_inst()) {
-        let set = dise::acf::mfi::Mfi::new(dise::acf::mfi::MfiVariant::Dise3)
-            .with_error_handler(0x7000)
-            .productions()
-            .unwrap();
+/// The engine's finite-table path agrees with the architectural
+/// (infinite-table) production lookup on every instruction.
+#[test]
+fn engine_matches_architectural_semantics() {
+    let set = dise::acf::mfi::Mfi::new(dise::acf::mfi::MfiVariant::Dise3)
+        .with_error_handler(0x7000)
+        .productions()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED ^ 7);
+    for case in 0..512 {
+        let inst = encodable_inst(&mut rng);
         let arch = set.lookup(&inst);
-        let mut engine = DiseEngine::with_productions(EngineConfig::default(), set).unwrap();
+        let mut engine =
+            DiseEngine::with_productions(EngineConfig::default(), set.clone()).unwrap();
         // Drive past cold misses.
         let outcome = loop {
             match engine.inspect(&inst) {
@@ -269,10 +329,10 @@ proptest! {
         };
         match (arch, outcome) {
             (Some(id), dise::engine::Expansion::Expand { id: got, .. }) => {
-                prop_assert_eq!(id, got)
+                assert_eq!(id, got, "case {case}: {inst}")
             }
             (None, dise::engine::Expansion::None) => {}
-            (a, o) => prop_assert!(false, "architectural {a:?} vs engine {o:?}"),
+            (a, o) => panic!("case {case}: {inst}: architectural {a:?} vs engine {o:?}"),
         }
     }
 }
