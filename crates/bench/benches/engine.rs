@@ -87,14 +87,14 @@ fn bench_fast_path(c: &mut Criterion) {
     ] {
         // Steady-state inspect of a non-covered instruction (memo hit /
         // counter early-exit).
-        let mut engine = engine_with_mfi_config(config.clone());
+        let mut engine = engine_with_mfi_config(config);
         let _ = engine.inspect_decoded(&alu, alu_raw);
         group.bench_function(&format!("inspect_none/{path}"), |b| {
             b.iter(|| black_box(engine.inspect_decoded(black_box(&alu), alu_raw)))
         });
 
         // Steady-state inspect of an expanding store (memo hit / PT match).
-        let mut engine = engine_with_mfi_config(config.clone());
+        let mut engine = engine_with_mfi_config(config);
         while matches!(engine.inspect_decoded(&store, store_raw), Expansion::Miss { .. }) {}
         group.bench_function(&format!("inspect_expand/{path}"), |b| {
             b.iter(|| black_box(engine.inspect_decoded(black_box(&store), store_raw)))

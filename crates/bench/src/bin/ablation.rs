@@ -13,168 +13,26 @@
 //!   of internal fragmentation; sweep the block size.
 //!
 //! Usage mirrors the `fig*` binaries (`DISE_BENCH_DYN`,
-//! `DISE_BENCH_FILTER`).
+//! `DISE_BENCH_FILTER`, `DISE_BENCH_JOBS`, `DISE_BENCH_CACHE`).
 
-use dise_acf::compress::CompressionConfig;
-use dise_acf::mfi::{Mfi, MfiVariant};
-use dise_bench::*;
-use dise_core::{DiseEngine, EngineConfig};
-use dise_sim::{ExpansionCost, Machine, SimConfig};
-
-fn panel_mfi() {
-    let variants = [
-        ("DISE4", MfiVariant::Dise4),
-        ("DISE3", MfiVariant::Dise3),
-        ("sandbox", MfiVariant::Sandbox),
-    ];
-    let costs = [
-        ("free", ExpansionCost::Free),
-        ("+stall", ExpansionCost::StallPerExpansion),
-        ("+pipe", ExpansionCost::ExtraStage),
-    ];
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let base = run_baseline(&p, SimConfig::default()).cycles as f64;
-        let mut cells = Vec::new();
-        for (_, variant) in variants {
-            for (_, cost) in costs {
-                let s = run_dise_mfi(&p, variant, cost, SimConfig::default());
-                cells.push(s.cycles as f64 / base);
-            }
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Ablation: MFI formulation x engine placement (normalized execution time)",
-        &[
-            "D4-free", "D4-stal", "D4-pipe", "D3-free", "D3-stal", "D3-pipe", "SB-free",
-            "SB-stal", "SB-pipe",
-        ],
-        &rows,
-    );
-}
-
-fn panel_rtmiss() {
-    let penalties = [10u64, 30, 100, 300];
-    // Small RT so misses actually occur; 8KB I$ like Figure 7 bottom.
-    let sim = SimConfig::default().with_icache_size(Some(8 * 1024));
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let compressed = compress(&p, CompressionConfig::dise_full());
-        let perfect = run_compressed(&compressed, EngineConfig::default().perfect_rt(), sim)
-            .cycles as f64;
-        let mut cells = Vec::new();
-        for penalty in penalties {
-            let engine = EngineConfig {
-                rt_entries: 512,
-                rt_org: dise_core::RtOrganization::DirectMapped,
-                miss_penalty: penalty,
-                ..EngineConfig::default()
-            };
-            cells.push(run_compressed(&compressed, engine, sim).cycles as f64 / perfect);
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Ablation: RT miss penalty sweep (512-entry DM RT, normalized to perfect RT)",
-        &["10cyc", "30cyc", "100cyc", "300cyc"],
-        &rows,
-    );
-}
-
-fn panel_ctx() {
-    // Functional cost of context switching: run each workload under DISE
-    // MFI, forcing a PT/RT flush every N application instructions, and
-    // report engine stall cycles per 1K instructions.
-    let intervals = [100_000u64, 10_000, 1_000];
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let mut cells = Vec::new();
-        for interval in intervals {
-            let mut m = Machine::load(&p);
-            m.attach_engine(
-                DiseEngine::with_productions(
-                    EngineConfig::default(),
-                    mfi_productions(&p, MfiVariant::Dise3),
-                )
-                .unwrap(),
-            );
-            Mfi::init_machine(&mut m);
-            let mut next_switch = interval;
-            while let Some(info) = m.step().unwrap() {
-                if info.first_of_fetch {
-                    next_switch -= 1;
-                    if next_switch == 0 {
-                        m.engine_mut().unwrap().context_switch();
-                        next_switch = interval;
-                    }
-                }
-            }
-            let stats = m.engine().unwrap().stats();
-            let (_, app) = m.inst_counts();
-            cells.push(stats.stall_cycles as f64 * 1000.0 / app as f64);
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Ablation: context-switch interval vs DISE stall cycles per 1K instructions",
-        &["100K", "10K", "1K"],
-        &rows,
-    );
-}
-
-fn panel_rtblock() {
-    // §2.2: coalescing replacement instructions into multi-instruction RT
-    // blocks saves read ports but fragments capacity. Sweep the block size
-    // at fixed instruction capacity.
-    let blocks = [1u32, 2, 4, 8];
-    let sim = SimConfig::default().with_icache_size(Some(8 * 1024));
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let compressed = compress(&p, CompressionConfig::dise_full());
-        let perfect = run_compressed(&compressed, EngineConfig::default().perfect_rt(), sim)
-            .cycles as f64;
-        let mut cells = Vec::new();
-        for block in blocks {
-            let engine = EngineConfig {
-                rt_entries: 512,
-                rt_org: dise_core::RtOrganization::SetAssociative(2),
-                rt_block: block,
-                ..EngineConfig::default()
-            };
-            cells.push(run_compressed(&compressed, engine, sim).cycles as f64 / perfect);
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Ablation: RT block coalescing (512 instruction slots, 2-way; normalized to perfect RT)",
-        &["blk-1", "blk-2", "blk-4", "blk-8"],
-        &rows,
-    );
-}
+use dise_bench::figures::ablation;
+use dise_bench::Sweep;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
     let want = |p: &str| all || args.iter().any(|a| a == p);
+    let sweep = Sweep::from_env();
     if want("mfi") {
-        panel_mfi();
+        print!("{}", ablation::mfi(&sweep));
     }
     if want("rtmiss") {
-        panel_rtmiss();
+        print!("{}", ablation::rtmiss(&sweep));
     }
     if want("ctx") {
-        panel_ctx();
+        print!("{}", ablation::ctx(&sweep));
     }
     if want("rtblock") {
-        panel_rtblock();
+        print!("{}", ablation::rtblock(&sweep));
     }
 }

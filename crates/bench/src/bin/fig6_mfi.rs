@@ -11,123 +11,25 @@
 //!   at 32KB I$.
 //!
 //! All values are execution time normalized to the corresponding
-//! fault-isolation-free configuration (paper §4.1).
+//! fault-isolation-free configuration (paper §4.1). Cells fan out across
+//! `DISE_BENCH_JOBS` workers and are cached under `results/cache/`
+//! (`DISE_BENCH_CACHE`).
 
-use dise_acf::mfi::MfiVariant;
-use dise_bench::*;
-use dise_sim::{ExpansionCost, SimConfig};
-
-fn panel_top() {
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let base = run_baseline(&p, SimConfig::default()).cycles as f64;
-        let rewrite = run_rewrite_mfi(&p, SimConfig::default()).cycles as f64;
-        let dise4 = run_dise_mfi(&p, MfiVariant::Dise4, ExpansionCost::Free, SimConfig::default())
-            .cycles as f64;
-        let stall = run_dise_mfi(
-            &p,
-            MfiVariant::Dise3,
-            ExpansionCost::StallPerExpansion,
-            SimConfig::default(),
-        )
-        .cycles as f64;
-        let pipe = run_dise_mfi(
-            &p,
-            MfiVariant::Dise3,
-            ExpansionCost::ExtraStage,
-            SimConfig::default(),
-        )
-        .cycles as f64;
-        let dise3 = run_dise_mfi(&p, MfiVariant::Dise3, ExpansionCost::Free, SimConfig::default())
-            .cycles as f64;
-        rows.push((
-            bench.name().to_string(),
-            vec![
-                rewrite / base,
-                dise4 / base,
-                stall / base,
-                pipe / base,
-                dise3 / base,
-            ],
-        ));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Figure 6 (top): MFI, normalized execution time",
-        &["rewrite", "DISE4", "+stall", "+pipe", "DISE3"],
-        &rows,
-    );
-}
-
-fn panel_cache() {
-    let sizes: [(&str, Option<u64>); 4] = [
-        ("8KB", Some(8 * 1024)),
-        ("32KB", Some(32 * 1024)),
-        ("128KB", Some(128 * 1024)),
-        ("perfect", None),
-    ];
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let mut cells = Vec::new();
-        for (_, size) in sizes {
-            let config = SimConfig::default().with_icache_size(size);
-            let base = run_baseline(&p, config).cycles as f64;
-            let dise = run_dise_mfi(&p, MfiVariant::Dise3, ExpansionCost::Free, config).cycles
-                as f64;
-            let rewrite = run_rewrite_mfi(&p, config).cycles as f64;
-            cells.push(dise / base);
-            cells.push(rewrite / base);
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Figure 6 (middle): MFI across I-cache sizes (DISE3 | rewrite per size)",
-        &[
-            "D-8K", "R-8K", "D-32K", "R-32K", "D-128K", "R-128K", "D-inf", "R-inf",
-        ],
-        &rows,
-    );
-}
-
-fn panel_width() {
-    let widths = [2u64, 4, 8, 16];
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let mut cells = Vec::new();
-        for w in widths {
-            let config = SimConfig::default().with_width(w);
-            let base = run_baseline(&p, config).cycles as f64;
-            let dise = run_dise_mfi(&p, MfiVariant::Dise3, ExpansionCost::Free, config).cycles
-                as f64;
-            let rewrite = run_rewrite_mfi(&p, config).cycles as f64;
-            cells.push(dise / base);
-            cells.push(rewrite / base);
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Figure 6 (bottom): MFI across processor widths (DISE3 | rewrite per width)",
-        &["D-2", "R-2", "D-4", "R-4", "D-8", "R-8", "D-16", "R-16"],
-        &rows,
-    );
-}
+use dise_bench::figures::fig6;
+use dise_bench::Sweep;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
     let want = |p: &str| all || args.iter().any(|a| a == p);
+    let sweep = Sweep::from_env();
     if want("top") {
-        panel_top();
+        print!("{}", fig6::top(&sweep));
     }
     if want("cache") {
-        panel_cache();
+        print!("{}", fig6::cache(&sweep));
     }
     if want("width") {
-        panel_width();
+        print!("{}", fig6::width(&sweep));
     }
 }

@@ -10,135 +10,25 @@
 //!   run; perfect RT.
 //! * `rt`    — execution time vs. RT configuration (512/2K entries ×
 //!   direct-mapped/2-way, vs. perfect), 30-cycle miss penalty, 8KB I$.
+//!
+//! Cells fan out across `DISE_BENCH_JOBS` workers and are cached under
+//! `results/cache/` (`DISE_BENCH_CACHE`).
 
-use dise_acf::compress::CompressionConfig;
-use dise_bench::*;
-use dise_core::{EngineConfig, RtOrganization};
-use dise_sim::SimConfig;
-
-fn panel_ratio() {
-    let configs: [(&str, CompressionConfig); 6] = [
-        ("dedicated", CompressionConfig::dedicated()),
-        ("-1insn", CompressionConfig::dedicated_no_single()),
-        ("-2byteCW", CompressionConfig::dise_unparameterized()),
-        ("+8byteDE", CompressionConfig::dise_wide_entries()),
-        ("+3param", CompressionConfig::dise_parameterized()),
-        ("DISE", CompressionConfig::dise_full()),
-    ];
-    let mut code_rows = Vec::new();
-    let mut total_rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let mut code = Vec::new();
-        let mut total = Vec::new();
-        for (_, config) in configs {
-            let c = compress(&p, config);
-            code.push(c.stats.code_ratio());
-            total.push(c.stats.total_ratio());
-        }
-        code_rows.push((bench.name().to_string(), code));
-        total_rows.push((bench.name().to_string(), total));
-        eprintln!("  [{}] done", bench.name());
-    }
-    let header: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
-    print_table(
-        "Figure 7 (top): compression ratio, code only",
-        &header,
-        &code_rows,
-    );
-    print_table(
-        "Figure 7 (top): compression ratio, code + dictionary",
-        &header,
-        &total_rows,
-    );
-}
-
-fn panel_perf() {
-    let sizes: [(&str, Option<u64>); 4] = [
-        ("8KB", Some(8 * 1024)),
-        ("32KB", Some(32 * 1024)),
-        ("128KB", Some(128 * 1024)),
-        ("perfect", None),
-    ];
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        // Normalize to the uncompressed 32KB-I$ run (paper convention).
-        let base32 = run_baseline(&p, SimConfig::default().with_icache_size(Some(32 * 1024)))
-            .cycles as f64;
-        let compressed = compress(&p, CompressionConfig::dise_full());
-        let mut cells = Vec::new();
-        for (_, size) in sizes {
-            let config = SimConfig::default().with_icache_size(size);
-            let unc = run_baseline(&p, config).cycles as f64;
-            let dise = run_compressed(
-                &compressed,
-                EngineConfig::default().perfect_rt(),
-                config,
-            )
-            .cycles as f64;
-            cells.push(unc / base32);
-            cells.push(dise / base32);
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Figure 7 (middle): DISE decompression vs I-cache size (uncompressed | DISE per size, normalized to uncompressed 32KB)",
-        &[
-            "U-8K", "D-8K", "U-32K", "D-32K", "U-128K", "D-128K", "U-inf", "D-inf",
-        ],
-        &rows,
-    );
-}
-
-fn panel_rt() {
-    let configs: [(&str, usize, RtOrganization); 5] = [
-        ("512-DM", 512, RtOrganization::DirectMapped),
-        ("512-2way", 512, RtOrganization::SetAssociative(2)),
-        ("2K-DM", 2048, RtOrganization::DirectMapped),
-        ("2K-2way", 2048, RtOrganization::SetAssociative(2)),
-        ("perfect", 0, RtOrganization::Perfect),
-    ];
-    // Small I-cache so decompression matters; compare RT realism.
-    let sim = SimConfig::default().with_icache_size(Some(8 * 1024));
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let compressed = compress(&p, CompressionConfig::dise_full());
-        let perfect = run_compressed(&compressed, EngineConfig::default().perfect_rt(), sim)
-            .cycles as f64;
-        let mut cells = Vec::new();
-        for (_, entries, org) in configs {
-            let engine = EngineConfig {
-                rt_entries: entries.max(1),
-                rt_org: org,
-                ..EngineConfig::default()
-            };
-            let cycles = run_compressed(&compressed, engine, sim).cycles as f64;
-            cells.push(cycles / perfect);
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Figure 7 (bottom): execution time vs RT configuration (normalized to perfect RT, 8KB I$)",
-        &["512-DM", "512-2w", "2K-DM", "2K-2w", "perfect"],
-        &rows,
-    );
-}
+use dise_bench::figures::fig7;
+use dise_bench::Sweep;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
     let want = |p: &str| all || args.iter().any(|a| a == p);
+    let sweep = Sweep::from_env();
     if want("ratio") {
-        panel_ratio();
+        print!("{}", fig7::ratio(&sweep));
     }
     if want("perf") {
-        panel_perf();
+        print!("{}", fig7::perf(&sweep));
     }
     if want("rt") {
-        panel_rt();
+        print!("{}", fig7::rt(&sweep));
     }
 }

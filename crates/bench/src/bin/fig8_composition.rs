@@ -12,118 +12,22 @@
 //!   direct-mapped/2-way), with the composition performed eagerly
 //!   (30-cycle misses) vs. in the RT miss handler (150-cycle composing
 //!   misses), normalized to perfect-RT eager composition. 8KB I$.
+//!
+//! Cells fan out across `DISE_BENCH_JOBS` workers and are cached under
+//! `results/cache/` (`DISE_BENCH_CACHE`).
 
-use dise_acf::compress::CompressionConfig;
-use dise_bench::*;
-use dise_core::{EngineConfig, RtOrganization};
-use dise_rewrite::{DedicatedDecompressor, RewriteMfi};
-use dise_sim::{SimConfig, SimStats};
-
-/// rewrite-MFI then compress, with either decompressor.
-fn rewrite_then_compress(
-    program: &dise_isa::Program,
-    dedicated: bool,
-    engine: EngineConfig,
-    sim: SimConfig,
-) -> SimStats {
-    let rewritten = RewriteMfi::new().rewrite(program).expect("rewrite").program;
-    let compressed = if dedicated {
-        DedicatedDecompressor::new()
-            .compress(&rewritten)
-            .expect("dedicated compression")
-    } else {
-        compress(&rewritten, CompressionConfig::dise_full())
-    };
-    run_compressed(&compressed, engine, sim)
-}
-
-fn panel_cache() {
-    let sizes: [(&str, Option<u64>); 4] = [
-        ("8KB", Some(8 * 1024)),
-        ("32KB", Some(32 * 1024)),
-        ("128KB", Some(128 * 1024)),
-        ("perfect", None),
-    ];
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let base32 = run_baseline(&p, SimConfig::default().with_icache_size(Some(32 * 1024)))
-            .cycles as f64;
-        let compressed = compress(&p, CompressionConfig::dise_full());
-        let mut cells = Vec::new();
-        for (_, size) in sizes {
-            let sim = SimConfig::default().with_icache_size(size);
-            let perfect = EngineConfig::default().perfect_rt();
-            let rw_ded = rewrite_then_compress(&p, true, perfect, sim).cycles as f64;
-            let rw_dise = rewrite_then_compress(&p, false, perfect, sim).cycles as f64;
-            let dise_dise =
-                run_composed_dise(&compressed, perfect, sim, true).cycles as f64;
-            cells.push(rw_ded / base32);
-            cells.push(rw_dise / base32);
-            cells.push(dise_dise / base32);
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Figure 8 (top): composed MFI+decompression vs I-cache size (rewrite+dedicated | rewrite+DISE | DISE+DISE per size, normalized to unmodified 32KB)",
-        &[
-            "RD-8K", "RW-8K", "DD-8K", "RD-32K", "RW-32K", "DD-32K", "RD-128K", "RW-128K",
-            "DD-128K", "RD-inf", "RW-inf", "DD-inf",
-        ],
-        &rows,
-    );
-}
-
-fn panel_rt() {
-    let configs: [(&str, usize, RtOrganization); 4] = [
-        ("512-DM", 512, RtOrganization::DirectMapped),
-        ("512-2way", 512, RtOrganization::SetAssociative(2)),
-        ("2K-DM", 2048, RtOrganization::DirectMapped),
-        ("2K-2way", 2048, RtOrganization::SetAssociative(2)),
-    ];
-    let sim = SimConfig::default().with_icache_size(Some(8 * 1024));
-    let mut rows = Vec::new();
-    for bench in benchmarks() {
-        let p = workload(bench);
-        let compressed = compress(&p, CompressionConfig::dise_full());
-        let perfect =
-            run_composed_dise(&compressed, EngineConfig::default().perfect_rt(), sim, true)
-                .cycles as f64;
-        let mut cells = Vec::new();
-        for (_, entries, org) in configs {
-            let engine = EngineConfig {
-                rt_entries: entries,
-                rt_org: org,
-                ..EngineConfig::default()
-            };
-            // Eager composition: plain 30-cycle misses.
-            let eager = run_composed_dise(&compressed, engine, sim, true).cycles as f64;
-            // Compose-on-miss: aware fills cost 150 cycles.
-            let lazy = run_composed_dise(&compressed, engine, sim, false).cycles as f64;
-            cells.push(eager / perfect);
-            cells.push(lazy / perfect);
-        }
-        rows.push((bench.name().to_string(), cells));
-        eprintln!("  [{}] done", bench.name());
-    }
-    print_table(
-        "Figure 8 (bottom): DISE+DISE vs RT configuration (30-cycle eager | 150-cycle compose-on-miss per config, normalized to perfect RT)",
-        &[
-            "e512DM", "c512DM", "e512-2w", "c512-2w", "e2K-DM", "c2K-DM", "e2K-2w", "c2K-2w",
-        ],
-        &rows,
-    );
-}
+use dise_bench::figures::fig8;
+use dise_bench::Sweep;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
     let want = |p: &str| all || args.iter().any(|a| a == p);
+    let sweep = Sweep::from_env();
     if want("cache") {
-        panel_cache();
+        print!("{}", fig8::cache(&sweep));
     }
     if want("rt") {
-        panel_rt();
+        print!("{}", fig8::rt(&sweep));
     }
 }

@@ -38,7 +38,7 @@ use std::time::Instant;
 
 use dise_acf::compress::{CompressedProgram, CompressionConfig};
 use dise_acf::mfi::{Mfi, MfiVariant};
-use dise_bench::{benchmarks, compress, mfi_productions, workload};
+use dise_bench::{benchmarks, compress, mfi_productions, workload, Pool};
 use dise_core::{compose, DiseEngine, EngineConfig};
 use dise_isa::Program;
 use dise_sim::{Machine, MachineConfig, SimConfig, Simulator};
@@ -158,15 +158,28 @@ fn read_seed_log() -> std::collections::HashMap<(String, String), (f64, u64)> {
     map
 }
 
+/// One scenario's measurements, assembled into output after the fan-out.
+struct ScenarioOut {
+    name: &'static str,
+    line: String,
+    row_json: String,
+    seed_s: Option<f64>,
+    slow_s: f64,
+    fast_s: f64,
+    insts: u64,
+}
+
 fn main() {
     let seed_log = read_seed_log();
-    let mut bench_blocks = Vec::new();
-    // Per scenario: (name, seed seconds, slow seconds, fast seconds, insts).
-    let mut totals: Vec<(&'static str, Option<f64>, f64, f64, u64)> = Vec::new();
-    for bench in benchmarks() {
+    // Benchmarks fan out across DISE_BENCH_JOBS workers. Rate measurements
+    // contend for the machine when jobs > 1, so publication numbers should
+    // use DISE_BENCH_JOBS=1 (the bench scripts do); the correctness
+    // assertions hold at any job count.
+    let benches = benchmarks();
+    let per_bench = Pool::from_env().run(&benches, |_, &bench| {
         let p = workload(bench);
         let c = compress(&p, CompressionConfig::dise_full());
-        let mut row_json = Vec::new();
+        let mut outs = Vec::new();
         for s in scenarios(&p, &c) {
             let (kips_slow, insts_s, state_s) = measure_kips(&s.build, false);
             let (kips_fast, insts_f, state_f) = measure_kips(&s.build, true);
@@ -197,35 +210,49 @@ fn main() {
                     kips_fast / kips_seed
                 )
             });
-            println!(
-                "{bench:>8} {:>8}: {kips_slow:>9.0} -> {kips_fast:>9.0} KIPS \
-                 ({speedup:.2}x{}), IPC {ipc_fast:.3}",
-                s.name,
-                seed.map_or(String::new(), |(k, _)| format!(
-                    ", {:.2}x vs seed",
-                    kips_fast / k
-                )),
-            );
-            let (slow_s, fast_s) = (
-                insts_f as f64 / (kips_slow * 1e3),
-                insts_f as f64 / (kips_fast * 1e3),
-            );
-            let seed_s = seed.map(|(k, _)| insts_f as f64 / (k * 1e3));
-            match totals.iter_mut().find(|t| t.0 == s.name) {
+            outs.push(ScenarioOut {
+                name: s.name,
+                line: format!(
+                    "{bench:>8} {:>8}: {kips_slow:>9.0} -> {kips_fast:>9.0} KIPS \
+                     ({speedup:.2}x{}), IPC {ipc_fast:.3}",
+                    s.name,
+                    seed.map_or(String::new(), |(k, _)| format!(
+                        ", {:.2}x vs seed",
+                        kips_fast / k
+                    )),
+                ),
+                row_json: format!(
+                    "      {{\"scenario\": \"{}\", \"insts\": {insts_f}, \
+                     \"ipc\": {ipc_fast:.6}, \"kips_slow\": {kips_slow:.1}, \
+                     \"kips_fast\": {kips_fast:.1}, \"speedup\": {speedup:.3}{seed_part}}}",
+                    s.name
+                ),
+                seed_s: seed.map(|(k, _)| insts_f as f64 / (k * 1e3)),
+                slow_s: insts_f as f64 / (kips_slow * 1e3),
+                fast_s: insts_f as f64 / (kips_fast * 1e3),
+                insts: insts_f,
+            });
+        }
+        outs
+    });
+
+    let mut bench_blocks = Vec::new();
+    // Per scenario: (name, seed seconds, slow seconds, fast seconds, insts).
+    let mut totals: Vec<(&'static str, Option<f64>, f64, f64, u64)> = Vec::new();
+    for (bench, outs) in benches.iter().zip(&per_bench) {
+        let mut row_json = Vec::new();
+        for o in outs {
+            println!("{}", o.line);
+            match totals.iter_mut().find(|t| t.0 == o.name) {
                 Some(t) => {
-                    t.1 = t.1.zip(seed_s).map(|(a, b)| a + b);
-                    t.2 += slow_s;
-                    t.3 += fast_s;
-                    t.4 += insts_f;
+                    t.1 = t.1.zip(o.seed_s).map(|(a, b)| a + b);
+                    t.2 += o.slow_s;
+                    t.3 += o.fast_s;
+                    t.4 += o.insts;
                 }
-                None => totals.push((s.name, seed_s, slow_s, fast_s, insts_f)),
+                None => totals.push((o.name, o.seed_s, o.slow_s, o.fast_s, o.insts)),
             }
-            row_json.push(format!(
-                "      {{\"scenario\": \"{}\", \"insts\": {insts_f}, \
-                 \"ipc\": {ipc_fast:.6}, \"kips_slow\": {kips_slow:.1}, \
-                 \"kips_fast\": {kips_fast:.1}, \"speedup\": {speedup:.3}{seed_part}}}",
-                s.name
-            ));
+            row_json.push(o.row_json.clone());
         }
         bench_blocks.push(format!(
             "    {{\"benchmark\": \"{}\", \"runs\": [\n{}\n    ]}}",

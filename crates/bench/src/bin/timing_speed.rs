@@ -1,0 +1,342 @@
+//! Timing-model fast-path speed harness.
+//!
+//! Measures cycle-level simulation throughput (MCPS — millions of
+//! simulated cycles per wall-clock second) with the timing fast path on
+//! (direct-mapped store-granule table, ring-buffer ROB/RS windows, the
+//! in-place [`Machine::step_into`] oracle loop) and off
+//! ([`SimConfig::slow_path`]: `HashMap` + `VecDeque` + the allocating
+//! `step` loop), over four scenarios per benchmark:
+//!
+//! * `baseline` — no engine attached;
+//! * `mfi` — DISE3 memory fault isolation (store-heavy expansions);
+//! * `compress` — full DISE decompression;
+//! * `composed` — decompression with MFI composed in.
+//!
+//! Each MCPS figure is the best of `DISE_BENCH_REPS` runs (default 3);
+//! every scenario's
+//! [`SimStats`] must agree **bit-for-bit** between the two paths, so the
+//! rates are guaranteed to compare identical work. A second section times
+//! the Figure 6 top sweep end-to-end serially (`jobs=1`) and with the
+//! worker pool (`DISE_BENCH_JOBS`, default: available parallelism), both
+//! uncached, and records the host parallelism next to the measured
+//! wall-clocks — on a single-core host the two are honestly ~equal.
+//!
+//! Results go to `results/BENCH_timing.json` (`DISE_BENCH_OUT`
+//! overrides). `DISE_BENCH_DYN` / `DISE_BENCH_FILTER` are honored as in
+//! the figure binaries; `DISE_BENCH_SWEEP=off` skips the sweep section.
+//!
+//! The slow-path configuration reproduces the PR-1 timing-model *data
+//! structures* inside this tree. `scripts/bench_timing_seed.sh` builds
+//! the actual pre-fast-path commit and measures it on the same workloads;
+//! point `DISE_TIMING_SEED_LOG` at its output and the harness folds true
+//! seed MCPS into the report (after checking the seed simulated the exact
+//! same cycle counts) and computes the headline against the seed.
+
+use std::time::Instant;
+
+use dise_acf::compress::{CompressedProgram, CompressionConfig};
+use dise_acf::mfi::{Mfi, MfiVariant};
+use dise_bench::figures::fig6;
+use dise_bench::{benchmarks, compress, mfi_productions, workload, CellCache, Pool, Sweep};
+use dise_core::{compose, DiseEngine, EngineConfig};
+use dise_isa::Program;
+use dise_sim::{Machine, SimConfig, SimStats, Simulator};
+
+/// Best-of rep count (`DISE_BENCH_REPS`, default 3). The shared host's
+/// throughput drifts by tens of percent over minutes; more reps stretch
+/// each cell's best-of window across those phases, making the reported
+/// rate a stable peak instead of a draw from the noise.
+fn reps() -> usize {
+    std::env::var("DISE_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+/// A scenario is a recipe for building a machine (frontend fast path on —
+/// this harness isolates the *timing-model* paths).
+struct Scenario<'a> {
+    name: &'static str,
+    build: Box<dyn Fn() -> Machine + 'a>,
+}
+
+fn scenarios<'a>(p: &'a Program, c: &'a CompressedProgram) -> Vec<Scenario<'a>> {
+    vec![
+        Scenario {
+            name: "baseline",
+            build: Box::new(|| Machine::load(p)),
+        },
+        Scenario {
+            name: "mfi",
+            build: Box::new(|| {
+                let mut m = Machine::load(p);
+                m.attach_engine(
+                    DiseEngine::with_productions(
+                        EngineConfig::default(),
+                        mfi_productions(p, MfiVariant::Dise3),
+                    )
+                    .expect("engine"),
+                );
+                Mfi::init_machine(&mut m);
+                m
+            }),
+        },
+        Scenario {
+            name: "compress",
+            build: Box::new(|| {
+                let mut m = Machine::load(&c.program);
+                c.attach(&mut m, EngineConfig::default()).expect("attach");
+                m
+            }),
+        },
+        Scenario {
+            name: "composed",
+            build: Box::new(|| {
+                let aware = c.productions.clone().expect("aware productions");
+                let mfi = mfi_productions(&c.program, MfiVariant::Dise3);
+                let composed = compose::compose_nested(&mfi, &aware).expect("compose");
+                let mut m = Machine::load(&c.program);
+                m.attach_engine(
+                    DiseEngine::with_productions(EngineConfig::default(), composed)
+                        .expect("engine"),
+                );
+                Mfi::init_machine(&mut m);
+                m
+            }),
+        },
+    ]
+}
+
+/// Best-of-N cycle-level throughput plus the (deterministic) run stats.
+fn measure_mcps(build: &dyn Fn() -> Machine, config: SimConfig) -> (f64, SimStats) {
+    let mut best = 0f64;
+    let mut stats = SimStats::default();
+    for _ in 0..reps() {
+        let mut sim = Simulator::new(config, build());
+        let t = Instant::now();
+        stats = sim.run(u64::MAX).expect("timing run").stats;
+        let elapsed = t.elapsed().as_secs_f64();
+        best = best.max(stats.cycles as f64 / elapsed / 1e6);
+    }
+    (best, stats)
+}
+
+/// Parses a `scripts/bench_timing_seed.sh` log: one
+/// `SEED <bench> <scenario> <mcps> <cycles>` line per run.
+fn read_seed_log() -> std::collections::HashMap<(String, String), (f64, u64)> {
+    let mut map = std::collections::HashMap::new();
+    let Ok(path) = std::env::var("DISE_TIMING_SEED_LOG") else {
+        return map;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("DISE_TIMING_SEED_LOG {path}: {e}"));
+    for line in text.lines() {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if let ["SEED", bench, scenario, mcps, cycles] = f[..] {
+            map.insert(
+                (bench.to_string(), scenario.to_string()),
+                (
+                    mcps.parse().expect("seed mcps"),
+                    cycles.parse().expect("seed cycles"),
+                ),
+            );
+        }
+    }
+    map
+}
+
+/// One scenario's measurements, assembled into output after the fan-out.
+struct ScenarioOut {
+    name: &'static str,
+    line: String,
+    row_json: String,
+    seed_s: Option<f64>,
+    slow_s: f64,
+    fast_s: f64,
+    cycles: u64,
+}
+
+/// Times the Figure 6 top sweep, uncached, at a given job count.
+fn time_sweep(jobs: usize) -> (f64, usize, String) {
+    let sweep = Sweep {
+        dyn_insts: dise_bench::dyn_budget(),
+        benches: benchmarks(),
+        pool: Pool::new(jobs),
+        cache: CellCache::disabled(),
+    };
+    let t = Instant::now();
+    let table = fig6::top(&sweep);
+    (t.elapsed().as_secs_f64(), sweep.benches.len() * 6, table)
+}
+
+fn main() {
+    let seed_log = read_seed_log();
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Rate measurements stay serial regardless of DISE_BENCH_JOBS — a
+    // contended core would corrupt the MCPS numbers. The pool is exercised
+    // (and timed) by the sweep section below.
+    let benches = benchmarks();
+    let per_bench: Vec<Vec<ScenarioOut>> = benches
+        .iter()
+        .map(|&bench| {
+            let p = workload(bench);
+            let c = compress(&p, CompressionConfig::dise_full());
+            let mut outs = Vec::new();
+            for s in scenarios(&p, &c) {
+                let (mcps_slow, stats_slow) = measure_mcps(&s.build, SimConfig::default().slow_path());
+                let (mcps_fast, stats_fast) = measure_mcps(&s.build, SimConfig::default());
+                assert_eq!(
+                    stats_slow, stats_fast,
+                    "{bench}/{}: SimStats diverged between timing paths",
+                    s.name
+                );
+                let cycles = stats_fast.cycles;
+                let speedup = mcps_fast / mcps_slow;
+                let seed = seed_log.get(&(bench.name().to_string(), s.name.to_string()));
+                if let Some((_, seed_cycles)) = seed {
+                    // The seed build must have simulated the exact same
+                    // cycle count, or its rate is not comparable.
+                    assert_eq!(
+                        *seed_cycles, cycles,
+                        "{bench}/{}: seed log cycle count diverged",
+                        s.name
+                    );
+                }
+                let seed_part = seed.map_or(String::new(), |(mcps_seed, _)| {
+                    format!(
+                        ", \"mcps_seed\": {mcps_seed:.2}, \
+                         \"speedup_vs_seed\": {:.3}",
+                        mcps_fast / mcps_seed
+                    )
+                });
+                outs.push(ScenarioOut {
+                    name: s.name,
+                    line: format!(
+                        "{bench:>8} {:>8}: {mcps_slow:>8.2} -> {mcps_fast:>8.2} MCPS \
+                         ({speedup:.2}x{}), {cycles} cycles",
+                        s.name,
+                        seed.map_or(String::new(), |(m, _)| format!(
+                            ", {:.2}x vs seed",
+                            mcps_fast / m
+                        )),
+                    ),
+                    row_json: format!(
+                        "      {{\"scenario\": \"{}\", \"cycles\": {cycles}, \
+                         \"mcps_slow\": {mcps_slow:.2}, \"mcps_fast\": {mcps_fast:.2}, \
+                         \"speedup\": {speedup:.3}{seed_part}}}",
+                        s.name
+                    ),
+                    seed_s: seed.map(|(m, _)| cycles as f64 / (m * 1e6)),
+                    slow_s: cycles as f64 / (mcps_slow * 1e6),
+                    fast_s: cycles as f64 / (mcps_fast * 1e6),
+                    cycles,
+                });
+            }
+            outs
+        })
+        .collect();
+
+    let mut bench_blocks = Vec::new();
+    // Per scenario: (name, seed seconds, slow seconds, fast seconds, cycles).
+    let mut totals: Vec<(&'static str, Option<f64>, f64, f64, u64)> = Vec::new();
+    for (bench, outs) in benches.iter().zip(&per_bench) {
+        let mut row_json = Vec::new();
+        for o in outs {
+            println!("{}", o.line);
+            match totals.iter_mut().find(|t| t.0 == o.name) {
+                Some(t) => {
+                    t.1 = t.1.zip(o.seed_s).map(|(a, b)| a + b);
+                    t.2 += o.slow_s;
+                    t.3 += o.fast_s;
+                    t.4 += o.cycles;
+                }
+                None => totals.push((o.name, o.seed_s, o.slow_s, o.fast_s, o.cycles)),
+            }
+            row_json.push(o.row_json.clone());
+        }
+        bench_blocks.push(format!(
+            "    {{\"benchmark\": \"{}\", \"runs\": [\n{}\n    ]}}",
+            bench.name(),
+            row_json.join(",\n")
+        ));
+    }
+
+    let mut agg = Vec::new();
+    let have_seed = !totals.is_empty() && totals.iter().all(|t| t.1.is_some());
+    let (mut base_s, mut fast_total_s) = (0.0, 0.0);
+    let mut total_cycles = 0u64;
+    for (name, seed_s, slow_s, fast_s, cycles) in &totals {
+        let seed_part = seed_s.map_or(String::new(), |s| {
+            format!(
+                ", \"mcps_seed\": {:.2}, \"speedup_vs_seed\": {:.3}",
+                *cycles as f64 / s / 1e6,
+                s / fast_s
+            )
+        });
+        agg.push(format!(
+            "    {{\"scenario\": \"{name}\", \"mcps_slow\": {:.2}, \
+             \"mcps_fast\": {:.2}, \"speedup\": {:.3}{seed_part}}}",
+            *cycles as f64 / slow_s / 1e6,
+            *cycles as f64 / fast_s / 1e6,
+            slow_s / fast_s
+        ));
+        base_s += if have_seed { seed_s.unwrap() } else { *slow_s };
+        fast_total_s += fast_s;
+        total_cycles += cycles;
+        println!(
+            "aggregate {name:>8}: {:>8.2} -> {:>8.2} MCPS ({:.2}x{})",
+            *cycles as f64 / slow_s / 1e6,
+            *cycles as f64 / fast_s / 1e6,
+            slow_s / fast_s,
+            seed_s.map_or(String::new(), |s| format!(", {:.2}x vs seed", s / fast_s)),
+        );
+    }
+    let headline = base_s / fast_total_s;
+    let headline_vs = if have_seed { "seed" } else { "slow_path" };
+    println!(
+        "timing speedup (all scenarios, {total_cycles} cycles, vs {headline_vs}): \
+         {headline:.2}x"
+    );
+
+    // Sweep wall-clock: the same cell list serially and through the pool.
+    let sweep_json = if std::env::var("DISE_BENCH_SWEEP").as_deref() == Ok("off") {
+        String::new()
+    } else {
+        let jobs = Pool::from_env().jobs();
+        let (serial_s, cells, serial_table) = time_sweep(1);
+        let (parallel_s, _, parallel_table) = time_sweep(jobs);
+        assert_eq!(
+            serial_table, parallel_table,
+            "sweep output diverged across job counts"
+        );
+        println!(
+            "sweep fig6-top ({cells} cells): serial {serial_s:.2}s, jobs={jobs} \
+             {parallel_s:.2}s ({:.2}x, host parallelism {host})",
+            serial_s / parallel_s
+        );
+        format!(
+            ",\n  \"sweep\": {{\"panel\": \"fig6_top\", \"cells\": {cells}, \
+             \"jobs\": {jobs}, \"serial_s\": {serial_s:.3}, \
+             \"parallel_s\": {parallel_s:.3}, \"speedup\": {:.3}}}",
+            serial_s / parallel_s
+        )
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"timing_fast_path\",\n  \
+         \"headline_speedup\": {headline:.3},\n  \
+         \"headline_vs\": \"{headline_vs}\",\n  \
+         \"host_parallelism\": {host},\n  \"aggregate\": [\n{}\n  ],\n  \
+         \"benchmarks\": [\n{}\n  ]{sweep_json}\n}}\n",
+        agg.join(",\n"),
+        bench_blocks.join(",\n")
+    );
+    let out = std::env::var("DISE_BENCH_OUT")
+        .unwrap_or_else(|_| "results/BENCH_timing.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("results dir");
+    }
+    std::fs::write(&out, json).expect("write results");
+    println!("wrote {out}");
+}

@@ -1,0 +1,193 @@
+//! Content-addressed per-cell result cache for the figure harness.
+//!
+//! Every sweep cell (one simulator run, compression, or other
+//! deterministic computation) is identified by a *key string* that spells
+//! out everything the result depends on: the workload generator
+//! parameters (benchmark, dynamic-instruction budget, seed), the engine
+//! and simulator configurations (their full `Debug` forms), and the kind
+//! of run. Results are `Vec<f64>` values stored one-per-line in
+//! shortest-round-trip `Display` form, so a warm cache reproduces
+//! byte-identical figure tables without re-simulating (asserted by
+//! `tests/determinism.rs`).
+//!
+//! The file name is the FNV-1a hash of the key; the key itself is stored
+//! on the first line and verified on read, so a hash collision degrades
+//! to a recompute, never to a wrong result. Writes go through a unique
+//! temporary file plus `rename`, so concurrent workers computing the same
+//! cell race benignly.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bump when the *meaning* of cached values changes without the key
+/// string changing (e.g. a simulator bug fix): stale caches must miss.
+pub const CACHE_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a — the cache's content-address hash. Stable across
+/// platforms and Rust versions, unlike `DefaultHasher`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A directory of cached cell results, or a disabled no-op.
+#[derive(Debug)]
+pub struct CellCache {
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl CellCache {
+    /// A cache that never stores anything (every lookup computes).
+    pub fn disabled() -> CellCache {
+        CellCache {
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache rooted at `dir` (created on first write).
+    pub fn at(dir: impl Into<PathBuf>) -> CellCache {
+        CellCache {
+            dir: Some(dir.into()),
+            ..CellCache::disabled()
+        }
+    }
+
+    /// The cache named by the environment: `DISE_BENCH_CACHE=off` disables
+    /// it, any other value is the cache directory, unset defaults to
+    /// `results/cache` under the current directory.
+    pub fn from_env() -> CellCache {
+        match std::env::var("DISE_BENCH_CACHE") {
+            Ok(v) if v == "off" => CellCache::disabled(),
+            Ok(v) => CellCache::at(v),
+            Err(_) => CellCache::at("results/cache"),
+        }
+    }
+
+    /// `(hits, misses)` so far — a warm full sweep reports zero misses.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn path_of(dir: &Path, key: &str) -> PathBuf {
+        dir.join(format!("{:016x}.cell", fnv1a(key.as_bytes())))
+    }
+
+    /// Looks `key` up; on a miss (or collision, or unreadable entry) runs
+    /// `compute` and stores its result.
+    pub fn get_or(&self, key: &str, compute: impl FnOnce() -> Vec<f64>) -> Vec<f64> {
+        debug_assert!(!key.contains('\n'), "cache keys are single-line");
+        let Some(dir) = &self.dir else {
+            return compute();
+        };
+        let path = CellCache::path_of(dir, key);
+        if let Some(values) = CellCache::read(&path, key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return values;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let values = compute();
+        self.write(dir, &path, key, &values);
+        values
+    }
+
+    fn read(path: &Path, key: &str) -> Option<Vec<f64>> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut lines = text.lines();
+        if lines.next() != Some(key) {
+            return None; // collision or stale format: recompute
+        }
+        lines.map(|l| l.parse().ok()).collect()
+    }
+
+    fn write(&self, dir: &Path, path: &Path, key: &str, values: &[f64]) {
+        let mut content = String::with_capacity(key.len() + values.len() * 24 + 1);
+        content.push_str(key);
+        for v in values {
+            // `Display` for f64 is shortest-round-trip in Rust: parsing the
+            // line back yields the identical bits, which is what makes a
+            // warm cache byte-identical to a cold run.
+            content.push('\n');
+            content.push_str(&format!("{v}"));
+        }
+        content.push('\n');
+        if std::fs::create_dir_all(dir).is_err() {
+            return; // cache is best-effort; the computed value still flows
+        }
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, content).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dise-cell-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trips_exact_values() {
+        let dir = tmpdir("roundtrip");
+        let cache = CellCache::at(&dir);
+        let vals = vec![1.0, 0.1 + 0.2, f64::MAX, 5e-324, -0.0, 123_456_789.123_456_79];
+        let got = cache.get_or("k1", || vals.clone());
+        assert_eq!(got, vals);
+        // Warm: identical bits, no recompute.
+        let got2 = cache.get_or("k1", || panic!("must not recompute"));
+        assert_eq!(
+            got2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(cache.stats(), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_recomputes() {
+        let dir = tmpdir("collision");
+        let cache = CellCache::at(&dir);
+        let k1 = "some key";
+        cache.get_or(k1, || vec![1.0]);
+        // Forge a collision: overwrite k1's file with a different key.
+        let path = CellCache::path_of(&dir, k1);
+        std::fs::write(&path, "other key\n9.0\n").unwrap();
+        let got = cache.get_or(k1, || vec![2.0]);
+        assert_eq!(got, vec![2.0], "collision must recompute, not alias");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let cache = CellCache::disabled();
+        let mut n = 0;
+        for _ in 0..3 {
+            cache.get_or("k", || {
+                n += 1;
+                vec![n as f64]
+            });
+        }
+        assert_eq!(n, 3);
+    }
+}

@@ -14,10 +14,31 @@
 //!   I-cache sizes (`cache`) and RT configurations / miss latencies
 //!   (`rt`).
 //!
-//! Each prints the same rows/series the paper's figures plot. The dynamic
-//! instruction budget per run defaults to 1M application instructions and
-//! can be overridden with the `DISE_BENCH_DYN` environment variable;
-//! `DISE_BENCH_FILTER=gcc,mcf` restricts the benchmark set.
+//! Each prints the same rows/series the paper's figures plot. The sweep
+//! bodies live in [`figures`]; the binaries are argument-parsing shells.
+//!
+//! ## Sweep execution model
+//!
+//! A sweep is a flat list of [`Cell`]s — one independent, deterministic
+//! computation each (typically a single simulator run). Cells fan out
+//! across a [`Pool`] of `DISE_BENCH_JOBS` workers (default: available
+//! parallelism) and land in a content-addressed [`CellCache`] under
+//! `results/cache/` (`DISE_BENCH_CACHE` overrides; `off` disables), so
+//! interrupted or repeated sweeps skip finished cells. Cell order — and
+//! therefore every figure table — is independent of the job count and of
+//! cache warmth.
+//!
+//! The dynamic instruction budget per run defaults to 1M application
+//! instructions and can be overridden with the `DISE_BENCH_DYN`
+//! environment variable; `DISE_BENCH_FILTER=gcc,mcf` restricts the
+//! benchmark set.
+
+pub mod cache;
+pub mod figures;
+pub mod pool;
+
+pub use cache::CellCache;
+pub use pool::Pool;
 
 use dise_acf::compress::{CompressedProgram, CompressionConfig, Compressor};
 use dise_acf::mfi::{Mfi, MfiVariant};
@@ -41,30 +62,113 @@ pub fn dyn_budget() -> u64 {
 /// The benchmark set, honoring `DISE_BENCH_FILTER`.
 pub fn benchmarks() -> Vec<Benchmark> {
     match std::env::var("DISE_BENCH_FILTER") {
-        Ok(filter) => Benchmark::ALL
-            .into_iter()
-            .filter(|b| filter.split(',').any(|f| f.trim() == b.name()))
+        Ok(filter) => filter
+            .split(',')
+            .filter_map(|f| Benchmark::from_name(f.trim()))
             .collect(),
         Err(_) => Benchmark::ALL.to_vec(),
     }
 }
 
-/// Generates the workload program for a benchmark at the configured
-/// budget.
+/// Generates the workload program for a benchmark at the env-configured
+/// budget (see [`Sweep::workload`] for the context-driven form).
 pub fn workload(bench: Benchmark) -> Program {
     bench.build(&WorkloadConfig::default().with_dyn_insts(dyn_budget()))
 }
 
-/// Simulation fuel: generous multiple of the application budget so
+/// Simulation fuel for a given application budget: a generous multiple so
 /// expanded streams and replays fit.
-fn fuel() -> u64 {
-    dyn_budget().saturating_mul(40).max(10_000_000)
+pub fn fuel_for(dyn_insts: u64) -> u64 {
+    dyn_insts.saturating_mul(40).max(10_000_000)
+}
+
+/// One independent, deterministic sweep computation: a cache key that
+/// spells out everything the result depends on, plus the closure that
+/// produces the result on a cache miss.
+pub struct Cell {
+    key: String,
+    run: Box<dyn Fn() -> Vec<f64> + Send + Sync>,
+}
+
+impl Cell {
+    /// Creates a cell from its key and compute closure.
+    pub fn new(key: String, run: impl Fn() -> Vec<f64> + Send + Sync + 'static) -> Cell {
+        Cell {
+            key,
+            run: Box::new(run),
+        }
+    }
+
+    /// The content-address key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Runs the computation (cache-unaware).
+    pub fn compute(&self) -> Vec<f64> {
+        (self.run)()
+    }
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell").field("key", &self.key).finish()
+    }
+}
+
+/// Everything a sweep needs: the workload budget, the benchmark set, the
+/// worker pool and the result cache. Binaries build one with
+/// [`Sweep::from_env`]; tests construct exact configurations directly.
+#[derive(Debug)]
+pub struct Sweep {
+    /// Dynamic application-instruction target per run.
+    pub dyn_insts: u64,
+    /// Benchmarks to sweep, in output order.
+    pub benches: Vec<Benchmark>,
+    /// Worker pool cells fan out across.
+    pub pool: Pool,
+    /// Per-cell result cache.
+    pub cache: CellCache,
+}
+
+impl Sweep {
+    /// A sweep configured from `DISE_BENCH_DYN`, `DISE_BENCH_FILTER`,
+    /// `DISE_BENCH_JOBS` and `DISE_BENCH_CACHE`.
+    pub fn from_env() -> Sweep {
+        Sweep {
+            dyn_insts: dyn_budget(),
+            benches: benchmarks(),
+            pool: Pool::from_env(),
+            cache: CellCache::from_env(),
+        }
+    }
+
+    /// Generates the workload program for a benchmark at this sweep's
+    /// budget.
+    pub fn workload(&self, bench: Benchmark) -> Program {
+        bench.build(&WorkloadConfig::default().with_dyn_insts(self.dyn_insts))
+    }
+
+    /// This sweep's per-run simulation fuel.
+    pub fn fuel(&self) -> u64 {
+        fuel_for(self.dyn_insts)
+    }
+
+    /// Runs every cell (through the cache, across the pool) and returns
+    /// values in cell order.
+    pub fn run_cells(&self, cells: &[Cell]) -> Vec<Vec<f64>> {
+        self.pool.run(cells, |_, cell| {
+            let values = self.cache.get_or(cell.key(), || cell.compute());
+            eprintln!("  [done] {}", cell.key());
+            values
+        })
+    }
 }
 
 /// Runs a bare program (no ACFs).
-pub fn run_baseline(program: &Program, config: SimConfig) -> SimStats {
+pub fn run_baseline(program: &Program, config: SimConfig, fuel: u64) -> SimStats {
     let mut sim = Simulator::new(config, Machine::load(program));
-    sim.run(fuel()).expect("baseline run").stats
+    sim.run(fuel).expect("baseline run").stats
 }
 
 /// Builds the MFI production set for `program` (error handler at its
@@ -82,6 +186,7 @@ pub fn run_dise_mfi(
     variant: MfiVariant,
     cost: ExpansionCost,
     config: SimConfig,
+    fuel: u64,
 ) -> SimStats {
     let mut m = Machine::load(program);
     m.attach_engine(
@@ -90,14 +195,14 @@ pub fn run_dise_mfi(
     );
     Mfi::init_machine(&mut m);
     let mut sim = Simulator::new(config.with_expansion_cost(cost), m);
-    sim.run(fuel()).expect("DISE MFI run").stats
+    sim.run(fuel).expect("DISE MFI run").stats
 }
 
 /// Runs a program under binary-rewriting memory fault isolation.
-pub fn run_rewrite_mfi(program: &Program, config: SimConfig) -> SimStats {
+pub fn run_rewrite_mfi(program: &Program, config: SimConfig, fuel: u64) -> SimStats {
     let rewritten = RewriteMfi::new().rewrite(program).expect("rewrite").program;
     let mut sim = Simulator::new(config, Machine::load(&rewritten));
-    sim.run(fuel()).expect("rewrite MFI run").stats
+    sim.run(fuel).expect("rewrite MFI run").stats
 }
 
 /// Compresses a program under a Figure 7 configuration.
@@ -110,13 +215,14 @@ pub fn run_compressed(
     compressed: &CompressedProgram,
     engine_config: EngineConfig,
     config: SimConfig,
+    fuel: u64,
 ) -> SimStats {
     let mut m = Machine::load(&compressed.program);
     compressed
         .attach(&mut m, engine_config)
         .expect("attach decompressor");
     let mut sim = Simulator::new(config, m);
-    sim.run(fuel()).expect("compressed run").stats
+    sim.run(fuel).expect("compressed run").stats
 }
 
 /// Runs the full DISE+DISE composition: a compressed program whose aware
@@ -128,6 +234,7 @@ pub fn run_composed_dise(
     engine_config: EngineConfig,
     config: SimConfig,
     eager: bool,
+    fuel: u64,
 ) -> SimStats {
     let aware = compressed
         .productions
@@ -152,7 +259,7 @@ pub fn run_composed_dise(
     m.attach_engine(engine);
     Mfi::init_machine(&mut m);
     let mut sim = Simulator::new(config, m);
-    sim.run(fuel()).expect("composed run").stats
+    sim.run(fuel).expect("composed run").stats
 }
 
 /// Formats one table row.
@@ -164,18 +271,20 @@ pub fn row(name: &str, cells: &[f64]) -> String {
     s
 }
 
-/// Prints a table with a geometric-mean footer.
-pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
-    println!("\n== {title} ==");
+/// Formats a table with a geometric-mean footer.
+pub fn format_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = format!("\n== {title} ==\n");
     let mut h = format!("{:>10}", "bench");
     for c in header {
         h.push_str(&format!(" {c:>9}"));
     }
-    println!("{h}");
+    out.push_str(&h);
+    out.push('\n');
     let ncols = header.len();
     let mut product = vec![1.0f64; ncols];
     for (name, cells) in rows {
-        println!("{}", row(name, cells));
+        out.push_str(&row(name, cells));
+        out.push('\n');
         for (i, c) in cells.iter().enumerate() {
             product[i] *= c.max(1e-12);
         }
@@ -183,6 +292,13 @@ pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
     if !rows.is_empty() {
         let n = rows.len() as f64;
         let gmean: Vec<f64> = product.into_iter().map(|p| p.powf(1.0 / n)).collect();
-        println!("{}", row("gmean", &gmean));
+        out.push_str(&row("gmean", &gmean));
+        out.push('\n');
     }
+    out
+}
+
+/// Prints a table with a geometric-mean footer.
+pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
+    print!("{}", format_table(title, header, rows));
 }

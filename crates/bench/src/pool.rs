@@ -1,0 +1,153 @@
+//! A hand-rolled scoped worker pool for the figure harness.
+//!
+//! The experiment sweeps are embarrassingly parallel: every (benchmark ×
+//! scenario × config) cell is an independent simulation. This pool fans a
+//! slice of jobs across `std::thread::scope` workers pulling from a shared
+//! atomic queue — no crates.io dependencies, which keeps the workspace
+//! building offline. Results come back **in item order** regardless of
+//! which worker ran what, so harness output is deterministic across job
+//! counts (asserted by `tests/determinism.rs`).
+//!
+//! Worker panics propagate to the caller: the scope joins every worker
+//! and re-raises the first panic payload, so a failing cell fails the
+//! sweep loudly instead of producing a truncated table.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-size worker pool. `jobs == 1` runs everything inline on the
+/// calling thread (no spawns), which is the deterministic baseline the
+/// parallel runs are compared against.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool with an explicit worker count (clamped to at least 1).
+    pub fn new(jobs: usize) -> Pool {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized from the environment: `DISE_BENCH_JOBS` if set and
+    /// parseable, otherwise the machine's available parallelism.
+    pub fn from_env() -> Pool {
+        let jobs = std::env::var("DISE_BENCH_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            });
+        Pool::new(jobs)
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item, fanning across up to `jobs` workers
+    /// (including the calling thread), and returns the results in item
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic after all workers have stopped.
+    pub fn run<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.jobs == 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let worker = || {
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            }
+        };
+        std::thread::scope(|s| {
+            let spawned: Vec<_> = (1..self.jobs.min(n))
+                .map(|_| s.spawn(worker))
+                .collect();
+            // The calling thread is worker 0.
+            worker();
+            for h in spawned {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index was claimed and completed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        // Stagger job durations so completion order differs from item
+        // order; the result vector must still line up with the input.
+        let items: Vec<u64> = (0..64).collect();
+        for jobs in [1, 2, 8] {
+            let out = Pool::new(jobs).run(&items, |i, &x| {
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+        let out = Pool::new(0).run(&[1, 2, 3], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = Pool::new(4).run(&[] as &[u32], |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).run(&items, |_, &x| {
+                if x == 17 {
+                    panic!("cell 17 exploded");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("cell 17 exploded"), "payload: {msg}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Harness determinism: figure tables must be byte-identical across
+//! worker counts and cache warmth.
+
+use dise_bench::figures::{fig6, fig7};
+use dise_bench::{CellCache, Pool, Sweep};
+use dise_workloads::Benchmark;
+
+fn sweep(jobs: usize, cache: CellCache) -> Sweep {
+    Sweep {
+        dyn_insts: 30_000,
+        benches: vec![Benchmark::Gcc, Benchmark::Mcf],
+        pool: Pool::new(jobs),
+        cache,
+    }
+}
+
+#[test]
+fn tables_identical_across_job_counts() {
+    // Uncached, so every job count actually simulates: the pool's ordered
+    // result collection is what is under test.
+    let serial = fig6::top(&sweep(1, CellCache::disabled()));
+    for jobs in [2, 8] {
+        let parallel = fig6::top(&sweep(jobs, CellCache::disabled()));
+        assert_eq!(serial, parallel, "fig6 top diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn warm_cache_reproduces_tables_without_resimulating() {
+    let dir = std::env::temp_dir().join(format!(
+        "dise-determinism-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_sweep = sweep(8, CellCache::at(&dir));
+    let cold = fig7::rt(&cold_sweep);
+    let (_, cold_misses) = cold_sweep.cache.stats();
+    assert!(cold_misses > 0, "cold sweep must simulate");
+
+    let warm_sweep = sweep(1, CellCache::at(&dir));
+    let warm = fig7::rt(&warm_sweep);
+    assert_eq!(cold, warm, "warm-cache table diverged from cold run");
+    let (warm_hits, warm_misses) = warm_sweep.cache.stats();
+    assert_eq!(warm_misses, 0, "warm sweep must not re-simulate");
+    assert!(warm_hits > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -58,12 +58,27 @@ impl CacheStats {
 
 /// One set-associative cache with LRU replacement. Tags only (no data —
 /// the functional machine holds the actual values).
+///
+/// Storage is a single flat MRU-first tag array (`assoc` ways per set)
+/// rather than per-set vectors: `access` runs once or twice per committed
+/// instruction, so it avoids pointer chasing, keeps the common
+/// hit-at-MRU case shuffle-free, and — since every paper geometry has
+/// power-of-two line size and set count — indexes with shifts and masks
+/// instead of 64-bit divisions (a div/mod fallback covers odd
+/// geometries). Hit/miss behavior is identical to the textbook
+/// remove/insert-front formulation.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// `sets[i]` holds tags, MRU first. Empty vector for perfect caches.
-    sets: Vec<Vec<u64>>,
+    /// MRU-first ways: set `i` occupies `tags[i*assoc ..][..lens[i]]`.
+    tags: Box<[u64]>,
+    /// Resident ways per set (≤ assoc).
+    lens: Box<[u32]>,
+    assoc: usize,
     num_sets: u64,
+    /// `(line_shift, set_mask, set_bits)` when the geometry is
+    /// power-of-two; `None` falls back to division.
+    shifts: Option<(u32, u64, u32)>,
     stats: CacheStats,
 }
 
@@ -86,10 +101,22 @@ impl Cache {
                 size / (config.line * config.assoc as u64)
             }
         };
+        let shifts = (config.line.is_power_of_two() && num_sets.is_power_of_two())
+            .then(|| {
+                (
+                    config.line.trailing_zeros(),
+                    num_sets - 1,
+                    num_sets.trailing_zeros(),
+                )
+            });
+        let assoc = config.assoc as usize;
         Cache {
             config,
-            sets: vec![Vec::new(); num_sets as usize],
+            tags: vec![0; num_sets as usize * assoc].into_boxed_slice(),
+            lens: vec![0; num_sets as usize].into_boxed_slice(),
+            assoc,
             num_sets,
+            shifts,
             stats: CacheStats::default(),
         }
     }
@@ -104,6 +131,21 @@ impl Cache {
         self.stats
     }
 
+    /// Splits `addr` into `(set index, tag)`.
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        match self.shifts {
+            Some((line_shift, set_mask, set_bits)) => {
+                let line = addr >> line_shift;
+                ((line & set_mask) as usize, line >> set_bits)
+            }
+            None => {
+                let line = addr / self.config.line;
+                ((line % self.num_sets) as usize, line / self.num_sets)
+            }
+        }
+    }
+
     /// Probes the cache for the line containing `addr`; fills on miss.
     /// Returns true on hit.
     pub fn access(&mut self, addr: u64) -> bool {
@@ -111,20 +153,26 @@ impl Cache {
         if self.config.size.is_none() {
             return true;
         }
-        let line = addr / self.config.line;
-        let set_ix = (line % self.num_sets) as usize;
-        let tag = line / self.num_sets;
-        let set = &mut self.sets[set_ix];
-        if let Some(pos) = set.iter().position(|t| *t == tag) {
-            let t = set.remove(pos);
-            set.insert(0, t);
-            true
-        } else {
-            self.stats.misses += 1;
-            set.insert(0, tag);
-            set.truncate(self.config.assoc as usize);
-            false
+        let (set_ix, tag) = self.locate(addr);
+        let len = self.lens[set_ix] as usize;
+        let ways = &mut self.tags[set_ix * self.assoc..][..self.assoc];
+        if len > 0 && ways[0] == tag {
+            return true; // already MRU: nothing to reorder
         }
+        for i in 1..len {
+            if ways[i] == tag {
+                // Move the hit way to MRU, sliding the younger ways down.
+                ways[..=i].rotate_right(1);
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        // Fill at MRU; the rotate evicts the LRU way once the set is full.
+        let new_len = (len + 1).min(self.assoc);
+        ways[..new_len].rotate_right(1);
+        ways[0] = tag;
+        self.lens[set_ix] = new_len as u32;
+        false
     }
 
     /// True if an access spanning `[addr, addr+len)` crosses a line
@@ -217,8 +265,12 @@ impl MemoryHierarchy {
     }
 
     fn lines_touched(addr: u64, len: u64, line: u64) -> impl Iterator<Item = u64> {
-        let first = addr / line;
-        let last = (addr + len.max(1) - 1) / line;
+        let (first, last) = if line.is_power_of_two() {
+            let s = line.trailing_zeros();
+            (addr >> s, (addr + len.max(1) - 1) >> s)
+        } else {
+            (addr / line, (addr + len.max(1) - 1) / line)
+        };
         (first..=last).map(move |l| l * line)
     }
 

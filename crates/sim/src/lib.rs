@@ -52,6 +52,7 @@ pub mod cache;
 pub mod machine;
 pub mod mem;
 pub mod pipeline;
+pub mod ring;
 
 pub use bpred::{BpredConfig, BranchPredictor};
 pub use cache::{Cache, CacheConfig, MemoryHierarchy, MemoryHierarchyConfig};

@@ -141,6 +141,29 @@ pub struct StepInfo {
     pub dise_stall: u64,
 }
 
+impl Default for StepInfo {
+    /// A placeholder report (a retired `nop` at PC 0) for callers that
+    /// preallocate the [`Machine::step_into`] output slot.
+    fn default() -> StepInfo {
+        StepInfo {
+            pc: 0,
+            disepc: 0,
+            inst: Inst::nop(),
+            is_replacement: false,
+            first_of_fetch: false,
+            fetch_size: 4,
+            expansion_len: 1,
+            expanded: false,
+            taken: None,
+            target: None,
+            dise_taken: false,
+            predicted: false,
+            mem_addr: None,
+            dise_stall: 0,
+        }
+    }
+}
+
 /// Result of a [`Machine::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunResult {
@@ -313,9 +336,24 @@ impl Machine {
     ///
     /// Fails on fetch errors, unexpandable codewords, or engine errors.
     pub fn step(&mut self) -> Result<Option<StepInfo>> {
-        let mut out = None;
-        self.step_inner::<true>(&mut out)?;
-        Ok(out)
+        let mut out = StepInfo::default();
+        Ok(self.step_inner::<true>(&mut out)?.then_some(out))
+    }
+
+    /// Executes one dynamic instruction, filling a caller-owned report in
+    /// place. Returns `false` once halted (leaving `out` untouched).
+    ///
+    /// Timing-oriented variant of [`Machine::step`]: the ~90-byte
+    /// [`StepInfo`] is written straight into the caller's slot instead of
+    /// being moved through `Result<Option<StepInfo>>` on every retired
+    /// instruction — the cycle-level simulator's oracle loop reuses one
+    /// slot for an entire run.
+    ///
+    /// # Errors
+    ///
+    /// Fails on fetch errors, unexpandable codewords, or engine errors.
+    pub fn step_into(&mut self, out: &mut StepInfo) -> Result<bool> {
+        self.step_inner::<true>(out)
     }
 
     /// The step body, monomorphized on whether the caller wants a
@@ -324,7 +362,7 @@ impl Machine {
     /// only it) at compile time; execution is otherwise identical.
     /// Returns `false` once halted; `out` is filled iff `INFO` and a step
     /// retired.
-    fn step_inner<const INFO: bool>(&mut self, out: &mut Option<StepInfo>) -> Result<bool> {
+    fn step_inner<const INFO: bool>(&mut self, out: &mut StepInfo) -> Result<bool> {
         if self.halted {
             return Ok(false);
         }
@@ -455,7 +493,7 @@ impl Machine {
             let predicted = !is_replacement
                 || trigger_inst == Some(inst)
                 || self.disepc + 1 == len;
-            *out = Some(StepInfo {
+            *out = StepInfo {
                 pc: self.pc,
                 disepc: self.disepc,
                 inst,
@@ -473,7 +511,7 @@ impl Machine {
                 predicted,
                 mem_addr,
                 dise_stall,
-            });
+            };
         }
 
         // Advance (PC, DISEPC).
@@ -510,7 +548,7 @@ impl Machine {
     /// Propagates step errors; returns [`SimError::OutOfFuel`] if the
     /// budget is exhausted first.
     pub fn run(&mut self, max_steps: u64) -> Result<RunResult> {
-        let mut out = None;
+        let mut out = StepInfo::default();
         for _ in 0..max_steps {
             if !self.step_inner::<false>(&mut out)? {
                 return Ok(RunResult {

@@ -28,6 +28,7 @@
 use crate::bpred::{BpredConfig, BpredStats, BranchPredictor};
 use crate::cache::{CacheStats, MemoryHierarchy, MemoryHierarchyConfig};
 use crate::machine::{exec_latency, timing_sources, Machine, StepInfo};
+use crate::ring::Ring;
 use crate::{Result, SimError};
 use dise_isa::OpClass;
 use std::collections::{HashMap, VecDeque};
@@ -65,6 +66,12 @@ pub struct SimConfig {
     pub bpred: BpredConfig,
     /// DISE engine placement cost.
     pub expansion_cost: ExpansionCost,
+    /// Use the timing-model fast path: a direct-mapped store-granule table
+    /// instead of a `HashMap`, fixed ring buffers for the ROB/RS windows,
+    /// and the in-place [`Machine::step_into`] oracle loop. Purely a
+    /// simulation-speed knob — statistics are bit-identical with it off
+    /// (differentially tested in `tests/timing_fastpath.rs`).
+    pub fast_path: bool,
 }
 
 impl Default for SimConfig {
@@ -77,6 +84,7 @@ impl Default for SimConfig {
             mem: MemoryHierarchyConfig::default(),
             bpred: BpredConfig::default(),
             expansion_cost: ExpansionCost::Free,
+            fast_path: true,
         }
     }
 }
@@ -100,6 +108,14 @@ impl SimConfig {
     /// Sets the DISE expansion cost model.
     pub fn with_expansion_cost(mut self, cost: ExpansionCost) -> SimConfig {
         self.expansion_cost = cost;
+        self
+    }
+
+    /// Disables the timing-model fast path (store table, ring windows,
+    /// in-place stepping) — used by differential tests and honest baseline
+    /// measurements of the fast path itself.
+    pub fn slow_path(mut self) -> SimConfig {
+        self.fast_path = false;
         self
     }
 }
@@ -188,6 +204,137 @@ impl SlotAlloc {
     }
 }
 
+/// Index bits of the direct-mapped store-granule table. 2^15 granules
+/// cover a 256KB store working set collision-free; colliding granules
+/// spill to an exact overflow map, so capacity is a speed knob only.
+const STORE_BITS: u32 = 15;
+
+/// Empty-slot sentinel. Granules are `addr >> 3`, so they never exceed
+/// `2^61 - 1` and `u64::MAX` is unreachable as a tag.
+const STORE_EMPTY: u64 = u64::MAX;
+
+/// Completion times of the youngest store to each 8-byte granule
+/// (store-to-load forwarding). The fast variant is a direct-mapped
+/// tag+time table (Fibonacci-hashed like `mem.rs`) with an overflow map
+/// for colliding granules — every granule lives in exactly one of the
+/// two, so lookups are exact and results match the plain `HashMap` of the
+/// retained slow path bit for bit.
+#[derive(Debug)]
+enum StoreTable {
+    Fast {
+        tags: Box<[u64]>,
+        times: Box<[u64]>,
+        overflow: HashMap<u64, u64>,
+    },
+    Slow(HashMap<u64, u64>),
+}
+
+impl StoreTable {
+    fn new(fast: bool) -> StoreTable {
+        if fast {
+            StoreTable::Fast {
+                tags: vec![STORE_EMPTY; 1 << STORE_BITS].into_boxed_slice(),
+                times: vec![0; 1 << STORE_BITS].into_boxed_slice(),
+                overflow: HashMap::new(),
+            }
+        } else {
+            StoreTable::Slow(HashMap::new())
+        }
+    }
+
+    #[inline]
+    fn slot(granule: u64) -> usize {
+        (granule.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - STORE_BITS)) as usize
+    }
+
+    #[inline]
+    fn get(&self, granule: u64) -> Option<u64> {
+        match self {
+            StoreTable::Fast {
+                tags,
+                times,
+                overflow,
+            } => {
+                let ix = StoreTable::slot(granule);
+                if tags[ix] == granule {
+                    Some(times[ix])
+                } else {
+                    overflow.get(&granule).copied()
+                }
+            }
+            StoreTable::Slow(map) => map.get(&granule).copied(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, granule: u64, time: u64) {
+        match self {
+            StoreTable::Fast {
+                tags,
+                times,
+                overflow,
+            } => {
+                let ix = StoreTable::slot(granule);
+                if tags[ix] == granule || tags[ix] == STORE_EMPTY {
+                    tags[ix] = granule;
+                    times[ix] = time;
+                } else {
+                    // Slot claimed by another granule: exact spill. Never
+                    // evict — losing a forwarding time would change cycle
+                    // counts.
+                    overflow.insert(granule, time);
+                }
+            }
+            StoreTable::Slow(map) => {
+                map.insert(granule, time);
+            }
+        }
+    }
+}
+
+/// An in-flight window (ROB or RS) of timestamps: a fixed ring that never
+/// reallocates on the fast path, the original `VecDeque` on the retained
+/// slow path.
+#[derive(Debug)]
+enum Window {
+    Fast(Ring),
+    Slow(VecDeque<u64>),
+}
+
+impl Window {
+    fn new(fast: bool, cap: usize) -> Window {
+        if fast {
+            Window::Fast(Ring::with_capacity(cap))
+        } else {
+            Window::Slow(VecDeque::with_capacity(cap))
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Window::Fast(r) => r.len(),
+            Window::Slow(q) => q.len(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: u64) {
+        match self {
+            Window::Fast(r) => r.push(v),
+            Window::Slow(q) => q.push_back(v),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u64> {
+        match self {
+            Window::Fast(r) => r.pop(),
+            Window::Slow(q) => q.pop_front(),
+        }
+    }
+}
+
 /// The timing simulator. Owns the functional oracle machine.
 #[derive(Debug)]
 pub struct Simulator {
@@ -198,16 +345,23 @@ pub struct Simulator {
     fetch: SlotAlloc,
     commit: SlotAlloc,
     /// Commit times of in-flight instructions (ROB occupancy).
-    rob: VecDeque<u64>,
+    rob: Window,
     /// Issue times of in-flight instructions (RS occupancy).
-    rs: VecDeque<u64>,
+    rs: Window,
     /// Completion time of the last producer of each register.
     reg_ready: [u64; dise_isa::reg::NUM_REGS],
     /// Completion time of the last store to each 8-byte granule
     /// (store-to-load forwarding).
-    store_ready: HashMap<u64, u64>,
+    store_ready: StoreTable,
     last_commit: u64,
     stats: SimStats,
+    // Per-instruction configuration, hoisted out of `account` (the config
+    // struct is cold-cache by the time the oracle step returns).
+    frontend_depth: u64,
+    rob_cap: usize,
+    rs_cap: usize,
+    l1_latency: u64,
+    stall_on_expand: bool,
 }
 
 impl Simulator {
@@ -224,12 +378,17 @@ impl Simulator {
             bpred: BranchPredictor::new(config.bpred),
             fetch: SlotAlloc::new(config.width),
             commit: SlotAlloc::new(config.width),
-            rob: VecDeque::with_capacity(config.rob_size),
-            rs: VecDeque::with_capacity(config.rs_size),
+            rob: Window::new(config.fast_path, config.rob_size),
+            rs: Window::new(config.fast_path, config.rs_size),
             reg_ready: [0; dise_isa::reg::NUM_REGS],
-            store_ready: HashMap::new(),
+            store_ready: StoreTable::new(config.fast_path),
             last_commit: 0,
             stats: SimStats::default(),
+            frontend_depth: config.frontend_depth,
+            rob_cap: config.rob_size,
+            rs_cap: config.rs_size,
+            l1_latency: config.mem.l1_latency,
+            stall_on_expand: config.expansion_cost == ExpansionCost::StallPerExpansion,
             config,
             machine,
         }
@@ -254,11 +413,24 @@ impl Simulator {
     /// Propagates functional-machine errors; returns
     /// [`SimError::OutOfFuel`] if the budget is exhausted first.
     pub fn run(&mut self, max_insts: u64) -> Result<SimResult> {
-        for _ in 0..max_insts {
-            let Some(info) = self.machine.step()? else {
-                return Ok(self.finish(true));
-            };
-            self.account(&info);
+        if self.config.fast_path {
+            // In-place oracle stepping: one caller-owned StepInfo reused
+            // across the whole run instead of a per-instruction
+            // `Option<StepInfo>` moved through the return value.
+            let mut info = StepInfo::default();
+            for _ in 0..max_insts {
+                if !self.machine.step_into(&mut info)? {
+                    return Ok(self.finish(true));
+                }
+                self.account(&info);
+            }
+        } else {
+            for _ in 0..max_insts {
+                let Some(info) = self.machine.step()? else {
+                    return Ok(self.finish(true));
+                };
+                self.account(&info);
+            }
         }
         if self.machine.halted() {
             Ok(self.finish(true))
@@ -287,8 +459,6 @@ impl Simulator {
 
     /// Accounts one retired dynamic instruction.
     fn account(&mut self, info: &StepInfo) {
-        let cfg = &self.config;
-
         // ---- fetch ----------------------------------------------------
         let mut fetch_ready = 0u64;
 
@@ -300,13 +470,13 @@ impl Simulator {
         }
 
         // Structural back-pressure: ROB and RS occupancy throttle fetch.
-        if self.rob.len() >= cfg.rob_size {
-            let freed = self.rob.pop_front().expect("non-empty");
-            fetch_ready = fetch_ready.max(freed.saturating_sub(cfg.frontend_depth));
+        if self.rob.len() >= self.rob_cap {
+            let freed = self.rob.pop().expect("non-empty");
+            fetch_ready = fetch_ready.max(freed.saturating_sub(self.frontend_depth));
         }
-        if self.rs.len() >= cfg.rs_size {
-            let freed = self.rs.pop_front().expect("non-empty");
-            fetch_ready = fetch_ready.max(freed.saturating_sub(cfg.frontend_depth));
+        if self.rs.len() >= self.rs_cap {
+            let freed = self.rs.pop().expect("non-empty");
+            fetch_ready = fetch_ready.max(freed.saturating_sub(self.frontend_depth));
         }
 
         let mut fetch_time = self.fetch.alloc(fetch_ready);
@@ -314,7 +484,7 @@ impl Simulator {
         // Stall-per-expansion engine placement: the PT/RT read costs one
         // cycle per actual expansion, delaying everything behind the
         // trigger by a cycle.
-        if info.expanded && cfg.expansion_cost == ExpansionCost::StallPerExpansion {
+        if info.expanded && self.stall_on_expand {
             self.fetch.cycle = fetch_time + 1;
             self.fetch.used = 0;
         }
@@ -323,16 +493,16 @@ impl Simulator {
         // instructions stream from the RT and skip the I-cache).
         if info.first_of_fetch {
             let latency = self.mem.ifetch(info.pc, info.fetch_size);
-            if latency > cfg.mem.l1_latency {
+            if latency > self.l1_latency {
                 // Miss: fetch stalls until the fill returns.
-                fetch_time += latency - cfg.mem.l1_latency;
+                fetch_time += latency - self.l1_latency;
                 self.fetch.cycle = fetch_time;
                 self.fetch.used = 1;
             }
         }
 
         // ---- dispatch / issue / complete -------------------------------
-        let dispatch = fetch_time + cfg.frontend_depth;
+        let dispatch = fetch_time + self.frontend_depth;
         let mut ready = dispatch + 1;
         for src in timing_sources(&info.inst) {
             ready = ready.max(self.reg_ready[src.index()]);
@@ -342,8 +512,8 @@ impl Simulator {
         // (perfect memory-dependence speculation with forwarding).
         if class == OpClass::Load {
             if let Some(addr) = info.mem_addr {
-                if let Some(t) = self.store_ready.get(&(addr >> 3)) {
-                    ready = ready.max(*t);
+                if let Some(t) = self.store_ready.get(addr >> 3) {
+                    ready = ready.max(t);
                 }
             }
         }
@@ -416,8 +586,8 @@ impl Simulator {
         // ---- commit -----------------------------------------------------
         let commit = self.commit.alloc(complete.max(self.last_commit));
         self.last_commit = commit.max(self.last_commit);
-        self.rob.push_back(commit);
-        self.rs.push_back(issue + 1);
+        self.rob.push(commit);
+        self.rs.push(issue + 1);
     }
 }
 
@@ -427,6 +597,69 @@ mod tests {
     use dise_core::{dsl, DiseEngine, EngineConfig};
     use dise_isa::{Assembler, Program, Reg};
     use std::collections::BTreeMap;
+
+    #[test]
+    fn slot_alloc_width_one_serializes() {
+        let mut a = SlotAlloc::new(1);
+        // Every allocation at width 1 lands in its own cycle.
+        assert_eq!(a.alloc(0), 0);
+        assert_eq!(a.alloc(0), 1);
+        assert_eq!(a.alloc(0), 2);
+        // A later ready time jumps forward and resets the group.
+        assert_eq!(a.alloc(10), 10);
+        assert_eq!(a.alloc(0), 11);
+    }
+
+    #[test]
+    fn slot_alloc_ready_in_the_past_is_ignored() {
+        let mut a = SlotAlloc::new(4);
+        assert_eq!(a.alloc(5), 5);
+        // `ready` below the current cycle must not move the clock back;
+        // the group keeps filling at cycle 5.
+        assert_eq!(a.alloc(0), 5);
+        assert_eq!(a.alloc(3), 5);
+        assert_eq!(a.alloc(0), 5);
+        // Width exhausted: the fifth slot spills into cycle 6.
+        assert_eq!(a.alloc(0), 6);
+    }
+
+    #[test]
+    fn slot_alloc_break_group_at_boundary() {
+        let mut a = SlotAlloc::new(4);
+        // Exactly fill a group, break it, and break it again while empty:
+        // a second break in the same cycle must not skip a cycle.
+        for _ in 0..4 {
+            assert_eq!(a.alloc(0), 0);
+        }
+        a.break_group();
+        a.break_group();
+        assert_eq!(a.alloc(0), 1, "double break still advances one cycle");
+        a.break_group();
+        assert_eq!(a.alloc(0), 2, "break after one slot starts a new cycle");
+    }
+
+    #[test]
+    fn store_table_collisions_are_exact() {
+        let mut fast = StoreTable::new(true);
+        let mut slow = StoreTable::new(false);
+        // Granules engineered to collide in the direct-mapped table: the
+        // multiplicative hash keeps only STORE_BITS top bits, so sweep
+        // until two slots collide, then verify both kept exact times.
+        let g0 = 1u64;
+        let mut g1 = 2u64;
+        while StoreTable::slot(g1) != StoreTable::slot(g0) {
+            g1 += 1;
+        }
+        for (i, g) in [g0, g1, g0, g1].into_iter().enumerate() {
+            fast.insert(g, 100 + i as u64);
+            slow.insert(g, 100 + i as u64);
+        }
+        for g in [g0, g1, 777u64] {
+            assert_eq!(fast.get(g), slow.get(g), "granule {g}");
+        }
+        assert_eq!(fast.get(g0), Some(102));
+        assert_eq!(fast.get(g1), Some(103));
+    }
 
     fn asm(listing: &str) -> Program {
         Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))

@@ -99,6 +99,12 @@ impl Benchmark {
         }
     }
 
+    /// Looks a benchmark up by its display name (as printed by
+    /// [`Benchmark::name`]); `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+    }
+
     /// The benchmark's generation profile.
     pub fn profile(self) -> Profile {
         profile::profile_of(self)
@@ -147,5 +153,13 @@ impl WorkloadConfig {
     pub fn with_dyn_insts(mut self, n: u64) -> WorkloadConfig {
         self.dyn_insts = n;
         self
+    }
+
+    /// A stable one-line fingerprint of the generator parameters. Program
+    /// generation is a pure function of `(benchmark, fingerprint)`, which
+    /// is what makes it usable as a content-address component for cached
+    /// simulation results.
+    pub fn fingerprint(&self) -> String {
+        format!("dyn={},seed={}", self.dyn_insts, self.seed)
     }
 }

@@ -3,17 +3,40 @@
 # tiny dynamic-instruction budget and a three-benchmark subset, writing to
 # results/smoke/ — a minutes-to-seconds end-to-end check that every
 # harness still runs, not a source of publishable numbers.
+#
+# `--jobs N` (or DISE_BENCH_JOBS) sets the worker count the harnesses fan
+# their simulation cells across; the default is the machine's available
+# parallelism. Output tables are byte-identical at any job count. Cells
+# land in a content-addressed cache (results/cache/, or
+# results/smoke/cache in smoke mode), so interrupted or repeated runs skip
+# finished simulations; DISE_BENCH_CACHE=off disables it.
 set -e
 OUT=results
-if [ "${1:-}" = "--smoke" ]; then
+SMOKE=
+JOBS=${DISE_BENCH_JOBS:-}
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --smoke) SMOKE=1 ;;
+        --jobs) shift; JOBS=$1 ;;
+        --jobs=*) JOBS=${1#--jobs=} ;;
+        *) echo "usage: $0 [--smoke] [--jobs N]" >&2; exit 2 ;;
+    esac
+    shift
+done
+cd "$(dirname "$0")"
+if [ -n "$SMOKE" ]; then
     export DISE_BENCH_DYN=${DISE_BENCH_DYN:-20000}
     export DISE_BENCH_FILTER=${DISE_BENCH_FILTER:-gzip,mcf,gcc}
+    export DISE_BENCH_JOBS=${JOBS:-2}
+    export DISE_BENCH_CACHE=${DISE_BENCH_CACHE:-results/smoke/cache}
     OUT=results/smoke
-    echo "== smoke mode: DYN=$DISE_BENCH_DYN FILTER=$DISE_BENCH_FILTER =="
+    echo "== smoke mode: DYN=$DISE_BENCH_DYN FILTER=$DISE_BENCH_FILTER JOBS=$DISE_BENCH_JOBS =="
 else
     export DISE_BENCH_DYN=${DISE_BENCH_DYN:-500000}
+    if [ -n "$JOBS" ]; then
+        export DISE_BENCH_JOBS=$JOBS
+    fi
 fi
-cd "$(dirname "$0")"
 mkdir -p "$OUT"
 echo "== fig6 ($(date)) =="
 ./target/release/fig6_mfi  > "$OUT"/fig6.txt 2> "$OUT"/fig6.log

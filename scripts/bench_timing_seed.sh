@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Measures pre-fast-path timing-model throughput on the benchmark suite.
+#
+# Checks the given commit (default: HEAD — pass the commit *before* the
+# timing fast path landed, e.g. HEAD~1 once it is merged) into a scratch
+# worktree, adds scripts/timing_seed.rs as a measurement bin, builds it
+# against that tree's crates, and runs it. The resulting log
+# (results/timing_seed.log) feeds the timing_speed harness:
+#
+#   ./scripts/bench_timing_seed.sh <pre-fast-path-commit>
+#   DISE_TIMING_SEED_LOG=results/timing_seed.log ./target/release/timing_speed
+#
+# DISE_BENCH_DYN / DISE_BENCH_FILTER / DISE_BENCH_REPS pass through to the
+# seed run; use the same DYN/FILTER values for both commands or
+# timing_speed will reject the log when the cycle counts disagree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WT=.timingwt
+SEED_COMMIT=$(git rev-parse "${1:-HEAD}")
+
+if [ ! -d "$WT" ]; then
+    git worktree add "$WT" "$SEED_COMMIT"
+fi
+
+cp scripts/timing_seed.rs "$WT/crates/bench/src/bin/timing_seed.rs"
+(cd "$WT" && cargo build --release -p dise-bench --bin timing_seed)
+
+mkdir -p results
+(cd "$WT" && ./target/release/timing_seed) | tee results/timing_seed.log
+echo "timing seed log written to results/timing_seed.log (commit $SEED_COMMIT)"
+echo "remove the scratch worktree with: git worktree remove --force $WT"

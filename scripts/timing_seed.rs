@@ -1,0 +1,105 @@
+//! Seed-commit timing-model throughput measurement.
+//!
+//! `scripts/bench_timing_seed.sh` copies this file into a scratch
+//! worktree of the pre-fast-path commit and builds it against *that*
+//! tree's crates, so the rates it prints are the real predecessor
+//! timing model, not a reconstruction. Output format (consumed by the
+//! `timing_speed` harness via `DISE_TIMING_SEED_LOG`):
+//!
+//! ```text
+//! SEED <bench> <scenario> <mcps> <cycles>
+//! ```
+//!
+//! The cycle count lets the harness verify the seed simulated the exact
+//! same work before comparing rates.
+
+use std::time::Instant;
+
+use dise_acf::compress::{CompressedProgram, CompressionConfig};
+use dise_acf::mfi::{Mfi, MfiVariant};
+use dise_bench::{benchmarks, compress, mfi_productions, workload};
+use dise_core::{compose, DiseEngine, EngineConfig};
+use dise_isa::Program;
+use dise_sim::{Machine, SimConfig, Simulator};
+
+/// Best-of rep count (`DISE_BENCH_REPS`, default 3) — match the value
+/// used for the `timing_speed` run the log will be compared against.
+fn reps() -> usize {
+    std::env::var("DISE_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+struct Scenario<'a> {
+    name: &'static str,
+    build: Box<dyn Fn() -> Machine + 'a>,
+}
+
+fn scenarios<'a>(p: &'a Program, c: &'a CompressedProgram) -> Vec<Scenario<'a>> {
+    vec![
+        Scenario {
+            name: "baseline",
+            build: Box::new(|| Machine::load(p)),
+        },
+        Scenario {
+            name: "mfi",
+            build: Box::new(|| {
+                let mut m = Machine::load(p);
+                m.attach_engine(
+                    DiseEngine::with_productions(
+                        EngineConfig::default(),
+                        mfi_productions(p, MfiVariant::Dise3),
+                    )
+                    .expect("engine"),
+                );
+                Mfi::init_machine(&mut m);
+                m
+            }),
+        },
+        Scenario {
+            name: "compress",
+            build: Box::new(|| {
+                let mut m = Machine::load(&c.program);
+                c.attach(&mut m, EngineConfig::default()).expect("attach");
+                m
+            }),
+        },
+        Scenario {
+            name: "composed",
+            build: Box::new(|| {
+                let aware = c.productions.clone().expect("aware productions");
+                let mfi = mfi_productions(&c.program, MfiVariant::Dise3);
+                let composed = compose::compose_nested(&mfi, &aware).expect("compose");
+                let mut m = Machine::load(&c.program);
+                m.attach_engine(
+                    DiseEngine::with_productions(EngineConfig::default(), composed)
+                        .expect("engine"),
+                );
+                Mfi::init_machine(&mut m);
+                m
+            }),
+        },
+    ]
+}
+
+fn main() {
+    for bench in benchmarks() {
+        let p = workload(bench);
+        let c = compress(&p, CompressionConfig::dise_full());
+        for s in scenarios(&p, &c) {
+            let mut best = 0f64;
+            let mut cycles = 0u64;
+            for _ in 0..reps() {
+                let mut sim = Simulator::new(SimConfig::default(), (s.build)());
+                let t = Instant::now();
+                let stats = sim.run(u64::MAX).expect("timing run").stats;
+                let elapsed = t.elapsed().as_secs_f64();
+                cycles = stats.cycles;
+                best = best.max(cycles as f64 / elapsed / 1e6);
+            }
+            println!("SEED {} {} {best:.2} {cycles}", bench.name(), s.name);
+        }
+    }
+}
