@@ -14,11 +14,16 @@
 //! Cells fan out across `DISE_BENCH_JOBS` workers and are cached under
 //! `results/cache/` (`DISE_BENCH_CACHE`).
 
+//!
+//! Shared telemetry flags: `--trace` / `--trace-last N` arm the per-run
+//! event ring and deadlock watchdog (dump on anomaly); `--stats-json
+//! PATH` exports every cell's stats-registry snapshot as JSON.
 use dise_bench::figures::fig7;
 use dise_bench::Sweep;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats_out = dise_bench::parse_telemetry_args(&mut args);
     let all = args.is_empty();
     let want = |p: &str| all || args.iter().any(|a| a == p);
     let sweep = Sweep::from_env();
@@ -30,5 +35,9 @@ fn main() {
     }
     if want("rt") {
         print!("{}", fig7::rt(&sweep));
+    }
+    if let Some(path) = stats_out {
+        std::fs::write(&path, sweep.stats_json()).expect("write stats JSON");
+        eprintln!("wrote {}", path.display());
     }
 }

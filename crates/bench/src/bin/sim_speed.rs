@@ -131,10 +131,12 @@ fn measure_kips(build: &dyn Fn(bool) -> Machine, fast: bool) -> (f64, u64, Vec<u
     (best, total, state)
 }
 
-/// Deterministic cycle-level IPC for one path setting.
-fn measure_ipc(build: &dyn Fn(bool) -> Machine, fast: bool) -> f64 {
-    let mut sim = Simulator::new(SimConfig::default(), build(fast));
-    sim.run(u64::MAX).expect("timing run").stats.ipc()
+/// Deterministic cycle-level stats for one path setting (callers compare
+/// IPC between paths; the fast-path stats also feed `--stats-json`).
+fn measure_stats(build: &dyn Fn(bool) -> Machine, fast: bool) -> dise_sim::SimStats {
+    let config = dise_bench::apply_telemetry(SimConfig::default());
+    let mut sim = Simulator::new(config, build(fast));
+    sim.run(u64::MAX).expect("timing run").stats
 }
 
 /// Parses a `scripts/bench_frontend_seed.sh` log: one
@@ -167,9 +169,12 @@ struct ScenarioOut {
     slow_s: f64,
     fast_s: f64,
     insts: u64,
+    stats: Vec<(String, f64)>,
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats_out = dise_bench::parse_telemetry_args(&mut args);
     let seed_log = read_seed_log();
     // Benchmarks fan out across DISE_BENCH_JOBS workers. Rate measurements
     // contend for the machine when jobs > 1, so publication numbers should
@@ -185,8 +190,10 @@ fn main() {
             let (kips_fast, insts_f, state_f) = measure_kips(&s.build, true);
             assert_eq!(insts_s, insts_f, "{bench}/{}: inst counts diverged", s.name);
             assert_eq!(state_s, state_f, "{bench}/{}: state diverged", s.name);
-            let ipc_slow = measure_ipc(&s.build, false);
-            let ipc_fast = measure_ipc(&s.build, true);
+            let stats_slow = measure_stats(&s.build, false);
+            let stats_fast = measure_stats(&s.build, true);
+            let ipc_slow = stats_slow.ipc();
+            let ipc_fast = stats_fast.ipc();
             assert!(
                 (ipc_slow - ipc_fast).abs() < 1e-12,
                 "{bench}/{}: IPC diverged",
@@ -231,6 +238,7 @@ fn main() {
                 slow_s: insts_f as f64 / (kips_slow * 1e3),
                 fast_s: insts_f as f64 / (kips_fast * 1e3),
                 insts: insts_f,
+                stats: dise_bench::stat_pairs(&stats_fast),
             });
         }
         outs
@@ -320,4 +328,17 @@ fn main() {
     }
     std::fs::write(&out, json).expect("write results");
     println!("wrote {out}");
+
+    if let Some(path) = stats_out {
+        let entries: Vec<(String, Vec<(String, f64)>)> = benches
+            .iter()
+            .zip(&per_bench)
+            .flat_map(|(bench, outs)| {
+                outs.iter()
+                    .map(|o| (format!("{}/{}", bench.name(), o.name), o.stats.clone()))
+            })
+            .collect();
+        std::fs::write(&path, dise_bench::stats_json_doc(&entries)).expect("write stats JSON");
+        println!("wrote {}", path.display());
+    }
 }

@@ -110,6 +110,10 @@ fn scenarios<'a>(p: &'a Program, c: &'a CompressedProgram) -> Vec<Scenario<'a>> 
 
 /// Best-of-N cycle-level throughput plus the (deterministic) run stats.
 fn measure_mcps(build: &dyn Fn() -> Machine, config: SimConfig) -> (f64, SimStats) {
+    // `--trace`/`--trace-last` knobs flow in here; they are excluded from
+    // the cache key and, when off, cost one branch per account() call —
+    // the ≤2% budget `results/BENCH_telemetry.json` tracks.
+    let config = dise_bench::apply_telemetry(config);
     let mut best = 0f64;
     let mut stats = SimStats::default();
     for _ in 0..reps() {
@@ -155,22 +159,25 @@ struct ScenarioOut {
     slow_s: f64,
     fast_s: f64,
     cycles: u64,
+    stats: Vec<(String, f64)>,
 }
 
 /// Times the Figure 6 top sweep, uncached, at a given job count.
 fn time_sweep(jobs: usize) -> (f64, usize, String) {
-    let sweep = Sweep {
-        dyn_insts: dise_bench::dyn_budget(),
-        benches: benchmarks(),
-        pool: Pool::new(jobs),
-        cache: CellCache::disabled(),
-    };
+    let sweep = Sweep::new(
+        dise_bench::dyn_budget(),
+        benchmarks(),
+        Pool::new(jobs),
+        CellCache::disabled(),
+    );
     let t = Instant::now();
     let table = fig6::top(&sweep);
     (t.elapsed().as_secs_f64(), sweep.benches.len() * 6, table)
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats_out = dise_bench::parse_telemetry_args(&mut args);
     let seed_log = read_seed_log();
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Rate measurements stay serial regardless of DISE_BENCH_JOBS — a
@@ -231,6 +238,7 @@ fn main() {
                     slow_s: cycles as f64 / (mcps_slow * 1e6),
                     fast_s: cycles as f64 / (mcps_fast * 1e6),
                     cycles,
+                    stats: dise_bench::stat_pairs(&stats_fast),
                 });
             }
             outs
@@ -339,4 +347,17 @@ fn main() {
     }
     std::fs::write(&out, json).expect("write results");
     println!("wrote {out}");
+
+    if let Some(path) = stats_out {
+        let entries: Vec<(String, Vec<(String, f64)>)> = benches
+            .iter()
+            .zip(&per_bench)
+            .flat_map(|(bench, outs)| {
+                outs.iter()
+                    .map(|o| (format!("{}/{}", bench.name(), o.name), o.stats.clone()))
+            })
+            .collect();
+        std::fs::write(&path, dise_bench::stats_json_doc(&entries)).expect("write stats JSON");
+        println!("wrote {}", path.display());
+    }
 }

@@ -5,9 +5,10 @@
 //! out everything the result depends on: the workload generator
 //! parameters (benchmark, dynamic-instruction budget, seed), the engine
 //! and simulator configurations (their full `Debug` forms), and the kind
-//! of run. Results are `Vec<f64>` values stored one-per-line in
-//! shortest-round-trip `Display` form, so a warm cache reproduces
-//! byte-identical figure tables without re-simulating (asserted by
+//! of run. Results are a [`CellOutput`]: the figure values plus the named
+//! stats snapshot of the run, both stored in shortest-round-trip
+//! `Display` form, so a warm cache reproduces byte-identical figure
+//! tables *and* stats-JSON exports without re-simulating (asserted by
 //! `tests/determinism.rs`).
 //!
 //! The file name is the FNV-1a hash of the key; the key itself is stored
@@ -21,7 +22,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bump when the *meaning* of cached values changes without the key
 /// string changing (e.g. a simulator bug fix): stale caches must miss.
-pub const CACHE_VERSION: u32 = 1;
+///
+/// v2: the branch predictor indexes PHT/BTB at 2-byte PC granularity
+/// (cycle counts shift for every workload), and entries carry the named
+/// per-run stats snapshot alongside the figure values.
+pub const CACHE_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a — the cache's content-address hash. Stable across
 /// platforms and Rust versions, unlike `DefaultHasher`.
@@ -32,6 +37,27 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// What one cell produces: the figure values it contributes, plus the
+/// named statistics snapshot of the run that produced them (empty for
+/// non-simulation cells such as compression ratios).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellOutput {
+    /// The figure values, in cell-defined order.
+    pub values: Vec<f64>,
+    /// `(name, value)` stats pairs, name-sorted (registry order).
+    pub stats: Vec<(String, f64)>,
+}
+
+impl CellOutput {
+    /// A stats-free output (non-simulation cells).
+    pub fn bare(values: Vec<f64>) -> CellOutput {
+        CellOutput {
+            values,
+            stats: Vec::new(),
+        }
+    }
 }
 
 /// A directory of cached cell results, or a disabled no-op.
@@ -87,40 +113,58 @@ impl CellCache {
 
     /// Looks `key` up; on a miss (or collision, or unreadable entry) runs
     /// `compute` and stores its result.
-    pub fn get_or(&self, key: &str, compute: impl FnOnce() -> Vec<f64>) -> Vec<f64> {
+    pub fn get_or(&self, key: &str, compute: impl FnOnce() -> CellOutput) -> CellOutput {
         debug_assert!(!key.contains('\n'), "cache keys are single-line");
         let Some(dir) = &self.dir else {
             return compute();
         };
         let path = CellCache::path_of(dir, key);
-        if let Some(values) = CellCache::read(&path, key) {
+        if let Some(out) = CellCache::read(&path, key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return values;
+            return out;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let values = compute();
-        self.write(dir, &path, key, &values);
-        values
+        let out = compute();
+        self.write(dir, &path, key, &out);
+        out
     }
 
-    fn read(path: &Path, key: &str) -> Option<Vec<f64>> {
+    /// Entry format, one record per line after the key: `v <value>` for
+    /// figure values, `s <name> <value>` for stats pairs (names are
+    /// space-free by construction). Any unrecognized line invalidates the
+    /// entry — older-format caches recompute instead of misparse.
+    fn read(path: &Path, key: &str) -> Option<CellOutput> {
         let text = std::fs::read_to_string(path).ok()?;
         let mut lines = text.lines();
         if lines.next() != Some(key) {
             return None; // collision or stale format: recompute
         }
-        lines.map(|l| l.parse().ok()).collect()
+        let mut out = CellOutput::default();
+        for line in lines {
+            if let Some(v) = line.strip_prefix("v ") {
+                out.values.push(v.parse().ok()?);
+            } else if let Some(rest) = line.strip_prefix("s ") {
+                let (name, v) = rest.split_once(' ')?;
+                out.stats.push((name.to_string(), v.parse().ok()?));
+            } else {
+                return None;
+            }
+        }
+        Some(out)
     }
 
-    fn write(&self, dir: &Path, path: &Path, key: &str, values: &[f64]) {
-        let mut content = String::with_capacity(key.len() + values.len() * 24 + 1);
+    fn write(&self, dir: &Path, path: &Path, key: &str, out: &CellOutput) {
+        let mut content =
+            String::with_capacity(key.len() + (out.values.len() + out.stats.len()) * 32 + 1);
         content.push_str(key);
-        for v in values {
-            // `Display` for f64 is shortest-round-trip in Rust: parsing the
-            // line back yields the identical bits, which is what makes a
-            // warm cache byte-identical to a cold run.
-            content.push('\n');
-            content.push_str(&format!("{v}"));
+        // `Display` for f64 is shortest-round-trip in Rust: parsing a
+        // line back yields the identical bits, which is what makes a
+        // warm cache byte-identical to a cold run.
+        for v in &out.values {
+            content.push_str(&format!("\nv {v}"));
+        }
+        for (name, v) in &out.stats {
+            content.push_str(&format!("\ns {name} {v}"));
         }
         content.push('\n');
         if std::fs::create_dir_all(dir).is_err() {
@@ -148,17 +192,27 @@ mod tests {
     }
 
     #[test]
-    fn round_trips_exact_values() {
+    fn round_trips_exact_values_and_stats() {
         let dir = tmpdir("roundtrip");
         let cache = CellCache::at(&dir);
-        let vals = vec![1.0, 0.1 + 0.2, f64::MAX, 5e-324, -0.0, 123_456_789.123_456_79];
-        let got = cache.get_or("k1", || vals.clone());
-        assert_eq!(got, vals);
+        let out = CellOutput {
+            values: vec![1.0, 0.1 + 0.2, f64::MAX, 5e-324, -0.0, 123_456_789.123_456_79],
+            stats: vec![
+                ("sim.cycles".to_string(), 123456.0),
+                ("l1i.misses".to_string(), 0.5f64.exp()),
+            ],
+        };
+        let got = cache.get_or("k1", || out.clone());
+        assert_eq!(got, out);
         // Warm: identical bits, no recompute.
         let got2 = cache.get_or("k1", || panic!("must not recompute"));
         assert_eq!(
-            got2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            got2.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            got2.stats.iter().map(|(_, v)| v.to_bits()).collect::<Vec<_>>(),
+            out.stats.iter().map(|(_, v)| v.to_bits()).collect::<Vec<_>>()
         );
         assert_eq!(cache.stats(), (1, 1));
         let _ = std::fs::remove_dir_all(&dir);
@@ -169,12 +223,25 @@ mod tests {
         let dir = tmpdir("collision");
         let cache = CellCache::at(&dir);
         let k1 = "some key";
-        cache.get_or(k1, || vec![1.0]);
+        cache.get_or(k1, || CellOutput::bare(vec![1.0]));
         // Forge a collision: overwrite k1's file with a different key.
         let path = CellCache::path_of(&dir, k1);
-        std::fs::write(&path, "other key\n9.0\n").unwrap();
-        let got = cache.get_or(k1, || vec![2.0]);
-        assert_eq!(got, vec![2.0], "collision must recompute, not alias");
+        std::fs::write(&path, "other key\nv 9\n").unwrap();
+        let got = cache.get_or(k1, || CellOutput::bare(vec![2.0]));
+        assert_eq!(got.values, vec![2.0], "collision must recompute, not alias");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_format_recomputes() {
+        let dir = tmpdir("stale");
+        let cache = CellCache::at(&dir);
+        let key = "legacy key";
+        // A v1-format entry: bare values with no record prefix.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(CellCache::path_of(&dir, key), format!("{key}\n9\n")).unwrap();
+        let got = cache.get_or(key, || CellOutput::bare(vec![2.0]));
+        assert_eq!(got.values, vec![2.0], "v1 entries must miss, not misparse");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -185,7 +252,7 @@ mod tests {
         for _ in 0..3 {
             cache.get_or("k", || {
                 n += 1;
-                vec![n as f64]
+                CellOutput::bare(vec![n as f64])
             });
         }
         assert_eq!(n, 3);

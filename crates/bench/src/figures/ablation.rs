@@ -10,7 +10,7 @@ use dise_sim::{ExpansionCost, Machine, SimConfig};
 use dise_workloads::Benchmark;
 
 use super::{baseline_cell, cell_key, compressed_cell, dise_mfi_cell};
-use crate::{compress, format_table, mfi_productions, Cell, Sweep};
+use crate::{compress, format_table, mfi_productions, Cell, CellOutput, Sweep};
 
 /// Fault-isolation formulation × engine placement matrix.
 pub fn mfi(sweep: &Sweep) -> String {
@@ -123,7 +123,17 @@ fn ctx_cell(sweep: &Sweep, bench: Benchmark, p: &Arc<Program>, interval: u64) ->
         }
         let stats = m.engine().unwrap().stats();
         let (_, app) = m.inst_counts();
-        vec![stats.stall_cycles as f64 * 1000.0 / app as f64]
+        // A functional run: there is no SimStats registry, but the engine
+        // counters are still worth exporting.
+        let pairs = stats
+            .named_counters()
+            .iter()
+            .map(|&(name, v)| (format!("engine.{name}"), v as f64))
+            .collect();
+        CellOutput {
+            values: vec![stats.stall_cycles as f64 * 1000.0 / app as f64],
+            stats: pairs,
+        }
     })
 }
 

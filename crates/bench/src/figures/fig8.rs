@@ -10,7 +10,7 @@ use dise_sim::SimConfig;
 use dise_workloads::Benchmark;
 
 use super::{baseline_cell, cell_key, composed_cell};
-use crate::{compress, format_table, run_compressed, Cell, Sweep};
+use crate::{compress, format_table, run_compressed, Cell, CellOutput, Sweep};
 
 /// Cycles of rewrite-MFI followed by compression with either
 /// decompressor (the two non-DISE-MFI combinations of Figure 8 top).
@@ -40,7 +40,11 @@ fn rewrite_compress_cell(
         } else {
             compress(&rewritten, cc)
         };
-        vec![run_compressed(&compressed, engine, sim, fuel).cycles as f64]
+        let stats = run_compressed(&compressed, engine, sim, fuel);
+        CellOutput {
+            values: vec![stats.cycles as f64],
+            stats: crate::stat_pairs(&stats),
+        }
     })
 }
 

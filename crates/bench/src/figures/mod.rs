@@ -27,8 +27,8 @@ use dise_isa::Program;
 use dise_sim::{ExpansionCost, SimConfig};
 use dise_workloads::{Benchmark, WorkloadConfig};
 
-use crate::cache::CACHE_VERSION;
-use crate::{Cell, Sweep};
+use crate::cache::{CellOutput, CACHE_VERSION};
+use crate::{stat_pairs, Cell, Sweep};
 
 /// The content-address key for one cell: version, run kind, workload
 /// identity, and the configuration detail string.
@@ -53,7 +53,11 @@ pub(crate) fn baseline_cell(
     let fuel = sweep.fuel();
     let p = Arc::clone(p);
     Cell::new(key, move || {
-        vec![crate::run_baseline(&p, sim, fuel).cycles as f64]
+        let stats = crate::run_baseline(&p, sim, fuel);
+        CellOutput {
+            values: vec![stats.cycles as f64],
+            stats: stat_pairs(&stats),
+        }
     })
 }
 
@@ -75,7 +79,11 @@ pub(crate) fn dise_mfi_cell(
     let fuel = sweep.fuel();
     let p = Arc::clone(p);
     Cell::new(key, move || {
-        vec![crate::run_dise_mfi(&p, variant, cost, sim, fuel).cycles as f64]
+        let stats = crate::run_dise_mfi(&p, variant, cost, sim, fuel);
+        CellOutput {
+            values: vec![stats.cycles as f64],
+            stats: stat_pairs(&stats),
+        }
     })
 }
 
@@ -90,7 +98,11 @@ pub(crate) fn rewrite_mfi_cell(
     let fuel = sweep.fuel();
     let p = Arc::clone(p);
     Cell::new(key, move || {
-        vec![crate::run_rewrite_mfi(&p, sim, fuel).cycles as f64]
+        let stats = crate::run_rewrite_mfi(&p, sim, fuel);
+        CellOutput {
+            values: vec![stats.cycles as f64],
+            stats: stat_pairs(&stats),
+        }
     })
 }
 
@@ -105,7 +117,7 @@ pub(crate) fn ratio_cell(
     let p = Arc::clone(p);
     Cell::new(key, move || {
         let c = crate::compress(&p, cc);
-        vec![c.stats.code_ratio(), c.stats.total_ratio()]
+        CellOutput::bare(vec![c.stats.code_ratio(), c.stats.total_ratio()])
     })
 }
 
@@ -129,7 +141,11 @@ pub(crate) fn compressed_cell(
     let fuel = sweep.fuel();
     let c = Arc::clone(c);
     Cell::new(key, move || {
-        vec![crate::run_compressed(&c, engine, sim, fuel).cycles as f64]
+        let stats = crate::run_compressed(&c, engine, sim, fuel);
+        CellOutput {
+            values: vec![stats.cycles as f64],
+            stats: stat_pairs(&stats),
+        }
     })
 }
 
@@ -153,6 +169,10 @@ pub(crate) fn composed_cell(
     let fuel = sweep.fuel();
     let c = Arc::clone(c);
     Cell::new(key, move || {
-        vec![crate::run_composed_dise(&c, engine, sim, eager, fuel).cycles as f64]
+        let stats = crate::run_composed_dise(&c, engine, sim, eager, fuel);
+        CellOutput {
+            values: vec![stats.cycles as f64],
+            stats: stat_pairs(&stats),
+        }
     })
 }

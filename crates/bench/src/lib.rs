@@ -37,8 +37,12 @@ pub mod cache;
 pub mod figures;
 pub mod pool;
 
-pub use cache::CellCache;
+pub use cache::{CellCache, CellOutput};
 pub use pool::Pool;
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 
 use dise_acf::compress::{CompressedProgram, CompressionConfig, Compressor};
 use dise_acf::mfi::{Mfi, MfiVariant};
@@ -82,17 +86,155 @@ pub fn fuel_for(dyn_insts: u64) -> u64 {
     dyn_insts.saturating_mul(40).max(10_000_000)
 }
 
+/// Harness-wide telemetry options, installed once from the shared CLI
+/// flags (`--trace`, `--trace-last N`) by [`parse_telemetry_args`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetryOpts {
+    /// Pipeline event-ring capacity per run (0 disables tracing).
+    pub trace_last: usize,
+    /// Watchdog threshold: cycles between commits with work in flight
+    /// before a run dumps an anomaly report (0 disables).
+    pub watchdog: u64,
+}
+
+/// Ring capacity a bare `--trace` arms.
+pub const DEFAULT_TRACE_LAST: usize = 64;
+/// Watchdog threshold a bare `--trace` arms.
+pub const DEFAULT_WATCHDOG: u64 = 1_000_000;
+
+static TELEMETRY: OnceLock<TelemetryOpts> = OnceLock::new();
+
+/// Installs the harness-wide telemetry options (first call wins).
+pub fn set_telemetry(opts: TelemetryOpts) {
+    let _ = TELEMETRY.set(opts);
+}
+
+/// The installed telemetry options (default: everything off).
+pub fn telemetry() -> TelemetryOpts {
+    TELEMETRY.get().copied().unwrap_or_default()
+}
+
+/// Applies the harness telemetry options to one run's `SimConfig`. The
+/// trace knobs are deliberately excluded from `SimConfig`'s `Debug` form
+/// (see its manual impl), so cell cache keys — and therefore results —
+/// are identical with and without `--trace`.
+pub fn apply_telemetry(config: SimConfig) -> SimConfig {
+    let t = telemetry();
+    config.with_trace_last(t.trace_last).with_watchdog(t.watchdog)
+}
+
+/// Strips the telemetry flags every harness binary shares out of `args`,
+/// installing the corresponding [`TelemetryOpts`]:
+///
+/// * `--trace` — arm the per-run event ring ([`DEFAULT_TRACE_LAST`]
+///   events) and the deadlock watchdog;
+/// * `--trace-last N` / `--trace-last=N` — ring capacity `N` (implies
+///   `--trace`);
+/// * `--stats-json PATH` / `--stats-json=PATH` — export the run's stats
+///   registry snapshots as JSON to `PATH` (returned to the caller, which
+///   owns the write).
+///
+/// Panics with a usage message on malformed values.
+pub fn parse_telemetry_args(args: &mut Vec<String>) -> Option<PathBuf> {
+    fn ring(v: &str) -> usize {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--trace-last wants a positive integer, got {v:?}"))
+    }
+    let mut opts = TelemetryOpts::default();
+    let mut stats_out = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let old = std::mem::take(args);
+    let mut i = 0;
+    while i < old.len() {
+        let a = old[i].as_str();
+        if a == "--trace" {
+            opts.trace_last = opts.trace_last.max(DEFAULT_TRACE_LAST);
+            opts.watchdog = DEFAULT_WATCHDOG;
+        } else if let Some(v) = a.strip_prefix("--trace-last=") {
+            opts.trace_last = ring(v);
+            opts.watchdog = DEFAULT_WATCHDOG;
+        } else if a == "--trace-last" {
+            i += 1;
+            let v = old.get(i).expect("--trace-last wants a value");
+            opts.trace_last = ring(v);
+            opts.watchdog = DEFAULT_WATCHDOG;
+        } else if let Some(p) = a.strip_prefix("--stats-json=") {
+            stats_out = Some(PathBuf::from(p));
+        } else if a == "--stats-json" {
+            i += 1;
+            let p = old.get(i).expect("--stats-json wants a path");
+            stats_out = Some(PathBuf::from(p));
+        } else {
+            rest.push(old[i].clone());
+        }
+        i += 1;
+    }
+    *args = rest;
+    if opts != TelemetryOpts::default() {
+        set_telemetry(opts);
+    }
+    stats_out
+}
+
+/// Flattens a run's stats registry into the `(name, value)` pairs a
+/// [`CellOutput`] snapshot stores.
+pub fn stat_pairs(stats: &SimStats) -> Vec<(String, f64)> {
+    stats
+        .registry()
+        .entries()
+        .iter()
+        .map(|(name, v)| (name.clone(), v.as_f64()))
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders named stats snapshots as the harness stats-JSON document: a
+/// top-level object mapping snapshot keys (cell keys, or
+/// `bench/scenario` in the speed harnesses) to objects of stat name →
+/// value. Values use Rust's shortest-round-trip `f64` formatting, so the
+/// document is byte-stable for byte-stable inputs.
+pub fn stats_json_doc(entries: &[(String, Vec<(String, f64)>)]) -> String {
+    let mut s = String::from("{");
+    for (i, (key, pairs)) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n  \"{}\": {{", json_escape(key)));
+        for (j, (name, v)) in pairs.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\": {v}", json_escape(name)));
+        }
+        s.push_str("\n  }");
+    }
+    s.push_str("\n}\n");
+    s
+}
+
 /// One independent, deterministic sweep computation: a cache key that
 /// spells out everything the result depends on, plus the closure that
 /// produces the result on a cache miss.
 pub struct Cell {
     key: String,
-    run: Box<dyn Fn() -> Vec<f64> + Send + Sync>,
+    run: Box<dyn Fn() -> CellOutput + Send + Sync>,
 }
 
 impl Cell {
     /// Creates a cell from its key and compute closure.
-    pub fn new(key: String, run: impl Fn() -> Vec<f64> + Send + Sync + 'static) -> Cell {
+    pub fn new(key: String, run: impl Fn() -> CellOutput + Send + Sync + 'static) -> Cell {
         Cell {
             key,
             run: Box::new(run),
@@ -105,7 +247,7 @@ impl Cell {
     }
 
     /// Runs the computation (cache-unaware).
-    pub fn compute(&self) -> Vec<f64> {
+    pub fn compute(&self) -> CellOutput {
         (self.run)()
     }
 }
@@ -118,7 +260,8 @@ impl std::fmt::Debug for Cell {
 
 /// Everything a sweep needs: the workload budget, the benchmark set, the
 /// worker pool and the result cache. Binaries build one with
-/// [`Sweep::from_env`]; tests construct exact configurations directly.
+/// [`Sweep::from_env`]; tests construct exact configurations with
+/// [`Sweep::new`].
 #[derive(Debug)]
 pub struct Sweep {
     /// Dynamic application-instruction target per run.
@@ -129,18 +272,29 @@ pub struct Sweep {
     pub pool: Pool,
     /// Per-cell result cache.
     pub cache: CellCache,
+    /// Stats snapshots of every cell run so far, keyed by cell key — a
+    /// `BTreeMap` so cells shared between panels deduplicate and the
+    /// [`Sweep::stats_json`] export is sorted (byte-stable) by
+    /// construction.
+    stats: Mutex<BTreeMap<String, Vec<(String, f64)>>>,
 }
 
 impl Sweep {
+    /// A sweep with an explicit configuration.
+    pub fn new(dyn_insts: u64, benches: Vec<Benchmark>, pool: Pool, cache: CellCache) -> Sweep {
+        Sweep {
+            dyn_insts,
+            benches,
+            pool,
+            cache,
+            stats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
     /// A sweep configured from `DISE_BENCH_DYN`, `DISE_BENCH_FILTER`,
     /// `DISE_BENCH_JOBS` and `DISE_BENCH_CACHE`.
     pub fn from_env() -> Sweep {
-        Sweep {
-            dyn_insts: dyn_budget(),
-            benches: benchmarks(),
-            pool: Pool::from_env(),
-            cache: CellCache::from_env(),
-        }
+        Sweep::new(dyn_budget(), benchmarks(), Pool::from_env(), CellCache::from_env())
     }
 
     /// Generates the workload program for a benchmark at this sweep's
@@ -155,19 +309,38 @@ impl Sweep {
     }
 
     /// Runs every cell (through the cache, across the pool) and returns
-    /// values in cell order.
+    /// values in cell order. Each cell's stats snapshot is recorded for
+    /// [`Sweep::stats_json`].
     pub fn run_cells(&self, cells: &[Cell]) -> Vec<Vec<f64>> {
-        self.pool.run(cells, |_, cell| {
-            let values = self.cache.get_or(cell.key(), || cell.compute());
+        let outs = self.pool.run(cells, |_, cell| {
+            let out = self.cache.get_or(cell.key(), || cell.compute());
             eprintln!("  [done] {}", cell.key());
-            values
-        })
+            out
+        });
+        let mut log = self.stats.lock().expect("stats log poisoned");
+        for (cell, out) in cells.iter().zip(&outs) {
+            if !out.stats.is_empty() {
+                log.insert(cell.key().to_string(), out.stats.clone());
+            }
+        }
+        drop(log);
+        outs.into_iter().map(|o| o.values).collect()
+    }
+
+    /// The stats-JSON export for every cell this sweep has run: cell key
+    /// → stats object, key-sorted. Byte-identical across job counts and
+    /// cache warmth for the same panel set (`tests/determinism.rs`).
+    pub fn stats_json(&self) -> String {
+        let log = self.stats.lock().expect("stats log poisoned");
+        let entries: Vec<(String, Vec<(String, f64)>)> =
+            log.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        stats_json_doc(&entries)
     }
 }
 
 /// Runs a bare program (no ACFs).
 pub fn run_baseline(program: &Program, config: SimConfig, fuel: u64) -> SimStats {
-    let mut sim = Simulator::new(config, Machine::load(program));
+    let mut sim = Simulator::new(apply_telemetry(config), Machine::load(program));
     sim.run(fuel).expect("baseline run").stats
 }
 
@@ -194,14 +367,14 @@ pub fn run_dise_mfi(
             .expect("engine"),
     );
     Mfi::init_machine(&mut m);
-    let mut sim = Simulator::new(config.with_expansion_cost(cost), m);
+    let mut sim = Simulator::new(apply_telemetry(config.with_expansion_cost(cost)), m);
     sim.run(fuel).expect("DISE MFI run").stats
 }
 
 /// Runs a program under binary-rewriting memory fault isolation.
 pub fn run_rewrite_mfi(program: &Program, config: SimConfig, fuel: u64) -> SimStats {
     let rewritten = RewriteMfi::new().rewrite(program).expect("rewrite").program;
-    let mut sim = Simulator::new(config, Machine::load(&rewritten));
+    let mut sim = Simulator::new(apply_telemetry(config), Machine::load(&rewritten));
     sim.run(fuel).expect("rewrite MFI run").stats
 }
 
@@ -221,7 +394,7 @@ pub fn run_compressed(
     compressed
         .attach(&mut m, engine_config)
         .expect("attach decompressor");
-    let mut sim = Simulator::new(config, m);
+    let mut sim = Simulator::new(apply_telemetry(config), m);
     sim.run(fuel).expect("compressed run").stats
 }
 
@@ -258,7 +431,7 @@ pub fn run_composed_dise(
     };
     m.attach_engine(engine);
     Mfi::init_machine(&mut m);
-    let mut sim = Simulator::new(config, m);
+    let mut sim = Simulator::new(apply_telemetry(config), m);
     sim.run(fuel).expect("composed run").stats
 }
 

@@ -29,15 +29,31 @@ impl Pool {
         Pool { jobs: jobs.max(1) }
     }
 
-    /// A pool sized from the environment: `DISE_BENCH_JOBS` if set and
-    /// parseable, otherwise the machine's available parallelism.
+    /// Validates a `DISE_BENCH_JOBS` value: a positive integer.
+    /// Rejecting instead of silently falling back matters because a bad
+    /// value (a typo, or `0` intending "auto") would otherwise run at
+    /// whatever `available_parallelism` says — a different parallelism
+    /// than the user asked for, with no indication anything was wrong.
+    pub fn parse_jobs(v: &str) -> Result<usize, String> {
+        match v.trim().parse::<usize>() {
+            Ok(0) => Err("DISE_BENCH_JOBS must be at least 1 (got 0); unset it to use the host's available parallelism".to_string()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!("DISE_BENCH_JOBS must be a positive integer, got {v:?}")),
+        }
+    }
+
+    /// A pool sized from the environment: `DISE_BENCH_JOBS` if set
+    /// (rejected loudly if invalid — see [`Pool::parse_jobs`]), otherwise
+    /// the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// If `DISE_BENCH_JOBS` is set but is not a positive integer.
     pub fn from_env() -> Pool {
-        let jobs = std::env::var("DISE_BENCH_JOBS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            });
+        let jobs = match std::env::var("DISE_BENCH_JOBS") {
+            Ok(v) => Pool::parse_jobs(&v).unwrap_or_else(|why| panic!("{why}")),
+            Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
         Pool::new(jobs)
     }
 

@@ -1,27 +1,39 @@
-//! Harness determinism: figure tables must be byte-identical across
-//! worker counts and cache warmth.
+//! Harness determinism: figure tables and stats-JSON exports must be
+//! byte-identical across worker counts and cache warmth.
 
 use dise_bench::figures::{fig6, fig7};
 use dise_bench::{CellCache, Pool, Sweep};
 use dise_workloads::Benchmark;
 
 fn sweep(jobs: usize, cache: CellCache) -> Sweep {
-    Sweep {
-        dyn_insts: 30_000,
-        benches: vec![Benchmark::Gcc, Benchmark::Mcf],
-        pool: Pool::new(jobs),
+    Sweep::new(
+        30_000,
+        vec![Benchmark::Gcc, Benchmark::Mcf],
+        Pool::new(jobs),
         cache,
-    }
+    )
 }
 
 #[test]
 fn tables_identical_across_job_counts() {
     // Uncached, so every job count actually simulates: the pool's ordered
     // result collection is what is under test.
-    let serial = fig6::top(&sweep(1, CellCache::disabled()));
+    let base = sweep(1, CellCache::disabled());
+    let serial = fig6::top(&base);
+    let serial_stats = base.stats_json();
+    assert!(
+        serial_stats.contains("bpred.mispredicts") && serial_stats.contains("sim.cycles"),
+        "stats export missing expected counters:\n{serial_stats}"
+    );
     for jobs in [2, 8] {
-        let parallel = fig6::top(&sweep(jobs, CellCache::disabled()));
+        let par = sweep(jobs, CellCache::disabled());
+        let parallel = fig6::top(&par);
         assert_eq!(serial, parallel, "fig6 top diverged at jobs={jobs}");
+        assert_eq!(
+            serial_stats,
+            par.stats_json(),
+            "stats JSON diverged at jobs={jobs}"
+        );
     }
 }
 
@@ -41,9 +53,29 @@ fn warm_cache_reproduces_tables_without_resimulating() {
     let warm_sweep = sweep(1, CellCache::at(&dir));
     let warm = fig7::rt(&warm_sweep);
     assert_eq!(cold, warm, "warm-cache table diverged from cold run");
+    assert_eq!(
+        cold_sweep.stats_json(),
+        warm_sweep.stats_json(),
+        "warm-cache stats JSON diverged from cold run"
+    );
     let (warm_hits, warm_misses) = warm_sweep.cache.stats();
     assert_eq!(warm_misses, 0, "warm sweep must not re-simulate");
     assert!(warm_hits > 0);
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn job_count_env_values_are_validated() {
+    // `DISE_BENCH_JOBS=0` and non-numeric values used to fall back
+    // silently to available parallelism; they must be rejected loudly.
+    // (Validated through `parse_jobs` — mutating the process environment
+    // would race the other tests in this binary.)
+    let why = Pool::parse_jobs("0").expect_err("0 jobs must be rejected");
+    assert!(why.contains("at least 1"), "unhelpful error: {why}");
+    let why = Pool::parse_jobs("lots").expect_err("non-numeric jobs must be rejected");
+    assert!(why.contains("positive integer"), "unhelpful error: {why}");
+    assert!(why.contains("lots"), "error must echo the bad value: {why}");
+    assert_eq!(Pool::parse_jobs("8"), Ok(8));
+    assert_eq!(Pool::parse_jobs(" 2 "), Ok(2), "whitespace is tolerated");
 }

@@ -143,6 +143,26 @@ pub struct EngineStats {
     pub stall_cycles: u64,
 }
 
+impl EngineStats {
+    /// The counters under their registry names (without the `engine.`
+    /// prefix the simulator's stats registry adds). `pt_probes` is an
+    /// alias of `inspected`: every inspected instruction probes the PT
+    /// index exactly once, on the memoized fast path and the plain path
+    /// alike.
+    pub fn named_counters(&self) -> [(&'static str, u64); 8] {
+        [
+            ("composed_fills", self.composed_fills),
+            ("expansions", self.expansions),
+            ("inspected", self.inspected),
+            ("pt_misses", self.pt_misses),
+            ("pt_probes", self.inspected),
+            ("replacement_insts", self.replacement_insts),
+            ("rt_misses", self.rt_misses),
+            ("stall_cycles", self.stall_cycles),
+        ]
+    }
+}
+
 /// One RT entry: a block of up to `rt_block` consecutive replacement
 /// instruction specs, tagged by `(id, base DISEPC)`.
 #[derive(Debug, Clone)]

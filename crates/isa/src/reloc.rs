@@ -288,7 +288,18 @@ impl<'a> Relocator<'a> {
                     )));
                 }
                 inst.imm = new_target as i64 - (addr as i64 + 4);
-                inst.validate()?;
+                // Layout can stretch a displacement past the branch
+                // format's encodable range; surface that as a relocation
+                // failure (with the addresses involved) rather than the
+                // bare immediate-range error — and never let it reach
+                // the encoder, whose masking would silently truncate.
+                if inst.validate().is_err() {
+                    return Err(IsaError::Reloc(format!(
+                        "patched branch at {addr:#x} cannot reach {new_target:#x}: \
+                         displacement {} overflows the branch immediate field",
+                        inst.imm
+                    )));
+                }
             }
             text.extend_from_slice(&ni.item.to_bytes()?);
         }
@@ -442,6 +453,32 @@ mod tests {
             panic!()
         };
         assert_eq!((0x1000u64 + 4).wrapping_add_signed(bne.imm), 0x100C);
+    }
+
+    #[test]
+    fn overflowing_displacement_is_a_reloc_error() {
+        // Stretch a kept branch past the ±1MB (21-bit byte) displacement
+        // range: keep `br` targeting the final halt, then inflate the
+        // span between them to > 2^20 bytes of nops.
+        let p = program(
+            "       br r31, end
+                    nop
+             end:   halt",
+        );
+        let mut r = Relocator::new(&p).unwrap();
+        r.keep().unwrap(); // br — auto-retargeted to `end`'s new address
+        let filler = vec![NewItem::inst(Inst::nop()); (1 << 18) + 16];
+        r.replace(1, filler).unwrap(); // nop → 2^20 + 64 bytes of nops
+        r.keep_rest().unwrap();
+        match r.finish() {
+            Err(IsaError::Reloc(why)) => {
+                assert!(
+                    why.contains("overflows"),
+                    "error should name the overflow: {why}"
+                );
+            }
+            other => panic!("expected IsaError::Reloc, got {other:?}"),
+        }
     }
 
     #[test]

@@ -39,6 +39,21 @@ pub struct BpredStats {
     pub target_mispredicts: u64,
 }
 
+impl BpredStats {
+    /// Registers the predictor counters under `prefix` (normally
+    /// `bpred`) in the unified stats registry. `bpred.mispredicts` is
+    /// the combined direction + target total.
+    pub fn register(&self, prefix: &str, registry: &mut crate::telemetry::StatsRegistry) {
+        registry.count(format!("{prefix}.cond_predictions"), self.cond_predictions);
+        registry.count(format!("{prefix}.cond_mispredicts"), self.cond_mispredicts);
+        registry.count(format!("{prefix}.target_mispredicts"), self.target_mispredicts);
+        registry.count(
+            format!("{prefix}.mispredicts"),
+            self.cond_mispredicts + self.target_mispredicts,
+        );
+    }
+}
+
 /// The predictor.
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
@@ -76,8 +91,12 @@ impl BranchPredictor {
     /// taken).
     pub fn cond_branch(&mut self, pc: u64, taken: bool, target: u64) -> bool {
         self.stats.cond_predictions += 1;
+        // PCs are 2-byte granular (compressed programs intermix 2-byte
+        // codewords with 4-byte instructions), so only the constant-zero
+        // bit 0 may be dropped: `pc >> 2` would discard bit 1 and alias
+        // adjacent compressed branches onto one PHT entry.
         let ix =
-            ((pc >> 2) ^ self.history) as usize & ((1 << self.config.gshare_bits) - 1);
+            ((pc >> 1) ^ self.history) as usize & ((1 << self.config.gshare_bits) - 1);
         let counter = &mut self.pht[ix];
         let predicted_taken = *counter >= 2;
         // Train.
@@ -148,7 +167,10 @@ impl BranchPredictor {
     /// Looks `pc` up in the BTB and installs/updates the mapping. Returns
     /// true if the correct target was present.
     fn btb_lookup_update(&mut self, pc: u64, target: u64) -> bool {
-        let ix = (pc as usize >> 2) % self.btb.len();
+        // 2-byte PC granularity, as in `cond_branch`: `>> 2` would map
+        // branches 2 bytes apart to the same direct-mapped slot, where
+        // the full-PC tags make them evict each other on every access.
+        let ix = (pc as usize >> 1) % self.btb.len();
         let hit = self.btb[ix] == (pc, target);
         self.btb[ix] = (pc, target);
         hit
@@ -217,6 +239,29 @@ mod tests {
         assert!(p.ret(0x24));
         assert!(p.ret(0x14));
         assert!(!p.ret(0x4), "deepest frame was pushed out");
+    }
+
+    #[test]
+    fn byte_granular_branch_pcs_do_not_alias() {
+        // Two always-taken branches 2 bytes apart — a layout only
+        // compressed programs produce — with different targets. Indexing
+        // the BTB with `pc >> 2` would collapse them onto one slot whose
+        // full-PC tag then thrashes: every prediction becomes a
+        // misprediction once the directions are learned. At the true
+        // 2-byte granularity they occupy distinct slots and both train.
+        let mut p = pred();
+        for _ in 0..200 {
+            p.cond_branch(0x1000, true, 0x2000);
+            p.cond_branch(0x1002, true, 0x3000);
+        }
+        let s = p.stats();
+        assert_eq!(s.cond_predictions, 400);
+        assert!(
+            s.cond_mispredicts < 20,
+            "adjacent compressed branches alias: {} mispredicts of {}",
+            s.cond_mispredicts,
+            s.cond_predictions
+        );
     }
 
     #[test]

@@ -54,6 +54,13 @@ impl CacheStats {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Registers this cache's counters under `prefix` (`l1i`, `l1d`,
+    /// `l2`) in the unified stats registry.
+    pub fn register(&self, prefix: &str, registry: &mut crate::telemetry::StatsRegistry) {
+        registry.count(format!("{prefix}.accesses"), self.accesses);
+        registry.count(format!("{prefix}.misses"), self.misses);
+    }
 }
 
 /// One set-associative cache with LRU replacement. Tags only (no data —
@@ -339,6 +346,81 @@ mod tests {
             }
         }
         assert!(c.stats().misses > 600, "16KB loop thrashes an 8KB cache");
+    }
+
+    /// A deterministic address trace mixing sequential runs, strided
+    /// sweeps and pseudo-random pointer chasing — enough variety to
+    /// exercise hits, conflict misses and LRU rotation in every set.
+    fn shared_trace() -> Vec<u64> {
+        let mut addrs = Vec::with_capacity(30_000);
+        let mut lcg = 0x1234_5678_9abc_def0u64;
+        for i in 0..10_000u64 {
+            addrs.push(i * 8 % 16384);
+            addrs.push(i * 192 % 65536);
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            addrs.push(lcg % 32768);
+        }
+        addrs
+    }
+
+    #[test]
+    fn shift_path_and_division_path_agree_on_pow2_geometry() {
+        // Same power-of-two geometry computed both ways: `fast` uses the
+        // shift/mask indexing `new` installs, `slow` has it forcibly
+        // disabled so `locate` takes the div/mod fallback. Every access
+        // must agree hit-for-hit.
+        let config = CacheConfig {
+            size: Some(16 * 1024),
+            assoc: 4,
+            line: 64,
+        };
+        let mut fast = Cache::new(config);
+        let mut slow = Cache::new(config);
+        assert!(slow.shifts.is_some(), "pow2 geometry installs shifts");
+        slow.shifts = None;
+        for addr in shared_trace() {
+            assert_eq!(fast.access(addr), slow.access(addr), "addr {addr:#x}");
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        assert!(fast.stats().misses > 0, "trace exercises misses");
+    }
+
+    #[test]
+    fn non_pow2_geometry_matches_reference_lru() {
+        // 3-way, 48-set, 64-byte lines: 9216 bytes, nothing power-of-two
+        // except the line. The flat MRU-first array with div/mod indexing
+        // must behave exactly like the textbook per-set LRU list.
+        let config = CacheConfig {
+            size: Some(48 * 3 * 64),
+            assoc: 3,
+            line: 64,
+        };
+        let mut cache = Cache::new(config);
+        assert!(cache.shifts.is_none(), "48 sets fall back to division");
+        let mut reference: Vec<Vec<u64>> = vec![Vec::new(); 48];
+        let mut ref_stats = CacheStats::default();
+        for addr in shared_trace() {
+            let line = addr / 64;
+            let set = &mut reference[(line % 48) as usize];
+            let tag = line / 48;
+            ref_stats.accesses += 1;
+            let hit = match set.iter().position(|&t| t == tag) {
+                Some(i) => {
+                    let t = set.remove(i);
+                    set.insert(0, t);
+                    true
+                }
+                None => {
+                    ref_stats.misses += 1;
+                    set.insert(0, tag);
+                    set.truncate(3);
+                    false
+                }
+            };
+            assert_eq!(cache.access(addr), hit, "addr {addr:#x}");
+        }
+        assert_eq!(cache.stats(), ref_stats);
+        assert!(ref_stats.misses > 1000, "non-pow2 geometry thrashes some");
     }
 
     #[test]

@@ -53,12 +53,14 @@ pub mod machine;
 pub mod mem;
 pub mod pipeline;
 pub mod ring;
+pub mod telemetry;
 
 pub use bpred::{BpredConfig, BranchPredictor};
 pub use cache::{Cache, CacheConfig, MemoryHierarchy, MemoryHierarchyConfig};
 pub use machine::{DedicatedDict, Machine, MachineConfig, RunResult, StepInfo};
 pub use mem::Memory;
 pub use pipeline::{ExpansionCost, SimConfig, SimResult, SimStats, Simulator};
+pub use telemetry::{AnomalyReport, EventRing, StallCause, StatValue, StatsRegistry, TraceEvent, TraceKind};
 
 /// Errors produced by functional or timing simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +86,13 @@ pub enum SimError {
     },
     /// The step/cycle budget was exhausted before the program halted.
     OutOfFuel,
+    /// The telemetry watchdog fired or a shadow functional oracle
+    /// diverged. The full [`AnomalyReport`] was dumped to stderr and
+    /// remains retrievable via [`Simulator::anomaly`].
+    Anomaly(
+        /// The trigger reason (the report's headline).
+        String,
+    ),
 }
 
 impl std::fmt::Display for SimError {
@@ -98,6 +107,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "undecodable short codeword {index} at {pc:#x}")
             }
             SimError::OutOfFuel => f.write_str("simulation budget exhausted before halt"),
+            SimError::Anomaly(reason) => write!(f, "simulator anomaly: {reason}"),
         }
     }
 }

@@ -29,7 +29,9 @@ use crate::bpred::{BpredConfig, BpredStats, BranchPredictor};
 use crate::cache::{CacheStats, MemoryHierarchy, MemoryHierarchyConfig};
 use crate::machine::{exec_latency, timing_sources, Machine, StepInfo};
 use crate::ring::Ring;
+use crate::telemetry::{AnomalyReport, EventRing, StallCause, StatsRegistry, TraceEvent, TraceKind};
 use crate::{Result, SimError};
+use dise_core::EngineStats;
 use dise_isa::OpClass;
 use std::collections::{HashMap, VecDeque};
 
@@ -49,7 +51,12 @@ pub enum ExpansionCost {
 }
 
 /// Timing-model configuration. Defaults are the paper's baseline machine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The `Debug` form spells out exactly the result-affecting fields — the
+/// figure harness uses it as a content-address cache key — so the
+/// telemetry knobs (`trace_last`, `watchdog`), which can never change a
+/// simulation result, are deliberately excluded from it.
+#[derive(Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Superscalar width (fetch/decode/issue/commit per cycle).
     pub width: u64,
@@ -72,6 +79,15 @@ pub struct SimConfig {
     /// simulation-speed knob — statistics are bit-identical with it off
     /// (differentially tested in `tests/timing_fastpath.rs`).
     pub fast_path: bool,
+    /// Telemetry: capacity of the pipeline event ring (the last-K events
+    /// dumped on an anomaly). `0` disables tracing entirely — the only
+    /// per-instruction cost left is one branch.
+    pub trace_last: usize,
+    /// Telemetry: watchdog threshold — a gap of more than this many
+    /// cycles between consecutive commits with a non-empty ROB aborts the
+    /// run with [`SimError::Anomaly`] and dumps an [`AnomalyReport`].
+    /// `0` disables the watchdog.
+    pub watchdog: u64,
 }
 
 impl Default for SimConfig {
@@ -85,7 +101,27 @@ impl Default for SimConfig {
             bpred: BpredConfig::default(),
             expansion_cost: ExpansionCost::Free,
             fast_path: true,
+            trace_last: 0,
+            watchdog: 0,
         }
+    }
+}
+
+impl std::fmt::Debug for SimConfig {
+    /// Identical to the derived form minus the telemetry knobs: this
+    /// string keys the harness result cache, and tracing must never
+    /// invalidate (or fork) cached results.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("width", &self.width)
+            .field("frontend_depth", &self.frontend_depth)
+            .field("rob_size", &self.rob_size)
+            .field("rs_size", &self.rs_size)
+            .field("mem", &self.mem)
+            .field("bpred", &self.bpred)
+            .field("expansion_cost", &self.expansion_cost)
+            .field("fast_path", &self.fast_path)
+            .finish()
     }
 }
 
@@ -118,6 +154,20 @@ impl SimConfig {
         self.fast_path = false;
         self
     }
+
+    /// Enables the pipeline event trace, keeping the last `n` events
+    /// (`0` disables it).
+    pub fn with_trace_last(mut self, n: usize) -> SimConfig {
+        self.trace_last = n;
+        self
+    }
+
+    /// Sets the commit-gap watchdog threshold in cycles (`0` disables
+    /// it).
+    pub fn with_watchdog(mut self, cycles: u64) -> SimConfig {
+        self.watchdog = cycles;
+        self
+    }
 }
 
 /// Counters accumulated by a timing run.
@@ -144,6 +194,8 @@ pub struct SimStats {
     pub dise_stall_cycles: u64,
     /// DISE expansions performed.
     pub expansions: u64,
+    /// Full DISE engine statistics (all-zero when no engine is attached).
+    pub engine: EngineStats,
 }
 
 impl SimStats {
@@ -154,6 +206,27 @@ impl SimStats {
         } else {
             self.app_insts as f64 / self.cycles as f64
         }
+    }
+
+    /// This snapshot as a [`StatsRegistry`] — the canonical named,
+    /// stable-ordered export (`SimStats` itself is the source-compatible
+    /// struct view of the same counters).
+    pub fn registry(&self) -> StatsRegistry {
+        let mut r = StatsRegistry::new();
+        r.count("sim.cycles", self.cycles);
+        r.count("sim.app_insts", self.app_insts);
+        r.count("sim.total_insts", self.total_insts);
+        r.count("sim.redirects", self.redirects);
+        r.count("sim.dise_stall_cycles", self.dise_stall_cycles);
+        r.value("sim.ipc", self.ipc());
+        self.icache.register("l1i", &mut r);
+        self.dcache.register("l1d", &mut r);
+        self.l2.register("l2", &mut r);
+        self.bpred.register("bpred", &mut r);
+        for (name, v) in self.engine.named_counters() {
+            r.count(format!("engine.{name}"), v);
+        }
+        r
     }
 }
 
@@ -362,6 +435,20 @@ pub struct Simulator {
     rs_cap: usize,
     l1_latency: u64,
     stall_on_expand: bool,
+    // ---- telemetry ----------------------------------------------------
+    /// Dynamic instruction sequence number (events and anomaly reports).
+    seq: u64,
+    /// Pipeline event ring; `None` when tracing is disabled.
+    trace: Option<EventRing>,
+    /// Commit-gap watchdog threshold (0 = disabled).
+    watchdog: u64,
+    /// Watchdog verdict raised inside `account`, consumed by `run`.
+    pending_anomaly: Option<String>,
+    /// The last anomaly report, kept for programmatic inspection.
+    anomaly: Option<Box<AnomalyReport>>,
+    /// Shadow functional oracle stepped in lockstep with the primary
+    /// machine; any divergence of the per-step reports is an anomaly.
+    shadow: Option<Box<Machine>>,
 }
 
 impl Simulator {
@@ -389,6 +476,12 @@ impl Simulator {
             rs_cap: config.rs_size,
             l1_latency: config.mem.l1_latency,
             stall_on_expand: config.expansion_cost == ExpansionCost::StallPerExpansion,
+            seq: 0,
+            trace: (config.trace_last > 0).then(|| EventRing::new(config.trace_last)),
+            watchdog: config.watchdog,
+            pending_anomaly: None,
+            anomaly: None,
+            shadow: None,
             config,
             machine,
         }
@@ -405,36 +498,153 @@ impl Simulator {
         &mut self.machine
     }
 
+    /// Attaches a shadow functional oracle, stepped in lockstep with the
+    /// primary machine through the same [`Machine::step_into`] path. Any
+    /// divergence between the two per-step reports aborts the run with
+    /// [`SimError::Anomaly`] and dumps an [`AnomalyReport`]. The shadow
+    /// must be loaded and initialized exactly like the primary (same
+    /// program, registers, attached engine); build it with the *other*
+    /// functional fast-path setting to cross-check the two
+    /// implementations.
+    pub fn attach_shadow(&mut self, shadow: Machine) {
+        self.shadow = Some(Box::new(shadow));
+    }
+
+    /// The last anomaly report, if one fired this run.
+    pub fn anomaly(&self) -> Option<&AnomalyReport> {
+        self.anomaly.as_deref()
+    }
+
+    /// The pipeline events currently in the trace ring, oldest first
+    /// (empty when tracing is disabled).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.as_ref().map(EventRing::events).unwrap_or_default()
+    }
+
+    /// A live snapshot of every registered statistic: pipeline (`sim.*`),
+    /// caches (`l1i.*`, `l1d.*`, `l2.*`), branch predictor (`bpred.*`)
+    /// and DISE engine (`engine.*`) counters, name-sorted. Callable
+    /// mid-run (anomaly dumps use it) or after [`Simulator::run`].
+    pub fn stats_registry(&self) -> StatsRegistry {
+        let mut snapshot = self.stats;
+        let (total, app) = self.machine.inst_counts();
+        snapshot.total_insts = total;
+        snapshot.app_insts = app;
+        snapshot.cycles = self.last_commit.max(1);
+        snapshot.icache = self.mem.icache_stats();
+        snapshot.dcache = self.mem.dcache_stats();
+        snapshot.l2 = self.mem.l2_stats();
+        snapshot.bpred = self.bpred.stats();
+        if let Some(e) = self.machine.engine() {
+            snapshot.engine = e.stats();
+            snapshot.expansions = snapshot.engine.expansions;
+        }
+        snapshot.registry()
+    }
+
+    /// Builds, records and prints an anomaly report; returns the error
+    /// the run aborts with.
+    fn raise_anomaly(&mut self, reason: String) -> SimError {
+        let report = AnomalyReport {
+            reason: reason.clone(),
+            seq: self.seq,
+            rob_occupancy: self.rob.len(),
+            rs_occupancy: self.rs.len(),
+            registry: self.stats_registry(),
+            events: self.trace_events(),
+        };
+        eprintln!("{report}");
+        self.anomaly = Some(Box::new(report));
+        SimError::Anomaly(reason)
+    }
+
+    /// Steps the shadow oracle and compares its report with the
+    /// primary's. Returns the divergence description, if any.
+    fn shadow_step(&mut self, info: &StepInfo, out: &mut StepInfo) -> Result<Option<String>> {
+        let Some(shadow) = self.shadow.as_mut() else {
+            return Ok(None);
+        };
+        if !shadow.step_into(out)? {
+            return Ok(Some(format!(
+                "oracle divergence at seq {}: shadow halted, primary retired {:?} at pc {:#x}",
+                self.seq, info.inst.op, info.pc
+            )));
+        }
+        if out != info {
+            return Ok(Some(format!(
+                "oracle divergence at seq {}: primary {info:?} vs shadow {out:?}",
+                self.seq
+            )));
+        }
+        Ok(None)
+    }
+
     /// Runs until the program halts or `max_insts` dynamic instructions
     /// have committed.
     ///
     /// # Errors
     ///
     /// Propagates functional-machine errors; returns
-    /// [`SimError::OutOfFuel`] if the budget is exhausted first.
+    /// [`SimError::OutOfFuel`] if the budget is exhausted first, and
+    /// [`SimError::Anomaly`] if the watchdog fires or an attached shadow
+    /// oracle diverges (the report is dumped to stderr and kept in
+    /// [`Simulator::anomaly`]).
     pub fn run(&mut self, max_insts: u64) -> Result<SimResult> {
-        if self.config.fast_path {
+        if self.config.fast_path && self.shadow.is_none() {
             // In-place oracle stepping: one caller-owned StepInfo reused
             // across the whole run instead of a per-instruction
-            // `Option<StepInfo>` moved through the return value.
+            // `Option<StepInfo>` moved through the return value. This is
+            // the hot loop — the shadow-oracle variant lives below so
+            // lockstep checking costs nothing here.
             let mut info = StepInfo::default();
             for _ in 0..max_insts {
                 if !self.machine.step_into(&mut info)? {
                     return Ok(self.finish(true));
                 }
                 self.account(&info);
+                if let Some(reason) = self.pending_anomaly.take() {
+                    return Err(self.raise_anomaly(reason));
+                }
             }
         } else {
+            let mut shadow_info = StepInfo::default();
             for _ in 0..max_insts {
-                let Some(info) = self.machine.step()? else {
-                    return Ok(self.finish(true));
+                let mut info = StepInfo::default();
+                let stepped = if self.config.fast_path {
+                    self.machine.step_into(&mut info)?
+                } else {
+                    match self.machine.step()? {
+                        Some(i) => {
+                            info = i;
+                            true
+                        }
+                        None => false,
+                    }
                 };
+                if !stepped {
+                    return Ok(self.finish(true));
+                }
+                if let Some(diverged) = self.shadow_step(&info, &mut shadow_info)? {
+                    return Err(self.raise_anomaly(diverged));
+                }
                 self.account(&info);
+                if let Some(reason) = self.pending_anomaly.take() {
+                    return Err(self.raise_anomaly(reason));
+                }
             }
         }
         if self.machine.halted() {
             Ok(self.finish(true))
         } else {
+            if self.trace.is_some() || self.watchdog > 0 {
+                // Fuel exhaustion with telemetry on: leave an evidence
+                // trail instead of burning the budget silently.
+                let report = self.raise_anomaly(format!(
+                    "out of fuel after {max_insts} dynamic instructions without halting"
+                ));
+                // The run error stays OutOfFuel — the dump is advisory.
+                let _ = report;
+            }
             Err(SimError::OutOfFuel)
         }
     }
@@ -449,7 +659,8 @@ impl Simulator {
         self.stats.l2 = self.mem.l2_stats();
         self.stats.bpred = self.bpred.stats();
         if let Some(e) = self.machine.engine() {
-            self.stats.expansions = e.stats().expansions;
+            self.stats.engine = e.stats();
+            self.stats.expansions = self.stats.engine.expansions;
         }
         SimResult {
             stats: self.stats,
@@ -470,13 +681,20 @@ impl Simulator {
         }
 
         // Structural back-pressure: ROB and RS occupancy throttle fetch.
+        // The `*_wait` slack values feed the event trace only.
+        let mut rob_wait = 0u64;
+        let mut rs_wait = 0u64;
         if self.rob.len() >= self.rob_cap {
             let freed = self.rob.pop().expect("non-empty");
-            fetch_ready = fetch_ready.max(freed.saturating_sub(self.frontend_depth));
+            let until = freed.saturating_sub(self.frontend_depth);
+            rob_wait = until.saturating_sub(fetch_ready.max(self.fetch.cycle));
+            fetch_ready = fetch_ready.max(until);
         }
         if self.rs.len() >= self.rs_cap {
             let freed = self.rs.pop().expect("non-empty");
-            fetch_ready = fetch_ready.max(freed.saturating_sub(self.frontend_depth));
+            let until = freed.saturating_sub(self.frontend_depth);
+            rs_wait = until.saturating_sub(fetch_ready.max(self.fetch.cycle));
+            fetch_ready = fetch_ready.max(until);
         }
 
         let mut fetch_time = self.fetch.alloc(fetch_ready);
@@ -484,18 +702,21 @@ impl Simulator {
         // Stall-per-expansion engine placement: the PT/RT read costs one
         // cycle per actual expansion, delaying everything behind the
         // trigger by a cycle.
-        if info.expanded && self.stall_on_expand {
+        let expand_bubble = info.expanded && self.stall_on_expand;
+        if expand_bubble {
             self.fetch.cycle = fetch_time + 1;
             self.fetch.used = 0;
         }
 
         // I-cache access for newly fetched application items (replacement
         // instructions stream from the RT and skip the I-cache).
+        let mut icache_wait = 0u64;
         if info.first_of_fetch {
             let latency = self.mem.ifetch(info.pc, info.fetch_size);
             if latency > self.l1_latency {
                 // Miss: fetch stalls until the fill returns.
-                fetch_time += latency - self.l1_latency;
+                icache_wait = latency - self.l1_latency;
+                fetch_time += icache_wait;
                 self.fetch.cycle = fetch_time;
                 self.fetch.used = 1;
             }
@@ -585,9 +806,99 @@ impl Simulator {
 
         // ---- commit -----------------------------------------------------
         let commit = self.commit.alloc(complete.max(self.last_commit));
+
+        // Commit-gap watchdog: in this timestamp-dataflow model every
+        // accounted instruction commits, so a wedged pipeline shows up as
+        // a pathological gap between consecutive commit times while older
+        // instructions are still in flight.
+        if self.watchdog != 0
+            && commit.saturating_sub(self.last_commit) > self.watchdog
+            && self.rob.len() > 0
+            && self.pending_anomaly.is_none()
+        {
+            self.pending_anomaly = Some(format!(
+                "watchdog: no commit for {} cycles (threshold {}) with {} ROB entries in flight",
+                commit - self.last_commit,
+                self.watchdog,
+                self.rob.len(),
+            ));
+        }
+
+        // ---- event trace ------------------------------------------------
+        // One `is_some` branch per retired instruction when disabled;
+        // `timing_speed` verifies the disabled-path overhead stays ≤ 2%.
+        if self.trace.is_some() {
+            self.record_events(
+                info,
+                rob_wait,
+                rs_wait,
+                icache_wait,
+                expand_bubble,
+                [fetch_time, dispatch, issue, complete, commit],
+                redirect,
+            );
+        }
+        self.seq += 1;
+
         self.last_commit = commit.max(self.last_commit);
         self.rob.push(commit);
         self.rs.push(issue + 1);
+    }
+
+    /// Pushes the trace events for one accounted instruction. Out of
+    /// line so the disabled-tracing path pays only the `is_some` check.
+    #[allow(clippy::too_many_arguments)]
+    fn record_events(
+        &mut self,
+        info: &StepInfo,
+        rob_wait: u64,
+        rs_wait: u64,
+        icache_wait: u64,
+        expand_bubble: bool,
+        times: [u64; 5],
+        redirect: bool,
+    ) {
+        let [fetch_time, dispatch, issue, complete, commit] = times;
+        let seq = self.seq;
+        let Some(ring) = self.trace.as_mut() else {
+            return;
+        };
+        let ev = |cycle: u64, kind: TraceKind| TraceEvent {
+            cycle,
+            seq,
+            pc: info.pc,
+            disepc: info.disepc,
+            kind,
+        };
+        let stall = |cause: StallCause, cycles: u64| TraceKind::Stall { cause, cycles };
+        if info.dise_stall > 0 {
+            ring.push(ev(fetch_time, stall(StallCause::DiseMiss, info.dise_stall)));
+        }
+        if rob_wait > 0 {
+            ring.push(ev(fetch_time, stall(StallCause::RobFull, rob_wait)));
+        }
+        if rs_wait > 0 {
+            ring.push(ev(fetch_time, stall(StallCause::RsFull, rs_wait)));
+        }
+        if icache_wait > 0 {
+            ring.push(ev(fetch_time, stall(StallCause::IcacheMiss, icache_wait)));
+        }
+        if expand_bubble {
+            ring.push(ev(fetch_time, stall(StallCause::ExpandBubble, 1)));
+        }
+        if info.first_of_fetch {
+            ring.push(ev(fetch_time, TraceKind::Fetch { size: info.fetch_size as u8 }));
+        }
+        if info.expanded {
+            ring.push(ev(fetch_time, TraceKind::Expand { len: info.expansion_len }));
+        }
+        ring.push(ev(dispatch, TraceKind::Dispatch));
+        ring.push(ev(issue, TraceKind::Issue));
+        ring.push(ev(complete, TraceKind::Writeback));
+        if redirect {
+            ring.push(ev(complete, TraceKind::Redirect));
+        }
+        ring.push(ev(commit, TraceKind::Commit));
     }
 }
 
@@ -847,6 +1158,143 @@ mod tests {
         assert!(free.dise_stall_cycles > 0, "cold PT/RT misses counted");
         assert_eq!(free.app_insts, base.app_insts, "same application work");
         assert!(free.total_insts > base.total_insts);
+    }
+
+    #[test]
+    fn registry_matches_the_struct_views() {
+        let p = store_loop();
+        let mut m = Machine::load(&p);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        m.attach_engine(mfi_engine(&p));
+        m.set_reg(Reg::dr(2), Program::DATA_SEGMENT);
+        let mut sim = Simulator::new(SimConfig::default(), m);
+        let stats = sim.run(10_000_000).unwrap().stats;
+        let live = sim.stats_registry();
+        // The registry is a view over the same counters the structs hold.
+        assert_eq!(live, stats.registry());
+        let count = |name: &str| match live.get(name) {
+            Some(crate::telemetry::StatValue::Count(v)) => v,
+            other => panic!("{name}: {other:?}"),
+        };
+        assert_eq!(count("sim.cycles"), stats.cycles);
+        assert_eq!(count("l1i.misses"), stats.icache.misses);
+        assert_eq!(count("l1d.accesses"), stats.dcache.accesses);
+        assert_eq!(
+            count("bpred.mispredicts"),
+            stats.bpred.cond_mispredicts + stats.bpred.target_mispredicts
+        );
+        assert_eq!(count("engine.expansions"), stats.expansions);
+        assert_eq!(count("engine.pt_probes"), stats.engine.inspected);
+        assert!(count("engine.pt_probes") > 0, "engine counters flow through");
+        // Stable-ordered export: names sorted, so identical runs are
+        // byte-identical.
+        let names: Vec<&str> = live.entries().iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn trace_knobs_do_not_change_results_or_keys() {
+        let p = counted_loop(500);
+        let plain = run(SimConfig::default(), &p);
+        let traced_config = SimConfig::default().with_trace_last(64).with_watchdog(1_000_000);
+        let traced = run(traced_config, &p);
+        assert_eq!(plain, traced, "telemetry is observability-only");
+        // The Debug form is the harness cache key: telemetry knobs must
+        // not appear in it.
+        assert_eq!(
+            format!("{:?}", SimConfig::default()),
+            format!("{traced_config:?}")
+        );
+    }
+
+    #[test]
+    fn trace_ring_is_bounded_and_populated() {
+        let p = counted_loop(500);
+        let mut sim = Simulator::new(SimConfig::default().with_trace_last(32), Machine::load(&p));
+        sim.run(10_000_000).unwrap();
+        let events = sim.trace_events();
+        assert!(!events.is_empty());
+        assert!(events.len() <= 32);
+        assert!(events
+            .iter()
+            .any(|e| e.kind == crate::telemetry::TraceKind::Commit));
+        // Disabled tracing records nothing.
+        let mut sim = Simulator::new(SimConfig::default(), Machine::load(&p));
+        sim.run(10_000_000).unwrap();
+        assert!(sim.trace_events().is_empty());
+    }
+
+    #[test]
+    fn watchdog_is_quiet_on_healthy_runs() {
+        let p = counted_loop(2000);
+        let mut sim = Simulator::new(SimConfig::default().with_watchdog(10_000), Machine::load(&p));
+        assert!(sim.run(10_000_000).is_ok());
+        assert!(sim.anomaly().is_none());
+    }
+
+    #[test]
+    fn watchdog_fires_and_dumps_on_pathological_commit_gaps() {
+        // A redirect costs ~frontend_depth cycles of commit gap, so a
+        // 2-cycle threshold treats ordinary mispredictions as anomalies —
+        // a cheap way to exercise the whole dump path.
+        let p = asm(
+            "       lda r1, 12345(r31)
+                    lda r20, 2000(r31)
+             loop:  mulq r1, #163, r1
+                    addq r1, #57, r1
+                    srl r1, #13, r2
+                    and r2, #1, r2
+                    bne r2, skip
+                    addq r4, #1, r4
+             skip:  subq r20, #1, r20
+                    bne r20, loop
+                    halt",
+        );
+        let config = SimConfig::default().with_watchdog(2).with_trace_last(16);
+        let mut sim = Simulator::new(config, Machine::load(&p));
+        let err = sim.run(10_000_000).unwrap_err();
+        assert!(matches!(err, SimError::Anomaly(_)), "got {err:?}");
+        let report = sim.anomaly().expect("report retained");
+        assert!(report.reason.contains("watchdog"));
+        assert!(!report.events.is_empty(), "dump includes the event ring");
+        assert!(report.registry.get("sim.cycles").is_some());
+    }
+
+    #[test]
+    fn shadow_oracle_lockstep_is_clean_across_machine_paths() {
+        // Shadow the fast-path functional machine with the byte-accurate
+        // slow-path one: any divergence between the two implementations
+        // would abort the run.
+        let p = counted_loop(500);
+        let slow = crate::machine::MachineConfig {
+            fast_path: false,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(SimConfig::default(), Machine::load(&p));
+        sim.attach_shadow(Machine::with_config(&p, slow));
+        let shadowed = sim.run(10_000_000).unwrap().stats;
+        assert_eq!(shadowed, run(SimConfig::default(), &p));
+        assert!(sim.anomaly().is_none());
+    }
+
+    #[test]
+    fn shadow_divergence_is_detected_and_reported() {
+        // A shadow with different architectural state diverges at the
+        // first step whose report depends on it (here: the store address
+        // in r2).
+        let p = store_loop();
+        let mut m = Machine::load(&p);
+        m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+        let mut sim = Simulator::new(SimConfig::default(), m);
+        let mut shadow = Machine::load(&p);
+        shadow.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT) + 64);
+        sim.attach_shadow(shadow);
+        let err = sim.run(10_000_000).unwrap_err();
+        assert!(matches!(err, SimError::Anomaly(_)), "got {err:?}");
+        let report = sim.anomaly().expect("report retained");
+        assert!(report.reason.contains("divergence"));
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Simulator telemetry: the unified stats registry, the pipeline event
+//! trace, and dump-on-anomaly reports.
+//!
+//! Three cooperating pieces (see DESIGN.md §9):
+//!
+//! * [`StatsRegistry`] — a flat, name-sorted map of typed counters
+//!   (`sim.cycles`, `l1i.misses`, `bpred.mispredicts`,
+//!   `engine.expansions`, …). Every component of the timing model
+//!   registers its counters under a fixed prefix, and the registry
+//!   exports them as stable-ordered text or JSON: byte-identical for
+//!   identical runs, regardless of job count or cache warmth (the figure
+//!   harness asserts this). The existing `SimStats`/`CacheStats`/
+//!   `BpredStats`/`EngineStats` structs remain the source-compatible
+//!   views; the registry is assembled from them, never the other way
+//!   around, so the hot path keeps its plain field increments.
+//! * [`EventRing`] — a fixed-capacity ring of compact per-instruction
+//!   pipeline events ([`TraceEvent`]): fetch, expansion, dispatch, issue,
+//!   writeback, commit, redirect, and stall causes with their cycle
+//!   counts. Recording costs one branch per retired instruction when
+//!   disabled (`trace_last == 0`), verified by the `timing_speed`
+//!   harness.
+//! * [`AnomalyReport`] — what the simulator dumps when its watchdog
+//!   fires (a commit gap longer than `watchdog` cycles with a non-empty
+//!   ROB), when a shadow functional oracle diverges from the primary
+//!   machine, or when a run exhausts its fuel with tracing enabled: the
+//!   trigger reason, ROB/RS occupancy, the registry snapshot, and the
+//!   last-K-event ring contents.
+
+use std::fmt;
+
+/// One registered statistic: an exact event counter or a derived value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatValue {
+    /// An exact event count.
+    Count(u64),
+    /// A derived floating-point value (rates, ratios).
+    Value(f64),
+}
+
+impl StatValue {
+    /// The value as an `f64`. Counts convert exactly: simulated event
+    /// counters stay far below 2^53.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            StatValue::Count(v) => v as f64,
+            StatValue::Value(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for StatValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Both arms use Rust's shortest-round-trip formatting, so the
+            // exported text re-parses to identical bits — the property the
+            // harness cache and the byte-stability checks rely on.
+            StatValue::Count(v) => write!(f, "{v}"),
+            StatValue::Value(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A name-sorted registry of statistics.
+///
+/// Names are dot-separated, component-prefixed, and unique: `sim.*`
+/// (pipeline), `l1i.*`/`l1d.*`/`l2.*` (caches), `bpred.*` (branch
+/// predictor), `engine.*` (DISE engine). Insertion keeps the entries
+/// sorted, so every export is stable-ordered by construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsRegistry {
+    entries: Vec<(String, StatValue)>,
+}
+
+impl StatsRegistry {
+    /// An empty registry.
+    pub fn new() -> StatsRegistry {
+        StatsRegistry::default()
+    }
+
+    /// Registers (or replaces) a statistic.
+    pub fn set(&mut self, name: impl Into<String>, value: StatValue) {
+        let name = name.into();
+        debug_assert!(
+            !name.contains(['\n', '"', '\\', ' ']),
+            "stat names are single-line, space-free and JSON-safe: {name:?}"
+        );
+        match self
+            .entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name.as_str()))
+        {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (name, value)),
+        }
+    }
+
+    /// Registers an exact event counter.
+    pub fn count(&mut self, name: impl Into<String>, value: u64) {
+        self.set(name, StatValue::Count(value));
+    }
+
+    /// Registers a derived floating-point value.
+    pub fn value(&mut self, name: impl Into<String>, value: f64) {
+        self.set(name, StatValue::Value(value));
+    }
+
+    /// Looks a statistic up by exact name.
+    pub fn get(&self, name: &str) -> Option<StatValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// All entries, sorted by name.
+    pub fn entries(&self) -> &[(String, StatValue)] {
+        &self.entries
+    }
+
+    /// Plain-text export: one `name value` line per entry, name-sorted.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON export: one flat object, keys name-sorted, values numeric.
+    /// Deterministic byte-for-byte for identical runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  \"");
+            out.push_str(name);
+            out.push_str("\": ");
+            out.push_str(&value.to_string());
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Why fetch stalled at a traced instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// DISE PT/RT miss: pipeline flush plus fill penalty.
+    DiseMiss,
+    /// Reorder buffer full: fetch throttled until the oldest entry
+    /// commits.
+    RobFull,
+    /// Reservation stations full: fetch throttled until one issues.
+    RsFull,
+    /// I-cache miss: fetch waits for the fill.
+    IcacheMiss,
+    /// Stall-per-expansion engine placement: one bubble per expansion.
+    ExpandBubble,
+}
+
+/// What happened at a traced pipeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An application fetch of `size` bytes began.
+    Fetch {
+        /// Fetched bytes (4, or 2 for a short codeword).
+        size: u8,
+    },
+    /// A DISE expansion of `len` replacement instructions began.
+    Expand {
+        /// Replacement-sequence length.
+        len: u8,
+    },
+    /// The instruction entered the out-of-order core.
+    Dispatch,
+    /// The instruction issued to a functional unit.
+    Issue,
+    /// The instruction completed execution (wrote back).
+    Writeback,
+    /// The instruction committed.
+    Commit,
+    /// The instruction redirected fetch (misprediction or unpredicted
+    /// taken branch).
+    Redirect,
+    /// Fetch stalled at this instruction.
+    Stall {
+        /// Why.
+        cause: StallCause,
+        /// Stall length in cycles.
+        cycles: u64,
+    },
+}
+
+/// One compact pipeline event: which dynamic instruction, where it was,
+/// what happened, and in which cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event lands in.
+    pub cycle: u64,
+    /// Dynamic instruction sequence number (0-based).
+    pub seq: u64,
+    /// Application PC (the trigger's PC inside replacement sequences).
+    pub pc: u64,
+    /// Offset within the replacement sequence (0 outside one).
+    pub disepc: u8,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c{:<10} seq {:<9} pc {:#010x}+{:<3} ",
+            self.cycle, self.seq, self.pc, self.disepc
+        )?;
+        match self.kind {
+            TraceKind::Fetch { size } => write!(f, "fetch     size={size}"),
+            TraceKind::Expand { len } => write!(f, "expand    len={len}"),
+            TraceKind::Dispatch => f.write_str("dispatch"),
+            TraceKind::Issue => f.write_str("issue"),
+            TraceKind::Writeback => f.write_str("writeback"),
+            TraceKind::Commit => f.write_str("commit"),
+            TraceKind::Redirect => f.write_str("redirect"),
+            TraceKind::Stall { cause, cycles } => {
+                write!(f, "stall     cause={cause:?} cycles={cycles}")
+            }
+        }
+    }
+}
+
+/// A fixed-capacity ring of [`TraceEvent`]s: pushes never allocate after
+/// construction, and once full each push overwrites the oldest event, so
+/// the ring always holds the last-K events of the run.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next slot to overwrite once the buffer is full.
+    next: usize,
+    total: u64,
+}
+
+impl EventRing {
+    /// A ring holding the last `cap` events (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> EventRing {
+        let cap = cap.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.next] = event;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Total events ever pushed (≥ `len`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// Everything the simulator knows at the moment an anomaly fires,
+/// formatted by `Display` as the dump the harness prints to stderr.
+#[derive(Debug, Clone)]
+pub struct AnomalyReport {
+    /// What triggered the dump.
+    pub reason: String,
+    /// Dynamic instruction sequence number at the trigger.
+    pub seq: u64,
+    /// In-flight ROB entries at the trigger.
+    pub rob_occupancy: usize,
+    /// In-flight RS entries at the trigger.
+    pub rs_occupancy: usize,
+    /// Registry snapshot at the trigger.
+    pub registry: StatsRegistry,
+    /// The last-K pipeline events (empty when tracing was disabled).
+    pub events: Vec<TraceEvent>,
+}
+
+impl fmt::Display for AnomalyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== simulator anomaly: {} ==", self.reason)?;
+        writeln!(
+            f,
+            "at seq {} | ROB occupancy {} | RS occupancy {}",
+            self.seq, self.rob_occupancy, self.rs_occupancy
+        )?;
+        writeln!(f, "-- stats registry --")?;
+        f.write_str(&self.registry.to_text())?;
+        if self.events.is_empty() {
+            writeln!(f, "-- no event trace (run with tracing enabled) --")?;
+        } else {
+            writeln!(f, "-- last {} pipeline events --", self.events.len())?;
+            for e in &self.events {
+                writeln!(f, "{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_exports_are_name_sorted_and_stable() {
+        let mut r = StatsRegistry::new();
+        r.count("sim.cycles", 100);
+        r.count("bpred.mispredicts", 7);
+        r.value("l1i.miss_rate", 0.25);
+        r.count("sim.cycles", 101); // replace, not duplicate
+        assert_eq!(
+            r.entries().iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["bpred.mispredicts", "l1i.miss_rate", "sim.cycles"]
+        );
+        assert_eq!(r.get("sim.cycles"), Some(StatValue::Count(101)));
+        assert_eq!(r.get("nope"), None);
+        assert_eq!(
+            r.to_text(),
+            "bpred.mispredicts 7\nl1i.miss_rate 0.25\nsim.cycles 101\n"
+        );
+        assert_eq!(
+            r.to_json(),
+            "{\n  \"bpred.mispredicts\": 7,\n  \"l1i.miss_rate\": 0.25,\n  \"sim.cycles\": 101\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_registry_json_is_valid() {
+        assert_eq!(StatsRegistry::new().to_json(), "{\n}\n");
+    }
+
+    #[test]
+    fn ring_keeps_the_last_k_events() {
+        let ev = |seq| TraceEvent {
+            cycle: seq,
+            seq,
+            pc: 0x1000,
+            disepc: 0,
+            kind: TraceKind::Commit,
+        };
+        let mut ring = EventRing::new(4);
+        assert!(ring.is_empty());
+        for s in 0..10 {
+            ring.push(ev(s));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total(), 10);
+        let seqs: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first, last K only");
+    }
+
+    #[test]
+    fn ring_capacity_clamps_to_one() {
+        let mut ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        for s in 0..3 {
+            ring.push(TraceEvent {
+                cycle: s,
+                seq: s,
+                pc: 0,
+                disepc: 0,
+                kind: TraceKind::Dispatch,
+            });
+        }
+        assert_eq!(ring.events().len(), 1);
+        assert_eq!(ring.events()[0].seq, 2);
+    }
+
+    #[test]
+    fn anomaly_report_formats_every_section() {
+        let mut registry = StatsRegistry::new();
+        registry.count("sim.cycles", 42);
+        let report = AnomalyReport {
+            reason: "test trigger".into(),
+            seq: 9,
+            rob_occupancy: 3,
+            rs_occupancy: 1,
+            registry,
+            events: vec![TraceEvent {
+                cycle: 40,
+                seq: 9,
+                pc: 0x0400_0000,
+                disepc: 0,
+                kind: TraceKind::Stall {
+                    cause: StallCause::RobFull,
+                    cycles: 12,
+                },
+            }],
+        };
+        let text = report.to_string();
+        assert!(text.contains("test trigger"));
+        assert!(text.contains("sim.cycles 42"));
+        assert!(text.contains("RobFull"));
+        assert!(text.contains("ROB occupancy 3"));
+    }
+}

@@ -39,9 +39,21 @@ else
 fi
 mkdir -p "$OUT"
 echo "== fig6 ($(date)) =="
-./target/release/fig6_mfi  > "$OUT"/fig6.txt 2> "$OUT"/fig6.log
+./target/release/fig6_mfi --stats-json "$OUT"/fig6.stats.json > "$OUT"/fig6.txt 2> "$OUT"/fig6.log
 echo "== fig7 ($(date)) =="
-./target/release/fig7_compression > "$OUT"/fig7.txt 2> "$OUT"/fig7.log
+./target/release/fig7_compression --stats-json "$OUT"/fig7.stats.json > "$OUT"/fig7.txt 2> "$OUT"/fig7.log
 echo "== fig8 ($(date)) =="
-./target/release/fig8_composition > "$OUT"/fig8.txt 2> "$OUT"/fig8.log
+./target/release/fig8_composition --stats-json "$OUT"/fig8.stats.json > "$OUT"/fig8.txt 2> "$OUT"/fig8.log
+if [ -n "$SMOKE" ]; then
+    # The stats-JSON export must be byte-identical across worker counts
+    # and cache warmth: rerun one panel against the (now warm) smoke
+    # cache at jobs=1, and uncached at jobs=8, and compare.
+    echo "== stats-JSON byte-stability ($(date)) =="
+    DISE_BENCH_JOBS=1 ./target/release/fig6_mfi top \
+        --stats-json "$OUT"/stats-warm-j1.json > /dev/null 2>> "$OUT"/fig6.log
+    DISE_BENCH_JOBS=8 DISE_BENCH_CACHE=off ./target/release/fig6_mfi top \
+        --stats-json "$OUT"/stats-cold-j8.json > /dev/null 2>> "$OUT"/fig6.log
+    cmp "$OUT"/stats-warm-j1.json "$OUT"/stats-cold-j8.json
+    echo "stats JSON byte-identical across jobs={1,8} and warm/cold cache"
+fi
 echo "== done ($(date)) =="

@@ -1,0 +1,30 @@
+#!/bin/sh
+# The repository's tier-1 gate plus the harness smoke sweep, in one
+# command. Run from anywhere; everything executes at the repo root.
+#
+#   build   — release build (the smoke sweep runs the release binaries)
+#   test    — full workspace test suite (unit + integration +
+#             determinism + differential fast-path tests)
+#   clippy  — all targets, warnings denied
+#   smoke   — run_figures.sh --smoke: every figure binary end-to-end on
+#             a tiny budget, including the stats-JSON byte-stability
+#             check (jobs 1 vs 8, warm vs cold cell cache)
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== ci: build ($(date)) =="
+# --workspace: the root Cargo.toml carries a [package], so a bare
+# `cargo build` stops at the root crate and leaves the bench binaries
+# the smoke sweep runs stale.
+cargo build --release --workspace
+
+echo "== ci: test ($(date)) =="
+cargo test -q
+
+echo "== ci: clippy ($(date)) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== ci: smoke figures ($(date)) =="
+./run_figures.sh --smoke
+
+echo "== ci: ok ($(date)) =="

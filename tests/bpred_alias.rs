@@ -1,0 +1,212 @@
+//! Regression: branch-predictor indexing on compressed workloads.
+//!
+//! Compressed programs intermix 2-byte codewords with 4-byte
+//! instructions, so branch PCs are 2-byte granular. The predictor's
+//! gshare and BTB indices must therefore drop only the constant-zero bit
+//! 0 of the PC (`pc >> 1`); the original 4-byte-PC assumption (`pc >>
+//! 2`) silently dropped bit 1 as well, aliasing adjacent compressed
+//! branches onto shared PHT/BTB slots. This test replays the real branch
+//! stream of a compressed workload — collected from the functional
+//! machine exactly as the pipeline predicts it — through the shipped
+//! predictor and through a reference model that differs only in
+//! *construction* (a from-scratch reimplementation indexed at the full
+//! 2-byte granularity); their statistics must match event-for-event.
+
+use dise::acf::compress::{CompressionConfig, Compressor};
+use dise::engine::EngineConfig;
+use dise::isa::{Op, OpClass};
+use dise::sim::bpred::{BpredConfig, BpredStats, BranchPredictor};
+use dise::sim::Machine;
+use dise::workloads::{Benchmark, WorkloadConfig};
+
+/// One prediction-eligible application control transfer, as the pipeline
+/// sees it at commit.
+struct BranchEvent {
+    pc: u64,
+    op: Op,
+    class: OpClass,
+    taken: bool,
+    target: u64,
+    /// The call return address, `pc + fetch_size`.
+    ret_addr: u64,
+}
+
+/// Steps a compressed workload functionally and collects every
+/// prediction-eligible control transfer, mirroring the pipeline's
+/// prediction protocol (`Simulator::account`): DISE-internal branches
+/// and non-trigger replacement branches are never predicted.
+fn branch_trace(bench: Benchmark) -> Vec<BranchEvent> {
+    let p = bench.build(&WorkloadConfig::tiny().with_dyn_insts(60_000));
+    // The dedicated decompressor plants 2-byte codewords, which is what
+    // knocks the following instructions — branches included — off 4-byte
+    // alignment (full-DISE codewords are 4 bytes and keep it).
+    let compressed = Compressor::new(CompressionConfig::dedicated())
+        .compress(&p)
+        .expect("compress");
+    let mut m = Machine::load(&compressed.program);
+    compressed
+        .attach(&mut m, EngineConfig::default())
+        .expect("attach decompressor");
+    let mut events = Vec::new();
+    while let Some(info) = m.step().expect("step") {
+        if info.dise_taken || !info.predicted {
+            continue;
+        }
+        let Some(taken) = info.taken else { continue };
+        events.push(BranchEvent {
+            pc: info.pc,
+            op: info.inst.op,
+            class: info.inst.op.class(),
+            taken,
+            target: info.target.unwrap_or(0),
+            ret_addr: info.pc + info.fetch_size,
+        });
+    }
+    events
+}
+
+/// Replays a branch trace through a predictor via the pipeline's
+/// dispatch, returning the final statistics.
+fn replay(events: &[BranchEvent], p: &mut BranchPredictor) -> BpredStats {
+    for e in events {
+        match e.class {
+            OpClass::CondBranch => {
+                p.cond_branch(e.pc, e.taken, e.target);
+            }
+            OpClass::UncondBranch => {
+                let push = (e.op == Op::Bsr).then_some(e.ret_addr);
+                p.uncond_branch(e.pc, e.target, push);
+            }
+            OpClass::IndirectJump => {
+                if e.op == Op::Ret {
+                    p.ret(e.target);
+                } else {
+                    let push = (e.op == Op::Jsr).then_some(e.ret_addr);
+                    p.indirect(e.pc, e.target, push);
+                }
+            }
+            _ => {}
+        }
+    }
+    p.stats()
+}
+
+/// The reference: the same finite gshare/BTB/RAS structure, written from
+/// scratch with the PC index preserving 2-byte granularity throughout.
+/// Any implementation index that drops PC bit 1 diverges from this model
+/// on a compressed trace.
+struct Reference {
+    gshare_mask: u64,
+    pht: Vec<u8>,
+    history: u64,
+    btb: Vec<(u64, u64)>,
+    ras: Vec<u64>,
+    ras_depth: usize,
+    stats: BpredStats,
+}
+
+impl Reference {
+    fn new(config: BpredConfig) -> Reference {
+        Reference {
+            gshare_mask: (1 << config.gshare_bits) - 1,
+            pht: vec![1; 1 << config.gshare_bits],
+            history: 0,
+            btb: vec![(u64::MAX, 0); config.btb_entries.max(1)],
+            ras: Vec::new(),
+            ras_depth: config.ras_depth,
+            stats: BpredStats::default(),
+        }
+    }
+
+    fn btb(&mut self, pc: u64, target: u64) -> bool {
+        let ix = ((pc >> 1) % self.btb.len() as u64) as usize;
+        let hit = self.btb[ix] == (pc, target);
+        self.btb[ix] = (pc, target);
+        hit
+    }
+
+    fn push(&mut self, ra: u64) {
+        if self.ras.len() == self.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(ra);
+    }
+
+    fn run(mut self, events: &[BranchEvent]) -> BpredStats {
+        for e in events {
+            match e.class {
+                OpClass::CondBranch => {
+                    self.stats.cond_predictions += 1;
+                    let ix = (((e.pc >> 1) ^ self.history) & self.gshare_mask) as usize;
+                    let predicted_taken = self.pht[ix] >= 2;
+                    self.pht[ix] = if e.taken {
+                        (self.pht[ix] + 1).min(3)
+                    } else {
+                        self.pht[ix].saturating_sub(1)
+                    };
+                    self.history = ((self.history << 1) | e.taken as u64) & self.gshare_mask;
+                    let mut correct = predicted_taken == e.taken;
+                    if e.taken && !self.btb(e.pc, e.target) && predicted_taken {
+                        correct = false;
+                    }
+                    if !correct {
+                        self.stats.cond_mispredicts += 1;
+                    }
+                }
+                OpClass::UncondBranch => {
+                    let hit = self.btb(e.pc, e.target);
+                    if e.op == Op::Bsr {
+                        self.push(e.ret_addr);
+                    }
+                    if !hit {
+                        self.stats.target_mispredicts += 1;
+                    }
+                }
+                OpClass::IndirectJump => {
+                    if e.op == Op::Ret {
+                        if self.ras.pop() != Some(e.target) {
+                            self.stats.target_mispredicts += 1;
+                        }
+                    } else {
+                        let hit = self.btb(e.pc, e.target);
+                        if e.op == Op::Jsr {
+                            self.push(e.ret_addr);
+                        }
+                        if !hit {
+                            self.stats.target_mispredicts += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.stats
+    }
+}
+
+#[test]
+fn compressed_branch_stream_matches_byte_granular_reference() {
+    for bench in [Benchmark::Gcc, Benchmark::Mcf] {
+        let events = branch_trace(bench);
+        assert!(
+            events.len() > 500,
+            "{bench}: trace too small ({} branches) to exercise the predictor",
+            events.len()
+        );
+        // The trap the old indexing falls into only exists if the
+        // compressed layout actually produces branch PCs with bit 1 set.
+        let byte_granular = events.iter().filter(|e| e.pc & 0x2 != 0).count();
+        assert!(
+            byte_granular > 0,
+            "{bench}: no 2-byte-granular branch PCs; the trace cannot catch aliasing"
+        );
+        let real = replay(&events, &mut BranchPredictor::new(BpredConfig::default()));
+        let reference = Reference::new(BpredConfig::default()).run(&events);
+        assert_eq!(
+            real, reference,
+            "{bench}: predictor diverged from the byte-granular reference \
+             over {} branches ({byte_granular} at 2-byte-granular PCs)",
+            events.len()
+        );
+    }
+}
