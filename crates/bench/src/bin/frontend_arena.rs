@@ -1,0 +1,211 @@
+//! Shared-frontend arena setup harness.
+//!
+//! Measures what the process-wide arena ([`dise_sim::arena`]) buys on a
+//! multi-cell sweep: the cost of standing up N DISE-MFI cells over the
+//! same program image (predecode table + per-opcode PT index +
+//! architectural expansion memo per cell when private, built once and
+//! shared when the arena is on), plus the resident-memory footprint of
+//! holding those cells alive.
+//!
+//! Run once per mode in separate processes — RSS deltas are only clean
+//! on a fresh heap:
+//!
+//! ```text
+//! ./target/release/frontend_arena --mode shared
+//! ./target/release/frontend_arena --mode private
+//! ```
+//!
+//! Each invocation prints one compact JSON object on its last stdout
+//! line; `scripts/bench_shared_frontend.sh` runs both modes and merges
+//! them into `results/BENCH_shared_frontend.json`. Setup and run times
+//! are best-of `DISE_BENCH_REPS` (default 3). The RSS delta comes from
+//! `/proc/self/status` (0 where unavailable) in one pass on the fresh
+//! heap — every benchmark's full cell set built and held alive at once —
+//! because per-benchmark deltas evaporate as the allocator reuses pages
+//! freed by the previous benchmark. The shadow figure times one
+//! cycle-level run with and without the `--shadow` lockstep oracle
+//! attached, bounding the checking overhead the flag opts into.
+//!
+//! `DISE_BENCH_DYN` / `DISE_BENCH_FILTER` are honored as in the figure
+//! binaries. The identity of shared vs private *results* is certified by
+//! `crates/bench/tests/shared_frontend.rs`; this harness only measures.
+
+use std::time::Instant;
+
+use dise_acf::mfi::{Mfi, MfiVariant};
+use dise_bench::{benchmarks, dyn_budget, fuel_for, mfi_productions, workload};
+use dise_core::{DiseEngine, EngineConfig};
+use dise_isa::Program;
+use dise_sim::{arena, Machine, MachineConfig, SimConfig, Simulator};
+
+/// Cells per benchmark: enough that shared construction amortizes and
+/// the per-cell residency difference is visible in RSS.
+const CELLS: usize = 16;
+
+fn reps() -> usize {
+    std::env::var("DISE_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Resident set size in KiB from `/proc/self/status`, 0 if unreadable.
+fn vm_rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One sweep cell: a fast-path machine with a DISE3 MFI engine attached
+/// (the attach is where the arena — or a private rebuild — kicks in).
+fn build_cell(p: &Program, fast: bool) -> Machine {
+    let (mc, ec) = if fast {
+        (MachineConfig::default(), EngineConfig::default())
+    } else {
+        (MachineConfig::default().slow_path(), EngineConfig::default().slow_path())
+    };
+    let mut m = Machine::with_config(p, mc);
+    m.attach_engine(
+        DiseEngine::with_productions(ec, mfi_productions(p, MfiVariant::Dise3)).expect("engine"),
+    );
+    Mfi::init_machine(&mut m);
+    m
+}
+
+struct BenchOut {
+    name: &'static str,
+    setup_s: f64,
+    run_s: f64,
+    shadow_overhead: f64,
+}
+
+fn measure(bench: dise_workloads::Benchmark, p: &Program) -> BenchOut {
+    let fuel = fuel_for(dyn_budget());
+    let reps = reps();
+
+    // Setup: stand up CELLS engines over the same image, best-of-N.
+    // The arena is cleared per rep so every rep pays the full build
+    // (one build + N-1 hits shared; N builds private).
+    let mut setup_s = f64::MAX;
+    for _ in 0..reps {
+        arena::clear();
+        let t = Instant::now();
+        let cells: Vec<Machine> = (0..CELLS).map(|_| build_cell(p, true)).collect();
+        setup_s = setup_s.min(t.elapsed().as_secs_f64());
+        drop(cells);
+    }
+
+    // Steady state: sharing must be construction-only, so one cell's
+    // functional run time is the regression canary.
+    let mut run_s = f64::MAX;
+    for _ in 0..reps {
+        let mut m = build_cell(p, true);
+        let t = Instant::now();
+        m.run(u64::MAX).expect("run");
+        run_s = run_s.min(t.elapsed().as_secs_f64());
+    }
+
+    // Shadow: one cycle-level run with and without the slow-path oracle
+    // in lockstep — the cost of opting into `--shadow`.
+    let mut plain_s = f64::MAX;
+    let mut shadow_s = f64::MAX;
+    for _ in 0..reps {
+        let mut sim = Simulator::new(SimConfig::default(), build_cell(p, true));
+        let t = Instant::now();
+        sim.run(fuel).expect("plain timing run");
+        plain_s = plain_s.min(t.elapsed().as_secs_f64());
+
+        let mut sim = Simulator::new(SimConfig::default(), build_cell(p, true));
+        sim.attach_shadow(build_cell(p, false));
+        let t = Instant::now();
+        sim.run(fuel).expect("shadowed timing run");
+        shadow_s = shadow_s.min(t.elapsed().as_secs_f64());
+    }
+
+    BenchOut {
+        name: bench.name(),
+        setup_s,
+        run_s,
+        shadow_overhead: shadow_s / plain_s,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = "shared";
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => {
+                mode = match it.next().map(String::as_str) {
+                    Some("shared") => "shared",
+                    Some("private") => "private",
+                    other => panic!("--mode takes shared|private, got {other:?}"),
+                }
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    if mode == "private" {
+        arena::set_share_enabled(false);
+    }
+
+    let benches = benchmarks();
+    let programs: Vec<Program> = benches.iter().map(|&b| workload(b)).collect();
+
+    // Residency pass first, on the fresh heap: every benchmark's full
+    // cell set alive at once, one process-wide delta. (Running it after
+    // the timing reps would read ~0 — the allocator reuses their pages.)
+    arena::clear();
+    let rss_before = vm_rss_kib();
+    let resident: Vec<Vec<Machine>> = programs
+        .iter()
+        .map(|p| (0..CELLS).map(|_| build_cell(p, true)).collect())
+        .collect();
+    let total_rss = vm_rss_kib().saturating_sub(rss_before);
+    println!(
+        "{mode:>7} residency: +{total_rss} KiB for {} cells ({} benchmarks x {CELLS})",
+        resident.iter().map(Vec::len).sum::<usize>(),
+        benches.len()
+    );
+    drop(resident);
+
+    let mut rows = Vec::new();
+    let mut total_setup = 0.0;
+    for (&bench, p) in benches.iter().zip(&programs) {
+        let o = measure(bench, p);
+        println!(
+            "{mode:>7} {:>8}: setup {:.1} ms / {CELLS} cells, run {:.3} s, shadow {:.2}x",
+            o.name,
+            o.setup_s * 1e3,
+            o.run_s,
+            o.shadow_overhead
+        );
+        total_setup += o.setup_s;
+        rows.push(format!(
+            "{{\"benchmark\": \"{}\", \"setup_s\": {:.6}, \
+             \"run_s\": {:.6}, \"shadow_overhead\": {:.3}}}",
+            o.name, o.setup_s, o.run_s, o.shadow_overhead
+        ));
+    }
+    let stats = arena::stats();
+    // Compact single-line JSON: the merge script slots it in verbatim.
+    println!(
+        "{{\"mode\": \"{mode}\", \"cells_per_benchmark\": {CELLS}, \
+         \"setup_s_total\": {total_setup:.6}, \"rss_kib_total\": {total_rss}, \
+         \"arena\": {{\"predecode_builds\": {}, \"predecode_hits\": {}, \
+         \"frontend_builds\": {}, \"frontend_hits\": {}}}, \
+         \"benchmarks\": [{}]}}",
+        stats.predecode_builds,
+        stats.predecode_hits,
+        stats.frontend_builds,
+        stats.frontend_hits,
+        rows.join(", ")
+    );
+}

@@ -136,6 +136,11 @@ fn measure_kips(build: &dyn Fn(bool) -> Machine, fast: bool) -> (f64, u64, Vec<u
 fn measure_stats(build: &dyn Fn(bool) -> Machine, fast: bool) -> dise_sim::SimStats {
     let config = dise_bench::apply_telemetry(SimConfig::default());
     let mut sim = Simulator::new(config, build(fast));
+    // `--shadow`: lockstep-check the fast path against a slow-path oracle
+    // (the slow-path run is its own oracle, so only the fast run pairs).
+    if fast && dise_bench::telemetry().shadow {
+        sim.attach_shadow(build(false));
+    }
     sim.run(u64::MAX).expect("timing run").stats
 }
 

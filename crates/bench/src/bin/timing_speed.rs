@@ -40,7 +40,7 @@ use dise_bench::figures::fig6;
 use dise_bench::{benchmarks, compress, mfi_productions, workload, CellCache, Pool, Sweep};
 use dise_core::{compose, DiseEngine, EngineConfig};
 use dise_isa::Program;
-use dise_sim::{Machine, SimConfig, SimStats, Simulator};
+use dise_sim::{Machine, MachineConfig, SimConfig, SimStats, Simulator};
 
 /// Best-of rep count (`DISE_BENCH_REPS`, default 3). The shared host's
 /// throughput drifts by tens of percent over minutes; more reps stretch
@@ -54,26 +54,44 @@ fn reps() -> usize {
         .max(1)
 }
 
-/// A scenario is a recipe for building a machine (frontend fast path on —
-/// this harness isolates the *timing-model* paths).
+/// A scenario is a recipe for building a machine at a given functional
+/// fast-path setting (normal runs use the fast path — this harness
+/// isolates the *timing-model* paths; the slow builder exists for
+/// `--shadow` oracles).
 struct Scenario<'a> {
     name: &'static str,
-    build: Box<dyn Fn() -> Machine + 'a>,
+    build: Box<dyn Fn(bool) -> Machine + 'a>,
+}
+
+fn machine_config(fast: bool) -> MachineConfig {
+    if fast {
+        MachineConfig::default()
+    } else {
+        MachineConfig::default().slow_path()
+    }
+}
+
+fn engine_config(fast: bool) -> EngineConfig {
+    if fast {
+        EngineConfig::default()
+    } else {
+        EngineConfig::default().slow_path()
+    }
 }
 
 fn scenarios<'a>(p: &'a Program, c: &'a CompressedProgram) -> Vec<Scenario<'a>> {
     vec![
         Scenario {
             name: "baseline",
-            build: Box::new(|| Machine::load(p)),
+            build: Box::new(|fast| Machine::with_config(p, machine_config(fast))),
         },
         Scenario {
             name: "mfi",
-            build: Box::new(|| {
-                let mut m = Machine::load(p);
+            build: Box::new(|fast| {
+                let mut m = Machine::with_config(p, machine_config(fast));
                 m.attach_engine(
                     DiseEngine::with_productions(
-                        EngineConfig::default(),
+                        engine_config(fast),
                         mfi_productions(p, MfiVariant::Dise3),
                     )
                     .expect("engine"),
@@ -84,21 +102,21 @@ fn scenarios<'a>(p: &'a Program, c: &'a CompressedProgram) -> Vec<Scenario<'a>> 
         },
         Scenario {
             name: "compress",
-            build: Box::new(|| {
-                let mut m = Machine::load(&c.program);
-                c.attach(&mut m, EngineConfig::default()).expect("attach");
+            build: Box::new(|fast| {
+                let mut m = Machine::with_config(&c.program, machine_config(fast));
+                c.attach(&mut m, engine_config(fast)).expect("attach");
                 m
             }),
         },
         Scenario {
             name: "composed",
-            build: Box::new(|| {
+            build: Box::new(|fast| {
                 let aware = c.productions.clone().expect("aware productions");
                 let mfi = mfi_productions(&c.program, MfiVariant::Dise3);
                 let composed = compose::compose_nested(&mfi, &aware).expect("compose");
-                let mut m = Machine::load(&c.program);
+                let mut m = Machine::with_config(&c.program, machine_config(fast));
                 m.attach_engine(
-                    DiseEngine::with_productions(EngineConfig::default(), composed)
+                    DiseEngine::with_productions(engine_config(fast), composed)
                         .expect("engine"),
                 );
                 Mfi::init_machine(&mut m);
@@ -109,15 +127,20 @@ fn scenarios<'a>(p: &'a Program, c: &'a CompressedProgram) -> Vec<Scenario<'a>> 
 }
 
 /// Best-of-N cycle-level throughput plus the (deterministic) run stats.
-fn measure_mcps(build: &dyn Fn() -> Machine, config: SimConfig) -> (f64, SimStats) {
+fn measure_mcps(build: &dyn Fn(bool) -> Machine, config: SimConfig) -> (f64, SimStats) {
     // `--trace`/`--trace-last` knobs flow in here; they are excluded from
     // the cache key and, when off, cost one branch per account() call —
     // the ≤2% budget `results/BENCH_telemetry.json` tracks.
     let config = dise_bench::apply_telemetry(config);
+    let shadow = dise_bench::telemetry().shadow;
     let mut best = 0f64;
     let mut stats = SimStats::default();
     for _ in 0..reps() {
-        let mut sim = Simulator::new(config, build());
+        let mut sim = Simulator::new(config, build(true));
+        // `--shadow`: lockstep-check every run against a slow-path oracle.
+        if shadow {
+            sim.attach_shadow(build(false));
+        }
         let t = Instant::now();
         stats = sim.run(u64::MAX).expect("timing run").stats;
         let elapsed = t.elapsed().as_secs_f64();

@@ -49,7 +49,7 @@ use dise_acf::mfi::{Mfi, MfiVariant};
 use dise_core::{compose, Controller, DiseEngine, EngineConfig, ProductionSet};
 use dise_isa::Program;
 use dise_rewrite::RewriteMfi;
-use dise_sim::{ExpansionCost, Machine, SimConfig, SimStats, Simulator};
+use dise_sim::{ExpansionCost, Machine, MachineConfig, SimConfig, SimStats, Simulator};
 use dise_workloads::{Benchmark, WorkloadConfig};
 
 /// Default dynamic application-instruction budget per run.
@@ -95,6 +95,11 @@ pub struct TelemetryOpts {
     /// Watchdog threshold: cycles between commits with work in flight
     /// before a run dumps an anomaly report (0 disables).
     pub watchdog: u64,
+    /// Attach a slow-path shadow functional oracle to every run and
+    /// lockstep-compare each retired instruction; any divergence aborts
+    /// the cell with an anomaly report (`--shadow`). Purely a checking
+    /// knob: results, stats, and cell cache keys are unaffected.
+    pub shadow: bool,
 }
 
 /// Ring capacity a bare `--trace` arms.
@@ -132,7 +137,9 @@ pub fn apply_telemetry(config: SimConfig) -> SimConfig {
 ///   `--trace`);
 /// * `--stats-json PATH` / `--stats-json=PATH` — export the run's stats
 ///   registry snapshots as JSON to `PATH` (returned to the caller, which
-///   owns the write).
+///   owns the write);
+/// * `--shadow` — run every cell with a slow-path shadow functional
+///   oracle in lockstep (divergence aborts with an anomaly report).
 ///
 /// Panics with a usage message on malformed values.
 pub fn parse_telemetry_args(args: &mut Vec<String>) -> Option<PathBuf> {
@@ -164,6 +171,8 @@ pub fn parse_telemetry_args(args: &mut Vec<String>) -> Option<PathBuf> {
             i += 1;
             let p = old.get(i).expect("--stats-json wants a path");
             stats_out = Some(PathBuf::from(p));
+        } else if a == "--shadow" {
+            opts.shadow = true;
         } else {
             rest.push(old[i].clone());
         }
@@ -338,9 +347,24 @@ impl Sweep {
     }
 }
 
+/// When `--shadow` is armed, attaches a slow-path shadow oracle built by
+/// `build` to `sim`. The builder must mirror the primary machine's
+/// construction exactly (same program, engine productions, register
+/// init) but on the byte-accurate slow path, so the lockstep comparison
+/// cross-checks the fast-path and shared-frontend implementations
+/// against the unshared reference on every retired instruction.
+fn maybe_attach_shadow(sim: &mut Simulator, build: impl FnOnce() -> Machine) {
+    if telemetry().shadow {
+        sim.attach_shadow(build());
+    }
+}
+
 /// Runs a bare program (no ACFs).
 pub fn run_baseline(program: &Program, config: SimConfig, fuel: u64) -> SimStats {
     let mut sim = Simulator::new(apply_telemetry(config), Machine::load(program));
+    maybe_attach_shadow(&mut sim, || {
+        Machine::with_config(program, MachineConfig::default().slow_path())
+    });
     sim.run(fuel).expect("baseline run").stats
 }
 
@@ -368,6 +392,18 @@ pub fn run_dise_mfi(
     );
     Mfi::init_machine(&mut m);
     let mut sim = Simulator::new(apply_telemetry(config.with_expansion_cost(cost)), m);
+    maybe_attach_shadow(&mut sim, || {
+        let mut s = Machine::with_config(program, MachineConfig::default().slow_path());
+        s.attach_engine(
+            DiseEngine::with_productions(
+                EngineConfig::default().slow_path(),
+                mfi_productions(program, variant),
+            )
+            .expect("engine"),
+        );
+        Mfi::init_machine(&mut s);
+        s
+    });
     sim.run(fuel).expect("DISE MFI run").stats
 }
 
@@ -375,6 +411,9 @@ pub fn run_dise_mfi(
 pub fn run_rewrite_mfi(program: &Program, config: SimConfig, fuel: u64) -> SimStats {
     let rewritten = RewriteMfi::new().rewrite(program).expect("rewrite").program;
     let mut sim = Simulator::new(apply_telemetry(config), Machine::load(&rewritten));
+    maybe_attach_shadow(&mut sim, || {
+        Machine::with_config(&rewritten, MachineConfig::default().slow_path())
+    });
     sim.run(fuel).expect("rewrite MFI run").stats
 }
 
@@ -395,6 +434,14 @@ pub fn run_compressed(
         .attach(&mut m, engine_config)
         .expect("attach decompressor");
     let mut sim = Simulator::new(apply_telemetry(config), m);
+    maybe_attach_shadow(&mut sim, || {
+        let mut s =
+            Machine::with_config(&compressed.program, MachineConfig::default().slow_path());
+        compressed
+            .attach(&mut s, engine_config.slow_path())
+            .expect("attach decompressor");
+        s
+    });
     sim.run(fuel).expect("compressed run").stats
 }
 
@@ -414,24 +461,34 @@ pub fn run_composed_dise(
         .clone()
         .expect("DISE compression produces productions");
     let mfi = mfi_productions(&compressed.program, MfiVariant::Dise3);
-    let mut m = Machine::load(&compressed.program);
-    let engine = if eager {
-        let composed = compose::compose_nested(&mfi, &aware).expect("eager composition");
-        DiseEngine::with_productions(engine_config, composed).expect("engine")
-    } else {
-        let controller = Controller::new({
-            // The engine must also apply MFI to uncompressed instructions,
-            // so the active set holds both ACFs; only aware fills compose.
-            let mut set = mfi.clone();
-            set.absorb(&aware).expect("absorb aware productions");
-            set
-        })
-        .with_inline_on_fill(mfi);
-        DiseEngine::with_controller(engine_config, controller)
+    let build_engine = |engine_config: EngineConfig| {
+        if eager {
+            let composed = compose::compose_nested(&mfi, &aware).expect("eager composition");
+            DiseEngine::with_productions(engine_config, composed).expect("engine")
+        } else {
+            let controller = Controller::new({
+                // The engine must also apply MFI to uncompressed
+                // instructions, so the active set holds both ACFs; only
+                // aware fills compose.
+                let mut set = mfi.clone();
+                set.absorb(&aware).expect("absorb aware productions");
+                set
+            })
+            .with_inline_on_fill(mfi.clone());
+            DiseEngine::with_controller(engine_config, controller)
+        }
     };
-    m.attach_engine(engine);
+    let mut m = Machine::load(&compressed.program);
+    m.attach_engine(build_engine(engine_config));
     Mfi::init_machine(&mut m);
     let mut sim = Simulator::new(apply_telemetry(config), m);
+    maybe_attach_shadow(&mut sim, || {
+        let mut s =
+            Machine::with_config(&compressed.program, MachineConfig::default().slow_path());
+        s.attach_engine(build_engine(engine_config.slow_path()));
+        Mfi::init_machine(&mut s);
+        s
+    });
     sim.run(fuel).expect("composed run").stats
 }
 

@@ -16,11 +16,13 @@
 //! compose productions on the fly (§4).
 
 use crate::controller::Controller;
+use crate::frontend::{self, SharedFrontend};
 use crate::production::{ProductionSet, ReplacementId};
 use crate::spec::InstSpec;
 use crate::{CoreError, Result};
 use dise_isa::{Inst, Op};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Replacement-table organization (Figure 7 bottom sweeps these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -369,18 +371,32 @@ pub struct DiseEngine {
     pt_resident: Vec<usize>,
     /// Pattern-counter table: per opcode number, (active, resident).
     counters: [(u16, u16); 64],
-    /// Fast-path match index: per opcode number, the subset of
-    /// `pt_resident` whose patterns cover that opcode. Maintained by
-    /// `fill_pt` / `context_switch`; lets `inspect` scan candidates only
-    /// instead of the whole fully-associative PT.
-    pt_index: Vec<Vec<usize>>,
+    /// Static fast-path match index: per opcode number, the indices of
+    /// *all* rules whose patterns cover that opcode (not just resident
+    /// ones). Only consulted when the pattern counters show every
+    /// covering rule resident (`active == resident`), which is the only
+    /// state in which `inspect` matches; the extra filter the old
+    /// residency-tracked index provided was therefore dead. Depends only
+    /// on the production set, so sweep cells over the same productions
+    /// share one copy by `Arc`; runtime installs rebuild a private copy.
+    op_rules: Arc<Vec<Vec<usize>>>,
+    /// Process-shared read-only frontend layer (match index + memo of
+    /// architectural expansion outcomes per raw word), if this engine was
+    /// attached to one. Probed before the private `exp_memo`; detached on
+    /// runtime production installs (the architectural set diverges from
+    /// the shared snapshot).
+    shared: Option<Arc<SharedFrontend>>,
     /// Direct-mapped memo of steady-state `inspect` outcomes, keyed by the
     /// trigger's raw instruction word. Caches only `None` and `Expand`
     /// (misses and faults mutate or depend on transient table state).
     /// Invalidated on installs, context switches, and PT/RT fills.
+    /// Allocated lazily (empty until the first store): engines attached to
+    /// a shared frontend rarely need it at all.
     exp_memo: Box<[Option<(u32, Expansion)>]>,
     /// Direct-mapped memo of `spec.instantiate` results, keyed by
-    /// `(id, disepc, trigger word, trigger pc)`. Same invalidation rules.
+    /// `(id, disepc, trigger word, trigger pc)`. Same invalidation rules;
+    /// also lazily allocated. Always private — instantiations depend on
+    /// trigger PC and fields, which don't amortize across cells.
     inst_memo: Box<[Option<(InstMemoKey, Inst)>]>,
     rt: RtStore,
     stats: EngineStats,
@@ -419,17 +435,65 @@ impl DiseEngine {
                 counters[op.number() as usize].0 += 1;
             }
         }
+        let op_rules = Arc::new(frontend::build_op_rules(controller.productions().rules()));
         DiseEngine {
             rt: RtStore::new(&config),
             config,
             controller,
             pt_resident: Vec::new(),
             counters,
-            pt_index: vec![Vec::new(); 64],
-            exp_memo: vec![None; EXP_MEMO_SLOTS].into_boxed_slice(),
-            inst_memo: vec![None; INST_MEMO_SLOTS].into_boxed_slice(),
+            op_rules,
+            shared: None,
+            exp_memo: Box::default(),
+            inst_memo: Box::default(),
             stats: EngineStats::default(),
         }
+    }
+
+    /// Attaches a process-shared frontend built over this engine's
+    /// production set (see [`SharedFrontend`]). The engine adopts the
+    /// shared match index and probes the shared architectural memo before
+    /// its private one. Purely constructional — architectural results and
+    /// statistics are bit-identical with or without a shared frontend.
+    pub fn set_shared_frontend(&mut self, shared: Arc<SharedFrontend>) {
+        debug_assert_eq!(
+            **shared.op_rules(),
+            frontend::build_op_rules(self.controller.productions().rules()),
+            "shared frontend was built over a different production set"
+        );
+        self.op_rules = Arc::clone(shared.op_rules());
+        self.shared = Some(shared);
+    }
+
+    /// The attached shared frontend, if any.
+    pub fn shared_frontend(&self) -> Option<&Arc<SharedFrontend>> {
+        self.shared.as_ref()
+    }
+
+    /// Drops the shared frontend and rebuilds a private match index.
+    /// Called when a runtime install changes the production set out from
+    /// under the shared architectural snapshot.
+    fn detach_shared(&mut self) {
+        self.shared = None;
+        self.op_rules = Arc::new(frontend::build_op_rules(
+            self.controller.productions().rules(),
+        ));
+    }
+
+    /// The private expansion memo, allocated on first use.
+    fn exp_memo_mut(&mut self) -> &mut [Option<(u32, Expansion)>] {
+        if self.exp_memo.is_empty() {
+            self.exp_memo = vec![None; EXP_MEMO_SLOTS].into_boxed_slice();
+        }
+        &mut self.exp_memo
+    }
+
+    /// The private instantiation memo, allocated on first use.
+    fn inst_memo_mut(&mut self) -> &mut [Option<(InstMemoKey, Inst)>] {
+        if self.inst_memo.is_empty() {
+            self.inst_memo = vec![None; INST_MEMO_SLOTS].into_boxed_slice();
+        }
+        &mut self.inst_memo
     }
 
     #[inline]
@@ -507,13 +571,16 @@ impl DiseEngine {
             return Expansion::None;
         }
         // Fully-associative match over resident patterns, most specific
-        // wins. The fast path consults the per-opcode index instead of
-        // scanning the whole PT; a pattern can only match instructions
-        // whose opcode it covers, and the winning key is unique (it
-        // includes the rule index), so both scans pick the same rule.
+        // wins. The fast path consults the static per-opcode index
+        // instead of scanning the whole PT: reaching this point requires
+        // `active == resident` for the opcode, i.e. every rule covering
+        // it is resident, so the index's rule set equals the resident
+        // covering set; a pattern can only match instructions whose
+        // opcode it covers, and the winning key is unique (it includes
+        // the rule index), so both scans pick the same rule.
         let rules = self.controller.productions().rules();
         let candidates: &[usize] = if self.config.fast_path {
-            &self.pt_index[opn]
+            &self.op_rules[opn]
         } else {
             &self.pt_resident
         };
@@ -569,12 +636,42 @@ impl DiseEngine {
         // Opcodes no pattern covers (the common case) resolve from the
         // live counters alone — cheaper than a memo probe, and literally
         // the same early-exit `inspect` takes.
-        if self.counters[inst.op.number() as usize] == (0, 0) {
+        let (active, resident) = self.counters[inst.op.number() as usize];
+        if (active, resident) == (0, 0) {
             self.stats.inspected += 1;
             return Expansion::None;
         }
+        if let Some(shared) = &self.shared {
+            // The shared architectural memo is only valid when every rule
+            // covering this opcode is PT-resident — the counters are the
+            // hardware's own encoding of exactly that condition, and the
+            // check must precede the probe (the shared memo, unlike the
+            // private one, is never invalidated by fills or switches).
+            if active == resident {
+                match shared.lookup(raw) {
+                    Some(None) => {
+                        self.stats.inspected += 1;
+                        return Expansion::None;
+                    }
+                    // The slow path would call `rt.get(id, 0)` here;
+                    // replay its LRU effect. On an RT miss fall through
+                    // to the live path, which models the fill.
+                    Some(Some((id, len))) if self.rt.touch(id, 0) => {
+                        self.stats.inspected += 1;
+                        self.stats.expansions += 1;
+                        self.stats.replacement_insts += len as u64;
+                        return Expansion::Expand { id, len };
+                    }
+                    _ => {}
+                }
+            }
+            // PT misses, RT misses, faults and unmemoized words all take
+            // the live path. No private-memo store: every steady-state
+            // outcome for this image is already in the shared layer.
+            return self.inspect(inst);
+        }
         let slot = Self::exp_slot(raw);
-        if let Some((word, outcome)) = self.exp_memo[slot] {
+        if let Some((word, outcome)) = self.exp_memo.get(slot).copied().flatten() {
             if word == raw {
                 match outcome {
                     Expansion::None => {
@@ -597,7 +694,7 @@ impl DiseEngine {
         }
         let outcome = self.inspect(inst);
         if matches!(outcome, Expansion::None | Expansion::Expand { .. }) {
-            self.exp_memo[slot] = Some((raw, outcome));
+            self.exp_memo_mut()[slot] = Some((raw, outcome));
         }
         outcome
     }
@@ -658,7 +755,7 @@ impl DiseEngine {
         }
         let key = (id, disepc, raw, trigger_pc);
         let slot = Self::inst_slot(&key);
-        if let Some((k, inst)) = self.inst_memo[slot] {
+        if let Some((k, inst)) = self.inst_memo.get(slot).copied().flatten() {
             // Residency is guaranteed on a hit (fills and installs
             // invalidate the memo), so `touch` replays the slow path's
             // `contains` + `get` pair; fall through defensively if not.
@@ -667,7 +764,7 @@ impl DiseEngine {
             }
         }
         let inst = self.fetch_replacement(id, disepc, trigger, trigger_pc)?;
-        self.inst_memo[slot] = Some((key, inst));
+        self.inst_memo_mut()[slot] = Some((key, inst));
         Ok(inst)
     }
 
@@ -700,7 +797,9 @@ impl DiseEngine {
         for op in pattern.opcodes() {
             self.counters[op.number() as usize].0 += 1;
         }
-        // Previously memoized `None` outcomes may now expand.
+        // The architectural set diverged from any shared snapshot, and
+        // previously memoized `None` outcomes may now expand.
+        self.detach_shared();
         self.invalidate_memos();
         Ok(id)
     }
@@ -730,8 +829,10 @@ impl DiseEngine {
             self.counters[cw_op.number() as usize].0 += 1;
         }
         self.rt.invalidate(id);
-        // Memoized expansions/instantiations for `id` are stale, and
-        // memo hits assume RT residency (which `rt.invalidate` just broke).
+        // The shared snapshot and memoized expansions/instantiations for
+        // `id` are stale, and memo hits assume RT residency (which
+        // `rt.invalidate` just broke).
+        self.detach_shared();
         self.invalidate_memos();
         Ok(id)
     }
@@ -742,10 +843,11 @@ impl DiseEngine {
     /// state the OS saves and restores) is preserved. Purely a performance
     /// event; results never change.
     pub fn context_switch(&mut self) {
+        // The shared frontend stays attached: it is architectural state
+        // (a pure function of the production set and program image), and
+        // the pattern counters gate every probe of it, so a cold PT after
+        // the switch faults in through the live path exactly as before.
         self.pt_resident.clear();
-        for bucket in &mut self.pt_index {
-            bucket.clear();
-        }
         for c in &mut self.counters {
             c.1 = 0;
         }
@@ -754,28 +856,27 @@ impl DiseEngine {
     }
 
     fn fill_pt(&mut self, op: Op) -> u64 {
-        let rules = self.controller.productions().rules();
-        let missing: Vec<usize> = rules
+        // `op_rules[op]` lists exactly the rules covering `op`, in rule
+        // order — the same ascending order the old full-list scan
+        // produced, which matters because insertion order decides PT LRU
+        // state and therefore future evictions.
+        let missing: Vec<usize> = self.op_rules[op.number() as usize]
             .iter()
-            .enumerate()
-            .filter(|(i, r)| {
-                r.pattern.opcodes().contains(&op) && !self.pt_resident.contains(i)
-            })
-            .map(|(i, _)| i)
+            .copied()
+            .filter(|i| !self.pt_resident.contains(i))
             .collect();
+        let rules = self.controller.productions().rules();
         for idx in missing {
             // Evict LRU (back of the list) if full.
             while self.pt_resident.len() >= self.config.pt_entries {
                 let evicted = self.pt_resident.pop().expect("non-empty");
                 for o in rules[evicted].pattern.opcodes() {
                     self.counters[o.number() as usize].1 -= 1;
-                    self.pt_index[o.number() as usize].retain(|&i| i != evicted);
                 }
             }
             self.pt_resident.insert(0, idx);
             for o in rules[idx].pattern.opcodes() {
                 self.counters[o.number() as usize].1 += 1;
-                self.pt_index[o.number() as usize].push(idx);
             }
         }
         // Residency changed, so memoized inspect outcomes are stale.
@@ -1118,6 +1219,100 @@ mod tests {
             }
         }
         assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn shared_frontend_is_bit_identical_to_slow_path() {
+        let build_set = || {
+            let mut set = ProductionSet::new();
+            set.add_transparent(Pattern::opclass(OpClass::Store), two_inst_spec())
+                .unwrap();
+            set.add_aware(Op::Cw0, 3, two_inst_spec()).unwrap();
+            set
+        };
+        let config = EngineConfig {
+            rt_entries: 4,
+            rt_org: RtOrganization::DirectMapped,
+            ..EngineConfig::default()
+        };
+        let insts = [
+            i("stq r1, 0(r2)"),
+            i("ldq r1, 0(r2)"),
+            i("stl r5, 8(r2)"),
+            i("nop"),
+            Inst::codeword(Op::Cw0, 0, 4, 0, 3),
+            Inst::codeword(Op::Cw0, 0, 4, 0, 9), // unresolvable tag: faults
+        ];
+        let mut shared_eng = DiseEngine::with_productions(config, build_set()).unwrap();
+        let shared = Arc::new(SharedFrontend::build(
+            shared_eng.controller(),
+            insts.iter().map(|inst| (*inst, inst.encode().unwrap())),
+        ));
+        // Memoized: the two stores and the resolvable codeword. The
+        // fault-tagged codeword and the uncovered opcodes (ldq, nop —
+        // the engine's counters early-exit those) stay out.
+        assert_eq!(shared.memo_len(), 3);
+        shared_eng.set_shared_frontend(Arc::clone(&shared));
+        let mut slow = DiseEngine::with_productions(config.slow_path(), build_set()).unwrap();
+        for round in 0..6 {
+            for (n, inst) in insts.iter().enumerate() {
+                let raw = inst.encode().unwrap();
+                let f = shared_eng.inspect_decoded(inst, raw);
+                let s = slow.inspect(inst);
+                assert_eq!(f, s, "round {round} inst {n}: {inst}");
+                if let Expansion::Expand { id, len } = f {
+                    for disepc in 0..len {
+                        let ff =
+                            shared_eng.fetch_replacement_decoded(id, disepc, inst, raw, 0x1000);
+                        let ss = slow.fetch_replacement(id, disepc, inst, 0x1000);
+                        assert_eq!(ff, ss, "round {round} inst {n} disepc {disepc}");
+                    }
+                }
+            }
+            if round == 2 {
+                shared_eng.context_switch();
+                slow.context_switch();
+            }
+        }
+        assert_eq!(shared_eng.stats(), slow.stats());
+        // The shared frontend survives context switches untouched.
+        assert!(shared_eng.shared_frontend().is_some());
+    }
+
+    #[test]
+    fn runtime_install_detaches_shared_frontend() {
+        let mut e = engine_with_store_rule(EngineConfig::default());
+        let st = i("stq r1, 0(r2)");
+        let raw = st.encode().unwrap();
+        let shared = Arc::new(SharedFrontend::build(
+            e.controller(),
+            [(st, raw)],
+        ));
+        e.set_shared_frontend(shared);
+        let _ = e.inspect_decoded(&st, raw); // PT
+        let _ = e.inspect_decoded(&st, raw); // RT
+        assert!(matches!(e.inspect_decoded(&st, raw), Expansion::Expand { len: 2, .. }));
+        // A runtime install changes the architectural set: the stale
+        // shared snapshot must be dropped and the new rule must win.
+        e.install_transparent(
+            Pattern::opclass(OpClass::Store).with_rs(Reg::SP),
+            ReplacementSpec::identity(),
+        )
+        .unwrap();
+        assert!(e.shared_frontend().is_none());
+        let sp_store = i("stq r1, 0(r30)");
+        let sp_raw = sp_store.encode().unwrap();
+        let _ = e.inspect_decoded(&sp_store, sp_raw); // PT refill
+        loop {
+            match e.inspect_decoded(&sp_store, sp_raw) {
+                Expansion::Expand { len, .. } => {
+                    assert_eq!(len, 1, "identity expansion should win");
+                    break;
+                }
+                Expansion::Miss { .. } => continue,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Process-shareable frontend state.
+//!
+//! A sweep process simulates the same program image under dozens of engine
+//! configurations. Two pieces of per-engine frontend state depend only on
+//! the *architectural* production set — never on PT/RT capacity, residency
+//! or statistics — and can therefore be computed once per (program image,
+//! production set) pair and handed to every cell as shared immutable data:
+//!
+//! * the **static match index** ([`build_op_rules`]): for each opcode
+//!   number, the indices of the rules whose patterns cover it, in rule
+//!   order; and
+//! * the **architectural expansion memo** ([`SharedFrontend`]): for every
+//!   raw instruction word in the program image, the steady-state
+//!   inspection outcome (pass through, or expand to `(id, len)`).
+//!
+//! The memo is only consulted when the engine's pattern-counter table
+//! shows `active == resident` for the fetched opcode — exactly the
+//! condition under which every rule that could match is PT-resident and
+//! the match outcome is architecturally determined. PT misses, RT misses
+//! and faults always take the live path, so [`crate::EngineStats`] stay
+//! bit-identical to an unshared engine (differential-tested in the engine
+//! unit tests and `crates/bench/tests/shared_frontend.rs`).
+
+use crate::controller::Controller;
+use crate::production::{Production, ReplacementId, SeqRef};
+use dise_isa::Inst;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Number of opcode slots in the per-opcode tables (opcode numbers are 6
+/// bits, mirroring the engine's pattern-counter table).
+pub const NUM_OPCODES: usize = 64;
+
+/// Builds the static per-opcode match index over `rules`: entry `n` holds
+/// the indices (ascending) of the rules whose patterns cover opcode number
+/// `n`. Depends only on the rule list; the engine rebuilds it on runtime
+/// production installs.
+pub fn build_op_rules(rules: &[Production]) -> Vec<Vec<usize>> {
+    let mut table = vec![Vec::new(); NUM_OPCODES];
+    for (i, rule) in rules.iter().enumerate() {
+        for op in rule.pattern.opcodes() {
+            table[op.number() as usize].push(i);
+        }
+    }
+    table
+}
+
+/// Read-only frontend state shared by every engine simulating the same
+/// (program image, production set) pair. See the module docs for the
+/// validity argument; construction is [`SharedFrontend::build`], sharing
+/// is by [`Arc`] (typically through the simulator crate's frontend arena).
+pub struct SharedFrontend {
+    /// The static match index (see [`build_op_rules`]).
+    op_rules: Arc<Vec<Vec<usize>>>,
+    /// Raw instruction word → architectural steady-state outcome. `None`
+    /// means no pattern matches (pass through); `Some((id, len))` means
+    /// the word triggers sequence `id` of `len` replacement instructions.
+    /// Words whose identifier does not resolve (runtime faults) are
+    /// absent, as are words of opcodes no pattern covers (the engine
+    /// resolves those from its counters before probing).
+    arch_memo: HashMap<u32, Option<(ReplacementId, u8)>>,
+}
+
+impl SharedFrontend {
+    /// Builds the shared layer over `controller`'s production set for a
+    /// program image given as `(decoded instruction, raw word)` pairs —
+    /// typically every decodable even byte offset of a
+    /// [`dise_isa::Predecode`] table, mid-instruction decodes included
+    /// (indirect jumps can land anywhere). Duplicate words are collapsed;
+    /// sequence lengths come from [`Controller::resolve_spec`], so
+    /// compose-on-fill controllers record their composed lengths.
+    pub fn build<I>(controller: &Controller, words: I) -> SharedFrontend
+    where
+        I: IntoIterator<Item = (Inst, u32)>,
+    {
+        let rules = controller.productions().rules();
+        let op_rules = Arc::new(build_op_rules(rules));
+        let mut arch_memo = HashMap::new();
+        for (inst, raw) in words {
+            if arch_memo.contains_key(&raw) {
+                continue;
+            }
+            let covering = &op_rules[inst.op.number() as usize];
+            if covering.is_empty() {
+                // The engine early-exits on its (0, 0) counters without
+                // probing the memo; storing `None` would be dead weight.
+                continue;
+            }
+            // The same fully-associative match the engine performs: most
+            // specific resident pattern wins, ties broken toward the
+            // earliest-installed rule. With `active == resident` the
+            // resident set is exactly `covering`.
+            let best = covering
+                .iter()
+                .map(|i| (*i, &rules[*i]))
+                .filter(|(_, r)| r.pattern.matches(&inst))
+                .max_by_key(|(i, r)| (r.priority, r.pattern.specificity(), usize::MAX - *i));
+            let Some((_, rule)) = best else {
+                arch_memo.insert(raw, None);
+                continue;
+            };
+            let id = match rule.seq {
+                SeqRef::Fixed(id) => id,
+                SeqRef::FromTag { base } => base + inst.codeword_tag() as u32,
+            };
+            // Unresolvable identifiers are program faults; leaving them
+            // out of the memo routes them to the live (fault-reporting)
+            // path every time, exactly like an unshared engine.
+            if let Ok((spec, _)) = controller.resolve_spec(id) {
+                arch_memo.insert(raw, Some((id, spec.len() as u8)));
+            }
+        }
+        SharedFrontend { op_rules, arch_memo }
+    }
+
+    /// The static match index, for engines to adopt by `Arc` clone.
+    pub fn op_rules(&self) -> &Arc<Vec<Vec<usize>>> {
+        &self.op_rules
+    }
+
+    /// The architectural outcome memoized for `raw`: `None` if the word
+    /// is unknown (take the live path), `Some(None)` for pass-through,
+    /// `Some(Some((id, len)))` for an expansion.
+    #[inline]
+    pub fn lookup(&self, raw: u32) -> Option<Option<(ReplacementId, u8)>> {
+        self.arch_memo.get(&raw).copied()
+    }
+
+    /// Number of memoized words (resident-size reporting and tests).
+    pub fn memo_len(&self) -> usize {
+        self.arch_memo.len()
+    }
+}
+
+impl fmt::Debug for SharedFrontend {
+    /// A summary, not the tables: the memo is a `HashMap` whose iteration
+    /// order is nondeterministic, and nothing downstream may ever key on
+    /// this type's `Debug` form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedFrontend")
+            .field("memo_words", &self.arch_memo.len())
+            .field(
+                "indexed_rules",
+                &self.op_rules.iter().map(Vec::len).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use crate::production::ProductionSet;
+    use crate::spec::ReplacementSpec;
+    use dise_isa::OpClass;
+
+    fn store_set() -> ProductionSet {
+        let mut set = ProductionSet::new();
+        set.add_transparent(Pattern::opclass(OpClass::Store), ReplacementSpec::identity())
+            .unwrap();
+        set
+    }
+
+    #[test]
+    fn op_rules_cover_exactly_the_pattern_opcodes() {
+        let set = store_set();
+        let table = build_op_rules(set.rules());
+        let store: Inst = "stq r1, 0(r2)".parse().unwrap();
+        let load: Inst = "ldq r1, 0(r2)".parse().unwrap();
+        assert_eq!(table[store.op.number() as usize], vec![0]);
+        assert!(table[load.op.number() as usize].is_empty());
+    }
+
+    #[test]
+    fn build_memoizes_matches_and_passes() {
+        let controller = Controller::new(store_set());
+        let store: Inst = "stq r1, 0(r2)".parse().unwrap();
+        let other_store: Inst = "stl r4, 8(r5)".parse().unwrap();
+        let load: Inst = "ldq r1, 0(r2)".parse().unwrap();
+        let words = [store, other_store, load, store]
+            .into_iter()
+            .map(|i| (i, i.encode().unwrap()));
+        let f = SharedFrontend::build(&controller, words);
+        // Both stores expand to the identity sequence; the load's opcode
+        // is uncovered and stays out of the memo entirely.
+        let hit = f.lookup(store.encode().unwrap()).expect("memoized");
+        assert_eq!(hit.map(|(_, len)| len), Some(1));
+        assert!(f.lookup(other_store.encode().unwrap()).is_some());
+        assert_eq!(f.lookup(load.encode().unwrap()), None);
+        assert_eq!(f.memo_len(), 2);
+    }
+}

@@ -74,12 +74,14 @@ pub mod compose;
 pub mod controller;
 pub mod dsl;
 pub mod engine;
+pub mod frontend;
 pub mod pattern;
 pub mod production;
 pub mod spec;
 
 pub use controller::{Controller, MissKind};
 pub use engine::{DiseEngine, EngineConfig, EngineStats, Expansion, RtOrganization};
+pub use frontend::SharedFrontend;
 pub use pattern::{ImmPredicate, Pattern};
 pub use production::{Production, ProductionSet, ReplacementId, SeqRef};
 pub use spec::{ImmDirective, InstSpec, OpDirective, RegDirective, ReplacementSpec};

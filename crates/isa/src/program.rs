@@ -325,6 +325,14 @@ impl Predecode {
     pub fn decodable_offsets(&self) -> usize {
         self.items.iter().filter(|i| i.is_some()).count()
     }
+
+    /// Every decodable predecoded item, in ascending-offset order —
+    /// including mid-instruction decodes (control can land on any even
+    /// byte, so every decodable word is reachable). This is the image an
+    /// architectural frontend memo must cover.
+    pub fn items(&self) -> impl Iterator<Item = PredecodedItem> + '_ {
+        self.items.iter().filter_map(|i| *i)
+    }
 }
 
 /// Iterator over the text items of a [`Program`]. Created by

@@ -1,0 +1,193 @@
+//! Seeded fuzz round-trip of the whole frontend decode stack: assemble
+//! randomized operate/memory/branch/codeword/short mixes into a program
+//! image, build a standalone `Predecode` table, and assert it agrees with
+//! the byte-accurate cold decode (`Program::fetch`) at *every*
+//! byte-granular PC — including odd PCs, out-of-range PCs, and
+//! mid-instruction offsets whose bytes happen to decode (control can land
+//! on any even byte, so the table must model them all).
+//!
+//! Same offline-fuzz idiom as `tests/props.rs`: deterministic seeds, a
+//! printed case index on failure.
+
+use dise_isa::{Inst, Op, Predecode, Program, Reg, TextItem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FUZZ_SEED: u64 = 0xD15E_0004;
+
+fn arch_reg(rng: &mut StdRng) -> Reg {
+    Reg::r(rng.gen_range(0..32u8))
+}
+
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// An arbitrary encodable instruction (the `tests/props.rs` generator,
+/// minus nothing: every shape the assembler can emit).
+fn encodable_inst(rng: &mut StdRng) -> Inst {
+    const MEM_OPS: [Op; 6] = [Op::Lda, Op::Ldah, Op::Ldl, Op::Ldq, Op::Stl, Op::Stq];
+    const BRANCH_OPS: [Op; 10] = [
+        Op::Br,
+        Op::Bsr,
+        Op::Beq,
+        Op::Bne,
+        Op::Blt,
+        Op::Ble,
+        Op::Bgt,
+        Op::Bge,
+        Op::Blbc,
+        Op::Blbs,
+    ];
+    const JUMP_OPS: [Op; 3] = [Op::Jmp, Op::Jsr, Op::Ret];
+    const ALU_OPS: [Op; 12] = [
+        Op::Addq,
+        Op::Subq,
+        Op::Mulq,
+        Op::And,
+        Op::Bis,
+        Op::Xor,
+        Op::Sll,
+        Op::Srl,
+        Op::Sra,
+        Op::Cmpeq,
+        Op::Cmplt,
+        Op::Cmovne,
+    ];
+    match rng.gen_range(0..8u32) {
+        0 => Inst::mem(
+            pick(rng, &MEM_OPS),
+            arch_reg(rng),
+            arch_reg(rng),
+            rng.gen_range(i16::MIN..=i16::MAX),
+        ),
+        1 => Inst::branch(
+            pick(rng, &BRANCH_OPS),
+            arch_reg(rng),
+            rng.gen_range(-(1i32 << 20)..(1i32 << 20)),
+        ),
+        2 => Inst::jump(pick(rng, &JUMP_OPS), arch_reg(rng), arch_reg(rng)),
+        3 => Inst::alu_rr(
+            pick(rng, &ALU_OPS),
+            arch_reg(rng),
+            arch_reg(rng),
+            arch_reg(rng),
+        ),
+        4 => Inst::alu_ri(
+            pick(rng, &ALU_OPS),
+            arch_reg(rng),
+            rng.gen_range(0..=255u8),
+            arch_reg(rng),
+        ),
+        5 => Inst::codeword(
+            Op::Cw0,
+            rng.gen_range(0..32u8),
+            rng.gen_range(0..32u8),
+            rng.gen_range(0..32u8),
+            rng.gen_range(0..2048u16),
+        ),
+        6 => Inst::nop(),
+        _ => Inst::halt(),
+    }
+}
+
+/// A randomized text segment: full instructions interleaved with 2-byte
+/// short codewords, so item starts land on both word and halfword
+/// alignments.
+fn random_items(rng: &mut StdRng) -> Vec<TextItem> {
+    let n = rng.gen_range(4..48usize);
+    (0..n)
+        .map(|_| {
+            if rng.gen_range(0..4u32) == 0 {
+                TextItem::Short(rng.gen_range(0..=0x7FFu16))
+            } else {
+                TextItem::Inst(encodable_inst(rng))
+            }
+        })
+        .collect()
+}
+
+/// `Predecode` agrees with the byte-accurate cold decode at every
+/// byte-granular PC around and inside the image.
+#[test]
+fn predecode_matches_cold_decode_at_every_pc() {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED);
+    for case in 0..128 {
+        let items = random_items(&mut rng);
+        let base = 0x0400_0000u64 + u64::from(rng.gen_range(0..64u32)) * 2;
+        let program = Program::from_items(base, &items).unwrap();
+        let pd = Predecode::build(&program);
+        assert!(pd.covers(&program), "case {case}");
+        let end = base + program.text.len() as u64;
+        for pc in (base.saturating_sub(2))..(end + 6) {
+            let fast = pd.get(pc);
+            if pc % 2 != 0 {
+                assert!(fast.is_none(), "case {case} pc {pc:#x}: odd PC decoded");
+                continue;
+            }
+            match (fast, program.fetch(pc)) {
+                (Some(pi), Ok(item)) => {
+                    assert_eq!(
+                        pi.item, item,
+                        "case {case} pc {pc:#x}: predecode and fetch disagree"
+                    );
+                    // The raw word must reproduce the decode, even for
+                    // mid-instruction garbage decodes.
+                    if let TextItem::Inst(inst) = item {
+                        assert_eq!(
+                            Inst::decode(pi.raw),
+                            Ok(inst),
+                            "case {case} pc {pc:#x}: raw word does not re-decode"
+                        );
+                    }
+                }
+                (None, Err(_)) => {}
+                (fast, cold) => panic!(
+                    "case {case} pc {pc:#x}: predecode {fast:?} vs cold decode {cold:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// At item starts the predecoded raw word is the item's exact encoding,
+/// and the encode → predecode → decode → disassemble chain round-trips.
+#[test]
+fn predecode_round_trips_item_starts() {
+    let mut rng = StdRng::seed_from_u64(FUZZ_SEED ^ 1);
+    for case in 0..128 {
+        let items = random_items(&mut rng);
+        let program = Program::from_items(0x0400_0000, &items).unwrap();
+        let pd = Predecode::build(&program);
+        let walked = program.items().unwrap_or_else(|e| {
+            panic!("case {case}: assembled program must walk cleanly: {e}")
+        });
+        assert_eq!(walked.len(), items.len(), "case {case}");
+        for ((pc, item), original) in walked.iter().zip(&items) {
+            assert_eq!(item, original, "case {case} pc {pc:#x}");
+            let pi = pd
+                .get(*pc)
+                .unwrap_or_else(|| panic!("case {case} pc {pc:#x}: item start undecodable"));
+            assert_eq!(pi.item, *item, "case {case} pc {pc:#x}");
+            if let TextItem::Inst(inst) = item {
+                assert_eq!(
+                    pi.raw,
+                    inst.encode().unwrap(),
+                    "case {case} pc {pc:#x}: raw differs from encoding"
+                );
+                // Textual round trip: the disassembled form re-parses to
+                // the same instruction.
+                let reparsed: Inst = inst.to_string().parse().unwrap_or_else(|e| {
+                    panic!("case {case} pc {pc:#x}: {inst} did not re-parse: {e:?}")
+                });
+                assert_eq!(reparsed, *inst, "case {case} pc {pc:#x}");
+            }
+        }
+        // Disassembly covers every item exactly once.
+        assert_eq!(
+            program.disassemble().lines().count(),
+            items.len(),
+            "case {case}"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! The process-wide frontend arena: one [`Predecode`] table per program
+//! image and one [`SharedFrontend`] per (program image, production set)
+//! pair, shared across every machine in the process by [`Arc`].
+//!
+//! A sweep process simulates the same image under dozens of engine and
+//! cache configurations; before the arena, every cell rebuilt both
+//! structures from scratch. Both are pure functions of architectural
+//! inputs, so sharing is invisible to results (differential-tested in
+//! `crates/bench/tests/shared_frontend.rs`): the arena only changes *who
+//! builds and owns* the tables, never what they contain.
+//!
+//! Keying is by content fingerprint — the program's text bytes and the
+//! controller's canonical `Debug` form — so distinct `Program` clones of
+//! the same image share, while any architectural difference (down to one
+//! production) gets its own entry. Sharing can be disabled for
+//! differential testing via [`set_share_enabled`] or process-wide with
+//! `DISE_FRONTEND=private`.
+
+use dise_core::{Controller, SharedFrontend};
+use dise_isa::{Predecode, Program};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counters describing arena traffic since process start (or the last
+/// [`clear`]). Reads are snapshots; sharing effectiveness is
+/// `*_hits / (*_hits + *_builds)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Predecode tables built (one per distinct program image).
+    pub predecode_builds: u64,
+    /// Predecode requests served from the arena.
+    pub predecode_hits: u64,
+    /// Shared frontends built (one per distinct image × production set).
+    pub frontend_builds: u64,
+    /// Shared-frontend requests served from the arena.
+    pub frontend_hits: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    predecodes: HashMap<u64, Arc<Predecode>>,
+    frontends: HashMap<(u64, u64), Arc<SharedFrontend>>,
+    stats: ArenaStats,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Runtime switch for the arena, AND-ed with the `DISE_FRONTEND`
+/// environment gate. Exists for the differential conformance suite, which
+/// must run shared and forced-private sweeps in one process.
+static SHARE: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables arena sharing at run time. Disabling does not
+/// evict existing entries; it only makes subsequent requests build
+/// private copies.
+pub fn set_share_enabled(enabled: bool) {
+    SHARE.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether arena sharing is currently active: on by default, off when
+/// [`set_share_enabled`]`(false)` was called or the process environment
+/// sets `DISE_FRONTEND` to `private`, `off`, or `0`.
+pub fn share_enabled() -> bool {
+    static ENV_GATE: OnceLock<bool> = OnceLock::new();
+    let env_allows = *ENV_GATE.get_or_init(|| {
+        !matches!(
+            std::env::var("DISE_FRONTEND").as_deref(),
+            Ok("private") | Ok("off") | Ok("0")
+        )
+    });
+    env_allows && SHARE.load(Ordering::SeqCst)
+}
+
+/// A snapshot of the arena's traffic counters.
+pub fn stats() -> ArenaStats {
+    registry().lock().expect("arena lock").stats
+}
+
+/// Drops every arena entry and zeroes the counters. Tables already handed
+/// out stay alive through their `Arc`s.
+pub fn clear() {
+    let mut reg = registry().lock().expect("arena lock");
+    reg.predecodes.clear();
+    reg.frontends.clear();
+    reg.stats = ArenaStats::default();
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// `fmt::Write` sink that FNV-1a-hashes what is written to it, letting us
+/// fingerprint a `Debug` form without materializing the string.
+struct FnvWriter(u64);
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        fnv1a(&mut self.0, s.as_bytes());
+        Ok(())
+    }
+}
+
+fn program_fingerprint(program: &Program) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, &program.text_base.to_le_bytes());
+    fnv1a(&mut h, &program.text);
+    h
+}
+
+/// Fingerprints the architectural production state via the controller's
+/// `Debug` form — deterministic because `ProductionSet` stores rules in a
+/// `Vec` and sequences in a `BTreeMap`.
+fn controller_fingerprint(controller: &Controller) -> u64 {
+    let mut w = FnvWriter(FNV_OFFSET);
+    write!(w, "{controller:?}").expect("hashing never fails");
+    w.0
+}
+
+/// The predecode table for `program`'s image: shared from the arena when
+/// sharing is enabled, freshly built otherwise.
+pub fn predecode_for(program: &Program) -> Arc<Predecode> {
+    if !share_enabled() {
+        return Arc::new(program.predecode());
+    }
+    let key = program_fingerprint(program);
+    let mut reg = registry().lock().expect("arena lock");
+    // `covers` guards the (astronomically unlikely) fingerprint collision:
+    // same hash, different base or length falls back to a private build.
+    if let Some(pd) = reg.predecodes.get(&key).map(Arc::clone) {
+        if pd.covers(program) {
+            reg.stats.predecode_hits += 1;
+            return pd;
+        }
+        return Arc::new(program.predecode());
+    }
+    let pd = Arc::new(program.predecode());
+    reg.stats.predecode_builds += 1;
+    reg.predecodes.insert(key, Arc::clone(&pd));
+    pd
+}
+
+fn build_frontend(controller: &Controller, pd: &Predecode) -> SharedFrontend {
+    // Shorts never reach the engine (they go to the dedicated dictionary),
+    // so only full instruction words feed the architectural memo.
+    SharedFrontend::build(
+        controller,
+        pd.items()
+            .filter_map(|pi| pi.item.inst().map(|inst| (inst, pi.raw))),
+    )
+}
+
+/// The shared frontend for `(program image, controller's production
+/// state)`: shared from the arena when sharing is enabled, freshly built
+/// otherwise. Building needs a predecode table; the arena reuses (or
+/// seeds) its predecode entry for the image under the same lock.
+pub fn frontend_for(program: &Program, controller: &Controller) -> Arc<SharedFrontend> {
+    if !share_enabled() {
+        return Arc::new(build_frontend(controller, &program.predecode()));
+    }
+    let pkey = program_fingerprint(program);
+    let key = (pkey, controller_fingerprint(controller));
+    let mut reg = registry().lock().expect("arena lock");
+    if let Some(f) = reg.frontends.get(&key).map(Arc::clone) {
+        reg.stats.frontend_hits += 1;
+        return f;
+    }
+    let pd = match reg.predecodes.get(&pkey) {
+        Some(pd) if pd.covers(program) => Arc::clone(pd),
+        Some(_) => Arc::new(program.predecode()),
+        None => {
+            let pd = Arc::new(program.predecode());
+            reg.stats.predecode_builds += 1;
+            reg.predecodes.insert(pkey, Arc::clone(&pd));
+            pd
+        }
+    };
+    let f = Arc::new(build_frontend(controller, &pd));
+    reg.stats.frontend_builds += 1;
+    reg.frontends.insert(key, Arc::clone(&f));
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_isa::Assembler;
+
+    fn program(base: u64) -> Program {
+        Assembler::new(base)
+            .assemble(
+                "       lda r1, 4(r31)
+                 loop:  subq r1, #1, r1
+                        bne r1, loop
+                        halt",
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn arena_shares_by_content_and_respects_the_switch() {
+        // Other tests in this binary hit the arena concurrently, so only
+        // pointer identity and counter *deltas* (monotonic inequalities)
+        // are asserted.
+        let before = stats();
+        let p = program(0x0400_0000);
+        let clone = p.clone();
+        let a = predecode_for(&p);
+        let b = predecode_for(&clone);
+        assert!(Arc::ptr_eq(&a, &b), "identical images must share");
+        let other = program(0x0500_0000);
+        let c = predecode_for(&other);
+        assert!(!Arc::ptr_eq(&a, &c), "different images must not share");
+
+        let controller = Controller::new(dise_core::ProductionSet::new());
+        let f1 = frontend_for(&p, &controller);
+        let f2 = frontend_for(&clone, &controller);
+        assert!(Arc::ptr_eq(&f1, &f2));
+        let after = stats();
+        assert!(after.predecode_hits >= before.predecode_hits + 1);
+        assert!(after.frontend_builds >= before.frontend_builds + 1);
+        assert!(after.frontend_hits >= before.frontend_hits + 1);
+
+        set_share_enabled(false);
+        let d = predecode_for(&p);
+        assert!(!Arc::ptr_eq(&a, &d), "disabled arena builds privately");
+        set_share_enabled(true);
+    }
+}

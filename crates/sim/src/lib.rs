@@ -47,6 +47,7 @@
 //! assert!(result.stats.cycles > 0);
 //! ```
 
+pub mod arena;
 pub mod bpred;
 pub mod cache;
 pub mod machine;

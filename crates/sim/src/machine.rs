@@ -211,8 +211,9 @@ pub struct Machine {
     program: Program,
     /// Per-byte-offset decode of the text segment (`None` when the fast
     /// path is disabled). The program is immutable after load, so this
-    /// never goes stale.
-    predecode: Option<Predecode>,
+    /// never goes stale; it is `Arc`-shared with every other machine in
+    /// the process simulating the same image (see [`crate::arena`]).
+    predecode: Option<std::sync::Arc<Predecode>>,
     pc: u64,
     disepc: u8,
     exp: Option<ExpState>,
@@ -248,14 +249,28 @@ impl Machine {
             halted: false,
             total_insts: 0,
             app_insts: 0,
-            predecode: config.fast_path.then(|| program.predecode()),
+            predecode: config.fast_path.then(|| crate::arena::predecode_for(program)),
             program: program.clone(),
         }
     }
 
     /// Attaches a DISE engine; every subsequently fetched instruction is
-    /// inspected by it.
-    pub fn attach_engine(&mut self, engine: DiseEngine) {
+    /// inspected by it. Fast-path engines without a shared frontend of
+    /// their own are upgraded from the process arena (a pure
+    /// constructional change — results are bit-identical; see
+    /// [`crate::arena`]), so every construction path in the workspace
+    /// shares automatically.
+    pub fn attach_engine(&mut self, mut engine: DiseEngine) {
+        if engine.config().fast_path
+            && engine.shared_frontend().is_none()
+            && self.predecode.is_some()
+            && crate::arena::share_enabled()
+        {
+            engine.set_shared_frontend(crate::arena::frontend_for(
+                &self.program,
+                engine.controller(),
+            ));
+        }
         self.engine = Some(engine);
     }
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Measures the process-wide shared-frontend arena against forced-private
+# construction and writes results/BENCH_shared_frontend.json.
+#
+# Each mode runs in its own process (frontend_arena --mode shared|private)
+# so the RSS deltas come from a fresh heap; the binary's own best-of
+# logic honors DISE_BENCH_REPS, and DISE_BENCH_DYN / DISE_BENCH_FILTER
+# pass through as usual. The shared/private *result* identity is a test
+# (crates/bench/tests/shared_frontend.rs), not this script's job — this
+# only measures setup time, resident memory, and shadow-oracle overhead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p dise-bench --bin frontend_arena
+
+mkdir -p results
+SHARED=$(./target/release/frontend_arena --mode shared | tee /dev/stderr | tail -n 1)
+PRIVATE=$(./target/release/frontend_arena --mode private | tee /dev/stderr | tail -n 1)
+
+# Headline: multi-cell setup speedup and residency saving, shared over
+# private, summed across the benchmark set.
+read -r SPEEDUP RSS_SAVED <<EOF
+$(awk -v s="$SHARED" -v p="$PRIVATE" 'BEGIN {
+    match(s, /"setup_s_total": [0-9.]+/);  ss = substr(s, RSTART + 17, RLENGTH - 17)
+    match(p, /"setup_s_total": [0-9.]+/);  ps = substr(p, RSTART + 17, RLENGTH - 17)
+    match(s, /"rss_kib_total": [0-9]+/);   sr = substr(s, RSTART + 17, RLENGTH - 17)
+    match(p, /"rss_kib_total": [0-9]+/);   pr = substr(p, RSTART + 17, RLENGTH - 17)
+    printf "%.3f %d\n", (ss > 0 ? ps / ss : 0), pr - sr
+}')
+EOF
+
+OUT=${DISE_BENCH_OUT:-results/BENCH_shared_frontend.json}
+{
+    printf '{\n'
+    printf '  "bench": "shared_frontend",\n'
+    printf '  "setup_speedup": %s,\n' "$SPEEDUP"
+    printf '  "rss_kib_saved": %s,\n' "$RSS_SAVED"
+    printf '  "shared": %s,\n' "$SHARED"
+    printf '  "private": %s\n' "$PRIVATE"
+    printf '}\n'
+} > "$OUT"
+echo "wrote $OUT (setup speedup ${SPEEDUP}x, rss saved ${RSS_SAVED} KiB)"

@@ -9,6 +9,10 @@
 #   smoke   — run_figures.sh --smoke: every figure binary end-to-end on
 #             a tiny budget, including the stats-JSON byte-stability
 #             check (jobs 1 vs 8, warm vs cold cell cache)
+#   arena   — the shared-frontend differential suite (shared arena vs
+#             forced-private construction, byte-identical at jobs 1/8)
+#   shadow  — one figure cell with the --shadow lockstep oracle armed
+#             (cache off: warm cells skip simulation and prove nothing)
 set -e
 cd "$(dirname "$0")/.."
 
@@ -26,5 +30,14 @@ cargo clippy --all-targets -- -D warnings
 
 echo "== ci: smoke figures ($(date)) =="
 ./run_figures.sh --smoke
+
+echo "== ci: shared-frontend differential ($(date)) =="
+cargo test -q -p dise-bench --test shared_frontend
+
+echo "== ci: shadow smoke cell ($(date)) =="
+# Cache must be off: warm cells replay cached stats without simulating,
+# so the shadow oracle would never engage.
+DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc DISE_BENCH_CACHE=off \
+    DISE_BENCH_JOBS=2 ./target/release/fig6_mfi top --shadow > /dev/null
 
 echo "== ci: ok ($(date)) =="
