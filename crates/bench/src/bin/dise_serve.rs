@@ -1,0 +1,315 @@
+//! `dise_serve` — the daemonized sweep service (ISSUE 5 tentpole).
+//!
+//! Accepts cell jobs (see `dise_bench::serve` for the job grammar) and
+//! runs them across the harness pool, narrating through the
+//! observability layer: per-cell heartbeats and completion events,
+//! per-cell stats as `metrics` records, anomaly reports shipped through
+//! the installed sink, and a phase-profile snapshot plus an arena reap
+//! between jobs so a long-lived service does not grow monotonically.
+//!
+//! Modes:
+//!
+//! ```text
+//! dise_serve --socket PATH [--obs-dir DIR] [--heartbeat-ms N] [--stats-json PATH]
+//! dise_serve --oneshot JOBFILE [--obs-dir DIR] [--heartbeat-ms N] [--stats-json PATH]
+//! dise_serve --submit PATH JOB...
+//! ```
+//!
+//! Socket mode binds a Unix socket and serves newline-delimited jobs —
+//! one `ok`/`error:` response line per job line, `shutdown` stops the
+//! daemon. Oneshot mode replays a job file and exits (the conformance
+//! tests and CI use it). Submit mode is the matching client.
+//!
+//! The sweep configuration comes from the usual harness environment
+//! (`DISE_BENCH_DYN`, `DISE_BENCH_FILTER`, `DISE_BENCH_JOBS`,
+//! `DISE_BENCH_CACHE`); the sink comes from `--obs-dir` (rotating JSONL
+//! files) or `DISE_OBS_SINK` (`jsonl:<dir>` or `uds:<path>`).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use dise_bench::serve::{parse_job, run_job};
+use dise_bench::{stats_json_doc, write_stats_json, Sweep};
+use dise_obs::{JsonlFileSink, Session, Sink};
+
+/// Default heartbeat period while a job is in flight.
+const DEFAULT_HEARTBEAT_MS: u64 = 250;
+
+struct Opts {
+    socket: Option<PathBuf>,
+    oneshot: Option<PathBuf>,
+    submit: Option<(PathBuf, Vec<String>)>,
+    obs_dir: Option<PathBuf>,
+    heartbeat_ms: u64,
+    stats_out: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dise_serve --socket PATH | --oneshot JOBFILE | --submit PATH JOB...\n\
+         \x20      [--obs-dir DIR] [--heartbeat-ms N] [--stats-json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats_out = dise_bench::parse_telemetry_args(&mut args);
+    let mut opts = Opts {
+        socket: None,
+        oneshot: None,
+        submit: None,
+        obs_dir: None,
+        heartbeat_ms: DEFAULT_HEARTBEAT_MS,
+        stats_out,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} wants a value");
+            usage()
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => opts.socket = Some(PathBuf::from(value(&args, &mut i, "--socket"))),
+            "--oneshot" => opts.oneshot = Some(PathBuf::from(value(&args, &mut i, "--oneshot"))),
+            "--obs-dir" => opts.obs_dir = Some(PathBuf::from(value(&args, &mut i, "--obs-dir"))),
+            "--heartbeat-ms" => {
+                let v = value(&args, &mut i, "--heartbeat-ms");
+                opts.heartbeat_ms = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--heartbeat-ms wants a positive integer, got {v:?}");
+                    usage()
+                });
+            }
+            "--submit" => {
+                let sock = PathBuf::from(value(&args, &mut i, "--submit"));
+                let jobs: Vec<String> = args[i + 1..].to_vec();
+                if jobs.is_empty() {
+                    eprintln!("--submit wants a socket path and at least one job");
+                    usage();
+                }
+                opts.submit = Some((sock, jobs));
+                i = args.len();
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if [
+        opts.socket.is_some(),
+        opts.oneshot.is_some(),
+        opts.submit.is_some(),
+    ]
+    .iter()
+    .filter(|&&x| x)
+    .count()
+        != 1
+    {
+        eprintln!("exactly one of --socket, --oneshot, --submit is required");
+        usage();
+    }
+    opts
+}
+
+/// The session every record ships through: `--obs-dir` wins, then a sink
+/// already installed from `DISE_OBS_SINK`, then rotating JSONL files
+/// under `results/obs`.
+fn session_for(opts: &Opts) -> Arc<Session> {
+    if let Some(dir) = &opts.obs_dir {
+        let sink = JsonlFileSink::create(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open --obs-dir {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        let session = Arc::new(Session::with_generated_id(Arc::new(sink) as Arc<dyn Sink>));
+        dise_obs::install(Arc::clone(&session));
+        return session;
+    }
+    if let Some(session) = dise_obs::global() {
+        return session;
+    }
+    let dir = PathBuf::from("results/obs");
+    let sink = JsonlFileSink::create(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot open default obs dir {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let session = Arc::new(Session::with_generated_id(Arc::new(sink) as Arc<dyn Sink>));
+    dise_obs::install(Arc::clone(&session));
+    session
+}
+
+/// State shared by every job the daemon runs.
+struct Service {
+    sweep: Sweep,
+    session: Arc<Session>,
+    heartbeat_ms: u64,
+    stats: Mutex<BTreeMap<String, Vec<(String, f64)>>>,
+}
+
+impl Service {
+    /// Parses and runs one job line, then reaps the arena and ships the
+    /// phase-profile counters. Returns the response line for the client.
+    fn handle(&self, line: &str) -> Result<String, String> {
+        let job = parse_job(&self.sweep, line)?;
+        let n = job.cells.len();
+        run_job(
+            &self.sweep,
+            &self.session,
+            &job,
+            self.heartbeat_ms,
+            &self.stats,
+        );
+        // Between jobs the service sheds arena entries no live machine
+        // references and exports the accumulated wall-clock phase
+        // profile (never part of per-cell stats — see DESIGN §11).
+        let reaped = dise_sim::arena::reap_unreferenced();
+        self.session
+            .event("-", "arena_reap", None, &[("reaped", reaped as f64)]);
+        let profile = dise_obs::profile::snapshot();
+        if !profile.is_empty() {
+            self.session.metrics("harness.profile", &profile);
+        }
+        Ok(format!("ok {} ({n} cells)", job.name))
+    }
+
+    fn stats_json(&self) -> String {
+        let log = self.stats.lock().expect("serve stats log");
+        let entries: Vec<(String, Vec<(String, f64)>)> =
+            log.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        stats_json_doc(&entries)
+    }
+}
+
+fn serve_socket(service: &Service, path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    eprintln!("dise_serve listening on {}", path.display());
+    service.session.event("-", "serve_start", None, &[]);
+    'accept: for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("clone stream: {e}");
+                continue;
+            }
+        };
+        for line in BufReader::new(stream).lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed == "shutdown" {
+                let _ = writeln!(writer, "ok shutting down");
+                break 'accept;
+            }
+            let response = match service.handle(trimmed) {
+                Ok(ok) => ok,
+                Err(why) => format!("error: {why}"),
+            };
+            if writeln!(writer, "{response}").is_err() {
+                break; // client went away; its job still ran and shipped
+            }
+        }
+    }
+    service.session.event("-", "serve_stop", None, &[]);
+    service.session.sink().flush();
+    let _ = std::fs::remove_file(path);
+}
+
+fn run_oneshot(service: &Service, jobfile: &PathBuf) {
+    let text = std::fs::read_to_string(jobfile).unwrap_or_else(|e| {
+        eprintln!("cannot read job file {}: {e}", jobfile.display());
+        std::process::exit(1);
+    });
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match service.handle(trimmed) {
+            Ok(ok) => println!("{ok}"),
+            Err(why) => {
+                eprintln!("error: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+    service.session.sink().flush();
+}
+
+fn submit(sock: &PathBuf, jobs: &[String]) {
+    let stream = UnixStream::connect(sock).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {}: {e}", sock.display());
+        std::process::exit(1);
+    });
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut failed = false;
+    for job in jobs {
+        writeln!(writer, "{job}").expect("send job");
+        if job.trim() == "shutdown" {
+            // The daemon acks and exits; nothing further to read.
+            let mut response = String::new();
+            let _ = reader.read_line(&mut response);
+            print!("{response}");
+            return;
+        }
+        let mut response = String::new();
+        if reader.read_line(&mut response).unwrap_or(0) == 0 {
+            eprintln!("server closed the connection");
+            std::process::exit(1);
+        }
+        print!("{response}");
+        failed |= response.starts_with("error:");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    if let Some((sock, jobs)) = &opts.submit {
+        submit(sock, jobs);
+        return;
+    }
+    let service = Service {
+        sweep: Sweep::from_env(),
+        session: session_for(&opts),
+        heartbeat_ms: opts.heartbeat_ms,
+        stats: Mutex::new(BTreeMap::new()),
+    };
+    if let Some(jobfile) = &opts.oneshot {
+        run_oneshot(&service, jobfile);
+    } else if let Some(sock) = &opts.socket {
+        serve_socket(&service, sock);
+    }
+    if let Some(path) = &opts.stats_out {
+        if let Err(why) = write_stats_json(path, &service.stats_json()) {
+            eprintln!("{why}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -36,7 +36,10 @@ fn main() {
         print!("{}", fig8::rt(&sweep));
     }
     if let Some(path) = stats_out {
-        std::fs::write(&path, sweep.stats_json()).expect("write stats JSON");
+        if let Err(why) = dise_bench::write_stats_json(&path, &sweep.stats_json()) {
+            eprintln!("{why}");
+            std::process::exit(1);
+        }
         eprintln!("wrote {}", path.display());
     }
 }

@@ -380,7 +380,10 @@ fn main() {
                     .map(|o| (format!("{}/{}", bench.name(), o.name), o.stats.clone()))
             })
             .collect();
-        std::fs::write(&path, dise_bench::stats_json_doc(&entries)).expect("write stats JSON");
+        if let Err(why) = dise_bench::write_stats_json(&path, &dise_bench::stats_json_doc(&entries)) {
+            eprintln!("{why}");
+            std::process::exit(1);
+        }
         println!("wrote {}", path.display());
     }
 }

@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod figures;
 pub mod pool;
+pub mod serve;
 
 pub use cache::{CellCache, CellOutput};
 pub use pool::Pool;
@@ -106,6 +107,46 @@ pub struct TelemetryOpts {
 pub const DEFAULT_TRACE_LAST: usize = 64;
 /// Watchdog threshold a bare `--trace` arms.
 pub const DEFAULT_WATCHDOG: u64 = 1_000_000;
+/// Largest accepted `--trace-last` ring capacity. The ring holds whole
+/// [`dise_sim::TraceEvent`]s, so an absurd capacity (a pasted
+/// instruction count, say) would silently allocate gigabytes per
+/// concurrent cell; 4Mi events ≈ a few hundred MB is already generous.
+pub const MAX_TRACE_LAST: usize = 1 << 22;
+
+/// Validates a `--trace-last` value, mirroring [`Pool::parse_jobs`]:
+/// malformed input is rejected with an actionable message instead of
+/// silently doing something the user didn't ask for. `0` is rejected
+/// because it would *disable* tracing while looking like it armed it —
+/// dropping the flag is the way to disable the ring.
+pub fn parse_trace_last(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(0) => Err(
+            "--trace-last must be at least 1 (got 0); drop the flag entirely to disable tracing"
+                .to_string(),
+        ),
+        Ok(n) if n > MAX_TRACE_LAST => Err(format!(
+            "--trace-last {n} is absurdly large (max {MAX_TRACE_LAST}): the ring keeps whole trace events in memory per concurrent cell"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--trace-last wants a positive integer, got {v:?}")),
+    }
+}
+
+/// Writes a stats-JSON document to `path`, creating parent directories,
+/// and maps failures to an actionable message naming the path (the bare
+/// `fs::write` panic every binary used to hit printed neither).
+pub fn write_stats_json(path: &std::path::Path, doc: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            format!(
+                "cannot create directory {} for --stats-json output: {e}",
+                dir.display()
+            )
+        })?;
+    }
+    std::fs::write(path, doc)
+        .map_err(|e| format!("cannot write --stats-json output to {}: {e}", path.display()))
+}
 
 static TELEMETRY: OnceLock<TelemetryOpts> = OnceLock::new();
 
@@ -141,11 +182,21 @@ pub fn apply_telemetry(config: SimConfig) -> SimConfig {
 /// * `--shadow` — run every cell with a slow-path shadow functional
 ///   oracle in lockstep (divergence aborts with an anomaly report).
 ///
+/// Also installs the observability sink from `DISE_OBS_SINK` (see
+/// `dise_obs::init_from_env`) so every harness binary exports records
+/// without per-binary wiring.
+///
 /// Panics with a usage message on malformed values.
 pub fn parse_telemetry_args(args: &mut Vec<String>) -> Option<PathBuf> {
     fn ring(v: &str) -> usize {
-        v.parse()
-            .unwrap_or_else(|_| panic!("--trace-last wants a positive integer, got {v:?}"))
+        parse_trace_last(v).unwrap_or_else(|why| {
+            eprintln!("{why}");
+            std::process::exit(2);
+        })
+    }
+    if let Err(e) = dise_obs::init_from_env() {
+        eprintln!("invalid DISE_OBS_SINK: {e}");
+        std::process::exit(2);
     }
     let mut opts = TelemetryOpts::default();
     let mut stats_out = None;
@@ -361,10 +412,15 @@ fn maybe_attach_shadow(sim: &mut Simulator, build: impl FnOnce() -> Machine) {
 
 /// Runs a bare program (no ACFs).
 pub fn run_baseline(program: &Program, config: SimConfig, fuel: u64) -> SimStats {
-    let mut sim = Simulator::new(apply_telemetry(config), Machine::load(program));
+    let machine = {
+        let _t = dise_obs::profile::scope("predecode");
+        Machine::load(program)
+    };
+    let mut sim = Simulator::new(apply_telemetry(config), machine);
     maybe_attach_shadow(&mut sim, || {
         Machine::with_config(program, MachineConfig::default().slow_path())
     });
+    let _t = dise_obs::profile::scope("timing_run");
     sim.run(fuel).expect("baseline run").stats
 }
 
@@ -385,12 +441,21 @@ pub fn run_dise_mfi(
     config: SimConfig,
     fuel: u64,
 ) -> SimStats {
-    let mut m = Machine::load(program);
-    m.attach_engine(
-        DiseEngine::with_productions(EngineConfig::default(), mfi_productions(program, variant))
+    let mut m = {
+        let _t = dise_obs::profile::scope("predecode");
+        Machine::load(program)
+    };
+    {
+        let _t = dise_obs::profile::scope("engine_setup");
+        m.attach_engine(
+            DiseEngine::with_productions(
+                EngineConfig::default(),
+                mfi_productions(program, variant),
+            )
             .expect("engine"),
-    );
-    Mfi::init_machine(&mut m);
+        );
+        Mfi::init_machine(&mut m);
+    }
     let mut sim = Simulator::new(apply_telemetry(config.with_expansion_cost(cost)), m);
     maybe_attach_shadow(&mut sim, || {
         let mut s = Machine::with_config(program, MachineConfig::default().slow_path());
@@ -404,16 +469,22 @@ pub fn run_dise_mfi(
         Mfi::init_machine(&mut s);
         s
     });
+    let _t = dise_obs::profile::scope("timing_run");
     sim.run(fuel).expect("DISE MFI run").stats
 }
 
 /// Runs a program under binary-rewriting memory fault isolation.
 pub fn run_rewrite_mfi(program: &Program, config: SimConfig, fuel: u64) -> SimStats {
     let rewritten = RewriteMfi::new().rewrite(program).expect("rewrite").program;
-    let mut sim = Simulator::new(apply_telemetry(config), Machine::load(&rewritten));
+    let machine = {
+        let _t = dise_obs::profile::scope("predecode");
+        Machine::load(&rewritten)
+    };
+    let mut sim = Simulator::new(apply_telemetry(config), machine);
     maybe_attach_shadow(&mut sim, || {
         Machine::with_config(&rewritten, MachineConfig::default().slow_path())
     });
+    let _t = dise_obs::profile::scope("timing_run");
     sim.run(fuel).expect("rewrite MFI run").stats
 }
 
@@ -429,10 +500,16 @@ pub fn run_compressed(
     config: SimConfig,
     fuel: u64,
 ) -> SimStats {
-    let mut m = Machine::load(&compressed.program);
-    compressed
-        .attach(&mut m, engine_config)
-        .expect("attach decompressor");
+    let mut m = {
+        let _t = dise_obs::profile::scope("predecode");
+        Machine::load(&compressed.program)
+    };
+    {
+        let _t = dise_obs::profile::scope("engine_setup");
+        compressed
+            .attach(&mut m, engine_config)
+            .expect("attach decompressor");
+    }
     let mut sim = Simulator::new(apply_telemetry(config), m);
     maybe_attach_shadow(&mut sim, || {
         let mut s =
@@ -442,6 +519,7 @@ pub fn run_compressed(
             .expect("attach decompressor");
         s
     });
+    let _t = dise_obs::profile::scope("timing_run");
     sim.run(fuel).expect("compressed run").stats
 }
 
@@ -478,9 +556,15 @@ pub fn run_composed_dise(
             DiseEngine::with_controller(engine_config, controller)
         }
     };
-    let mut m = Machine::load(&compressed.program);
-    m.attach_engine(build_engine(engine_config));
-    Mfi::init_machine(&mut m);
+    let mut m = {
+        let _t = dise_obs::profile::scope("predecode");
+        Machine::load(&compressed.program)
+    };
+    {
+        let _t = dise_obs::profile::scope("engine_setup");
+        m.attach_engine(build_engine(engine_config));
+        Mfi::init_machine(&mut m);
+    }
     let mut sim = Simulator::new(apply_telemetry(config), m);
     maybe_attach_shadow(&mut sim, || {
         let mut s =
@@ -489,6 +573,7 @@ pub fn run_composed_dise(
         Mfi::init_machine(&mut s);
         s
     });
+    let _t = dise_obs::profile::scope("timing_run");
     sim.run(fuel).expect("composed run").stats
 }
 
@@ -531,4 +616,45 @@ pub fn format_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) -
 /// Prints a table with a geometric-mean footer.
 pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
     print!("{}", format_table(title, header, rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_last_rejects_zero_absurd_and_garbage() {
+        assert_eq!(parse_trace_last("64"), Ok(64));
+        assert_eq!(parse_trace_last(" 128 "), Ok(128));
+        assert_eq!(parse_trace_last(&MAX_TRACE_LAST.to_string()), Ok(MAX_TRACE_LAST));
+
+        let zero = parse_trace_last("0").unwrap_err();
+        assert!(zero.contains("drop the flag"), "actionable: {zero}");
+        let huge = parse_trace_last(&(MAX_TRACE_LAST + 1).to_string()).unwrap_err();
+        assert!(huge.contains("absurdly large"), "actionable: {huge}");
+        let garbage = parse_trace_last("lots").unwrap_err();
+        assert!(garbage.contains("positive integer"), "actionable: {garbage}");
+        assert!(garbage.contains("lots"), "echoes the input: {garbage}");
+    }
+
+    #[test]
+    fn stats_json_write_failure_names_the_path() {
+        let dir = std::env::temp_dir().join(format!("dise-bench-sj-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Success path creates intermediate directories.
+        let ok = dir.join("deep/nested/stats.json");
+        write_stats_json(&ok, "{}\n").expect("nested write succeeds");
+        assert_eq!(std::fs::read_to_string(&ok).unwrap(), "{}\n");
+
+        // Failure path: the target is a directory, so the write must
+        // fail with a message naming the path (not a bare panic).
+        let bad = dir.join("deep");
+        let err = write_stats_json(&bad, "{}\n").unwrap_err();
+        assert!(
+            err.contains("--stats-json") && err.contains(&bad.display().to_string()),
+            "actionable: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

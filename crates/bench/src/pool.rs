@@ -75,9 +75,33 @@ impl Pool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.run_observed(items, &NoObserver, f)
+    }
+
+    /// [`Pool::run`] with scheduling visibility: `observer` hears when
+    /// each item is claimed by a worker and when it completes, from the
+    /// worker's own thread. This powers `dise_serve`'s heartbeats —
+    /// in-flight counts come from the pool's actual claim order, not a
+    /// guess — without perturbing scheduling: observers run outside the
+    /// result lock and must be cheap and non-blocking.
+    pub fn run_observed<T, R, F>(&self, items: &[T], observer: &dyn RunObserver, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let n = items.len();
         if self.jobs == 1 || n <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    observer.started(i);
+                    let r = f(i, t);
+                    observer.finished(i);
+                    r
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -87,8 +111,10 @@ impl Pool {
                 if i >= n {
                     break;
                 }
+                observer.started(i);
                 let r = f(i, &items[i]);
                 *results[i].lock().expect("result slot poisoned") = Some(r);
+                observer.finished(i);
             }
         };
         std::thread::scope(|s| {
@@ -113,6 +139,25 @@ impl Pool {
             .collect()
     }
 }
+
+/// Hears pool scheduling events from worker threads (see
+/// [`Pool::run_observed`]). Both hooks default to no-ops so observers
+/// implement only what they need.
+pub trait RunObserver: Sync {
+    /// Item `index` was claimed by a worker and is about to run.
+    fn started(&self, index: usize) {
+        let _ = index;
+    }
+    /// Item `index` finished and its result is recorded.
+    fn finished(&self, index: usize) {
+        let _ = index;
+    }
+}
+
+/// The do-nothing observer behind plain [`Pool::run`].
+struct NoObserver;
+
+impl RunObserver for NoObserver {}
 
 #[cfg(test)]
 mod tests {
@@ -145,6 +190,42 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u32> = Pool::new(4).run(&[] as &[u32], |_, x| *x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn observer_sees_every_start_and_finish() {
+        struct Counting {
+            started: AtomicUsize,
+            finished: AtomicUsize,
+            in_flight_max: AtomicUsize,
+            in_flight: AtomicUsize,
+        }
+        impl RunObserver for Counting {
+            fn started(&self, _index: usize) {
+                self.started.fetch_add(1, Ordering::SeqCst);
+                let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                self.in_flight_max.fetch_max(now, Ordering::SeqCst);
+            }
+            fn finished(&self, _index: usize) {
+                self.finished.fetch_add(1, Ordering::SeqCst);
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        for jobs in [1, 4] {
+            let obs = Counting {
+                started: AtomicUsize::new(0),
+                finished: AtomicUsize::new(0),
+                in_flight_max: AtomicUsize::new(0),
+                in_flight: AtomicUsize::new(0),
+            };
+            let items: Vec<u32> = (0..16).collect();
+            let out = Pool::new(jobs).run_observed(&items, &obs, |_, &x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(obs.started.load(Ordering::SeqCst), 16, "jobs={jobs}");
+            assert_eq!(obs.finished.load(Ordering::SeqCst), 16, "jobs={jobs}");
+            assert_eq!(obs.in_flight.load(Ordering::SeqCst), 0);
+            assert!(obs.in_flight_max.load(Ordering::SeqCst) <= jobs.max(1));
+        }
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! The sweep service behind `dise_serve`: parses cell jobs, fans them
+//! across the harness [`Pool`], and narrates progress through the
+//! installed observability session — per-cell start/done events, a
+//! periodic heartbeat, per-cell stats as delta-encoded `metrics`
+//! records, and a completion record per job.
+//!
+//! A *job* is one line of text:
+//!
+//! ```text
+//! baseline <bench>     # one bare run
+//! mfi <bench>          # one DISE4/free MFI run
+//! rewrite <bench>      # one binary-rewriting MFI run
+//! fig6_top <bench>     # all six Figure-6-top cells for the benchmark
+//! ```
+//!
+//! Jobs reuse the figure sweeps' cell constructors verbatim, so a cell
+//! computed by the service has the same content-address key — and
+//! byte-identical stats — as the same cell computed by `fig6_mfi`.
+//! `tests/serve.rs` and the CI round-trip step hold that line.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dise_acf::mfi::MfiVariant;
+use dise_obs::Session;
+use dise_sim::{ExpansionCost, SimConfig};
+use dise_workloads::Benchmark;
+
+use crate::figures::{baseline_cell, dise_mfi_cell, rewrite_mfi_cell};
+use crate::pool::RunObserver;
+use crate::{Cell, Sweep};
+
+/// A parsed job: its original spelling (used to tag records) and the
+/// cells it expands to.
+#[derive(Debug)]
+pub struct Job {
+    /// The job line as submitted, whitespace-normalized.
+    pub name: String,
+    /// The cells the job fans out, in deterministic order.
+    pub cells: Vec<Cell>,
+}
+
+/// Parses one job line against a sweep. Errors are actionable: they name
+/// the job grammar and the known benchmarks.
+pub fn parse_job(sweep: &Sweep, line: &str) -> Result<Job, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let usage = "expected `<baseline|mfi|rewrite|fig6_top> <bench>`";
+    let (&kind, &bench_name) = match words.as_slice() {
+        [kind, bench] => (kind, bench),
+        _ => return Err(format!("malformed job {line:?}: {usage}")),
+    };
+    let bench = Benchmark::from_name(bench_name).ok_or_else(|| {
+        let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        format!("unknown benchmark {bench_name:?}: known benchmarks are {known:?}")
+    })?;
+    let sim = SimConfig::default();
+    let p = Arc::new(sweep.workload(bench));
+    let cells = match kind {
+        "baseline" => vec![baseline_cell(sweep, bench, &p, sim)],
+        "mfi" => vec![dise_mfi_cell(
+            sweep,
+            bench,
+            &p,
+            MfiVariant::Dise4,
+            ExpansionCost::Free,
+            sim,
+        )],
+        "rewrite" => vec![rewrite_mfi_cell(sweep, bench, &p, sim)],
+        // The full Figure-6-top column for one benchmark, in the same
+        // order fig6::top builds it.
+        "fig6_top" => {
+            let mut cells = vec![
+                baseline_cell(sweep, bench, &p, sim),
+                rewrite_mfi_cell(sweep, bench, &p, sim),
+            ];
+            for (variant, cost) in [
+                (MfiVariant::Dise4, ExpansionCost::Free),
+                (MfiVariant::Dise3, ExpansionCost::StallPerExpansion),
+                (MfiVariant::Dise3, ExpansionCost::ExtraStage),
+                (MfiVariant::Dise3, ExpansionCost::Free),
+            ] {
+                cells.push(dise_mfi_cell(sweep, bench, &p, variant, cost, sim));
+            }
+            cells
+        }
+        other => return Err(format!("unknown job kind {other:?}: {usage}")),
+    };
+    Ok(Job {
+        name: words.join(" "),
+        cells,
+    })
+}
+
+/// Observer wiring pool scheduling into the session: `cell_start` /
+/// `cell_done` events and the shared in-flight/done counters the
+/// heartbeat thread reads.
+struct ServeObserver<'a> {
+    session: &'a Session,
+    job: &'a str,
+    keys: Vec<String>,
+    in_flight: AtomicUsize,
+    done: Arc<AtomicUsize>,
+}
+
+impl RunObserver for ServeObserver<'_> {
+    fn started(&self, index: usize) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.session
+            .event(&self.keys[index], "cell_start", Some(self.job), &[]);
+    }
+
+    fn finished(&self, index: usize) {
+        let in_flight = self.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+        let done = self.done.fetch_add(1, Ordering::SeqCst) + 1;
+        self.session.event(
+            &self.keys[index],
+            "cell_done",
+            Some(self.job),
+            &[("done", done as f64), ("in_flight", in_flight as f64)],
+        );
+    }
+}
+
+/// Runs one job through the sweep's pool and cache, narrating through
+/// `session`, and folds each cell's stats into `stats_log` (the same
+/// key-sorted shape [`Sweep::stats_json`] renders). Returns the values
+/// of every cell in job order.
+///
+/// Heartbeats: one `heartbeat` event immediately at job start (so even a
+/// cache-warm job that finishes in microseconds leaves one), then one
+/// every `heartbeat_ms` until the job completes, each carrying
+/// done/total/in-flight counts.
+pub fn run_job(
+    sweep: &Sweep,
+    session: &Arc<Session>,
+    job: &Job,
+    heartbeat_ms: u64,
+    stats_log: &Mutex<std::collections::BTreeMap<String, Vec<(String, f64)>>>,
+) -> Vec<Vec<f64>> {
+    let total = job.cells.len();
+    session.event(
+        "-",
+        "job_start",
+        Some(&job.name),
+        &[("cells", total as f64)],
+    );
+    let done = Arc::new(AtomicUsize::new(0));
+    let observer = ServeObserver {
+        session: session.as_ref(),
+        job: &job.name,
+        keys: job.cells.iter().map(|c| c.key().to_string()).collect(),
+        in_flight: AtomicUsize::new(0),
+        done: Arc::clone(&done),
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let (session, stop, done) = (Arc::clone(session), Arc::clone(&stop), Arc::clone(&done));
+        let name = job.name.clone();
+        std::thread::spawn(move || {
+            loop {
+                session.event(
+                    "-",
+                    "heartbeat",
+                    Some(&name),
+                    &[
+                        ("done", done.load(Ordering::SeqCst) as f64),
+                        ("total", total as f64),
+                    ],
+                );
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(heartbeat_ms.max(1)));
+            }
+        })
+    };
+
+    let outs = sweep.pool.run_observed(&job.cells, &observer, |_, cell| {
+        // Tag everything raised while this cell runs — anomaly reports
+        // most importantly — with the cell's content-address key.
+        let _scope = dise_obs::cell_scope(cell.key());
+        let out = sweep.cache.get_or(cell.key(), || cell.compute());
+        if !out.stats.is_empty() {
+            session.metrics(cell.key(), &out.stats);
+        }
+        out
+    });
+
+    stop.store(true, Ordering::SeqCst);
+    heartbeat.join().expect("heartbeat thread");
+    let mut log = stats_log.lock().expect("serve stats log");
+    for (cell, out) in job.cells.iter().zip(&outs) {
+        if !out.stats.is_empty() {
+            log.insert(cell.key().to_string(), out.stats.clone());
+        }
+    }
+    drop(log);
+    session.event(
+        "-",
+        "job_done",
+        Some(&job.name),
+        &[("cells", total as f64)],
+    );
+    outs.into_iter().map(|o| o.values).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CellCache;
+    use crate::Pool;
+
+    fn sweep() -> Sweep {
+        Sweep::new(2_000, vec![Benchmark::Gzip], Pool::new(1), CellCache::disabled())
+    }
+
+    #[test]
+    fn job_grammar_rejects_garbage_with_actionable_errors() {
+        let s = sweep();
+        let e = parse_job(&s, "").unwrap_err();
+        assert!(e.contains("expected"), "{e}");
+        let e = parse_job(&s, "baseline").unwrap_err();
+        assert!(e.contains("expected"), "{e}");
+        let e = parse_job(&s, "frobnicate gzip").unwrap_err();
+        assert!(e.contains("unknown job kind"), "{e}");
+        let e = parse_job(&s, "baseline quake3").unwrap_err();
+        assert!(e.contains("known benchmarks"), "{e}");
+    }
+
+    #[test]
+    fn fig6_top_job_expands_to_the_panel_cells() {
+        let s = sweep();
+        let job = parse_job(&s, "  fig6_top   gzip ").unwrap();
+        assert_eq!(job.name, "fig6_top gzip");
+        assert_eq!(job.cells.len(), 6);
+        assert!(job.cells[0].key().contains("baseline"));
+        assert!(job.cells[1].key().contains("rewrite_mfi"));
+        assert!(job.cells[2].key().contains("dise_mfi"));
+    }
+}

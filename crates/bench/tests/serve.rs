@@ -1,0 +1,211 @@
+//! `dise_serve` conformance (ISSUE 5): the oneshot smoke job replays a
+//! Figure-6 smoke cell with byte-stable metrics JSONL, and the service's
+//! `--stats-json` export matches an in-process direct run of the same
+//! cells byte-for-byte.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Mutex;
+
+use dise_bench::cache::CellCache;
+use dise_bench::serve::{parse_job, run_job};
+use dise_bench::{Pool, Sweep};
+use dise_obs::{MemSink, Session, Sink};
+use dise_workloads::Benchmark;
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dise-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Runs `dise_serve --oneshot` with a small budget and no cache, fully
+/// isolated from the developer's environment.
+fn oneshot(jobfile: &Path, obs_dir: &Path, stats_json: Option<&Path>) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dise_serve"));
+    cmd.arg("--oneshot")
+        .arg(jobfile)
+        .arg("--obs-dir")
+        .arg(obs_dir)
+        .arg("--heartbeat-ms")
+        .arg("50")
+        .env("DISE_BENCH_DYN", "20000")
+        .env("DISE_BENCH_JOBS", "1")
+        .env("DISE_BENCH_CACHE", "off")
+        .env_remove("DISE_OBS_SINK")
+        .env_remove("DISE_BENCH_FILTER");
+    if let Some(p) = stats_json {
+        cmd.arg("--stats-json").arg(p);
+    }
+    cmd.output().expect("run dise_serve")
+}
+
+fn obs_lines(dir: &Path) -> Vec<String> {
+    let mut lines = Vec::new();
+    // Rotated files (oldest first), then the active file.
+    for f in dise_obs::JsonlFileSink::rotated_in(dir) {
+        lines.extend(
+            std::fs::read_to_string(f)
+                .unwrap()
+                .lines()
+                .map(str::to_string),
+        );
+    }
+    lines.extend(
+        std::fs::read_to_string(dir.join(dise_obs::ACTIVE_FILE))
+            .unwrap_or_default()
+            .lines()
+            .map(str::to_string),
+    );
+    lines
+}
+
+/// Strips the per-run fields (`"run"` id) so two runs' records can be
+/// compared byte-for-byte.
+fn strip_run_id(line: &str) -> String {
+    match (line.find("\"run\":\""), line) {
+        (Some(start), l) => {
+            let rest = &l[start + 8..];
+            let end = rest.find('"').expect("run id closes") + start + 8;
+            format!("{}{}", &l[..start + 8], &l[end..])
+        }
+        (None, l) => l.to_string(),
+    }
+}
+
+#[test]
+fn oneshot_smoke_replays_a_fig6_cell_with_byte_stable_metrics() {
+    let dir = tmpdir("oneshot");
+    let jobfile = dir.join("jobs.txt");
+    std::fs::write(&jobfile, "# smoke job\nbaseline gzip\n").unwrap();
+
+    let run = |tag: &str| -> (Vec<String>, String) {
+        let obs = dir.join(tag);
+        let out = oneshot(&jobfile, &obs, None);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        (obs_lines(&obs), stdout)
+    };
+    let (first, stdout) = run("a");
+    let (second, _) = run("b");
+    assert!(stdout.contains("ok baseline gzip (1 cells)"), "{stdout}");
+
+    // The narration arrived: at least one heartbeat, the cell lifecycle,
+    // the job bracketing, the metrics snapshot, the arena reap.
+    for needle in [
+        "\"name\":\"heartbeat\"",
+        "\"name\":\"cell_start\"",
+        "\"name\":\"cell_done\"",
+        "\"name\":\"job_start\"",
+        "\"name\":\"job_done\"",
+        "\"name\":\"arena_reap\"",
+        "\"kind\":\"metrics\"",
+        "\"cell\":\"harness.profile\"",
+    ] {
+        assert!(
+            first.iter().any(|l| l.contains(needle)),
+            "missing {needle} in {first:#?}"
+        );
+    }
+
+    // Sequence numbers are monotonic within the file.
+    let seqs: Vec<u64> = first
+        .iter()
+        .filter_map(|l| l.split("\"seq\":").nth(1))
+        .filter_map(|r| r.split([',', '}']).next())
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    assert!(!seqs.is_empty());
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "monotonic: {seqs:?}");
+
+    // The metrics records — the simulation payload — are byte-stable
+    // across runs once the run id is stripped. (Events interleave with
+    // the heartbeat thread, so only the metrics stream is compared; the
+    // `harness.profile` snapshot is wall-clock and excluded.)
+    let metrics = |lines: &[String]| -> Vec<String> {
+        lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"metrics\""))
+            .filter(|l| !l.contains("\"cell\":\"harness.profile\""))
+            .map(|l| strip_run_id(l))
+            .collect()
+    };
+    let (m1, m2) = (metrics(&first), metrics(&second));
+    assert!(!m1.is_empty());
+    assert_eq!(m1, m2, "metrics records must be byte-stable across runs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oneshot_stats_json_matches_an_in_process_direct_run() {
+    let dir = tmpdir("statsjson");
+    let jobfile = dir.join("jobs.txt");
+    std::fs::write(&jobfile, "fig6_top gzip\n").unwrap();
+    let stats_path = dir.join("served.json");
+    let out = oneshot(&jobfile, &dir.join("obs"), Some(&stats_path));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let served = std::fs::read_to_string(&stats_path).unwrap();
+
+    // The same cells run directly in-process (same budget, no cache)
+    // must produce the identical export: the service adds narration, not
+    // different simulation results.
+    let sweep = Sweep::new(20_000, vec![Benchmark::Gzip], Pool::new(1), CellCache::disabled());
+    let session = Arc::new(Session::new(
+        Arc::new(MemSink::new()) as Arc<dyn Sink>,
+        "direct",
+    ));
+    let job = parse_job(&sweep, "fig6_top gzip").unwrap();
+    let stats = Mutex::new(std::collections::BTreeMap::new());
+    run_job(&sweep, &session, &job, 1_000, &stats);
+    let entries: Vec<(String, Vec<(String, f64)>)> = stats
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    let direct = dise_bench::stats_json_doc(&entries);
+    assert_eq!(served, direct, "service stats-JSON must match a direct run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_stats_json_fails_with_an_actionable_error() {
+    let dir = tmpdir("unwritable");
+    let jobfile = dir.join("jobs.txt");
+    std::fs::write(&jobfile, "baseline gzip\n").unwrap();
+    // The target is a directory: the export cannot be written, and the
+    // binary must name the path instead of panicking.
+    let target = dir.join("taken");
+    std::fs::create_dir_all(&target).unwrap();
+    let out = oneshot(&jobfile, &dir.join("obs"), Some(&target));
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--stats-json") && stderr.contains(&target.display().to_string()),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oneshot_rejects_a_bad_job_with_an_actionable_error() {
+    let dir = tmpdir("badjob");
+    let jobfile = dir.join("jobs.txt");
+    std::fs::write(&jobfile, "frobnicate gzip\n").unwrap();
+    let out = oneshot(&jobfile, &dir.join("obs"), None);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown job kind"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,361 @@
+#![warn(missing_docs)]
+
+//! # dise-obs: the structured-observability sink layer
+//!
+//! Dependency-free (std-only) plumbing that carries telemetry out of a
+//! long-running simulation service (DESIGN.md §11). Three pieces:
+//!
+//! * **Sinks** ([`Sink`]) — line-oriented JSONL destinations:
+//!   [`JsonlFileSink`] (size-based rotation + bounded retention),
+//!   [`UdsSink`] (Unix-domain-socket line protocol with
+//!   reconnect/backoff), and [`MemSink`] (test capture). All follow one
+//!   backpressure policy: drop-oldest and count (`obs.dropped`), never
+//!   block the producer.
+//! * **Records** ([`Record`], [`Session`]) — three record kinds, each a
+//!   single JSONL object tagged with a run id, the producing cell's
+//!   fingerprint, and a monotonic per-session sequence number:
+//!   `metrics` (delta-encoded stats-registry snapshots), `event`
+//!   (harness/pipeline happenings: heartbeats, cell completions), and
+//!   `anomaly` (full simulator anomaly reports).
+//! * **Profiling** ([`profile`]) — process-wide wall-clock phase
+//!   counters (`profile.*`) fed by scope timers, exported as metrics.
+//!
+//! A process installs at most one global [`Session`] ([`install`], or
+//! [`init_from_env`] honoring `DISE_OBS_SINK`); producers that know
+//! nothing about the harness — e.g. the simulator's anomaly path — ship
+//! through it via [`ship_anomaly`], falling back to stderr when nothing
+//! is installed.
+
+pub mod profile;
+mod record;
+mod sink;
+
+pub use record::{escape_into, Record};
+pub use sink::{
+    JsonlFileSink, MemSink, Sink, UdsSink, ACTIVE_FILE, DEFAULT_RETAIN, DEFAULT_ROTATE_BYTES,
+    DEFAULT_UDS_QUEUE,
+};
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One observability session: a sink plus the run id, sequence counter
+/// and delta-encoding state shared by every record it emits.
+pub struct Session {
+    sink: Arc<dyn Sink>,
+    run_id: String,
+    seq: AtomicU64,
+    /// Last metrics snapshot per cell, for delta encoding.
+    last_metrics: Mutex<HashMap<String, Vec<(String, f64)>>>,
+    /// Serializes sequence allocation with emission, so records land in
+    /// the sink in `seq` order even when threads race (heartbeat vs.
+    /// worker); consumers can then treat file order as event order.
+    emit_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("run_id", &self.run_id)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// A session over `sink` tagged with `run_id`.
+    pub fn new(sink: Arc<dyn Sink>, run_id: impl Into<String>) -> Session {
+        Session {
+            sink,
+            run_id: run_id.into(),
+            seq: AtomicU64::new(0),
+            last_metrics: Mutex::new(HashMap::new()),
+            emit_lock: Mutex::new(()),
+        }
+    }
+
+    /// A session with a generated run id (`<unix-nanos-hex>-<pid-hex>`).
+    pub fn with_generated_id(sink: Arc<dyn Sink>) -> Session {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        Session::new(sink, format!("{nanos:x}-{:x}", std::process::id()))
+    }
+
+    /// This session's run id.
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// The underlying sink.
+    pub fn sink(&self) -> &Arc<dyn Sink> {
+        &self.sink
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts a record of `kind` for `cell` with the session tags
+    /// (`kind`, `run`, `seq`, `cell`) already applied; returns the
+    /// record and its sequence number. Unlike the `event`/`metrics`/
+    /// `anomaly` emitters, this does not serialize with emission —
+    /// callers building records by hand own their own ordering.
+    pub fn record(&self, kind: &str, cell: &str) -> (Record, u64) {
+        let seq = self.next_seq();
+        let rec = Record::new()
+            .str("kind", kind)
+            .str("run", &self.run_id)
+            .u64("seq", seq)
+            .str("cell", cell);
+        (rec, seq)
+    }
+
+    /// Emits an `event` record: a name, optional detail text, and
+    /// numeric data fields. Returns the record's sequence number.
+    pub fn event(
+        &self,
+        cell: &str,
+        name: &str,
+        text: Option<&str>,
+        data: &[(&str, f64)],
+    ) -> u64 {
+        let _order = self.emit_lock.lock().expect("emit lock");
+        let (mut rec, seq) = self.record("event", cell);
+        rec = rec.str("name", name);
+        if let Some(text) = text {
+            rec = rec.str("text", text);
+        }
+        for &(k, v) in data {
+            rec = rec.f64(k, v);
+        }
+        self.sink.emit(&rec.finish());
+        seq
+    }
+
+    /// Emits a `metrics` record carrying a stats snapshot for `cell`,
+    /// delta-encoded against the previous snapshot this session shipped
+    /// for the same cell: the first record is full (`"full":true`),
+    /// subsequent ones carry only entries whose value changed (or are
+    /// new). Returns `(sequence number, entries shipped)`.
+    pub fn metrics(&self, cell: &str, stats: &[(String, f64)]) -> (u64, usize) {
+        let mut last = self.last_metrics.lock().expect("metrics state lock");
+        let prev = last.get(cell);
+        let full = prev.is_none();
+        let delta: Vec<(String, f64)> = match prev {
+            None => stats.to_vec(),
+            Some(prev) => stats
+                .iter()
+                .filter(|(name, v)| {
+                    prev.iter()
+                        .find(|(n, _)| n == name)
+                        .is_none_or(|(_, pv)| pv.to_bits() != v.to_bits())
+                })
+                .cloned()
+                .collect(),
+        };
+        last.insert(cell.to_string(), stats.to_vec());
+        drop(last);
+        let shipped = delta.len();
+        let _order = self.emit_lock.lock().expect("emit lock");
+        let (rec, seq) = self.record("metrics", cell);
+        let rec = rec
+            .bool("full", full)
+            .u64("dropped", self.sink.dropped())
+            .f64_obj("stats", &delta);
+        self.sink.emit(&rec.finish());
+        (seq, shipped)
+    }
+
+    /// Emits an `anomaly` record wrapping a pre-encoded report payload
+    /// (a single-line JSON object — see
+    /// `dise_sim::AnomalyReport::json_payload`). Returns the sequence
+    /// number.
+    pub fn anomaly(&self, cell: &str, payload_json: &str) -> u64 {
+        let _order = self.emit_lock.lock().expect("emit lock");
+        let (rec, seq) = self.record("anomaly", cell);
+        self.sink.emit(&rec.raw("report", payload_json).finish());
+        seq
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global session + cell context
+
+fn global_slot() -> &'static Mutex<Option<Arc<Session>>> {
+    static GLOBAL: OnceLock<Mutex<Option<Arc<Session>>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs `session` as the process-wide session, replacing any
+/// previous one (tests swap sinks; services install once at startup).
+pub fn install(session: Arc<Session>) {
+    *global_slot().lock().expect("obs global lock") = Some(session);
+}
+
+/// Removes the process-wide session, if any.
+pub fn uninstall() {
+    *global_slot().lock().expect("obs global lock") = None;
+}
+
+/// The process-wide session, if one is installed.
+pub fn global() -> Option<Arc<Session>> {
+    global_slot().lock().expect("obs global lock").clone()
+}
+
+thread_local! {
+    static CELL_CONTEXT: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Tags records emitted from this thread (via [`ship_anomaly`]) with
+/// `cell` until the returned guard drops; guards nest, restoring the
+/// previous context. Harness workers set this around each cell
+/// computation so a mid-simulation anomaly names the cell that hit it.
+pub fn cell_scope(cell: &str) -> CellScope {
+    let prev = CELL_CONTEXT.with(|c| c.replace(Some(cell.to_string())));
+    CellScope { prev }
+}
+
+/// The current thread's cell context (`-` when unset).
+pub fn cell_context() -> String {
+    CELL_CONTEXT.with(|c| c.borrow().clone()).unwrap_or_else(|| "-".to_string())
+}
+
+/// RAII guard restoring the previous cell context (see [`cell_scope`]).
+#[derive(Debug)]
+pub struct CellScope {
+    prev: Option<String>,
+}
+
+impl Drop for CellScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CELL_CONTEXT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Ships an anomaly payload through the installed session (tagged with
+/// the calling thread's cell context) and flushes the sink. Returns
+/// `false` when no session is installed — the caller then falls back to
+/// stderr.
+pub fn ship_anomaly(payload_json: &str) -> bool {
+    match global() {
+        Some(session) => {
+            session.anomaly(&cell_context(), payload_json);
+            session.sink().flush();
+            true
+        }
+        None => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Environment wiring
+
+/// Builds a sink from a `DISE_OBS_SINK`-style spec: `jsonl:<dir>` or
+/// `uds:<socket path>`.
+pub fn sink_from_spec(spec: &str) -> std::io::Result<Arc<dyn Sink>> {
+    if let Some(dir) = spec.strip_prefix("jsonl:") {
+        Ok(Arc::new(JsonlFileSink::create(dir)?))
+    } else if let Some(path) = spec.strip_prefix("uds:") {
+        Ok(Arc::new(UdsSink::connect(path)))
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("unrecognized sink spec {spec:?} (want jsonl:<dir> or uds:<path>)"),
+        ))
+    }
+}
+
+/// Installs a global session from the `DISE_OBS_SINK` environment
+/// variable if it is set and no session is installed yet. Returns
+/// whether a session is installed after the call.
+pub fn init_from_env() -> std::io::Result<bool> {
+    if global().is_some() {
+        return Ok(true);
+    }
+    match std::env::var("DISE_OBS_SINK") {
+        Ok(spec) if !spec.is_empty() => {
+            let sink = sink_from_spec(&spec)?;
+            install(Arc::new(Session::with_generated_id(sink)));
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_session() -> (Arc<MemSink>, Session) {
+        let sink = Arc::new(MemSink::new());
+        let session = Session::new(Arc::clone(&sink) as Arc<dyn Sink>, "run-1");
+        (sink, session)
+    }
+
+    #[test]
+    fn records_carry_tags_and_monotonic_seq() {
+        let (sink, session) = mem_session();
+        session.event("cellA", "heartbeat", None, &[("done", 1.0)]);
+        session.metrics("cellA", &[("sim.cycles".into(), 10.0)]);
+        session.anomaly("cellA", "{\"reason\":\"x\"}");
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with(
+            "{\"kind\":\"event\",\"run\":\"run-1\",\"seq\":0,\"cell\":\"cellA\""
+        ));
+        assert!(lines[1].contains("\"seq\":1"));
+        assert!(lines[2].contains("\"seq\":2"));
+        assert!(lines[2].contains("\"report\":{\"reason\":\"x\"}"));
+    }
+
+    #[test]
+    fn metrics_delta_encoding_ships_only_changes() {
+        let (sink, session) = mem_session();
+        let snap1 = vec![("a".to_string(), 1.0), ("b".to_string(), 2.0)];
+        let (_, n1) = session.metrics("c", &snap1);
+        assert_eq!(n1, 2, "first snapshot is full");
+        let (_, n2) = session.metrics("c", &snap1);
+        assert_eq!(n2, 0, "unchanged snapshot ships nothing");
+        let snap2 = vec![("a".to_string(), 1.0), ("b".to_string(), 3.0)];
+        let (_, n3) = session.metrics("c", &snap2);
+        assert_eq!(n3, 1, "only the changed entry ships");
+        let lines = sink.lines();
+        assert!(lines[0].contains("\"full\":true"));
+        assert!(lines[1].contains("\"full\":false"));
+        assert!(lines[1].contains("\"stats\":{}"));
+        assert!(lines[2].contains("\"stats\":{\"b\":3}"));
+        // Distinct cells delta independently.
+        let (_, n4) = session.metrics("other", &snap1);
+        assert_eq!(n4, 2);
+    }
+
+    #[test]
+    fn cell_scope_nests_and_restores() {
+        assert_eq!(cell_context(), "-");
+        {
+            let _outer = cell_scope("outer");
+            assert_eq!(cell_context(), "outer");
+            {
+                let _inner = cell_scope("inner");
+                assert_eq!(cell_context(), "inner");
+            }
+            assert_eq!(cell_context(), "outer");
+        }
+        assert_eq!(cell_context(), "-");
+    }
+
+    #[test]
+    fn sink_spec_parsing_rejects_unknown_schemes() {
+        assert!(sink_from_spec("syslog:foo").is_err());
+        let dir = std::env::temp_dir().join(format!("dise-obs-spec-{}", std::process::id()));
+        let sink = sink_from_spec(&format!("jsonl:{}", dir.display())).unwrap();
+        sink.emit("{}");
+        assert!(dir.join(ACTIVE_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,102 @@
+//! Wall-clock phase profiling: process-wide `profile.*` counters fed by
+//! lightweight scope timers.
+//!
+//! The harness wraps its coarse phases — predecode, engine setup,
+//! functional run, timing run — in [`scope`] guards; each guard adds its
+//! elapsed nanoseconds (and one call) to a process-wide accumulator on
+//! drop. [`snapshot`] exports the accumulator as name-sorted
+//! `profile.<phase>.ns` / `profile.<phase>.calls` pairs, ready for a
+//! metrics record.
+//!
+//! These counters are wall-clock and therefore **never** enter per-cell
+//! simulated statistics, cache entries, or figure outputs — those stay
+//! byte-deterministic. Profile data only leaves the process through an
+//! observability sink (or an explicit [`snapshot`] call).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+#[derive(Default, Clone, Copy)]
+struct PhaseTotals {
+    ns: u64,
+    calls: u64,
+}
+
+fn phases() -> &'static Mutex<BTreeMap<&'static str, PhaseTotals>> {
+    static PHASES: OnceLock<Mutex<BTreeMap<&'static str, PhaseTotals>>> = OnceLock::new();
+    PHASES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A running phase timer; its elapsed time is added to the phase's
+/// process-wide totals when dropped.
+#[derive(Debug)]
+pub struct ScopeTimer {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let mut map = phases().lock().expect("profile lock");
+        let t = map.entry(self.name).or_default();
+        t.ns = t.ns.saturating_add(ns);
+        t.calls += 1;
+    }
+}
+
+/// Starts timing a phase; bind the result (`let _t = scope("...")`) so
+/// it drops at the end of the region being measured. Phase names are
+/// static, dot-free identifiers (`predecode`, `engine_setup`,
+/// `functional_run`, `timing_run`, …).
+pub fn scope(name: &'static str) -> ScopeTimer {
+    ScopeTimer {
+        name,
+        start: Instant::now(),
+    }
+}
+
+/// The accumulated totals as name-sorted `(name, value)` pairs:
+/// `profile.<phase>.calls` and `profile.<phase>.ns` per phase.
+pub fn snapshot() -> Vec<(String, f64)> {
+    let map = phases().lock().expect("profile lock");
+    let mut out = Vec::with_capacity(map.len() * 2);
+    for (name, t) in map.iter() {
+        out.push((format!("profile.{name}.calls"), t.calls as f64));
+        out.push((format!("profile.{name}.ns"), t.ns as f64));
+    }
+    out
+}
+
+/// Zeroes every phase total.
+pub fn reset() {
+    phases().lock().expect("profile lock").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_accumulate_and_snapshot_sorted() {
+        // Process-global state: use names unique to this test.
+        {
+            let _a = scope("test_phase_b");
+            let _b = scope("test_phase_a");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _a = scope("test_phase_b");
+        }
+        let snap = snapshot();
+        let get = |k: &str| snap.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("profile.test_phase_a.calls"), Some(1.0));
+        assert_eq!(get("profile.test_phase_b.calls"), Some(2.0));
+        assert!(get("profile.test_phase_a.ns").unwrap() > 0.0);
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "snapshot is name-sorted");
+    }
+}

@@ -1,0 +1,189 @@
+//! The JSONL record builder: one single-line JSON object per record.
+//!
+//! Hand-rolled like every other serialization in this workspace (the
+//! build stays offline — no serde). Numeric values print in Rust's
+//! shortest-round-trip form, so records built from identical inputs are
+//! byte-identical — the property the serve round-trip tests and the cell
+//! cache rely on.
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes) into
+/// `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Builds one single-line JSON object, field by field, in insertion
+/// order. Records never contain raw newlines, so every finished record
+/// is exactly one JSONL line.
+#[derive(Debug, Default)]
+pub struct Record {
+    buf: String,
+}
+
+impl Record {
+    /// An empty object (`{`).
+    pub fn new() -> Record {
+        Record { buf: String::from("{") }
+    }
+
+    fn key(&mut self, name: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, name: &str, value: &str) -> Record {
+        self.key(name);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an exact integer field.
+    pub fn u64(mut self, name: &str, value: u64) -> Record {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a numeric field in shortest-round-trip form. Non-finite
+    /// values (which valid JSON cannot carry) are emitted as `null`;
+    /// simulator statistics never produce them.
+    pub fn f64(mut self, name: &str, value: f64) -> Record {
+        self.key(name);
+        if value.is_finite() {
+            self.buf.push_str(&value.to_string());
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, name: &str, value: bool) -> Record {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-encoded JSON value verbatim. The caller guarantees
+    /// `json` is valid single-line JSON (debug-asserted).
+    pub fn raw(mut self, name: &str, json: &str) -> Record {
+        debug_assert!(!json.contains('\n'), "raw JSON fields must be single-line");
+        self.key(name);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Adds an object field of `(name, value)` numeric pairs, in the
+    /// given order.
+    pub fn f64_obj(mut self, name: &str, pairs: &[(String, f64)]) -> Record {
+        self.key(name);
+        self.buf.push('{');
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            escape_into(&mut self.buf, k);
+            self.buf.push_str("\":");
+            if v.is_finite() {
+                self.buf.push_str(&v.to_string());
+            } else {
+                self.buf.push_str("null");
+            }
+        }
+        self.buf.push('}');
+        self
+    }
+
+    /// Adds an array-of-strings field.
+    pub fn str_array<'a>(mut self, name: &str, items: impl IntoIterator<Item = &'a str>) -> Record {
+        self.key(name);
+        self.buf.push('[');
+        for (i, item) in items.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            escape_into(&mut self.buf, item);
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the finished line (no trailing
+    /// newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_render_in_insertion_order() {
+        let line = Record::new()
+            .str("kind", "event")
+            .u64("seq", 7)
+            .f64("rate", 0.25)
+            .bool("ok", true)
+            .raw("extra", "[1,2]")
+            .finish();
+        assert_eq!(
+            line,
+            "{\"kind\":\"event\",\"seq\":7,\"rate\":0.25,\"ok\":true,\"extra\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn strings_escape_to_a_single_line() {
+        let line = Record::new().str("msg", "a\"b\\c\nd\te\u{1}").finish();
+        assert_eq!(line, "{\"msg\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn numeric_objects_and_arrays_render() {
+        let line = Record::new()
+            .f64_obj("stats", &[("sim.cycles".into(), 123.0), ("l1i.rate".into(), 0.5)])
+            .str_array("events", ["a", "b"])
+            .finish();
+        assert_eq!(
+            line,
+            "{\"stats\":{\"sim.cycles\":123,\"l1i.rate\":0.5},\"events\":[\"a\",\"b\"]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let line = Record::new().f64("x", f64::NAN).finish();
+        assert_eq!(line, "{\"x\":null}");
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        assert_eq!(Record::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,451 @@
+//! The [`Sink`] trait and its three implementations.
+//!
+//! A sink accepts finished JSONL record lines. All sinks follow the same
+//! backpressure policy (DESIGN.md §11): **never block the producer** —
+//! when a sink cannot keep up or its destination is down, it drops
+//! records (oldest first where a queue exists) and counts them, so the
+//! simulator's timing is never coupled to the observability plane.
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A destination for finished JSONL record lines.
+///
+/// `emit` must be cheap and non-blocking from the caller's perspective:
+/// implementations either write locally (file, memory) or enqueue for a
+/// background shipper. A sink that cannot accept a record drops it and
+/// counts the drop — it never propagates failure into the producer.
+pub trait Sink: Send + Sync {
+    /// Ships one record line (without its trailing newline).
+    fn emit(&self, line: &str);
+
+    /// Blocks briefly until queued records have reached the destination
+    /// (bounded wait; best-effort). No-op for synchronous sinks.
+    fn flush(&self) {}
+
+    /// Records dropped so far under the drop-oldest/never-block policy.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// MemSink
+
+/// An in-memory sink for tests: records land in a vector, in emission
+/// order.
+#[derive(Debug, Default)]
+pub struct MemSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemSink {
+    /// An empty sink.
+    pub fn new() -> MemSink {
+        MemSink::default()
+    }
+
+    /// Every record emitted so far, in order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("mem sink lock").clone()
+    }
+
+    /// Drains and returns the captured records.
+    pub fn take(&self) -> Vec<String> {
+        std::mem::take(&mut *self.lines.lock().expect("mem sink lock"))
+    }
+}
+
+impl Sink for MemSink {
+    fn emit(&self, line: &str) {
+        self.lines.lock().expect("mem sink lock").push(line.to_string());
+    }
+}
+
+// ---------------------------------------------------------------------
+// JsonlFileSink
+
+/// Default rotation threshold for [`JsonlFileSink`]: 8 MiB.
+pub const DEFAULT_ROTATE_BYTES: u64 = 8 * 1024 * 1024;
+/// Default rotated-file retention for [`JsonlFileSink`].
+pub const DEFAULT_RETAIN: usize = 8;
+
+/// Name of the active (not yet rotated) file inside the sink directory.
+pub const ACTIVE_FILE: &str = "obs.jsonl";
+
+struct FileState {
+    file: Option<File>,
+    size: u64,
+    next_index: u64,
+    dropped: u64,
+}
+
+/// A size-rotated JSONL file sink with bounded retention.
+///
+/// Records append to `<dir>/obs.jsonl`. When appending a record would
+/// push the active file past the rotation threshold, the active file is
+/// first renamed to `obs.NNNNNN.jsonl` (monotonic index) and a fresh
+/// active file started — **records never split across files**, so every
+/// file is independently parseable JSONL. At most `retain` rotated files
+/// are kept; older ones are deleted oldest-first. Write errors count as
+/// drops and the sink retries the file on the next record — a full disk
+/// degrades observability, never the run.
+pub struct JsonlFileSink {
+    dir: PathBuf,
+    rotate_bytes: u64,
+    retain: usize,
+    state: Mutex<FileState>,
+}
+
+impl JsonlFileSink {
+    /// Creates (or reopens) a sink rooted at `dir` with default rotation
+    /// and retention.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<JsonlFileSink> {
+        JsonlFileSink::with_limits(dir, DEFAULT_ROTATE_BYTES, DEFAULT_RETAIN)
+    }
+
+    /// Creates (or reopens) a sink with explicit limits. `rotate_bytes`
+    /// is clamped to ≥ 1; `retain` may be 0 (rotated files are deleted
+    /// immediately).
+    pub fn with_limits(
+        dir: impl Into<PathBuf>,
+        rotate_bytes: u64,
+        retain: usize,
+    ) -> std::io::Result<JsonlFileSink> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let active = dir.join(ACTIVE_FILE);
+        let file = OpenOptions::new().create(true).append(true).open(&active)?;
+        let size = file.metadata()?.len();
+        let next_index = JsonlFileSink::rotated_in(&dir)
+            .last()
+            .and_then(|p| JsonlFileSink::index_of(p))
+            .map_or(0, |i| i + 1);
+        Ok(JsonlFileSink {
+            dir,
+            rotate_bytes: rotate_bytes.max(1),
+            retain,
+            state: Mutex::new(FileState {
+                file: Some(file),
+                size,
+                next_index,
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// The sink directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active file path.
+    pub fn active_path(&self) -> PathBuf {
+        self.dir.join(ACTIVE_FILE)
+    }
+
+    fn index_of(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        name.strip_prefix("obs.")?.strip_suffix(".jsonl")?.parse().ok()
+    }
+
+    /// Rotated files currently present, oldest first.
+    pub fn rotated_in(dir: &Path) -> Vec<PathBuf> {
+        let mut out: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|e| {
+                let p = e.path();
+                JsonlFileSink::index_of(&p).map(|i| (i, p))
+            })
+            .collect();
+        out.sort();
+        out.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Every sink file in read order: rotated files oldest first, then
+    /// the active file.
+    pub fn files(&self) -> Vec<PathBuf> {
+        let mut files = JsonlFileSink::rotated_in(&self.dir);
+        let active = self.active_path();
+        if active.exists() {
+            files.push(active);
+        }
+        files
+    }
+
+    fn rotate_locked(&self, state: &mut FileState) {
+        state.file = None; // close before rename
+        let from = self.active_path();
+        let to = self.dir.join(format!("obs.{:06}.jsonl", state.next_index));
+        if std::fs::rename(&from, &to).is_ok() {
+            state.next_index += 1;
+        }
+        let rotated = JsonlFileSink::rotated_in(&self.dir);
+        if rotated.len() > self.retain {
+            for old in &rotated[..rotated.len() - self.retain] {
+                let _ = std::fs::remove_file(old);
+            }
+        }
+        state.size = 0;
+    }
+
+    fn open_locked(&self, state: &mut FileState) -> bool {
+        if state.file.is_none() {
+            match OpenOptions::new().create(true).append(true).open(self.active_path()) {
+                Ok(f) => {
+                    state.size = f.metadata().map(|m| m.len()).unwrap_or(0);
+                    state.file = Some(f);
+                }
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Sink for JsonlFileSink {
+    fn emit(&self, line: &str) {
+        let mut state = self.state.lock().expect("file sink lock");
+        let n = line.len() as u64 + 1;
+        // Rotate *before* a record that would straddle the limit: the
+        // whole record lands in the fresh file. An oversized record in an
+        // empty file is written whole anyway (it has to live somewhere).
+        if state.size > 0 && state.size + n > self.rotate_bytes {
+            self.rotate_locked(&mut state);
+        }
+        if !self.open_locked(&mut state) {
+            state.dropped += 1;
+            return;
+        }
+        let file = state.file.as_mut().expect("opened above");
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        match file.write_all(&buf) {
+            Ok(()) => state.size += n,
+            Err(_) => {
+                // Retry with a fresh handle next record.
+                state.file = None;
+                state.dropped += 1;
+            }
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.state.lock().expect("file sink lock").dropped
+    }
+}
+
+// ---------------------------------------------------------------------
+// UdsSink
+
+/// Default bounded-queue capacity for [`UdsSink`] (records).
+pub const DEFAULT_UDS_QUEUE: usize = 4096;
+/// Reconnect backoff ceiling for [`UdsSink`].
+const UDS_BACKOFF_MAX: Duration = Duration::from_millis(500);
+/// Initial reconnect backoff for [`UdsSink`].
+const UDS_BACKOFF_START: Duration = Duration::from_millis(10);
+
+struct UdsQueue {
+    lines: VecDeque<String>,
+    in_flight: bool,
+    shutdown: bool,
+}
+
+struct UdsShared {
+    q: Mutex<UdsQueue>,
+    cv: Condvar,
+    path: PathBuf,
+    cap: usize,
+    dropped: AtomicU64,
+}
+
+/// A Unix-domain-socket sink speaking a newline-delimited record
+/// protocol, with automatic reconnect.
+///
+/// Records enqueue into a bounded in-memory queue and a background
+/// shipper thread writes them to the socket. When the peer is down the
+/// shipper reconnects with exponential backoff (10 ms → 500 ms) and the
+/// queue absorbs records in the meantime, dropping the **oldest** once
+/// full — the producer never blocks and never sees an error. A record
+/// being written when the connection breaks is retried verbatim on the
+/// next connection, so the line protocol never ships a torn record.
+pub struct UdsSink {
+    shared: Arc<UdsShared>,
+    shipper: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl UdsSink {
+    /// Creates a sink shipping to the socket at `path` with the default
+    /// queue capacity. The socket need not exist yet — the shipper
+    /// retries until it does.
+    pub fn connect(path: impl Into<PathBuf>) -> UdsSink {
+        UdsSink::with_queue(path, DEFAULT_UDS_QUEUE)
+    }
+
+    /// Creates a sink with an explicit queue capacity (clamped to ≥ 1).
+    pub fn with_queue(path: impl Into<PathBuf>, cap: usize) -> UdsSink {
+        let shared = Arc::new(UdsShared {
+            q: Mutex::new(UdsQueue {
+                lines: VecDeque::new(),
+                in_flight: false,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            path: path.into(),
+            cap: cap.max(1),
+            dropped: AtomicU64::new(0),
+        });
+        let ship = Arc::clone(&shared);
+        let shipper = std::thread::Builder::new()
+            .name("dise-obs-uds".into())
+            .spawn(move || UdsSink::shipper(&ship))
+            .expect("spawn obs shipper");
+        UdsSink {
+            shared,
+            shipper: Mutex::new(Some(shipper)),
+        }
+    }
+
+    /// The socket path records ship to.
+    pub fn path(&self) -> &Path {
+        &self.shared.path
+    }
+
+    fn shipper(shared: &UdsShared) {
+        let mut stream: Option<UnixStream> = None;
+        let mut backoff = UDS_BACKOFF_START;
+        loop {
+            // Wait for work (or shutdown).
+            let line = {
+                let mut q = shared.q.lock().expect("uds queue lock");
+                loop {
+                    if let Some(line) = q.lines.pop_front() {
+                        q.in_flight = true;
+                        break line;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = shared.cv.wait(q).expect("uds queue lock");
+                }
+            };
+            // Ship it, (re)connecting as needed. The record is retried
+            // across reconnects until it goes through or shutdown wins.
+            loop {
+                if stream.is_none() {
+                    match UnixStream::connect(&shared.path) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            backoff = UDS_BACKOFF_START;
+                        }
+                        Err(_) => {
+                            let q = shared.q.lock().expect("uds queue lock");
+                            if q.shutdown {
+                                return;
+                            }
+                            let (_q, _t) = shared
+                                .cv
+                                .wait_timeout(q, backoff)
+                                .expect("uds queue lock");
+                            backoff = (backoff * 2).min(UDS_BACKOFF_MAX);
+                            continue;
+                        }
+                    }
+                }
+                let s = stream.as_mut().expect("connected above");
+                let mut buf = Vec::with_capacity(line.len() + 1);
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+                if s.write_all(&buf).and_then(|()| s.flush()).is_ok() {
+                    break;
+                }
+                stream = None; // broken pipe: reconnect and retry the line
+            }
+            let mut q = shared.q.lock().expect("uds queue lock");
+            q.in_flight = false;
+            shared.cv.notify_all();
+        }
+    }
+
+    /// Waits (up to `timeout`) for the queue to drain and the last
+    /// record to reach the socket. Returns whether it fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.shared.q.lock().expect("uds queue lock");
+        while !q.lines.is_empty() || q.in_flight {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .cv
+                .wait_timeout(q, deadline - now)
+                .expect("uds queue lock");
+            q = guard;
+        }
+        true
+    }
+}
+
+impl Sink for UdsSink {
+    fn emit(&self, line: &str) {
+        let mut q = self.shared.q.lock().expect("uds queue lock");
+        if q.shutdown {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if q.lines.len() >= self.shared.cap {
+            q.lines.pop_front();
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.lines.push_back(line.to_string());
+        self.shared.cv.notify_all();
+    }
+
+    fn flush(&self) {
+        self.drain(Duration::from_secs(1));
+    }
+
+    fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for UdsSink {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.q.lock().expect("uds queue lock");
+            q.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.shipper.lock().expect("shipper lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_sink_captures_in_order() {
+        let sink = MemSink::new();
+        sink.emit("a");
+        sink.emit("b");
+        assert_eq!(sink.lines(), vec!["a", "b"]);
+        assert_eq!(sink.take(), vec!["a", "b"]);
+        assert!(sink.lines().is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+}

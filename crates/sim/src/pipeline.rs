@@ -542,8 +542,10 @@ impl Simulator {
         snapshot.registry()
     }
 
-    /// Builds, records and prints an anomaly report; returns the error
-    /// the run aborts with.
+    /// Builds, records and ships an anomaly report; returns the error
+    /// the run aborts with. The report goes to the installed
+    /// observability sink (tagged with the worker's cell context) when
+    /// one exists; with no sink it prints to stderr as before.
     fn raise_anomaly(&mut self, reason: String) -> SimError {
         let report = AnomalyReport {
             reason: reason.clone(),
@@ -553,7 +555,9 @@ impl Simulator {
             registry: self.stats_registry(),
             events: self.trace_events(),
         };
-        eprintln!("{report}");
+        if !dise_obs::ship_anomaly(&report.json_payload()) {
+            eprintln!("{report}");
+        }
         self.anomaly = Some(Box::new(report));
         SimError::Anomaly(reason)
     }

@@ -24,7 +24,11 @@
 //!   ROB), when a shadow functional oracle diverges from the primary
 //!   machine, or when a run exhausts its fuel with tracing enabled: the
 //!   trigger reason, ROB/RS occupancy, the registry snapshot, and the
-//!   last-K-event ring contents.
+//!   last-K-event ring contents. Reports route through the installed
+//!   observability sink when one exists (`dise_obs::install` /
+//!   `DISE_OBS_SINK`, as a JSONL `anomaly` record via
+//!   [`AnomalyReport::json_payload`]); stderr remains the fallback, so
+//!   a bare run still prints its dump.
 
 use std::fmt;
 
@@ -125,6 +129,25 @@ impl StatsRegistry {
             out.push_str(&value.to_string());
             out.push('\n');
         }
+        out
+    }
+
+    /// Compact single-line JSON export: the same flat object as
+    /// [`StatsRegistry::to_json`] with no whitespace — embeddable in a
+    /// JSONL record field. Deterministic byte-for-byte for identical
+    /// runs.
+    pub fn to_json_compact(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
         out
     }
 
@@ -314,6 +337,25 @@ pub struct AnomalyReport {
     pub registry: StatsRegistry,
     /// The last-K pipeline events (empty when tracing was disabled).
     pub events: Vec<TraceEvent>,
+}
+
+impl AnomalyReport {
+    /// The report as one single-line JSON object — the payload an
+    /// observability sink ships (wrapped in an `anomaly` record by
+    /// `dise_obs::Session::anomaly`): the trigger reason, sequence
+    /// number, ROB/RS occupancy, the full registry snapshot as a flat
+    /// object, and the last-K events in their `Display` form.
+    pub fn json_payload(&self) -> String {
+        let events: Vec<String> = self.events.iter().map(TraceEvent::to_string).collect();
+        dise_obs::Record::new()
+            .str("reason", &self.reason)
+            .u64("at_seq", self.seq)
+            .u64("rob_occupancy", self.rob_occupancy as u64)
+            .u64("rs_occupancy", self.rs_occupancy as u64)
+            .raw("stats", &self.registry.to_json_compact())
+            .str_array("events", events.iter().map(String::as_str))
+            .finish()
+    }
 }
 
 impl fmt::Display for AnomalyReport {

@@ -1,0 +1,199 @@
+//! Anomaly shipping end-to-end (ISSUE 5 acceptance): reports raised by
+//! the commit watchdog and by the `--shadow` oracle must arrive intact
+//! through both `JsonlFileSink` and `UdsSink` when a session is
+//! installed, tagged with the cell context active at raise time.
+
+use std::io::{BufRead, BufReader};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dise_isa::{Assembler, Program, Reg};
+use dise_obs::{JsonlFileSink, Session, Sink, UdsSink};
+use dise_sim::{Machine, SimConfig, SimError, Simulator};
+
+/// The global obs session is process-wide; these tests install and
+/// uninstall it, so they must not interleave.
+static OBS_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn asm(listing: &str) -> Program {
+    Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+        .assemble(listing)
+        .unwrap()
+}
+
+/// Mirrors the pathological-commit-gap program from the pipeline
+/// watchdog unit test: frequent mispredictions plus a 2-cycle watchdog
+/// threshold guarantee an anomaly within a few hundred cycles.
+fn watchdog_tripwire() -> (SimConfig, Machine) {
+    let p = asm(
+        "       lda r1, 12345(r31)
+                lda r20, 2000(r31)
+         loop:  mulq r1, #163, r1
+                addq r1, #57, r1
+                srl r1, #13, r2
+                and r2, #1, r2
+                bne r2, skip
+                addq r4, #1, r4
+         skip:  subq r20, #1, r20
+                bne r20, loop
+                halt",
+    );
+    let config = SimConfig::default().with_watchdog(2).with_trace_last(16);
+    (config, Machine::load(&p))
+}
+
+/// A simulator whose shadow oracle diverges on the first store: the
+/// shadow's r2 points 64 bytes past the main machine's.
+fn diverging_shadow() -> Simulator {
+    let p = asm(
+        "       lda r20, 2000(r31)
+         loop:  stq r20, 0(r2)
+                ldq r3, 0(r2)
+                addq r3, r3, r4
+                subq r20, #1, r20
+                bne r20, loop
+                halt",
+    );
+    let mut m = Machine::load(&p);
+    m.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT));
+    let mut sim = Simulator::new(SimConfig::default(), m);
+    let mut shadow = Machine::load(&p);
+    shadow.set_reg(Reg::R2, Program::segment_base(Program::DATA_SEGMENT) + 64);
+    sim.attach_shadow(shadow);
+    sim
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dise-obs-ship-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Asserts the line is a complete, tagged anomaly record carrying the
+/// full report payload.
+fn check_anomaly_record(line: &str, cell: &str, reason_fragment: &str) {
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "torn record: {line:?}"
+    );
+    assert!(line.contains("\"kind\":\"anomaly\""), "{line}");
+    assert!(line.contains(&format!("\"cell\":\"{cell}\"")), "{line}");
+    assert!(line.contains("\"seq\":"), "{line}");
+    assert!(line.contains("\"run\":"), "{line}");
+    assert!(line.contains(reason_fragment), "{line}");
+    // The embedded report retains the registry dump and event ring.
+    assert!(line.contains("\"stats\":"), "{line}");
+    assert!(line.contains("sim.cycles"), "{line}");
+    assert!(line.contains("\"at_seq\":"), "{line}");
+}
+
+#[test]
+fn watchdog_anomaly_ships_through_jsonl_file_sink() {
+    let _serial = OBS_TEST_LOCK.lock().unwrap();
+    let dir = tmpdir("jsonl");
+    let sink = Arc::new(JsonlFileSink::create(&dir).unwrap());
+    dise_obs::install(Arc::new(Session::new(
+        Arc::clone(&sink) as Arc<dyn Sink>,
+        "obs-ship-test",
+    )));
+
+    let _cell = dise_obs::cell_scope("wd/gcc/dise4");
+    let (config, machine) = watchdog_tripwire();
+    let mut sim = Simulator::new(config, machine);
+    let err = sim.run(10_000_000).unwrap_err();
+    assert!(matches!(err, SimError::Anomaly(_)), "got {err:?}");
+
+    dise_obs::uninstall();
+    let lines: Vec<String> = std::fs::read_to_string(sink.active_path())
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    let anomaly = lines
+        .iter()
+        .find(|l| l.contains("\"kind\":\"anomaly\""))
+        .expect("anomaly record shipped to the file sink");
+    check_anomaly_record(anomaly, "wd/gcc/dise4", "watchdog");
+    // The in-process report is still retained for the harness.
+    assert!(sim.anomaly().expect("report kept").reason.contains("watchdog"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shadow_divergence_ships_through_uds_sink() {
+    let _serial = OBS_TEST_LOCK.lock().unwrap();
+    let dir = tmpdir("uds");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("obs.sock");
+
+    // Minimal line collector on the socket.
+    let listener = UnixListener::bind(&sock).unwrap();
+    let lines = Arc::new(Mutex::new(Vec::<String>::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (l2, s2) = (Arc::clone(&lines), Arc::clone(&stop));
+    listener.set_nonblocking(true).unwrap();
+    let handle = std::thread::spawn(move || {
+        while !s2.load(Ordering::Relaxed) {
+            if let Ok((stream, _)) = listener.accept() {
+                stream.set_nonblocking(false).unwrap();
+                for line in BufReader::new(stream).lines().map_while(Result::ok) {
+                    l2.lock().unwrap().push(line);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+
+    let sink = Arc::new(UdsSink::connect(&sock));
+    dise_obs::install(Arc::new(Session::new(
+        Arc::clone(&sink) as Arc<dyn Sink>,
+        "obs-ship-test",
+    )));
+
+    let _cell = dise_obs::cell_scope("shadow/mcf/base");
+    let mut sim = diverging_shadow();
+    let err = sim.run(10_000_000).unwrap_err();
+    assert!(matches!(err, SimError::Anomaly(_)), "got {err:?}");
+
+    assert!(sink.drain(Duration::from_secs(10)), "record must ship");
+    dise_obs::uninstall();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let anomaly = loop {
+        let got = lines
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|l| l.contains("\"kind\":\"anomaly\""))
+            .cloned();
+        match got {
+            Some(line) => break line,
+            None if std::time::Instant::now() > deadline => {
+                panic!("anomaly never arrived: {:?}", lines.lock().unwrap())
+            }
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
+    };
+    check_anomaly_record(&anomaly, "shadow/mcf/base", "divergence");
+    stop.store(true, Ordering::Relaxed);
+    // Drop the last sink reference so its shipper thread exits and the
+    // connection closes; the collector's blocking `lines()` ends at EOF.
+    drop(sink);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn anomalies_fall_back_to_stderr_without_a_session() {
+    let _serial = OBS_TEST_LOCK.lock().unwrap();
+    dise_obs::uninstall();
+    // With no session installed the run still fails with the anomaly and
+    // retains the report in-process; shipping returns false internally
+    // (stderr fallback) without panicking.
+    let (config, machine) = watchdog_tripwire();
+    let mut sim = Simulator::new(config, machine);
+    assert!(sim.run(10_000_000).is_err());
+    assert!(sim.anomaly().is_some());
+}

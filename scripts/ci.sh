@@ -40,4 +40,34 @@ echo "== ci: shadow smoke cell ($(date)) =="
 DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc DISE_BENCH_CACHE=off \
     DISE_BENCH_JOBS=2 ./target/release/fig6_mfi top --shadow > /dev/null
 
+echo "== ci: serve round-trip ($(date)) =="
+# The service must produce the same stats-JSON, byte for byte, as the
+# figure binary running the same cells directly — with heartbeat,
+# completion and metrics records arriving through the sink. A shared
+# warm cache keeps the round-trip fast; identical cell keys guarantee
+# the comparison is meaningful either way.
+SERVE_TMP=$(mktemp -d)
+trap 'rm -rf "$SERVE_TMP"' EXIT
+DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc DISE_BENCH_JOBS=2 \
+    DISE_BENCH_CACHE="$SERVE_TMP/cache" \
+    ./target/release/fig6_mfi top --stats-json "$SERVE_TMP/direct.json" > /dev/null
+DISE_BENCH_DYN=20000 DISE_BENCH_JOBS=2 DISE_BENCH_CACHE="$SERVE_TMP/cache" \
+    ./target/release/dise_serve --socket "$SERVE_TMP/serve.sock" \
+    --obs-dir "$SERVE_TMP/obs" --heartbeat-ms 50 \
+    --stats-json "$SERVE_TMP/served.json" &
+SERVE_PID=$!
+for i in $(seq 1 100); do
+    [ -S "$SERVE_TMP/serve.sock" ] && break
+    sleep 0.1
+done
+[ -S "$SERVE_TMP/serve.sock" ] || { echo "dise_serve never bound its socket"; exit 1; }
+./target/release/dise_serve --submit "$SERVE_TMP/serve.sock" "fig6_top gcc" shutdown
+wait $SERVE_PID
+cmp "$SERVE_TMP/direct.json" "$SERVE_TMP/served.json" || {
+    echo "serve stats-JSON diverged from the direct run"; exit 1; }
+for needle in '"name":"heartbeat"' '"name":"cell_done"' '"kind":"metrics"'; do
+    grep -q "$needle" "$SERVE_TMP/obs/obs.jsonl" || {
+        echo "missing $needle in serve obs stream"; exit 1; }
+done
+
 echo "== ci: ok ($(date)) =="
