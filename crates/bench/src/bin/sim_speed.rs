@@ -43,7 +43,16 @@ use dise_core::{compose, DiseEngine, EngineConfig};
 use dise_isa::Program;
 use dise_sim::{Machine, MachineConfig, SimConfig, Simulator};
 
-const REPS: usize = 3;
+/// Repetitions per KIPS measurement (best-of). `DISE_BENCH_REPS`
+/// overrides the default of 3 — seed-comparison scripts crank it up for
+/// low-noise publication numbers.
+fn reps() -> usize {
+    std::env::var("DISE_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
 
 fn machine_config(fast: bool) -> MachineConfig {
     if fast {
@@ -119,7 +128,7 @@ fn measure_kips(build: &dyn Fn(bool) -> Machine, fast: bool) -> (f64, u64, Vec<u
     let mut best = 0f64;
     let mut total = 0u64;
     let mut state = Vec::new();
-    for _ in 0..REPS {
+    for _ in 0..reps() {
         let mut m = build(fast);
         let t = Instant::now();
         m.run(u64::MAX).expect("run");
@@ -127,6 +136,12 @@ fn measure_kips(build: &dyn Fn(bool) -> Machine, fast: bool) -> (f64, u64, Vec<u
         total = m.inst_counts().0;
         state = (0..32).map(|i| m.reg(dise_isa::Reg::r(i))).collect();
         best = best.max(total as f64 / elapsed / 1e3);
+        if std::env::var_os("DISE_BENCH_BLOCK_STATS").is_some() {
+            eprintln!("block stats (fast={fast}): {:?}", m.block_stats());
+            if let Some(e) = m.engine() {
+                eprintln!("engine stats (fast={fast}): {:?}", e.stats());
+            }
+        }
     }
     (best, total, state)
 }

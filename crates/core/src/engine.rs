@@ -126,6 +126,32 @@ pub enum Expansion {
     },
 }
 
+/// What a block translator may bake for one fetched instruction: the
+/// *architectural* inspection outcome, computed without touching the PT,
+/// the RT, the memos, or the statistics. Valid exactly as long as the
+/// engine's [`DiseEngine::generation`] is unchanged — the generation
+/// advances on every event that can change this answer (PT fills, runtime
+/// installs, context switches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockOutcome {
+    /// The pattern counters for this opcode disagree (`active !=
+    /// resident`): the next inspection is a PT miss, whose fill both
+    /// changes future outcomes and bumps the generation. Not bakeable.
+    NotReady,
+    /// No pattern matches; the instruction passes through unmodified.
+    Pass,
+    /// The instruction triggers replacement sequence `id` of length `len`.
+    Expand {
+        /// Replacement-sequence identifier.
+        id: ReplacementId,
+        /// Sequence length in instructions.
+        len: u8,
+    },
+    /// The matched rule names a sequence that cannot be resolved;
+    /// executing the instruction is a program error. Not bakeable.
+    Fault,
+}
+
 /// Counters the engine accumulates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -165,54 +191,88 @@ impl EngineStats {
     }
 }
 
-/// One RT entry: a block of up to `rt_block` consecutive replacement
-/// instruction specs, tagged by `(id, base DISEPC)`.
-#[derive(Debug, Clone)]
-struct RtEntry {
-    id: ReplacementId,
-    /// DISEPC of the first spec in the block (a multiple of the block
-    /// size).
-    base: u8,
+/// One RT entry's payload: a block of up to `rt_block` consecutive
+/// replacement instruction specs (plus the sequence length the fetch
+/// interface reports).
+#[derive(Debug, Clone, Default)]
+struct RtSeq {
     seq_len: u8,
     specs: Vec<InstSpec>,
 }
 
 /// RT storage: a set-indexed cache or a perfect map. Keys are
 /// `(id, base DISEPC)` at block granularity.
+///
+/// The cache keeps keys and payloads in two flat parallel arrays
+/// (`assoc` slots per set, MRU-first, compact) instead of a
+/// vec-of-vecs: an RT reference happens for every µop the simulator's
+/// translated-block path executes, and the flat layout turns it into
+/// one predictable cache-line load and a couple of ALU ops instead of
+/// two dependent pointer chases through scattered per-set allocations.
 #[derive(Debug)]
 enum RtStore {
     Cache {
-        /// `sets[i]` is MRU-first.
-        sets: Vec<Vec<RtEntry>>,
+        /// Packed keys, `assoc` slots per set (a slot is empty iff it
+        /// is 0 — live keys have a nonzero spec count in the low byte).
+        /// Layout: `id << 16 | base << 8 | spec_count`; both the tag
+        /// match and the `off < specs.len()` residency check are
+        /// mask-and-compares on the one word.
+        keys: Vec<u64>,
+        /// Payloads, parallel to `keys`.
+        seqs: Vec<RtSeq>,
+        /// LRU stamps, parallel to `keys`: every reference that the
+        /// move-to-MRU formulation would rotate instead records the
+        /// tick it happened at, and the fill victim is the minimum
+        /// stamp in the set. Relative stamp order within a set is
+        /// exactly list order, so hit/miss behavior is bit-identical —
+        /// but a touch is one store instead of a memmove, entries never
+        /// move between slots, and a slot index therefore stays valid
+        /// for as long as no fill or invalidation intervenes (the basis
+        /// of the slot-replay API the simulator's block executor uses).
+        stamps: Vec<u64>,
+        /// Monotonic reference tick feeding `stamps`.
+        clock: u64,
+        num_sets: usize,
         assoc: usize,
         block: usize,
     },
     Perfect {
-        map: HashMap<(ReplacementId, u8), RtEntry>,
+        map: HashMap<(ReplacementId, u8), RtSeq>,
         block: usize,
     },
+}
+
+/// Slot sentinel for RT organizations without addressable slots (the
+/// perfect RT): the reference is a hit, but there is nothing to stamp.
+pub const RT_NO_SLOT: u32 = u32::MAX;
+
+/// The key-word tag (everything above the spec-count byte).
+#[inline]
+fn rt_tag(id: ReplacementId, base: u8) -> u64 {
+    (id as u64) << 16 | (base as u64) << 8
 }
 
 impl RtStore {
     fn new(config: &EngineConfig) -> RtStore {
         let block = config.rt_block.max(1) as usize;
+        let cache = |num_sets: usize, assoc: usize| RtStore::Cache {
+            keys: vec![0; num_sets * assoc],
+            seqs: vec![RtSeq::default(); num_sets * assoc],
+            stamps: vec![0; num_sets * assoc],
+            clock: 0,
+            num_sets,
+            assoc,
+            block,
+        };
         match config.rt_org {
             RtOrganization::Perfect => RtStore::Perfect {
                 map: HashMap::new(),
                 block,
             },
-            RtOrganization::DirectMapped => RtStore::Cache {
-                sets: vec![Vec::new(); (config.rt_entries / block).max(1)],
-                assoc: 1,
-                block,
-            },
+            RtOrganization::DirectMapped => cache((config.rt_entries / block).max(1), 1),
             RtOrganization::SetAssociative(n) => {
                 let n = n.max(1) as usize;
-                RtStore::Cache {
-                    sets: vec![Vec::new(); (config.rt_entries / (n * block)).max(1)],
-                    assoc: n,
-                    block,
-                }
+                cache((config.rt_entries / (n * block)).max(1), n)
             }
         }
     }
@@ -224,42 +284,101 @@ impl RtStore {
     }
 
     fn base_of(&self, disepc: u8) -> u8 {
-        disepc - disepc % self.block() as u8
+        let block = self.block() as u8;
+        // `block` is a runtime value, so the compiler cannot remove the
+        // division — and the ubiquitous 1-spec-per-entry geometry would
+        // pay it on every RT reference.
+        if block == 1 {
+            disepc
+        } else {
+            disepc - disepc % block
+        }
     }
 
     fn set_index(num_sets: usize, id: ReplacementId, base: u8) -> usize {
-        (id as usize)
-            .wrapping_mul(37)
-            .wrapping_add(base as usize)
-            % num_sets
+        let h = (id as usize).wrapping_mul(37).wrapping_add(base as usize);
+        // `num_sets` is a runtime value, so the compiler cannot strength-
+        // reduce the modulo on its own — and every RT reference on the
+        // simulator's hot path lands here. Power-of-two set counts (the
+        // paper's geometries all are) take the mask; the remainder is
+        // identical either way.
+        if num_sets.is_power_of_two() {
+            h & (num_sets - 1)
+        } else {
+            h % num_sets
+        }
     }
 
     /// Re-references `(id, disepc)` with exactly the LRU effect of
     /// [`RtStore::get`], without touching the spec. Returns whether the
-    /// entry is resident. Skips the rotation when the entry is already at
-    /// MRU — the resulting order is identical, which is what keeps memo
-    /// hits bit-compatible with the slow path's miss pattern.
+    /// entry is resident.
+    #[inline]
     fn touch(&mut self, id: ReplacementId, disepc: u8) -> bool {
+        self.touch_slot(id, disepc).is_some()
+    }
+
+    /// [`RtStore::touch`], additionally reporting *where* the entry
+    /// lives: a slot index that stays valid (same entry, still resident)
+    /// until the next fill or invalidation, or [`RT_NO_SLOT`] for the
+    /// perfect RT (hit, but nothing to stamp). `None` on a miss.
+    #[inline]
+    fn touch_slot(&mut self, id: ReplacementId, disepc: u8) -> Option<u32> {
         let base = self.base_of(disepc);
-        let off = (disepc - base) as usize;
+        let off = (disepc - base) as u64;
         match self {
             RtStore::Perfect { map, .. } => map
                 .get(&(id, base))
-                .is_some_and(|e| off < e.specs.len()),
-            RtStore::Cache { sets, .. } => {
-                let num_sets = sets.len();
-                let set = &mut sets[Self::set_index(num_sets, id, base)];
-                let Some(pos) = set
-                    .iter()
-                    .position(|e| e.id == id && e.base == base && off < e.specs.len())
-                else {
-                    return false;
-                };
-                if pos > 0 {
-                    let entry = set.remove(pos);
-                    set.insert(0, entry);
+                .is_some_and(|e| (off as usize) < e.specs.len())
+                .then_some(RT_NO_SLOT),
+            RtStore::Cache {
+                keys,
+                stamps,
+                clock,
+                num_sets,
+                assoc,
+                ..
+            } => {
+                let s = Self::set_index(*num_sets, id, base) * *assoc;
+                let tag = rt_tag(id, base);
+                for i in s..s + *assoc {
+                    let k = keys[i];
+                    if k & !0xFF == tag && k & 0xFF > off {
+                        *clock += 1;
+                        stamps[i] = *clock;
+                        return Some(i as u32);
+                    }
                 }
-                true
+                None
+            }
+        }
+    }
+
+    /// Re-references `(id, disepc)` through a slot index previously
+    /// returned by [`RtStore::touch_slot`], verifying the slot still
+    /// holds the entry before stamping it. The packed key *is* complete
+    /// identity (tag + resident spec count), so one compare replaces the
+    /// whole set search: a matching key means the set's unique match for
+    /// this tag (inserts never duplicate a tag within a set) is exactly
+    /// this slot, and the stamp has the same LRU effect as the full
+    /// touch. Returns `false` — no state changed — when the slot was
+    /// since refilled with something else; the caller re-searches.
+    #[inline]
+    fn stamp_verified(&mut self, slot: u32, id: ReplacementId, disepc: u8) -> bool {
+        let base = self.base_of(disepc);
+        let off = (disepc - base) as u64;
+        match self {
+            // Never reached: the perfect RT reports `RT_NO_SLOT`, which
+            // executors cannot record (it encodes to "no plan").
+            RtStore::Perfect { .. } => false,
+            RtStore::Cache { keys, stamps, clock, .. } => {
+                let k = keys[slot as usize];
+                if k & !0xFF == rt_tag(id, base) && k & 0xFF > off {
+                    *clock += 1;
+                    stamps[slot as usize] = *clock;
+                    true
+                } else {
+                    false
+                }
             }
         }
     }
@@ -273,14 +392,27 @@ impl RtStore {
                 let e = map.get(&(id, base))?;
                 Some((e.specs.get(off)?, e.seq_len))
             }
-            RtStore::Cache { sets, .. } => {
-                let num_sets = sets.len();
-                let set = &mut sets[Self::set_index(num_sets, id, base)];
-                let pos = set.iter().position(|e| e.id == id && e.base == base)?;
-                // Move to MRU position.
-                let entry = set.remove(pos);
-                set.insert(0, entry);
-                let e = &set[0];
+            RtStore::Cache {
+                keys,
+                seqs,
+                stamps,
+                clock,
+                num_sets,
+                assoc,
+                ..
+            } => {
+                let s = Self::set_index(*num_sets, id, base) * *assoc;
+                let tag = rt_tag(id, base);
+                // Tag match only — a resident block refreshes its LRU
+                // stamp even when `off` overshoots its specs, exactly as
+                // the move-to-MRU formulation behaved. The low-byte check
+                // keeps `id 0, base 0` (tag 0) from matching empty
+                // slots: live keys always carry a nonzero spec count.
+                let i = (s..s + *assoc)
+                    .find(|&i| keys[i] & !0xFF == tag && keys[i] & 0xFF != 0)?;
+                *clock += 1;
+                stamps[i] = *clock;
+                let e = &seqs[i];
                 Some((e.specs.get(off)?, e.seq_len))
             }
         }
@@ -288,15 +420,22 @@ impl RtStore {
 
     fn contains(&self, id: ReplacementId, disepc: u8) -> bool {
         let base = self.base_of(disepc);
-        let off = (disepc - base) as usize;
+        let off = (disepc - base) as u64;
         match self {
             RtStore::Perfect { map, .. } => map
                 .get(&(id, base))
-                .is_some_and(|e| off < e.specs.len()),
-            RtStore::Cache { sets, .. } => {
-                let set = &sets[Self::set_index(sets.len(), id, base)];
-                set.iter()
-                    .any(|e| e.id == id && e.base == base && off < e.specs.len())
+                .is_some_and(|e| (off as usize) < e.specs.len()),
+            RtStore::Cache {
+                keys,
+                num_sets,
+                assoc,
+                ..
+            } => {
+                let s = Self::set_index(*num_sets, id, base) * *assoc;
+                let tag = rt_tag(id, base);
+                keys[s..s + *assoc]
+                    .iter()
+                    .any(|&k| k & !0xFF == tag && k & 0xFF > off)
             }
         }
     }
@@ -304,9 +443,15 @@ impl RtStore {
     fn invalidate(&mut self, id: ReplacementId) {
         match self {
             RtStore::Perfect { map, .. } => map.retain(|(eid, _), _| *eid != id),
-            RtStore::Cache { sets, .. } => {
-                for set in sets {
-                    set.retain(|e| e.id != id);
+            RtStore::Cache {
+                keys, seqs, stamps, ..
+            } => {
+                for i in 0..keys.len() {
+                    if keys[i] != 0 && (keys[i] >> 16) as ReplacementId == id {
+                        keys[i] = 0;
+                        seqs[i] = RtSeq::default();
+                        stamps[i] = 0;
+                    }
                 }
             }
         }
@@ -316,27 +461,43 @@ impl RtStore {
     fn insert_sequence(&mut self, id: ReplacementId, seq_len: u8, specs: &[InstSpec]) {
         let block = self.block();
         for (chunk_ix, chunk) in specs.chunks(block).enumerate() {
-            let entry = RtEntry {
-                id,
-                base: (chunk_ix * block) as u8,
+            let base = (chunk_ix * block) as u8;
+            let seq = RtSeq {
                 seq_len,
                 specs: chunk.to_vec(),
             };
             match self {
                 RtStore::Perfect { map, .. } => {
-                    map.insert((entry.id, entry.base), entry);
+                    map.insert((id, base), seq);
                 }
-                RtStore::Cache { sets, assoc, .. } => {
-                    let num_sets = sets.len();
-                    let set = &mut sets[Self::set_index(num_sets, entry.id, entry.base)];
-                    if let Some(pos) = set
-                        .iter()
-                        .position(|e| e.id == entry.id && e.base == entry.base)
-                    {
-                        set.remove(pos);
-                    }
-                    set.insert(0, entry);
-                    set.truncate(*assoc);
+                RtStore::Cache {
+                    keys,
+                    seqs,
+                    stamps,
+                    clock,
+                    num_sets,
+                    assoc,
+                    ..
+                } => {
+                    let s = Self::set_index(*num_sets, id, base) * *assoc;
+                    let tag = rt_tag(id, base);
+                    // Slot choice, in the order the list formulation
+                    // implied: the same tag if present (replace), else
+                    // any free slot, else the LRU victim (minimum
+                    // stamp). The new entry lands at MRU via a fresh
+                    // stamp.
+                    let i = (s..s + *assoc)
+                        .find(|&i| keys[i] & !0xFF == tag && keys[i] & 0xFF != 0)
+                        .or_else(|| (s..s + *assoc).find(|&i| keys[i] == 0))
+                        .unwrap_or_else(|| {
+                            (s..s + *assoc)
+                                .min_by_key(|&i| stamps[i])
+                                .expect("assoc >= 1")
+                        });
+                    keys[i] = tag | seq.specs.len() as u64;
+                    seqs[i] = seq;
+                    *clock += 1;
+                    stamps[i] = *clock;
                 }
             }
         }
@@ -400,6 +561,15 @@ pub struct DiseEngine {
     inst_memo: Box<[Option<(InstMemoKey, Inst)>]>,
     rt: RtStore,
     stats: EngineStats,
+    /// Monotonic invalidation epoch for outcome-holding caches *outside*
+    /// the engine (the simulator's translated-block cache). Bumped by
+    /// every event after which a previously computed [`BlockOutcome`] or
+    /// baked instantiation may be stale: PT fills, runtime production
+    /// installs, and context switches. RT fills deliberately do *not*
+    /// bump it — they change miss timing, not architectural outcomes,
+    /// and external caches replay RT references per use (see
+    /// [`DiseEngine::block_expand_hit`]).
+    generation: u64,
 }
 
 impl DiseEngine {
@@ -447,6 +617,7 @@ impl DiseEngine {
             exp_memo: Box::default(),
             inst_memo: Box::default(),
             stats: EngineStats::default(),
+            generation: 0,
         }
     }
 
@@ -547,6 +718,184 @@ impl DiseEngine {
     /// The controller (and through it the architectural production set).
     pub fn controller(&self) -> &Controller {
         &self.controller
+    }
+
+    /// The invalidation epoch for externally cached inspection outcomes
+    /// (see the `generation` field). A block translated under generation
+    /// `g` is valid to execute exactly while `generation() == g`.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The architectural inspection outcome for `inst`, computed without
+    /// mutating any table, memo, or counter — what a block translator may
+    /// bake under the current [`DiseEngine::generation`]. Mirrors
+    /// [`DiseEngine::inspect`]'s decision exactly: reaching the match
+    /// requires `active == resident` for the opcode, in which state the
+    /// static per-opcode rule index and the resident-PT scan select the
+    /// same winner (see the comment in `inspect`).
+    pub fn block_outcome(&self, inst: &Inst) -> BlockOutcome {
+        let (active, resident) = self.counters[inst.op.number() as usize];
+        if active != resident {
+            return BlockOutcome::NotReady;
+        }
+        if active == 0 {
+            return BlockOutcome::Pass;
+        }
+        let rules = self.controller.productions().rules();
+        let best = self.op_rules[inst.op.number() as usize]
+            .iter()
+            .map(|i| (*i, &rules[*i]))
+            .filter(|(_, r)| r.pattern.matches(inst))
+            .max_by_key(|(i, r)| (r.priority, r.pattern.specificity(), usize::MAX - *i));
+        let Some((_, rule)) = best else {
+            return BlockOutcome::Pass;
+        };
+        let id = match rule.seq {
+            crate::production::SeqRef::Fixed(id) => id,
+            crate::production::SeqRef::FromTag { base } => base + inst.codeword_tag() as u32,
+        };
+        match self.controller.resolve_spec(id) {
+            Ok((spec, _)) => BlockOutcome::Expand {
+                id,
+                len: spec.len() as u8,
+            },
+            Err(_) => BlockOutcome::Fault,
+        }
+    }
+
+    /// Pure instantiation of replacement instruction `disepc` of sequence
+    /// `id` against `trigger` — no RT reference, no fill, no statistics.
+    /// Instantiation is a function of `(id, disepc, trigger, trigger_pc)`
+    /// only (the instantiation memo's key is exactly that), so a block
+    /// translator may bake the result.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` has no installed sequence, `disepc` is out of range,
+    /// or the spec does not instantiate against this trigger.
+    pub fn instantiate_block(
+        &self,
+        id: ReplacementId,
+        disepc: u8,
+        trigger: &Inst,
+        trigger_pc: u64,
+    ) -> Result<Inst> {
+        let (spec, _) = self.controller.resolve_spec(id)?;
+        spec.insts
+            .get(disepc as usize)
+            .ok_or(CoreError::UnknownSequence(id))?
+            .instantiate(trigger, trigger_pc)
+    }
+
+    /// Replays the inspection a baked `Expand` outcome skipped: the RT
+    /// reference for `(id, 0)` with its LRU effect, plus the inspected /
+    /// expansion statistics the slow path would have accumulated. Returns
+    /// `false` (leaving all statistics untouched) when the sequence head
+    /// is no longer RT-resident — the caller must then take the live
+    /// [`DiseEngine::inspect_decoded`] path, which models the refill.
+    pub fn block_expand_hit(&mut self, id: ReplacementId, len: u8) -> bool {
+        if !self.rt.touch(id, 0) {
+            return false;
+        }
+        self.stats.inspected += 1;
+        self.stats.expansions += 1;
+        self.stats.replacement_insts += len as u64;
+        true
+    }
+
+    /// Replays the RT reference a baked replacement instruction skipped:
+    /// the `contains` + `get` pair of [`DiseEngine::fetch_replacement`]
+    /// collapses to one LRU touch of `(id, disepc)`. Returns `false` when
+    /// the entry was evicted since the block was translated — the caller
+    /// must then take the live fetch path, which models the refill miss.
+    #[inline]
+    pub fn block_replacement_hit(&mut self, id: ReplacementId, disepc: u8) -> bool {
+        self.rt.touch(id, disepc)
+    }
+
+    /// [`DiseEngine::block_expand_hit`], additionally reporting *which*
+    /// physical RT slot the entry reference touched (or
+    /// [`RT_NO_SLOT`] on a perfect RT, which has no slots to stamp).
+    /// `None` means a miss: no statistics were accumulated and the caller
+    /// must take the live inspect path. The returned slot may be replayed
+    /// via [`DiseEngine::block_expand_stamp`], which re-verifies it
+    /// against the slot's key on every use.
+    #[inline]
+    pub fn block_expand_hit_slot(&mut self, id: ReplacementId, len: u8) -> Option<u32> {
+        let slot = self.rt.touch_slot(id, 0)?;
+        self.stats.inspected += 1;
+        self.stats.expansions += 1;
+        self.stats.replacement_insts += len as u64;
+        Some(slot)
+    }
+
+    /// [`DiseEngine::block_replacement_hit`], additionally reporting the
+    /// touched slot under the same contract as
+    /// [`DiseEngine::block_expand_hit_slot`].
+    #[inline]
+    pub fn block_replacement_hit_slot(&mut self, id: ReplacementId, disepc: u8) -> Option<u32> {
+        self.rt.touch_slot(id, disepc)
+    }
+
+    /// Replays [`DiseEngine::block_expand_hit`] through a slot index
+    /// previously obtained from [`DiseEngine::block_expand_hit_slot`]:
+    /// one verify-compare and an indexed LRU stamp plus the inspection
+    /// statistics, with no set search. The verify makes cached slots
+    /// self-validating — a fill that replaced the slot simply fails the
+    /// compare (returning `false`, no state changed) and the caller
+    /// falls back to the searching hit path.
+    #[inline]
+    pub fn block_expand_stamp(&mut self, slot: u32, id: ReplacementId, len: u8) -> bool {
+        if !self.rt.stamp_verified(slot, id, 0) {
+            return false;
+        }
+        self.stats.inspected += 1;
+        self.stats.expansions += 1;
+        self.stats.replacement_insts += len as u64;
+        true
+    }
+
+    /// Replays [`DiseEngine::block_replacement_hit`] through a cached
+    /// slot index; same self-validating contract as
+    /// [`DiseEngine::block_expand_stamp`].
+    #[inline]
+    pub fn block_replacement_stamp(&mut self, slot: u32, id: ReplacementId, disepc: u8) -> bool {
+        self.rt.stamp_verified(slot, id, disepc)
+    }
+
+    /// True when a length-`len` sequence's every RT reference lands on
+    /// the block already touched by [`DiseEngine::block_expand_hit`] —
+    /// i.e. the executor may skip the per-µop
+    /// [`DiseEngine::block_replacement_hit`] replay after an entry hit:
+    ///
+    /// * perfect RT: touches never mutate (no LRU), and residency is
+    ///   whole-sequence (fills insert and invalidations remove every
+    ///   block of `id` together), so an entry hit implies every µop hits
+    ///   and no replay has an effect;
+    /// * `len <= rt_block`: the sequence occupies the single block the
+    ///   entry touch already moved to MRU; repeated touches of an MRU
+    ///   entry are no-ops, and no fill can intervene mid-group, so the
+    ///   dynamic path through the sequence (DISE jumps, early exits)
+    ///   cannot change which blocks get referenced.
+    ///
+    /// Multi-block sequences on a finite RT must take the per-µop path:
+    /// which blocks the slow path references, and in what order, depends
+    /// on the dynamic path.
+    pub fn single_block_sequences(&self, len: u8) -> bool {
+        match self.config.rt_org {
+            RtOrganization::Perfect => true,
+            _ => len as usize <= self.rt.block(),
+        }
+    }
+
+    /// Credits `n` inspections accumulated by a block executor for
+    /// pass-through instructions (the slow path counts one per fetched
+    /// instruction; a block counts locally and flushes at block exits).
+    #[inline]
+    pub fn add_inspected(&mut self, n: u64) {
+        self.stats.inspected += n;
     }
 
     /// Inspects one fetched instruction (every fetched instruction passes
@@ -801,6 +1150,7 @@ impl DiseEngine {
         // previously memoized `None` outcomes may now expand.
         self.detach_shared();
         self.invalidate_memos();
+        self.generation += 1;
         Ok(id)
     }
 
@@ -834,6 +1184,7 @@ impl DiseEngine {
         // `rt.invalidate` just broke).
         self.detach_shared();
         self.invalidate_memos();
+        self.generation += 1;
         Ok(id)
     }
 
@@ -853,6 +1204,7 @@ impl DiseEngine {
         }
         self.rt = RtStore::new(&self.config);
         self.invalidate_memos();
+        self.generation += 1;
     }
 
     fn fill_pt(&mut self, op: Op) -> u64 {
@@ -879,8 +1231,11 @@ impl DiseEngine {
                 self.counters[o.number() as usize].1 += 1;
             }
         }
-        // Residency changed, so memoized inspect outcomes are stale.
+        // Residency changed, so memoized inspect outcomes are stale —
+        // and so are externally baked blocks (the fill may have evicted
+        // patterns for *other* opcodes, flipping their counters).
         self.invalidate_memos();
+        self.generation += 1;
         self.config.miss_penalty
     }
 
@@ -1459,6 +1814,165 @@ mod tests {
             misses4 >= misses1,
             "fragmentation cannot reduce misses: {misses4} < {misses1}"
         );
+    }
+
+    #[test]
+    fn generation_tracks_outcome_changing_events_only() {
+        let mut e = engine_with_store_rule(EngineConfig::default());
+        let g0 = e.generation();
+        let st = i("stq r1, 0(r2)");
+        let _ = e.inspect(&st); // PT miss: fill bumps
+        assert_eq!(e.generation(), g0 + 1);
+        let _ = e.inspect(&st); // RT miss: fill must NOT bump
+        assert_eq!(e.generation(), g0 + 1);
+        assert!(matches!(e.inspect(&st), Expansion::Expand { .. }));
+        assert_eq!(e.generation(), g0 + 1);
+        e.context_switch();
+        assert_eq!(e.generation(), g0 + 2);
+        e.install_transparent(
+            Pattern::opclass(OpClass::Store).with_rs(Reg::SP),
+            ReplacementSpec::identity(),
+        )
+        .unwrap();
+        assert_eq!(e.generation(), g0 + 3);
+        e.install_aware(Op::Cw0, 1, two_inst_spec()).unwrap();
+        assert_eq!(e.generation(), g0 + 4);
+    }
+
+    #[test]
+    fn block_outcome_matches_steady_state_inspect() {
+        let mut set = ProductionSet::new();
+        set.add_transparent(Pattern::opclass(OpClass::Store), two_inst_spec())
+            .unwrap();
+        set.add_aware(Op::Cw0, 3, two_inst_spec()).unwrap();
+        let mut e = DiseEngine::with_productions(EngineConfig::default(), set).unwrap();
+        let st = i("stq r1, 0(r2)");
+        let cw = Inst::codeword(Op::Cw0, 0, 4, 0, 3);
+        let bad = Inst::codeword(Op::Cw0, 0, 0, 0, 9);
+        // Cold counters: not bakeable.
+        assert_eq!(e.block_outcome(&st), BlockOutcome::NotReady);
+        // Uncovered opcodes are bakeable pass-throughs even when cold.
+        assert_eq!(e.block_outcome(&i("nop")), BlockOutcome::Pass);
+        // Warm the PT, then the outcomes must agree with `inspect`.
+        while matches!(e.inspect(&st), Expansion::Miss { .. }) {}
+        let Expansion::Expand { id, len } = e.inspect(&st) else {
+            panic!()
+        };
+        assert_eq!(e.block_outcome(&st), BlockOutcome::Expand { id, len });
+        assert_eq!(e.block_outcome(&i("ldq r1, 0(r2)")), BlockOutcome::Pass);
+        while matches!(e.inspect(&cw), Expansion::Miss { .. }) {}
+        assert!(matches!(e.block_outcome(&cw), BlockOutcome::Expand { len: 2, .. }));
+        assert_eq!(e.block_outcome(&bad), BlockOutcome::Fault);
+        // The probe mutated nothing: generation and stats are untouched
+        // by block_outcome itself.
+        let stats = e.stats();
+        let generation = e.generation();
+        let _ = e.block_outcome(&st);
+        assert_eq!((e.stats(), e.generation()), (stats, generation));
+    }
+
+    #[test]
+    fn block_replay_is_bit_identical_to_inspect_and_fetch() {
+        // Drive a slow-path engine with the live loop and a second engine
+        // with the baked replay hooks; stats and LRU-observable miss
+        // behavior must match on a thrash-prone direct-mapped RT.
+        let config = EngineConfig {
+            rt_entries: 4,
+            rt_org: RtOrganization::DirectMapped,
+            ..EngineConfig::default()
+        };
+        // Codewords carry no T.RS, so the sequences address their
+        // trigger through codeword parameters.
+        let param_spec = || {
+            ReplacementSpec::new(vec![
+                InstSpec::Templated {
+                    op: OpDirective::Literal(Op::Srl),
+                    ra: RegDirective::Param(0),
+                    rb: RegDirective::Literal(Reg::ZERO),
+                    rc: RegDirective::Literal(Reg::dr(1)),
+                    imm: ImmDirective::Literal(26),
+                    uses_lit: true,
+                    dise_branch: false,
+                },
+                InstSpec::Templated {
+                    op: OpDirective::Literal(Op::Addq),
+                    ra: RegDirective::Literal(Reg::dr(1)),
+                    rb: RegDirective::Literal(Reg::ZERO),
+                    rc: RegDirective::Literal(Reg::dr(2)),
+                    imm: ImmDirective::Literal(1),
+                    uses_lit: true,
+                    dise_branch: false,
+                },
+            ])
+        };
+        let build = || {
+            let mut set = ProductionSet::new();
+            set.add_aware(Op::Cw0, 0, param_spec()).unwrap();
+            set.add_aware(Op::Cw0, 1, param_spec()).unwrap();
+            set
+        };
+        let mut live = DiseEngine::with_productions(config.slow_path(), build()).unwrap();
+        let mut baked = DiseEngine::with_productions(config, build()).unwrap();
+        let cws = [
+            Inst::codeword(Op::Cw0, 0, 2, 0, 0),
+            Inst::codeword(Op::Cw0, 0, 2, 0, 1),
+        ];
+        // Warm both PTs (one fill each; generations advance in lockstep).
+        assert!(matches!(live.inspect(&cws[0]), Expansion::Miss { .. }));
+        assert!(matches!(
+            baked.inspect_decoded(&cws[0], cws[0].encode().unwrap()),
+            Expansion::Miss { .. }
+        ));
+        // Translate once per codeword under the now-stable generation.
+        let outcome: Vec<(ReplacementId, u8)> = cws
+            .iter()
+            .map(|cw| match baked.block_outcome(cw) {
+                BlockOutcome::Expand { id, len } => (id, len),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let generation = baked.generation();
+        for round in 0..6 {
+            for (cw, (id, len)) in cws.iter().zip(&outcome) {
+                let raw = cw.encode().unwrap();
+                // Live reference: inspect loop + per-DISEPC fetches.
+                loop {
+                    match live.inspect(cw) {
+                        Expansion::Miss { .. } => continue,
+                        Expansion::Expand { .. } => break,
+                        other => panic!("{other:?}"),
+                    }
+                }
+                for d in 0..*len {
+                    live.fetch_replacement(*id, d, cw, 0x1000).unwrap();
+                }
+                // Baked replay: hooks, with the live path on RT loss.
+                if !baked.block_expand_hit(*id, *len) {
+                    loop {
+                        match baked.inspect_decoded(cw, raw) {
+                            Expansion::Miss { .. } => continue,
+                            Expansion::Expand { .. } => break,
+                            other => panic!("{other:?}"),
+                        }
+                    }
+                }
+                for d in 0..*len {
+                    let inst = baked.instantiate_block(*id, d, cw, 0x1000).unwrap();
+                    if !baked.block_replacement_hit(*id, d) {
+                        assert_eq!(
+                            baked
+                                .fetch_replacement_decoded(*id, d, cw, raw, 0x1000)
+                                .unwrap(),
+                            inst,
+                            "round {round} disepc {d}: baked inst diverged"
+                        );
+                    }
+                }
+                assert_eq!(baked.generation(), generation, "RT fills must not bump");
+            }
+            assert_eq!(baked.stats(), live.stats(), "round {round}");
+        }
+        assert!(baked.stats().rt_misses > 2, "RT was supposed to thrash");
     }
 
     #[test]

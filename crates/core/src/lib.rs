@@ -80,7 +80,7 @@ pub mod production;
 pub mod spec;
 
 pub use controller::{Controller, MissKind};
-pub use engine::{DiseEngine, EngineConfig, EngineStats, Expansion, RtOrganization};
+pub use engine::{BlockOutcome, DiseEngine, EngineConfig, EngineStats, Expansion, RtOrganization};
 pub use frontend::SharedFrontend;
 pub use pattern::{ImmPredicate, Pattern};
 pub use production::{Production, ProductionSet, ReplacementId, SeqRef};

@@ -321,6 +321,16 @@ impl Predecode {
         self.text_base == program.text_base && self.text_len == program.text.len()
     }
 
+    /// Base address of the text segment this table covers.
+    pub fn text_base(&self) -> u64 {
+        self.text_base
+    }
+
+    /// Length in bytes of the text segment this table covers.
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
     /// Number of even byte offsets holding a decodable item.
     pub fn decodable_offsets(&self) -> usize {
         self.items.iter().filter(|i| i.is_some()).count()

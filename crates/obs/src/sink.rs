@@ -249,6 +249,11 @@ impl Sink for JsonlFileSink {
 
 /// Default bounded-queue capacity for [`UdsSink`] (records).
 pub const DEFAULT_UDS_QUEUE: usize = 4096;
+/// Byte ceiling for one coalesced [`UdsSink`] wire batch. The first
+/// queued record always ships regardless of size (it has to go
+/// somewhere); further records join the batch only while it stays under
+/// this cap.
+const UDS_BATCH_BYTES: usize = 1 << 20;
 /// Reconnect backoff ceiling for [`UdsSink`].
 const UDS_BACKOFF_MAX: Duration = Duration::from_millis(500);
 /// Initial reconnect backoff for [`UdsSink`].
@@ -266,6 +271,7 @@ struct UdsShared {
     path: PathBuf,
     cap: usize,
     dropped: AtomicU64,
+    writes: AtomicU64,
 }
 
 /// A Unix-domain-socket sink speaking a newline-delimited record
@@ -275,9 +281,15 @@ struct UdsShared {
 /// shipper thread writes them to the socket. When the peer is down the
 /// shipper reconnects with exponential backoff (10 ms → 500 ms) and the
 /// queue absorbs records in the meantime, dropping the **oldest** once
-/// full — the producer never blocks and never sees an error. A record
-/// being written when the connection breaks is retried verbatim on the
-/// next connection, so the line protocol never ships a torn record.
+/// full — the producer never blocks and never sees an error.
+///
+/// Each shipper wakeup coalesces everything queued (up to a 1 MiB
+/// ceiling, always at least one record) into a single socket write, so a
+/// producer bursting thousands of records costs a handful of syscalls
+/// rather than one per record ([`UdsSink::socket_writes`] counts them). A
+/// batch being written when the connection breaks is retried **verbatim**
+/// on the next connection — batches only ever contain whole lines, so
+/// the line protocol never ships a torn record.
 pub struct UdsSink {
     shared: Arc<UdsShared>,
     shipper: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -303,6 +315,7 @@ impl UdsSink {
             path: path.into(),
             cap: cap.max(1),
             dropped: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
         });
         let ship = Arc::clone(&shared);
         let shipper = std::thread::Builder::new()
@@ -324,13 +337,26 @@ impl UdsSink {
         let mut stream: Option<UnixStream> = None;
         let mut backoff = UDS_BACKOFF_START;
         loop {
-            // Wait for work (or shutdown).
-            let line = {
+            // Wait for work (or shutdown), then coalesce everything
+            // queued — up to the batch byte ceiling, always at least one
+            // record — into a single wire buffer of whole lines.
+            let batch = {
                 let mut q = shared.q.lock().expect("uds queue lock");
                 loop {
-                    if let Some(line) = q.lines.pop_front() {
+                    if !q.lines.is_empty() {
+                        let mut buf = Vec::new();
+                        while let Some(line) = q.lines.front() {
+                            if !buf.is_empty()
+                                && buf.len() + line.len() + 1 > UDS_BATCH_BYTES
+                            {
+                                break;
+                            }
+                            let line = q.lines.pop_front().expect("non-empty front");
+                            buf.extend_from_slice(line.as_bytes());
+                            buf.push(b'\n');
+                        }
                         q.in_flight = true;
-                        break line;
+                        break buf;
                     }
                     if q.shutdown {
                         return;
@@ -338,8 +364,10 @@ impl UdsSink {
                     q = shared.cv.wait(q).expect("uds queue lock");
                 }
             };
-            // Ship it, (re)connecting as needed. The record is retried
-            // across reconnects until it goes through or shutdown wins.
+            // Ship it, (re)connecting as needed. The whole batch is
+            // retried verbatim across reconnects until it goes through or
+            // shutdown wins — a receiver therefore sees every surviving
+            // record whole and in order, never a torn line.
             loop {
                 if stream.is_none() {
                     match UnixStream::connect(&shared.path) {
@@ -362,18 +390,22 @@ impl UdsSink {
                     }
                 }
                 let s = stream.as_mut().expect("connected above");
-                let mut buf = Vec::with_capacity(line.len() + 1);
-                buf.extend_from_slice(line.as_bytes());
-                buf.push(b'\n');
-                if s.write_all(&buf).and_then(|()| s.flush()).is_ok() {
+                if s.write_all(&batch).and_then(|()| s.flush()).is_ok() {
+                    shared.writes.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
-                stream = None; // broken pipe: reconnect and retry the line
+                stream = None; // broken pipe: reconnect and retry the batch
             }
             let mut q = shared.q.lock().expect("uds queue lock");
             q.in_flight = false;
             shared.cv.notify_all();
         }
+    }
+
+    /// Successful socket writes so far — one per shipped batch, so a
+    /// burst of N records typically costs far fewer than N writes.
+    pub fn socket_writes(&self) -> u64 {
+        self.shared.writes.load(Ordering::Relaxed)
     }
 
     /// Waits (up to `timeout`) for the queue to drain and the last

@@ -1,0 +1,345 @@
+//! Basic-block translation cache for the functional machine.
+//!
+//! [`Machine::run`](crate::Machine::run) interprets one decoded instruction
+//! at a time through `step_inner`: predecode lookup, engine inspection,
+//! expansion-state bookkeeping, execute, advance. With the predecode table
+//! and the shared frontend in place, that dispatch overhead — not the
+//! instruction semantics — dominates functional simulation time. This
+//! module removes it the standard way: translate each basic block once
+//! into a flat µop buffer and execute the buffer directly, falling back to
+//! the per-instruction path at block exits, faults, and anything the
+//! translator cannot bake.
+//!
+//! # Block layout
+//!
+//! A [`Block`] is a run of *groups*, one per fetched item (application
+//! instruction, DISE trigger, or short codeword), sharing one flat `ops`
+//! buffer:
+//!
+//! * a `Single` group is one unexpanded instruction;
+//! * an `Expand` group is a DISE trigger whose whole replacement sequence
+//!   was instantiated at translation time ([`DiseEngine::instantiate_block`]
+//!   is a pure function of `(id, disepc, trigger, pc)`, so the baked µops
+//!   are exactly what `fetch_replacement` would produce);
+//! * a `Dedicated` group is a short codeword's dictionary sequence.
+//!
+//! Translation stops at the first item it cannot bake (cold pattern
+//! counters, faults, codewords with no engine, undecodable bytes) and
+//! after any group ending in an unconditional control transfer or `halt`.
+//! Conditional application branches do *not* end a block: if taken at run
+//! time the executor simply exits early, if untaken execution falls
+//! through to the next group. A block that can bake nothing at all is
+//! cached as an empty *fallback marker* so re-entry does not retranslate.
+//!
+//! # Generation invalidation
+//!
+//! Baked inspection outcomes are valid exactly while the engine would
+//! reproduce them, and the engine already has a hardware gate for that:
+//! `active == resident` pattern counters (DESIGN.md §10). Every event that
+//! can change a steady-state outcome — PT fills, runtime production
+//! installs, context switches — bumps [`DiseEngine::generation`]; a block
+//! records the generation it was translated under and is discarded on
+//! mismatch. RT fills deliberately do *not* bump the generation: they
+//! change miss timing, not outcomes, and the executor replays every RT
+//! reference per-µop ([`DiseEngine::block_replacement_hit`]), taking the
+//! live path on eviction. The program text is immutable after load
+//! (`Predecode` relies on the same invariant), so there is no
+//! self-modifying-code hazard; *replaced* sequences (runtime installs)
+//! are covered by the generation bump.
+
+use crate::machine::DedicatedDict;
+use dise_core::{BlockOutcome, DiseEngine, ReplacementId};
+use dise_isa::{Inst, Op, Predecode, TextItem};
+
+/// Hard cap on fetched items per block — bounds translation latency and
+/// keeps the suspend/resume state machine simple.
+pub(crate) const MAX_GROUPS: usize = 64;
+/// Hard cap on µops per block.
+pub(crate) const MAX_UOPS: usize = 256;
+
+/// Telemetry counters for the block cache (kept out of the figure stats
+/// registry: translation behavior is a simulator-speed artifact, and the
+/// committed figure outputs must stay byte-stable).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Block entries served from a fresh cached translation.
+    pub hits: u64,
+    /// Block entries that translated (first visit, or after invalidation).
+    pub misses: u64,
+    /// Cached translations discarded because the engine generation moved.
+    pub invalidations: u64,
+    /// Entries into fallback-marker blocks (nothing bakeable at that PC).
+    pub fallbacks: u64,
+    /// Expand-group entries whose RT touch plan was valid (stamped
+    /// replay, no set search).
+    pub planned_groups: u64,
+    /// Expand-group entries that searched the RT sets (and tried to
+    /// record a fresh plan).
+    pub searched_groups: u64,
+}
+
+impl BlockStats {
+    /// The counters as `(name, value)` pairs, in stable order — the same
+    /// convention the telemetry registry uses for other counter groups.
+    pub fn named_counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("block_hits", self.hits),
+            ("block_misses", self.misses),
+            ("block_invalidations", self.invalidations),
+            ("block_fallbacks", self.fallbacks),
+            ("block_planned_groups", self.planned_groups),
+            ("block_searched_groups", self.searched_groups),
+        ]
+    }
+}
+
+/// What one group replays besides its µops.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GroupKind {
+    /// One unexpanded instruction.
+    Single,
+    /// A DISE expansion: the trigger and its pre-instantiated sequence.
+    /// `raw` is the trigger's encoded word (blocks are only built over
+    /// predecoded text, so it is always known) — it keys the engine's
+    /// instantiation memo on the RT-eviction fallback path. `solo` bakes
+    /// [`DiseEngine::single_block_sequences`]: when set, an entry hit
+    /// lets the executor skip the per-µop RT replay entirely (engine
+    /// geometry is fixed for an attached engine, so this never goes
+    /// stale).
+    Expand {
+        id: ReplacementId,
+        len: u8,
+        trigger: Inst,
+        raw: u32,
+        solo: bool,
+    },
+    /// A dedicated-decompressor expansion (dictionary index and length).
+    Dedicated { ix: u16, len: u8 },
+}
+
+/// One fetched item inside a block.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Group {
+    /// Application PC of the fetched item.
+    pub pc: u64,
+    /// Fetched item size in bytes (4, or 2 for short codewords).
+    pub fetch_size: u64,
+    /// Index of the group's first µop in [`Block::ops`].
+    pub first: u32,
+    pub kind: GroupKind,
+}
+
+/// A translated basic block. `groups.is_empty()` marks a PC where nothing
+/// could be baked (the executor falls straight back to `step_inner`).
+#[derive(Debug, Clone)]
+pub(crate) struct Block {
+    /// Engine generation this block was translated under (0 without an
+    /// engine — nothing can invalidate outcomes then).
+    pub generation: u64,
+    /// Flat µop buffer, all groups concatenated.
+    pub ops: Vec<Inst>,
+    /// Per-µop RT slot touch plan, parallel to `ops`: 0 for "unknown —
+    /// search the RT", else `slot + 1` where `slot` is the physical RT
+    /// slot µop `i`'s reference touched on a previous pass. Entries are
+    /// recorded lazily, one per executed µop, so partially resident or
+    /// jumpily executed sequences still plan the µops they actually run.
+    /// Entries are hints, not invariants: every use re-verifies the slot
+    /// against its packed RT key (`DiseEngine::block_replacement_stamp`),
+    /// so a stale hint just falls back to the searching path and
+    /// re-records. (`RT_NO_SLOT` wraps to 0 by design: a perfect RT has
+    /// no slots to stamp, so it never plans.)
+    pub plan: Vec<u32>,
+    pub groups: Vec<Group>,
+}
+
+const NO_BLOCK: u32 = u32::MAX;
+
+/// The per-machine block cache: a direct index over every even text
+/// offset (block entries are fetch addresses, which are even by
+/// construction) into a dense block arena.
+#[derive(Debug)]
+pub(crate) struct BlockCache {
+    text_base: u64,
+    text_len: usize,
+    /// `(pc - text_base) / 2` → index into `blocks`, or `NO_BLOCK`.
+    index: Vec<u32>,
+    blocks: Vec<Block>,
+    pub stats: BlockStats,
+}
+
+impl BlockCache {
+    pub fn new(predecode: &Predecode) -> BlockCache {
+        BlockCache {
+            text_base: predecode.text_base(),
+            text_len: predecode.text_len(),
+            index: vec![NO_BLOCK; predecode.text_len().div_ceil(2)],
+            blocks: Vec::new(),
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// The index slot for `pc`, if it is an even text address.
+    #[inline]
+    pub fn slot(&self, pc: u64) -> Option<usize> {
+        let off = pc.checked_sub(self.text_base)? as usize;
+        if off & 1 != 0 || off >= self.text_len {
+            return None;
+        }
+        Some(off / 2)
+    }
+
+    /// The cached block at `slot`, if any.
+    #[inline]
+    pub fn get(&self, slot: usize) -> Option<&Block> {
+        match self.index[slot] {
+            NO_BLOCK => None,
+            i => Some(&self.blocks[i as usize]),
+        }
+    }
+
+    /// Mutable access to the cached block at `slot` (the executor updates
+    /// touch plans in place), split-borrowed alongside the stats so the
+    /// executor can count while holding the block.
+    #[inline]
+    pub fn get_mut(&mut self, slot: usize) -> Option<(&mut Block, &mut BlockStats)> {
+        let BlockCache { index, blocks, stats, .. } = self;
+        match index[slot] {
+            NO_BLOCK => None,
+            i => Some((&mut blocks[i as usize], stats)),
+        }
+    }
+
+    /// Installs (or replaces) the block at `slot`.
+    pub fn install(&mut self, slot: usize, block: Block) {
+        match self.index[slot] {
+            NO_BLOCK => {
+                self.index[slot] = self.blocks.len() as u32;
+                self.blocks.push(block);
+            }
+            i => self.blocks[i as usize] = block,
+        }
+    }
+}
+
+/// True for instructions that always leave the block (the translator ends
+/// the block after a group whose last µop is one of these).
+fn always_exits(op: Op) -> bool {
+    matches!(op, Op::Halt | Op::Br | Op::Bsr | Op::Jmp | Op::Jsr | Op::Ret)
+}
+
+/// A µop is bakeable if executing it can never need the per-instruction
+/// path's error handling or escape the group's (PC, DISEPC) discipline in
+/// a way the executor does not model: codewords fault in `exec`, and a
+/// DISE branch must land inside its own sequence (the slow path would
+/// charge the out-of-range fetch error instead — leave that to it).
+fn bakeable_uop(inst: &Inst, seq_len: u8) -> bool {
+    if inst.op.is_codeword() {
+        return false;
+    }
+    if inst.dise_branch {
+        // `exec` computes the target as `imm as u8` (wrapping).
+        return (inst.imm as u8) < seq_len;
+    }
+    true
+}
+
+/// Translates the basic block entered at `entry`. Pure with respect to
+/// the engine: only `block_outcome` / `instantiate_block` (both `&self`)
+/// are consulted, so translation itself perturbs no statistics and no
+/// table state — exactly why a translated block can claim bit-identical
+/// replay.
+pub(crate) fn translate(
+    predecode: &Predecode,
+    engine: Option<&DiseEngine>,
+    dedicated: Option<&DedicatedDict>,
+    entry: u64,
+    generation: u64,
+) -> Block {
+    let mut block = Block {
+        generation,
+        ops: Vec::new(),
+        plan: Vec::new(),
+        groups: Vec::new(),
+    };
+    let mut pc = entry;
+    while block.groups.len() < MAX_GROUPS && block.ops.len() < MAX_UOPS {
+        let Some(pi) = predecode.get(pc) else { break };
+        let first = block.ops.len() as u32;
+        let (kind, fetch_size, last_op) = match pi.item {
+            TextItem::Short(ix) => {
+                let Some(seq) = dedicated.and_then(|d| d.get(ix)) else {
+                    break;
+                };
+                if seq.is_empty() {
+                    break;
+                }
+                let len = seq.len() as u8;
+                if !seq.iter().all(|u| bakeable_uop(u, len)) {
+                    break;
+                }
+                block.ops.extend_from_slice(seq);
+                (GroupKind::Dedicated { ix, len }, 2, seq[seq.len() - 1].op)
+            }
+            TextItem::Inst(inst) => {
+                let outcome = match engine {
+                    Some(e) => e.block_outcome(&inst),
+                    None => BlockOutcome::Pass,
+                };
+                match outcome {
+                    BlockOutcome::NotReady | BlockOutcome::Fault => break,
+                    BlockOutcome::Pass => {
+                        // Codewords fault without an expansion; a DISE
+                        // branch outside a sequence is a state the slow
+                        // path should own.
+                        if inst.op.is_codeword() || inst.dise_branch {
+                            break;
+                        }
+                        block.ops.push(inst);
+                        (GroupKind::Single, 4, inst.op)
+                    }
+                    BlockOutcome::Expand { id, len } => {
+                        let Some(engine) = engine else { unreachable!() };
+                        let mut ok = true;
+                        for d in 0..len {
+                            match engine.instantiate_block(id, d, &inst, pc) {
+                                Ok(u) if bakeable_uop(&u, len) => block.ops.push(u),
+                                _ => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if !ok {
+                            block.ops.truncate(first as usize);
+                            break;
+                        }
+                        let last = block.ops[block.ops.len() - 1].op;
+                        (
+                            GroupKind::Expand {
+                                id,
+                                len,
+                                trigger: inst,
+                                raw: pi.raw,
+                                solo: engine.single_block_sequences(len),
+                            },
+                            4,
+                            last,
+                        )
+                    }
+                }
+            }
+        };
+        block.groups.push(Group {
+            pc,
+            fetch_size,
+            first,
+            kind,
+        });
+        if always_exits(last_op) {
+            break;
+        }
+        pc += fetch_size;
+    }
+    block.plan = vec![0; block.ops.len()];
+    block
+}

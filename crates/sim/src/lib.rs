@@ -48,6 +48,7 @@
 //! ```
 
 pub mod arena;
+pub mod block;
 pub mod bpred;
 pub mod cache;
 pub mod machine;
@@ -56,9 +57,10 @@ pub mod pipeline;
 pub mod ring;
 pub mod telemetry;
 
+pub use block::BlockStats;
 pub use bpred::{BpredConfig, BranchPredictor};
 pub use cache::{Cache, CacheConfig, MemoryHierarchy, MemoryHierarchyConfig};
-pub use machine::{DedicatedDict, Machine, MachineConfig, RunResult, StepInfo};
+pub use machine::{parse_block_cache, DedicatedDict, Machine, MachineConfig, RunResult, StepInfo};
 pub use mem::Memory;
 pub use pipeline::{ExpansionCost, SimConfig, SimResult, SimStats, Simulator};
 pub use telemetry::{AnomalyReport, EventRing, StallCause, StatValue, StatsRegistry, TraceEvent, TraceKind};

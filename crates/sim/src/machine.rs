@@ -18,6 +18,7 @@
 //! modeling the dedicated decoder-based decompressor the paper compares
 //! against (§4.2).
 
+use crate::block::{self, BlockCache, BlockStats, GroupKind};
 use crate::mem::Memory;
 use crate::{Result, SimError};
 use dise_core::{DiseEngine, Expansion};
@@ -68,6 +69,16 @@ pub struct MachineConfig {
     /// simulation-speed knob: results, statistics, and error behavior are
     /// bit-identical with it off.
     pub fast_path: bool,
+    /// Use the translated-execution block cache in [`Machine::run`]
+    /// (see [`crate::block`]): basic blocks are translated once into flat
+    /// µop buffers — DISE expansions inlined, operands pre-resolved — and
+    /// executed directly, falling back to per-instruction stepping at
+    /// block exits, faults, and unresolved control flow. Requires
+    /// `fast_path` (blocks are built over the predecode table). Like
+    /// `fast_path`, purely a speed knob: results, statistics, and error
+    /// behavior are bit-identical with it off. Defaults to the
+    /// `DISE_BLOCK_CACHE` environment setting (`on` unless set to `off`).
+    pub block_cache: bool,
 }
 
 impl Default for MachineConfig {
@@ -75,17 +86,51 @@ impl Default for MachineConfig {
         MachineConfig {
             stack_size: 1 << 20,
             fast_path: true,
+            block_cache: block_cache_env(),
         }
     }
 }
 
 impl MachineConfig {
-    /// Disables the fast path (predecode + engine memoization) — used by
-    /// differential tests and honest baseline measurements.
+    /// Disables the fast path (predecode + engine memoization + block
+    /// translation) — used by differential tests and honest baseline
+    /// measurements.
     pub fn slow_path(mut self) -> MachineConfig {
         self.fast_path = false;
+        self.block_cache = false;
         self
     }
+}
+
+/// Parses a `DISE_BLOCK_CACHE` setting: `"on"` enables the translated-
+/// execution block cache, `"off"` disables it (forcing per-instruction
+/// interpretation in [`Machine::run`]).
+///
+/// # Errors
+///
+/// Any other value is rejected with an actionable message.
+pub fn parse_block_cache(v: &str) -> std::result::Result<bool, String> {
+    match v {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        _ => Err(format!(
+            "DISE_BLOCK_CACHE must be \"on\" or \"off\", got {v:?}; unset it to use the default (on)"
+        )),
+    }
+}
+
+/// The process-wide `DISE_BLOCK_CACHE` default (read once). Panics with
+/// the [`parse_block_cache`] message on an invalid setting — a silently
+/// ignored typo would miscredit every benchmark run after it.
+fn block_cache_env() -> bool {
+    static ENV_GATE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENV_GATE.get_or_init(|| match std::env::var("DISE_BLOCK_CACHE") {
+        Ok(v) => match parse_block_cache(&v) {
+            Ok(enabled) => enabled,
+            Err(why) => panic!("{why}"),
+        },
+        Err(_) => true,
+    })
 }
 
 /// What kind of control transfer a retired instruction performed.
@@ -95,6 +140,20 @@ enum Ctrl {
     AppJump(u64),
     DiseJump(u8),
     Halt,
+}
+
+/// Why [`Machine::exec_block`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockExit {
+    /// Control left the block at a fetch boundary — look up the next
+    /// block at the (already updated) PC.
+    Chain,
+    /// Fuel ran out or the machine halted; `(PC, DISEPC, exp)` carry the
+    /// exact resume state.
+    Suspend,
+    /// Execution must continue on the per-instruction path (defensive
+    /// divergence escape).
+    Fallback,
 }
 
 /// Everything the timing model needs to know about one retired dynamic
@@ -222,6 +281,13 @@ pub struct Machine {
     halted: bool,
     total_insts: u64,
     app_insts: u64,
+    /// Whether [`Machine::run`] may use the translated-execution block
+    /// cache (config gate; the cache itself is built lazily).
+    block_cache: bool,
+    /// The translated-block cache, built on first use and dropped when an
+    /// engine or dictionary is (re)attached — translations bake their
+    /// outcomes.
+    blocks: Option<BlockCache>,
 }
 
 impl Machine {
@@ -249,6 +315,8 @@ impl Machine {
             halted: false,
             total_insts: 0,
             app_insts: 0,
+            block_cache: config.fast_path && config.block_cache,
+            blocks: None,
             predecode: config.fast_path.then(|| crate::arena::predecode_for(program)),
             program: program.clone(),
         }
@@ -271,11 +339,16 @@ impl Machine {
                 engine.controller(),
             ));
         }
+        // Blocks translated against the previous engine (or none) baked
+        // its outcomes; drop them.
+        self.blocks = None;
         self.engine = Some(engine);
     }
 
     /// Attaches a dedicated-decompressor dictionary for 2-byte codewords.
     pub fn attach_dedicated(&mut self, dict: DedicatedDict) {
+        // Blocks baked against the previous dictionary are stale.
+        self.blocks = None;
         self.dedicated = Some(dict);
     }
 
@@ -287,6 +360,12 @@ impl Machine {
     /// Mutable access to the attached engine (e.g. to reset statistics).
     pub fn engine_mut(&mut self) -> Option<&mut DiseEngine> {
         self.engine.as_mut()
+    }
+
+    /// Block-cache telemetry (hits / misses / invalidations / fallbacks).
+    /// All zeros when the cache is disabled or was never exercised.
+    pub fn block_stats(&self) -> BlockStats {
+        self.blocks.as_ref().map(|c| c.stats).unwrap_or_default()
     }
 
     /// Reads a register (the zero register reads 0).
@@ -558,30 +637,378 @@ impl Machine {
 
     /// Runs until halt or `max_steps` dynamic instructions.
     ///
+    /// When the block cache is enabled (the default), execution proceeds
+    /// through translated basic blocks wherever the machine sits at a
+    /// fetch boundary (`exp == None`, `DISEPC == 0`), dropping to
+    /// [`Machine::step_into`]-equivalent interpretation everywhere else.
+    /// Results, statistics, error behavior, and the `(PC, DISEPC)` state
+    /// left behind on fuel exhaustion are bit-identical either way.
+    ///
     /// # Errors
     ///
     /// Propagates step errors; returns [`SimError::OutOfFuel`] if the
     /// budget is exhausted first.
     pub fn run(&mut self, max_steps: u64) -> Result<RunResult> {
         let mut out = StepInfo::default();
-        for _ in 0..max_steps {
-            if !self.step_inner::<false>(&mut out)? {
+        let mut fuel = max_steps;
+        let use_blocks = self.block_cache && self.predecode.is_some();
+        loop {
+            if self.halted {
                 return Ok(RunResult {
                     total_insts: self.total_insts,
                     app_insts: self.app_insts,
                     halted: true,
                 });
             }
+            if fuel == 0 {
+                return Err(SimError::OutOfFuel);
+            }
+            if use_blocks
+                && self.exp.is_none()
+                && self.disepc == 0
+                && self.run_blocks(&mut fuel)?
+            {
+                continue;
+            }
+            // Interpret one step: mid-sequence resume points, and PCs the
+            // translator could not bake.
+            if self.step_inner::<false>(&mut out)? {
+                fuel -= 1;
+            }
         }
-        if self.halted {
-            Ok(RunResult {
-                total_insts: self.total_insts,
-                app_insts: self.app_insts,
-                halted: true,
-            })
-        } else {
-            Err(SimError::OutOfFuel)
+    }
+
+    /// Executes translated blocks starting at the current PC until fuel
+    /// runs out, the machine halts or suspends mid-sequence, or control
+    /// reaches a PC with nothing bakeable. Returns `Ok(false)` when the
+    /// caller should interpret one step before retrying the block path
+    /// (the progress guarantee that prevents a fallback-marker livelock).
+    fn run_blocks(&mut self, fuel: &mut u64) -> Result<bool> {
+        let mut cache = match self.blocks.take() {
+            Some(c) => c,
+            None => BlockCache::new(self.predecode.as_ref().expect("gated on predecode")),
+        };
+        let r = self.run_blocks_inner(&mut cache, fuel);
+        self.blocks = Some(cache);
+        r
+    }
+
+    fn run_blocks_inner(&mut self, cache: &mut BlockCache, fuel: &mut u64) -> Result<bool> {
+        loop {
+            if *fuel == 0 || self.halted {
+                return Ok(true);
+            }
+            debug_assert!(self.exp.is_none() && self.disepc == 0);
+            let generation = self.engine.as_ref().map_or(0, |e| e.generation());
+            let Some(slot) = cache.slot(self.pc) else {
+                // Outside the text segment: let `step_inner` produce the
+                // exact fetch error.
+                return Ok(false);
+            };
+            match cache.get(slot) {
+                Some(b) if b.generation == generation => cache.stats.hits += 1,
+                existing => {
+                    if existing.is_some() {
+                        cache.stats.invalidations += 1;
+                    }
+                    cache.stats.misses += 1;
+                    let b = block::translate(
+                        self.predecode.as_ref().expect("gated on predecode"),
+                        self.engine.as_ref(),
+                        self.dedicated.as_ref(),
+                        self.pc,
+                        generation,
+                    );
+                    cache.install(slot, b);
+                }
+            }
+            if cache.get(slot).expect("just installed").groups.is_empty() {
+                cache.stats.fallbacks += 1;
+                return Ok(false);
+            }
+            let (blk, stats) = cache.get_mut(slot).expect("just installed");
+            match self.exec_block(blk, stats, fuel)? {
+                BlockExit::Chain => {}
+                BlockExit::Suspend => return Ok(true),
+                BlockExit::Fallback => return Ok(false),
+            }
         }
+    }
+
+    /// Executes one translated block. Wrapper flushing the pass-through
+    /// inspection credit (the slow path counts one `inspected` per fetched
+    /// instruction; the block path counts locally and flushes on every
+    /// exit, including errors).
+    fn exec_block(
+        &mut self,
+        blk: &mut block::Block,
+        stats: &mut BlockStats,
+        fuel: &mut u64,
+    ) -> Result<BlockExit> {
+        let count_inspected = self.engine.is_some();
+        let mut inspected = 0u64;
+        let r = self.exec_block_inner(blk, stats, fuel, count_inspected, &mut inspected);
+        if inspected > 0 {
+            self.engine
+                .as_mut()
+                .expect("counted only with an engine")
+                .add_inspected(inspected);
+        }
+        r
+    }
+
+    fn exec_block_inner(
+        &mut self,
+        blk: &mut block::Block,
+        stats: &mut BlockStats,
+        fuel: &mut u64,
+        count_inspected: bool,
+        inspected: &mut u64,
+    ) -> Result<BlockExit> {
+        let mut gi = 0usize;
+        while gi < blk.groups.len() {
+            if *fuel == 0 {
+                // Clean fetch boundary: state is exactly the slow path's
+                // after the same number of retired instructions.
+                return Ok(BlockExit::Suspend);
+            }
+            let g = blk.groups[gi];
+            debug_assert_eq!(self.pc, g.pc);
+            match g.kind {
+                GroupKind::Single => {
+                    let inst = blk.ops[g.first as usize];
+                    if count_inspected {
+                        *inspected += 1;
+                    }
+                    let (ctrl, _, _) = self.exec(inst, g.fetch_size)?;
+                    *fuel -= 1;
+                    self.total_insts += 1;
+                    self.app_insts += 1;
+                    match ctrl {
+                        Ctrl::Next => {
+                            self.pc += g.fetch_size;
+                            gi += 1;
+                        }
+                        Ctrl::AppJump(t) => {
+                            self.pc = t;
+                            return Ok(BlockExit::Chain);
+                        }
+                        Ctrl::Halt => {
+                            self.halted = true;
+                            self.exp = None;
+                            return Ok(BlockExit::Suspend);
+                        }
+                        Ctrl::DiseJump(_) => {
+                            unreachable!("translator rejects bare DISE branches")
+                        }
+                    }
+                }
+                GroupKind::Expand {
+                    id,
+                    len,
+                    trigger,
+                    raw,
+                    solo,
+                } => {
+                    let engine = self.engine.as_mut().expect("Expand group needs engine");
+                    let base = g.first as usize;
+                    // Nonzero plan entries replay their RT reference by
+                    // stamping the recorded slot directly — one verify-
+                    // compare against the slot's key instead of a set
+                    // search. Hints self-validate, so a fill that
+                    // replaced the slot just fails the verify and the
+                    // pass re-searches (and re-records) below. Entries
+                    // are recorded lazily, one per executed µop, so
+                    // partially resident or jumpily executed sequences
+                    // still plan the µops they actually run.
+                    let p = blk.plan[base];
+                    if p != 0 && engine.block_expand_stamp(p - 1, id, len) {
+                        stats.planned_groups += 1;
+                    } else {
+                        stats.searched_groups += 1;
+                        // Replay the group-entry inspection (`inspect`'s
+                        // RT reference and statistics); on RT eviction
+                        // model the refill through the live path, exactly
+                        // as the slow path's inspect/stall/re-inspect
+                        // loop would.
+                        match engine.block_expand_hit_slot(id, len) {
+                            // `RT_NO_SLOT` wraps to 0 (= unrecorded): a
+                            // perfect RT has no slots to stamp, so it
+                            // keeps the searching path.
+                            Some(slot) => blk.plan[base] = slot.wrapping_add(1),
+                            None => loop {
+                                match engine.inspect_decoded(&trigger, raw) {
+                                    Expansion::Miss { .. } => continue,
+                                    Expansion::Expand { id: i2, len: l2 } => {
+                                        debug_assert_eq!((i2, l2), (id, len));
+                                        break;
+                                    }
+                                    Expansion::Fault { .. } => {
+                                        return Err(SimError::UnexpandedCodeword {
+                                            pc: self.pc,
+                                        });
+                                    }
+                                    Expansion::None => {
+                                        // A baked outcome diverging under
+                                        // an unchanged generation is
+                                        // impossible by construction;
+                                        // degrade to the interpreter
+                                        // rather than guess.
+                                        debug_assert!(false, "baked expansion diverged");
+                                        return Ok(BlockExit::Fallback);
+                                    }
+                                }
+                            },
+                        }
+                    }
+                    let mut d: u8 = 0;
+                    loop {
+                        // Per-µop RT reference replay (skipped for
+                        // single-block sequences — the entry touch above
+                        // already was the whole reference string); on
+                        // eviction the live fetch models the refill miss
+                        // (and returns the same instruction the
+                        // translator baked).
+                        let inst = if solo {
+                            blk.ops[base + d as usize]
+                        } else {
+                            let engine =
+                                self.engine.as_mut().expect("Expand group needs engine");
+                            let p = blk.plan[base + d as usize];
+                            if p != 0 && engine.block_replacement_stamp(p - 1, id, d) {
+                                blk.ops[base + d as usize]
+                            } else if let Some(slot) = engine.block_replacement_hit_slot(id, d)
+                            {
+                                blk.plan[base + d as usize] = slot.wrapping_add(1);
+                                blk.ops[base + d as usize]
+                            } else {
+                                match engine.fetch_replacement_decoded(id, d, &trigger, raw, g.pc)
+                                {
+                                    Ok(i) => {
+                                        debug_assert_eq!(i, blk.ops[base + d as usize]);
+                                        i
+                                    }
+                                    Err(e) => {
+                                        self.disepc = d;
+                                        self.exp = Some(ExpState::Dise {
+                                            id,
+                                            len,
+                                            trigger,
+                                            raw: Some(raw),
+                                        });
+                                        return Err(e.into());
+                                    }
+                                }
+                            }
+                        };
+                        let (ctrl, _, _) = self.exec(inst, g.fetch_size)?;
+                        *fuel -= 1;
+                        self.total_insts += 1;
+                        if d == 0 {
+                            self.app_insts += 1;
+                        }
+                        match ctrl {
+                            Ctrl::Next => {
+                                if d + 1 < len {
+                                    d += 1;
+                                    if *fuel == 0 {
+                                        self.disepc = d;
+                                        self.exp = Some(ExpState::Dise {
+                                            id,
+                                            len,
+                                            trigger,
+                                            raw: Some(raw),
+                                        });
+                                        return Ok(BlockExit::Suspend);
+                                    }
+                                } else {
+                                    self.pc += g.fetch_size;
+                                    gi += 1;
+                                    break;
+                                }
+                            }
+                            Ctrl::DiseJump(ix) => {
+                                debug_assert!(ix < len, "bake-checked target");
+                                d = ix;
+                                if *fuel == 0 {
+                                    self.disepc = d;
+                                    self.exp = Some(ExpState::Dise {
+                                        id,
+                                        len,
+                                        trigger,
+                                        raw: Some(raw),
+                                    });
+                                    return Ok(BlockExit::Suspend);
+                                }
+                            }
+                            Ctrl::AppJump(t) => {
+                                self.pc = t;
+                                return Ok(BlockExit::Chain);
+                            }
+                            Ctrl::Halt => {
+                                // The slow path leaves DISEPC at the halt
+                                // site (it only clears `exp`).
+                                self.halted = true;
+                                self.disepc = d;
+                                self.exp = None;
+                                return Ok(BlockExit::Suspend);
+                            }
+                        }
+                    }
+                }
+                GroupKind::Dedicated { ix: dict_ix, len } => {
+                    let base = g.first as usize;
+                    let mut d: u8 = 0;
+                    loop {
+                        let inst = blk.ops[base + d as usize];
+                        let (ctrl, _, _) = self.exec(inst, g.fetch_size)?;
+                        *fuel -= 1;
+                        self.total_insts += 1;
+                        if d == 0 {
+                            self.app_insts += 1;
+                        }
+                        match ctrl {
+                            Ctrl::Next => {
+                                if d + 1 < len {
+                                    d += 1;
+                                    if *fuel == 0 {
+                                        self.disepc = d;
+                                        self.exp = Some(ExpState::Dedicated { ix: dict_ix });
+                                        return Ok(BlockExit::Suspend);
+                                    }
+                                } else {
+                                    self.pc += g.fetch_size;
+                                    gi += 1;
+                                    break;
+                                }
+                            }
+                            Ctrl::DiseJump(j) => {
+                                debug_assert!(j < len, "bake-checked target");
+                                d = j;
+                                if *fuel == 0 {
+                                    self.disepc = d;
+                                    self.exp = Some(ExpState::Dedicated { ix: dict_ix });
+                                    return Ok(BlockExit::Suspend);
+                                }
+                            }
+                            Ctrl::AppJump(t) => {
+                                self.pc = t;
+                                return Ok(BlockExit::Chain);
+                            }
+                            Ctrl::Halt => {
+                                self.halted = true;
+                                self.disepc = d;
+                                self.exp = None;
+                                return Ok(BlockExit::Suspend);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Fell off the block's end: PC already advanced past the last
+        // group — chain into the next block.
+        Ok(BlockExit::Chain)
     }
 
     /// Executes one instruction's semantics, returning control outcome,

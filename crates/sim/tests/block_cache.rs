@@ -1,0 +1,320 @@
+//! Differential fuzz tests for the translated-execution block cache.
+//!
+//! The block cache is a pure simulation-speed device: translated blocks
+//! must replay the interpreter bit-for-bit, including every engine
+//! statistic and RT LRU decision. These tests interleave the events that
+//! invalidate translations — aware production (re)installs, context
+//! switches, interrupts mid-expansion — with block re-entry, and demand
+//! identical behavior between the default machine (block cache on) and
+//! the slow-path reference interpreter.
+
+use dise_core::pattern::Pattern;
+use dise_core::spec::{ImmDirective, InstSpec, OpDirective, RegDirective, ReplacementSpec};
+use dise_core::{DiseEngine, EngineConfig, RtOrganization};
+use dise_isa::{Assembler, Op, OpClass, Program, Reg};
+use dise_sim::{parse_block_cache, Machine, MachineConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A looping workload that mixes plain ALU work, memory traffic (expanded
+/// transparently), and codewords under every aware `(cw_op, tag)` pair the
+/// fuzz schedule reinstalls.
+fn program() -> Program {
+    Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+        .assemble(
+            "       lda r1, 400(r31)
+             loop:  addq r9, r1, r9
+                    cw0 r9, r3, r4, tag=1
+                    stq r9, 0(r10)
+                    ldq r5, 0(r10)
+                    cw0 r5, r6, r7, tag=2
+                    sll r5, #3, r6
+                    cw1 r3, r5, r6, tag=1
+                    subq r1, #1, r1
+                    stl r6, 8(r10)
+                    cw2 r1, r9, r5, tag=0
+                    bne r1, loop
+                    halt",
+        )
+        .unwrap()
+}
+
+/// The aware `(cw_op, tag)` pairs the program triggers.
+const AWARE_PAIRS: [(Op, u16); 4] = [
+    (Op::Cw0, 1),
+    (Op::Cw0, 2),
+    (Op::Cw1, 1),
+    (Op::Cw2, 0),
+];
+
+/// A random aware replacement sequence. Sources may read codeword
+/// parameters; destinations come from a pool the loop control never
+/// reads, so a reinstalled production changes observable dataflow without
+/// ever hanging the workload.
+fn aware_spec(rng: &mut StdRng) -> ReplacementSpec {
+    const OPS: [Op; 6] = [Op::Srl, Op::Addq, Op::Xor, Op::Subq, Op::Sll, Op::Cmpeq];
+    let len = rng.gen_range(1..=4);
+    let insts = (0..len)
+        .map(|_| {
+            let src = |rng: &mut StdRng| {
+                if rng.gen_bool_fair() {
+                    RegDirective::Param(rng.gen_range(0..3u8))
+                } else {
+                    RegDirective::Literal(Reg::r(rng.gen_range(16..28u8)))
+                }
+            };
+            InstSpec::Templated {
+                op: OpDirective::Literal(OPS[rng.gen_range(0..OPS.len())]),
+                ra: src(rng),
+                rb: src(rng),
+                rc: RegDirective::Literal(Reg::r(rng.gen_range(16..28u8))),
+                imm: ImmDirective::Literal(rng.gen_range(0..64)),
+                uses_lit: rng.gen_bool_fair(),
+                dise_branch: false,
+            }
+        })
+        .collect();
+    ReplacementSpec::new(insts)
+}
+
+/// Transparent store protection (an MFI-flavored production): one
+/// templated instruction plus the trigger, so every store becomes a
+/// 2-instruction replacement sequence.
+fn store_spec() -> ReplacementSpec {
+    ReplacementSpec::new(vec![
+        InstSpec::Templated {
+            op: OpDirective::Literal(Op::Srl),
+            ra: RegDirective::TriggerRs,
+            rb: RegDirective::Literal(Reg::ZERO),
+            rc: RegDirective::Literal(Reg::dr(1)),
+            imm: ImmDirective::Literal(26),
+            uses_lit: true,
+            dise_branch: false,
+        },
+        InstSpec::Trigger,
+    ])
+}
+
+/// Builds one machine over `p` with a freshly seeded production set.
+/// `slow` selects the reference interpreter (no predecode, no block
+/// cache, no engine fast path).
+fn machine(p: &Program, econfig: EngineConfig, rng: &mut StdRng, slow: bool) -> Machine {
+    let mconfig = if slow {
+        MachineConfig::default().slow_path()
+    } else {
+        MachineConfig::default()
+    };
+    let econfig = if slow { econfig.slow_path() } else { econfig };
+    let mut engine = DiseEngine::new(econfig);
+    engine
+        .install_transparent(Pattern::opclass(OpClass::Store), store_spec())
+        .unwrap();
+    for (cw, tag) in AWARE_PAIRS {
+        engine.install_aware(cw, tag, aware_spec(rng)).unwrap();
+    }
+    let mut m = Machine::with_config(p, mconfig);
+    m.attach_engine(engine);
+    m.set_reg(Reg::r(10), Program::segment_base(Program::DATA_SEGMENT));
+    m
+}
+
+/// One fuzzed event, pre-generated so both machines see the identical
+/// schedule.
+#[derive(Debug)]
+enum Action {
+    Run(u64),
+    Step(u8),
+    Interrupt,
+    ContextSwitch,
+    InstallAware(Op, u16, ReplacementSpec),
+}
+
+fn schedule(rng: &mut StdRng, rounds: usize) -> Vec<Action> {
+    (0..rounds)
+        .map(|_| match rng.gen_range(0..100u32) {
+            0..=49 => Action::Run(rng.gen_range(1..40)),
+            50..=64 => Action::Step(rng.gen_range(1..6)),
+            65..=74 => Action::Interrupt,
+            75..=84 => Action::ContextSwitch,
+            _ => {
+                let (cw, tag) = AWARE_PAIRS[rng.gen_range(0..AWARE_PAIRS.len())];
+                Action::InstallAware(cw, tag, aware_spec(rng))
+            }
+        })
+        .collect()
+}
+
+/// Applies one action and folds every observable outcome into a string so
+/// success, error kinds, and step traces all participate in the
+/// comparison.
+fn apply(m: &mut Machine, a: &Action) -> String {
+    match a {
+        Action::Run(fuel) => format!("{:?}", m.run(*fuel)),
+        Action::Step(n) => {
+            let mut out = String::new();
+            for _ in 0..*n {
+                out.push_str(&format!("{:?};", m.step()));
+            }
+            out
+        }
+        Action::Interrupt => {
+            m.interrupt();
+            String::new()
+        }
+        Action::ContextSwitch => {
+            m.engine_mut().unwrap().context_switch();
+            String::new()
+        }
+        Action::InstallAware(cw, tag, spec) => {
+            format!("{:?}", m.engine_mut().unwrap().install_aware(*cw, *tag, spec.clone()))
+        }
+    }
+}
+
+fn arch_state(m: &Machine) -> Vec<u64> {
+    (0..48).map(|i| m.reg(Reg::from_index(i))).collect()
+}
+
+/// Runs one seeded schedule against a (block-cache, slow-path) machine
+/// pair under `econfig`, comparing all observable state after every
+/// action, then runs both to halt.
+fn fuzz_one(seed: u64, econfig: EngineConfig) {
+    let p = program();
+    // Separate, identically seeded generators: machine construction
+    // consumes randomness for the initial production set, and the
+    // schedule must be byte-identical for both machines.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fast = machine(&p, econfig, &mut StdRng::seed_from_u64(!seed), false);
+    let mut slow = machine(&p, econfig, &mut StdRng::seed_from_u64(!seed), true);
+
+    for (i, action) in schedule(&mut rng, 60).iter().enumerate() {
+        let of = apply(&mut fast, action);
+        let os = apply(&mut slow, action);
+        let ctx = |what: &str| format!("seed {seed}, round {i} ({action:?}): {what} diverged");
+        assert_eq!(of, os, "{}", ctx("action outcome"));
+        assert_eq!(fast.pc(), slow.pc(), "{}", ctx("PC:DISEPC"));
+        assert_eq!(fast.inst_counts(), slow.inst_counts(), "{}", ctx("inst counts"));
+        assert_eq!(arch_state(&fast), arch_state(&slow), "{}", ctx("registers"));
+        assert_eq!(
+            fast.engine().unwrap().stats(),
+            slow.engine().unwrap().stats(),
+            "{}",
+            ctx("engine stats")
+        );
+    }
+
+    // A reinstall may have shrunk a sequence below a suspended DISEPC
+    // (resuming then reports an out-of-range fetch — identically on both
+    // machines, but never halting); restart the trigger from DISEPC 0
+    // like an OS handler would before the final run.
+    assert_eq!(fast.pc(), slow.pc(), "seed {seed}: pre-restart PC:DISEPC");
+    assert_eq!(fast.halted(), slow.halted(), "seed {seed}: halt state");
+    if !fast.halted() {
+        let (pc, _) = fast.pc();
+        fast.set_pc(pc);
+        slow.set_pc(pc);
+    }
+    let rf = fast.run(2_000_000);
+    let rs = slow.run(2_000_000);
+    assert_eq!(
+        format!("{rf:?}"),
+        format!("{rs:?}"),
+        "seed {seed}: final RunResult diverged"
+    );
+    assert!(rf.unwrap().halted, "seed {seed}: machines did not halt");
+    assert_eq!(arch_state(&fast), arch_state(&slow), "seed {seed}: final registers");
+    assert_eq!(
+        fast.engine().unwrap().stats(),
+        slow.engine().unwrap().stats(),
+        "seed {seed}: final engine stats"
+    );
+
+    // The point of the exercise: translation actually happened, and the
+    // invalidation events actually hit installed blocks.
+    let bs = fast.block_stats();
+    assert!(bs.hits > 0, "seed {seed}: block cache never hit");
+    assert!(bs.misses > 0, "seed {seed}: block cache never translated");
+    assert!(
+        bs.invalidations > 0,
+        "seed {seed}: generation bumps never invalidated a block"
+    );
+    let slow_bs = slow.block_stats();
+    assert_eq!(slow_bs.hits + slow_bs.misses, 0, "slow path must not use blocks");
+}
+
+#[test]
+fn fuzz_small_two_way_rt() {
+    let cfg = EngineConfig {
+        rt_entries: 16,
+        rt_org: RtOrganization::SetAssociative(2),
+        ..EngineConfig::default()
+    };
+    for seed in 0..6 {
+        fuzz_one(seed, cfg);
+    }
+}
+
+#[test]
+fn fuzz_direct_mapped_rt() {
+    let cfg = EngineConfig {
+        rt_entries: 8,
+        rt_org: RtOrganization::DirectMapped,
+        ..EngineConfig::default()
+    };
+    for seed in 10..16 {
+        fuzz_one(seed, cfg);
+    }
+}
+
+#[test]
+fn fuzz_blocked_rt() {
+    let cfg = EngineConfig {
+        rt_entries: 32,
+        rt_org: RtOrganization::SetAssociative(2),
+        rt_block: 2,
+        ..EngineConfig::default()
+    };
+    for seed in 20..26 {
+        fuzz_one(seed, cfg);
+    }
+}
+
+#[test]
+fn fuzz_perfect_rt() {
+    for seed in 30..36 {
+        fuzz_one(seed, EngineConfig::default().perfect_rt());
+    }
+}
+
+/// Every suspension point must be identical: run matched machine pairs on
+/// each fuel value crossing the first loop iterations and compare the
+/// mid-sequence resume state (PC, DISEPC, registers, counts).
+#[test]
+fn suspension_state_identical_per_fuel() {
+    let p = program();
+    for fuel in 1..=80u64 {
+        let mut rng_f = StdRng::seed_from_u64(7);
+        let mut rng_s = StdRng::seed_from_u64(7);
+        let mut fast = machine(&p, EngineConfig::default(), &mut rng_f, false);
+        let mut slow = machine(&p, EngineConfig::default(), &mut rng_s, true);
+        let rf = format!("{:?}", fast.run(fuel));
+        let rs = format!("{:?}", slow.run(fuel));
+        assert_eq!(rf, rs, "fuel {fuel}: run outcome");
+        assert_eq!(fast.pc(), slow.pc(), "fuel {fuel}: PC:DISEPC");
+        assert_eq!(fast.inst_counts(), slow.inst_counts(), "fuel {fuel}: counts");
+        assert_eq!(arch_state(&fast), arch_state(&slow), "fuel {fuel}: registers");
+    }
+}
+
+#[test]
+fn env_toggle_parses_strictly() {
+    assert_eq!(parse_block_cache("on"), Ok(true));
+    assert_eq!(parse_block_cache("off"), Ok(false));
+    for bad in ["", "1", "0", "true", "false", "ON", "Off", "yes"] {
+        let err = parse_block_cache(bad).unwrap_err();
+        assert!(
+            err.contains("DISE_BLOCK_CACHE") && err.contains("\"on\" or \"off\""),
+            "unhelpful error for {bad:?}: {err}"
+        );
+    }
+}

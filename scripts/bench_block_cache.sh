@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Measures the translated-execution block cache against a pre-block-cache
+# baseline build.
+#
+# Checks the given commit (default: HEAD — pass the commit *before* the
+# block cache landed, e.g. HEAD~1 once it is merged) into a scratch
+# worktree, builds that tree's sim_speed harness, and runs it next to the
+# current tree's harness twice: once with the block cache at its default
+# (on) and once with DISE_BLOCK_CACHE=off (the ablation shows how much of
+# the win is the block cache itself versus other changes since the
+# baseline). All three runs use the fast-path KIPS figures — the baseline
+# build's *best* configuration — so the reported speedup is build vs
+# build, not fast vs slow.
+#
+#   ./scripts/bench_block_cache.sh <pre-block-cache-commit>
+#
+# DISE_BENCH_DYN / DISE_BENCH_FILTER pass through to every run (keep them
+# identical or the insts cross-check fails). DISE_BENCH_REPS raises the
+# best-of count for the current tree's runs (the baseline harness has a
+# fixed best-of-3). DISE_BENCH_JOBS defaults to 1 here: rate measurements
+# contend for the machine at higher job counts.
+#
+# Writes results/BENCH_block_cache.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WT=.blockwt
+BASE_COMMIT=$(git rev-parse "${1:-HEAD}")
+
+export DISE_BENCH_JOBS="${DISE_BENCH_JOBS:-1}"
+export DISE_BENCH_REPS="${DISE_BENCH_REPS:-5}"
+
+if [ ! -d "$WT" ]; then
+    git worktree add "$WT" "$BASE_COMMIT"
+fi
+(cd "$WT" && cargo build --release -p dise-bench --bin sim_speed)
+cargo build --release -p dise-bench --bin sim_speed
+
+mkdir -p results
+base_json=$PWD/results/.block_cache_base.json
+head_json=$PWD/results/.block_cache_head.json
+off_json=$PWD/results/.block_cache_off.json
+
+echo "== baseline build ($BASE_COMMIT) =="
+(cd "$WT" && DISE_BENCH_OUT="$base_json" ./target/release/sim_speed)
+echo "== current build, block cache on =="
+DISE_BENCH_OUT="$head_json" ./target/release/sim_speed
+echo "== current build, block cache off =="
+DISE_BLOCK_CACHE=off DISE_BENCH_OUT="$off_json" ./target/release/sim_speed
+
+jq -n \
+    --slurpfile base "$base_json" \
+    --slurpfile head "$head_json" \
+    --slurpfile off "$off_json" \
+    --arg commit "$BASE_COMMIT" '
+    def runs(f): [f[0].benchmarks[].runs[] | select(.scenario != "baseline")];
+    def secs(f): [runs(f)[] | .insts / (.kips_fast * 1000)] | add;
+    def insts(f): [runs(f)[] | .insts] | add;
+    def agg(f; n): f[0].aggregate[] | select(.scenario == n) | .kips_fast;
+    if insts($base) != insts($head) or insts($head) != insts($off) then
+        error("dynamic instruction counts diverged between builds — rerun all three with identical DISE_BENCH_DYN/FILTER")
+    else {
+        bench: "block_cache",
+        base_commit: $commit,
+        headline_speedup: ((secs($base) / secs($head)) * 1000 | round / 1000),
+        headline: "engine-attached aggregate KIPS, this build (block cache on) vs baseline build fast path",
+        engine_insts: insts($head),
+        scenarios: [$head[0].aggregate[].scenario as $n | {
+            scenario: $n,
+            kips_base: agg($base; $n),
+            kips_block_off: agg($off; $n),
+            kips_block: agg($head; $n),
+            speedup_vs_base: ((agg($head; $n) / agg($base; $n)) * 1000
+                              | round / 1000),
+        }]
+    } end' > results/BENCH_block_cache.json
+
+cat results/BENCH_block_cache.json
+echo "wrote results/BENCH_block_cache.json (baseline $BASE_COMMIT)"
+echo "remove the scratch worktree with: git worktree remove --force $WT"

@@ -40,6 +40,23 @@ echo "== ci: shadow smoke cell ($(date)) =="
 DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc DISE_BENCH_CACHE=off \
     DISE_BENCH_JOBS=2 ./target/release/fig6_mfi top --shadow > /dev/null
 
+echo "== ci: block-cache ablation ($(date)) =="
+# The translated-execution block cache is a pure speed device: one
+# smoke cell with DISE_BLOCK_CACHE=off must produce byte-identical
+# stats-JSON to the default (block cache on). Fresh cache dirs on both
+# sides — a warm cell would replay cached stats without simulating.
+BLKTMP=$(mktemp -d)
+DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc DISE_BENCH_JOBS=2 \
+    DISE_BENCH_CACHE="$BLKTMP/on" \
+    ./target/release/fig6_mfi top --stats-json "$BLKTMP/on.json" > /dev/null
+DISE_BLOCK_CACHE=off DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc \
+    DISE_BENCH_JOBS=2 DISE_BENCH_CACHE="$BLKTMP/off" \
+    ./target/release/fig6_mfi top --stats-json "$BLKTMP/off.json" > /dev/null
+cmp "$BLKTMP/on.json" "$BLKTMP/off.json" || {
+    echo "block-cache-off stats-JSON diverged from the default build"
+    rm -rf "$BLKTMP"; exit 1; }
+rm -rf "$BLKTMP"
+
 echo "== ci: serve round-trip ($(date)) =="
 # The service must produce the same stats-JSON, byte for byte, as the
 # figure binary running the same cells directly — with heartbeat,
