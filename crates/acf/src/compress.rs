@@ -1,6 +1,6 @@
 //! Dynamic code (de)compression (paper §3.2, Figure 4; evaluated §4.2).
 //!
-//! A greedy dictionary compressor in the style the paper adopts from
+//! A dictionary compressor in the style the paper adopts from
 //! decoder-based decompression \[20\], extended with the two DISE-specific
 //! features the paper highlights:
 //!
@@ -20,13 +20,72 @@
 //! baseline (2-byte codewords, single-instruction compression,
 //! unparameterized entries) and the intermediate configurations of
 //! Figure 7's feature walk.
+//!
+//! Two codeword-selection algorithms are provided (see [`SelectAlgo`]):
+//!
+//! * **v1** — the paper's single-pass greedy: enumerate every in-block
+//!   window, then lazily re-evaluated greedy entry selection with
+//!   first-fit instance claiming.
+//! * **v2** (default) — iterative pair-merge (BPE/RePair-style) candidate
+//!   growth plus a full-frequency sweep, a longest-prefix-match pass
+//!   enumerating every candidate occurrence, and a per-block
+//!   weighted-interval dynamic program that picks the best
+//!   non-conflicting cover for the chosen entry set, refined by a
+//!   prune/grow fixpoint over the dictionary itself.
+//!
+//! `DISE_ACF_SELECT=v1|v2` picks the process-wide default the named
+//! constructors use; [`CompressionConfig::with_select`] pins it per
+//! configuration.
 
 use crate::{AcfError, Result};
 use dise_core::{ImmDirective, InstSpec, OpDirective, ProductionSet, RegDirective, ReplacementSpec};
 use dise_isa::reloc::{NewItem, Relocator};
 use dise_isa::{Cfg, Inst, Op, OpClass, Program, TextItem};
+use dise_sim::telemetry::StatsRegistry;
 use dise_sim::DedicatedDict;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Which codeword-selection algorithm [`Compressor::compress`] runs. See
+/// the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectAlgo {
+    /// Single-pass window enumeration + lazy-greedy first-fit claiming
+    /// (the paper's \[20\]-style selection).
+    V1,
+    /// Pair-merge candidate growth + LPM occurrence index + per-block
+    /// DP cover with dictionary prune/grow refinement.
+    V2,
+}
+
+/// Parses a `DISE_ACF_SELECT` setting: `"v1"` selects the single-pass
+/// greedy algorithm, `"v2"` the pair-merge/DP-cover algorithm.
+///
+/// # Errors
+///
+/// Any other value is rejected with an actionable message.
+pub fn parse_select(v: &str) -> std::result::Result<SelectAlgo, String> {
+    match v {
+        "v1" => Ok(SelectAlgo::V1),
+        "v2" => Ok(SelectAlgo::V2),
+        _ => Err(format!(
+            "DISE_ACF_SELECT must be \"v1\" or \"v2\", got {v:?}; unset it to use the default (v2)"
+        )),
+    }
+}
+
+/// The process-wide `DISE_ACF_SELECT` default (read once). Panics with
+/// the [`parse_select`] message on an invalid setting — a silently
+/// ignored typo would miscredit every compression ratio after it.
+fn select_env() -> SelectAlgo {
+    static ENV_SELECT: std::sync::OnceLock<SelectAlgo> = std::sync::OnceLock::new();
+    *ENV_SELECT.get_or_init(|| match std::env::var("DISE_ACF_SELECT") {
+        Ok(v) => match parse_select(&v) {
+            Ok(algo) => algo,
+            Err(why) => panic!("{why}"),
+        },
+        Err(_) => SelectAlgo::V2,
+    })
+}
 
 /// Compressor configuration. Use the named constructors for the paper's
 /// Figure 7 configurations.
@@ -53,8 +112,12 @@ pub struct CompressionConfig {
     /// Dictionary cost per replacement instruction (4 plain, 8 with
     /// instantiation directives — paper §4.2).
     pub entry_bytes_per_inst: u64,
-    /// Maximum dictionary entries (11-bit tags → 2048).
+    /// Maximum dictionary entries. Checked against
+    /// [`CompressionConfig::entry_cap`] at compression time.
     pub max_entries: usize,
+    /// Codeword-selection algorithm (named constructors default from
+    /// `DISE_ACF_SELECT`).
+    pub select: SelectAlgo,
 }
 
 impl CompressionConfig {
@@ -72,6 +135,7 @@ impl CompressionConfig {
             allow_jumps: false,
             entry_bytes_per_inst: 4,
             max_entries: 2048,
+            select: select_env(),
         }
     }
 
@@ -121,6 +185,27 @@ impl CompressionConfig {
         }
     }
 
+    /// This configuration with an explicit selection algorithm (the named
+    /// constructors default to the `DISE_ACF_SELECT` setting).
+    pub fn with_select(self, select: SelectAlgo) -> CompressionConfig {
+        CompressionConfig { select, ..self }
+    }
+
+    /// Hard cap on dictionary entries the codeword format can address.
+    /// Both formats carry an 11-bit dictionary index — 2-byte short
+    /// codewords pack it after the `0xF8` escape byte, 4-byte DISE
+    /// codewords in the tag field — so both address 2048 entries; the cap
+    /// is derived per format so an asymmetric encoding changes it in one
+    /// place.
+    pub fn entry_cap(&self) -> usize {
+        if self.two_byte_codewords {
+            dise_isa::encode::MAX_SHORT_INDEX as usize + 1
+        } else {
+            // 4-byte codeword tag field: 11 bits.
+            1 << 11
+        }
+    }
+
     /// Codeword size in bytes.
     fn cw_bytes(&self) -> u64 {
         if self.two_byte_codewords {
@@ -146,6 +231,11 @@ pub struct CompressionStats {
     pub instances: u64,
     /// Static instructions removed from the text.
     pub insts_removed: u64,
+    /// Fixed slot stride (in µops) of the dense dictionary arena the
+    /// entries expand from — the longest selected entry.
+    pub arena_stride: usize,
+    /// µops actually occupying arena slots (the sum of entry lengths).
+    pub arena_uops: u64,
 }
 
 impl CompressionStats {
@@ -159,6 +249,36 @@ impl CompressionStats {
     /// full Figure 7 stack.
     pub fn total_ratio(&self) -> f64 {
         (self.compressed_text + self.dictionary_bytes) as f64 / self.original_text.max(1) as f64
+    }
+
+    /// Fraction of the fixed-stride dictionary arena occupied by real
+    /// µops (1.0 when every entry is exactly stride-long, 0.0 with no
+    /// entries).
+    pub fn arena_occupancy(&self) -> f64 {
+        let slots = self.entries as u64 * self.arena_stride as u64;
+        if slots == 0 {
+            0.0
+        } else {
+            self.arena_uops as f64 / slots as f64
+        }
+    }
+
+    /// The static counters as a telemetry registry (`acf.compress.*`),
+    /// mergeable into a cell's simulation stats.
+    pub fn registry(&self) -> StatsRegistry {
+        let mut r = StatsRegistry::new();
+        r.count("acf.compress.original_text_bytes", self.original_text);
+        r.count("acf.compress.compressed_text_bytes", self.compressed_text);
+        r.count("acf.compress.dictionary_bytes", self.dictionary_bytes);
+        r.count("acf.compress.entries", self.entries as u64);
+        r.count("acf.compress.instances", self.instances);
+        r.count("acf.compress.insts_removed", self.insts_removed);
+        r.count("acf.compress.arena_stride_uops", self.arena_stride as u64);
+        r.count("acf.compress.arena_uops", self.arena_uops);
+        r.value("acf.compress.arena_occupancy", self.arena_occupancy());
+        r.value("acf.compress.code_ratio", self.code_ratio());
+        r.value("acf.compress.total_ratio", self.total_ratio());
+        r
     }
 }
 
@@ -221,7 +341,15 @@ struct ShapeData {
     instances: Vec<Instance>,
 }
 
-/// The greedy dictionary compressor. See the module docs.
+/// A chosen dictionary: the canonical shape table plus, per selected
+/// entry, its tag and the claimed (non-overlapping) instances.
+type Selection = (Vec<(Vec<InstSpec>, ShapeData)>, Vec<(u16, usize, Vec<Instance>)>);
+
+/// One block's optimal cover under the active entry set: the realized
+/// byte savings and the placed instances as (position, length, shape id).
+type BlockCover = (i64, Vec<(usize, u32, u32)>);
+
+/// The dictionary compressor. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Compressor {
     config: CompressionConfig,
@@ -237,11 +365,22 @@ impl Compressor {
     ///
     /// # Errors
     ///
-    /// Fails on malformed input programs (undecodable text, already
+    /// Fails if `max_entries` exceeds what the codeword format can
+    /// address, on malformed input programs (undecodable text, already
     /// compressed) or if a patched branch parameter overflows (cannot
     /// happen for shrink-only transformations; reported defensively).
     pub fn compress(&self, program: &Program) -> Result<CompressedProgram> {
         let cfg = &self.config;
+        if cfg.max_entries > cfg.entry_cap() {
+            return Err(AcfError::Compress(format!(
+                "CompressionConfig::max_entries is {} but {}-byte codewords index at most {} \
+                 dictionary entries (11-bit tags); lower max_entries to {} or fewer",
+                cfg.max_entries,
+                cfg.cw_bytes(),
+                cfg.entry_cap(),
+                cfg.entry_cap()
+            )));
+        }
         let graph = Cfg::build(program)?;
         let insts: Vec<(u64, Inst)> = graph
             .blocks
@@ -249,111 +388,10 @@ impl Compressor {
             .flat_map(|b| b.insts.iter().copied())
             .collect();
 
-        // ---- enumerate candidates -------------------------------------
-        let mut shapes: HashMap<Vec<InstSpec>, ShapeData> = HashMap::new();
-        let mut idx_base = 0usize;
-        for block in &graph.blocks {
-            let n = block.insts.len();
-            for start in 0..n {
-                for len in cfg.min_seq_len..=cfg.max_seq_len.min(n - start) {
-                    let window = &block.insts[start..start + len];
-                    if let Some((specs, instance)) =
-                        self.shape_of(window, idx_base + start)
-                    {
-                        let data = shapes.entry(specs).or_default();
-                        data.len = len;
-                        data.instances.push(instance);
-                    }
-                }
-            }
-            idx_base += n;
-        }
-        let mut shape_list: Vec<(Vec<InstSpec>, ShapeData)> = shapes.into_iter().collect();
-        // Deterministic order for reproducible dictionaries.
-        shape_list.sort_by_key(|(_, d)| {
-            (
-                usize::MAX - d.len,
-                usize::MAX - d.instances.len(),
-                d.instances.first().map(|i| i.pc).unwrap_or(0),
-            )
-        });
-        for (_, d) in &mut shape_list {
-            d.parameterized = d.len > 0;
-            d.instances.sort_by_key(|i| i.start);
-        }
-
-        // ---- greedy selection (lazy re-evaluation) ---------------------
-        let mut claimed = vec![false; insts.len()];
-        let cw_bytes = cfg.cw_bytes();
-        let profit_of = |data: &ShapeData, claimed: &[bool]| -> (i64, u64) {
-            let mut k = 0u64;
-            let mut next_free = 0usize;
-            for inst in &data.instances {
-                if inst.start < next_free {
-                    continue; // overlaps an instance already counted
-                }
-                if claimed[inst.start..inst.start + data.len].iter().any(|c| *c) {
-                    continue;
-                }
-                k += 1;
-                next_free = inst.start + data.len;
-            }
-            let param_entry = {
-                // Entry cost: parameterized entries cost 8 bytes per
-                // instruction; plain ones cfg.entry_bytes_per_inst.
-                cfg.entry_bytes_per_inst
-            };
-            let saving = k as i64 * (data.len as i64 * 4 - cw_bytes as i64);
-            let cost = data.len as i64 * param_entry as i64;
-            (saving - cost, k)
+        let (shape_list, selected) = match cfg.select {
+            SelectAlgo::V1 => self.select_v1(&graph, insts.len()),
+            SelectAlgo::V2 => self.select_v2(&graph, &insts),
         };
-
-        let mut heap: BinaryHeap<(i64, usize)> = shape_list
-            .iter()
-            .enumerate()
-            .map(|(i, (_, d))| (profit_of(d, &claimed).0, i))
-            .filter(|(p, _)| *p > 0)
-            .collect();
-        let mut selected: Vec<(u16, usize, Vec<Instance>)> = Vec::new(); // (tag, shape idx, claimed instances)
-        while selected.len() < cfg.max_entries {
-            let Some((stale_profit, sid)) = heap.pop() else {
-                break;
-            };
-            let (profit, _) = profit_of(&shape_list[sid].1, &claimed);
-            if profit <= 0 {
-                continue;
-            }
-            if profit < stale_profit {
-                // Re-insert with the refreshed profit unless it still beats
-                // the next-best candidate.
-                if let Some((next_best, _)) = heap.peek() {
-                    if profit < *next_best {
-                        heap.push((profit, sid));
-                        continue;
-                    }
-                }
-            }
-            // Claim this shape's non-overlapping unclaimed instances.
-            let data = &shape_list[sid].1;
-            let mut taken = Vec::new();
-            let mut next_free = 0usize;
-            for inst in &data.instances {
-                if inst.start < next_free
-                    || claimed[inst.start..inst.start + data.len].iter().any(|c| *c)
-                {
-                    continue;
-                }
-                taken.push(*inst);
-                next_free = inst.start + data.len;
-            }
-            for inst in &taken {
-                for c in &mut claimed[inst.start..inst.start + data.len] {
-                    *c = true;
-                }
-            }
-            let tag = selected.len() as u16;
-            selected.push((tag, sid, taken));
-        }
 
         // ---- emission ---------------------------------------------------
         let mut starts: HashMap<usize, (u16, Instance, usize)> = HashMap::new();
@@ -465,6 +503,15 @@ impl Compressor {
             .iter()
             .map(|(_, sid, t)| (t.len() * shape_list[*sid].1.len) as u64)
             .sum();
+        let arena_stride = selected
+            .iter()
+            .map(|(_, sid, _)| shape_list[*sid].1.len)
+            .max()
+            .unwrap_or(0);
+        let arena_uops: u64 = selected
+            .iter()
+            .map(|(_, sid, _)| shape_list[*sid].1.len as u64)
+            .sum();
         let stats = CompressionStats {
             original_text: program.text_size(),
             compressed_text: compressed.text_size(),
@@ -472,6 +519,8 @@ impl Compressor {
             entries: selected.len(),
             instances,
             insts_removed,
+            arena_stride,
+            arena_uops,
         };
         Ok(CompressedProgram {
             program: compressed,
@@ -479,6 +528,515 @@ impl Compressor {
             dictionary,
             stats,
         })
+    }
+
+    /// Enumerates every in-block window of `min_seq_len..=max_seq_len`
+    /// instructions and groups the compressible ones by canonical shape.
+    fn enumerate_windows(&self, graph: &Cfg) -> HashMap<Vec<InstSpec>, ShapeData> {
+        let cfg = &self.config;
+        let mut shapes: HashMap<Vec<InstSpec>, ShapeData> = HashMap::new();
+        let mut idx_base = 0usize;
+        for block in &graph.blocks {
+            let n = block.insts.len();
+            for start in 0..n {
+                for len in cfg.min_seq_len..=cfg.max_seq_len.min(n - start) {
+                    let window = &block.insts[start..start + len];
+                    if let Some((specs, instance)) = self.shape_of(window, idx_base + start) {
+                        let data = shapes.entry(specs).or_default();
+                        data.len = len;
+                        data.instances.push(instance);
+                    }
+                }
+            }
+            idx_base += n;
+        }
+        shapes
+    }
+
+    /// Orders a shape table deterministically (longest, then most
+    /// frequent, then earliest) so dictionaries reproduce byte-for-byte.
+    fn sorted_shape_list(
+        shapes: HashMap<Vec<InstSpec>, ShapeData>,
+    ) -> Vec<(Vec<InstSpec>, ShapeData)> {
+        let mut shape_list: Vec<(Vec<InstSpec>, ShapeData)> = shapes.into_iter().collect();
+        shape_list.sort_by_key(|(_, d)| {
+            (
+                usize::MAX - d.len,
+                usize::MAX - d.instances.len(),
+                d.instances.first().map(|i| i.pc).unwrap_or(0),
+            )
+        });
+        for (_, d) in &mut shape_list {
+            d.parameterized = d.len > 0;
+            d.instances.sort_by_key(|i| i.start);
+        }
+        shape_list
+    }
+
+    /// Lazy-greedy dictionary-entry selection (the \[20\]-style pass):
+    /// repeatedly pick the shape with the best profit against the already
+    /// claimed text, first-fit claiming its non-overlapping unclaimed
+    /// instances. Shapes with `skip[sid]` set are never picked; at most
+    /// `budget` entries are returned, in selection order.
+    fn greedy_entries(
+        &self,
+        shape_list: &[(Vec<InstSpec>, ShapeData)],
+        claimed: &mut [bool],
+        skip: &[bool],
+        budget: usize,
+    ) -> Vec<(usize, Vec<Instance>)> {
+        let cfg = &self.config;
+        let cw_bytes = cfg.cw_bytes();
+        let profit_of = |data: &ShapeData, claimed: &[bool]| -> (i64, u64) {
+            let mut k = 0u64;
+            let mut next_free = 0usize;
+            for inst in &data.instances {
+                if inst.start < next_free {
+                    continue; // overlaps an instance already counted
+                }
+                if claimed[inst.start..inst.start + data.len].iter().any(|c| *c) {
+                    continue;
+                }
+                k += 1;
+                next_free = inst.start + data.len;
+            }
+            let param_entry = {
+                // Entry cost: parameterized entries cost 8 bytes per
+                // instruction; plain ones cfg.entry_bytes_per_inst.
+                cfg.entry_bytes_per_inst
+            };
+            let saving = k as i64 * (data.len as i64 * 4 - cw_bytes as i64);
+            let cost = data.len as i64 * param_entry as i64;
+            (saving - cost, k)
+        };
+
+        let mut heap: BinaryHeap<(i64, usize)> = shape_list
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !skip[*i])
+            .map(|(i, (_, d))| (profit_of(d, claimed).0, i))
+            .filter(|(p, _)| *p > 0)
+            .collect();
+        let mut selected: Vec<(usize, Vec<Instance>)> = Vec::new();
+        while selected.len() < budget {
+            let Some((stale_profit, sid)) = heap.pop() else {
+                break;
+            };
+            let (profit, _) = profit_of(&shape_list[sid].1, claimed);
+            if profit <= 0 {
+                continue;
+            }
+            if profit < stale_profit {
+                // Re-insert with the refreshed profit unless it still beats
+                // the next-best candidate.
+                if let Some((next_best, _)) = heap.peek() {
+                    if profit < *next_best {
+                        heap.push((profit, sid));
+                        continue;
+                    }
+                }
+            }
+            // Claim this shape's non-overlapping unclaimed instances.
+            let data = &shape_list[sid].1;
+            let mut taken = Vec::new();
+            let mut next_free = 0usize;
+            for inst in &data.instances {
+                if inst.start < next_free
+                    || claimed[inst.start..inst.start + data.len].iter().any(|c| *c)
+                {
+                    continue;
+                }
+                taken.push(*inst);
+                next_free = inst.start + data.len;
+            }
+            for inst in &taken {
+                for c in &mut claimed[inst.start..inst.start + data.len] {
+                    *c = true;
+                }
+            }
+            selected.push((sid, taken));
+        }
+        selected
+    }
+
+    /// v1 selection: full window enumeration, then one greedy pass. Tags
+    /// follow selection order.
+    fn select_v1(&self, graph: &Cfg, num_insts: usize) -> Selection {
+        let shape_list = Self::sorted_shape_list(self.enumerate_windows(graph));
+        let mut claimed = vec![false; num_insts];
+        let skip = vec![false; shape_list.len()];
+        let selected = self
+            .greedy_entries(&shape_list, &mut claimed, &skip, self.config.max_entries)
+            .into_iter()
+            .enumerate()
+            .map(|(tag, (sid, taken))| (tag as u16, sid, taken))
+            .collect();
+        (shape_list, selected)
+    }
+
+    /// v2 selection. Candidates come from iterative pair merging plus a
+    /// full-frequency sweep (a superset of every shape v1 can profitably
+    /// pick — a single-occurrence entry never pays for itself); every
+    /// candidate occurrence is indexed per position, longest first; entry
+    /// choice starts from the greedy solution and is refined by a
+    /// prune/grow fixpoint, with a per-block weighted-interval dynamic
+    /// program choosing the best non-conflicting cover each round. Tags
+    /// follow first planted position.
+    fn select_v2(&self, graph: &Cfg, insts: &[(u64, Inst)]) -> Selection {
+        let cfg = &self.config;
+        let num_insts = insts.len();
+        let proposals = self.merge_candidates(graph, insts);
+        let shapes: HashMap<Vec<InstSpec>, ShapeData> = self
+            .enumerate_windows(graph)
+            .into_iter()
+            .filter(|(shape, d)| d.instances.len() >= 2 || proposals.contains(shape))
+            .collect();
+        let shape_list = Self::sorted_shape_list(shapes);
+
+        // LPM occurrence index: every candidate match, keyed by start
+        // position, longest (lowest sid) first.
+        let mut matches_at: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_insts];
+        for (sid, (_, d)) in shape_list.iter().enumerate() {
+            for inst in &d.instances {
+                matches_at[inst.start].push((d.len as u32, sid as u32));
+            }
+        }
+        let mut block_ranges = Vec::with_capacity(graph.blocks.len());
+        let mut base = 0usize;
+        for b in &graph.blocks {
+            block_ranges.push((base, b.insts.len()));
+            base += b.insts.len();
+        }
+
+        let cw = cfg.cw_bytes() as i64;
+        let save = |len: u32| len as i64 * 4 - cw;
+        // Optimal non-conflicting cover of one block by the active
+        // entries (weighted-interval DP, maximizing code bytes saved).
+        // Ties prefer fewer codewords, then longer/more frequent shapes.
+        let dp_block = |bi: usize, active: &[bool]| -> BlockCover {
+            let (s, n) = block_ranges[bi];
+            let mut best = vec![0i64; n + 1];
+            let mut take: Vec<Option<(u32, u32)>> = vec![None; n];
+            for i in (0..n).rev() {
+                best[i] = best[i + 1];
+                for &(len, sid) in &matches_at[s + i] {
+                    if !active[sid as usize] || i + len as usize > n {
+                        continue;
+                    }
+                    let v = save(len) + best[i + len as usize];
+                    if v > best[i] {
+                        best[i] = v;
+                        take[i] = Some((len, sid));
+                    }
+                }
+            }
+            let mut cover = Vec::new();
+            let mut i = 0usize;
+            while i < n {
+                if let Some((len, sid)) = take[i] {
+                    cover.push((s + i, len, sid));
+                    i += len as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            (best[0], cover)
+        };
+        let dp_cover = |active: &[bool]| -> Vec<(usize, u32, u32)> {
+            (0..block_ranges.len())
+                .flat_map(|bi| dp_block(bi, active).1)
+                .collect()
+        };
+
+        // Seed with the greedy solution, then refine: prune entries whose
+        // DP-realized saving no longer pays their dictionary cost (the
+        // cover re-routes their text to the survivors), and when stable,
+        // spend leftover budget on shapes profitable against the residual.
+        let budget = cfg.max_entries;
+        let mut active = vec![false; shape_list.len()];
+        {
+            let mut claimed = vec![false; num_insts];
+            let skip = vec![false; shape_list.len()];
+            for (sid, _) in self.greedy_entries(&shape_list, &mut claimed, &skip, budget) {
+                active[sid] = true;
+            }
+        }
+        let mut retired = vec![false; shape_list.len()];
+        let mut cover = dp_cover(&active);
+        for _round in 0..16 {
+            let mut realized = vec![0i64; shape_list.len()];
+            for &(_, len, sid) in &cover {
+                realized[sid as usize] += save(len);
+            }
+            let mut changed = false;
+            for (sid, a) in active.iter_mut().enumerate() {
+                let cost = shape_list[sid].1.len as i64 * cfg.entry_bytes_per_inst as i64;
+                if *a && realized[sid] <= cost {
+                    *a = false;
+                    retired[sid] = true; // never re-grown: guarantees progress
+                    changed = true;
+                }
+            }
+            if !changed {
+                let mut claimed = vec![false; num_insts];
+                for &(start, len, _) in &cover {
+                    for c in &mut claimed[start..start + len as usize] {
+                        *c = true;
+                    }
+                }
+                let mut skip = retired.clone();
+                for (sid, s) in skip.iter_mut().enumerate() {
+                    *s = *s || active[sid];
+                }
+                let room = budget - active.iter().filter(|a| **a).count();
+                for (sid, _) in self.greedy_entries(&shape_list, &mut claimed, &skip, room) {
+                    active[sid] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            cover = dp_cover(&active);
+        }
+        drop(cover);
+
+        // Final refinement: single-entry add/drop local search on the
+        // true byte objective (realized code savings minus the dictionary
+        // cost of every entry the cover actually uses). Greedy growth
+        // only admits entries profitable against the *residual* text;
+        // flipping an entry and re-running the per-block DP also sees
+        // re-routing gains — a new entry stealing positions from weaker
+        // covers, or a dropped entry whose positions re-route to
+        // survivors for less than its dictionary cost. Every committed
+        // flip strictly raises the integer objective, so the search
+        // cannot cycle (the pass cap is a safety net).
+        let entry_cost =
+            |sid: usize| shape_list[sid].1.len as i64 * cfg.entry_bytes_per_inst as i64;
+        let mut blocks_of: Vec<Vec<usize>> = vec![Vec::new(); shape_list.len()];
+        for (sid, (_, d)) in shape_list.iter().enumerate() {
+            for inst in &d.instances {
+                let bi = block_ranges.partition_point(|&(s, n)| s + n <= inst.start);
+                if blocks_of[sid].last() != Some(&bi) {
+                    blocks_of[sid].push(bi);
+                }
+            }
+        }
+        let mut covers: Vec<BlockCover> = (0..block_ranges.len())
+            .map(|bi| dp_block(bi, &active))
+            .collect();
+        let mut uses: Vec<i64> = vec![0; shape_list.len()];
+        for (_, c) in &covers {
+            for &(_, _, sid) in c {
+                uses[sid as usize] += 1;
+            }
+        }
+        for _pass in 0..8 {
+            let mut improved = false;
+            for sid in 0..shape_list.len() {
+                let d = &shape_list[sid].1;
+                if blocks_of[sid].is_empty() {
+                    continue;
+                }
+                if active[sid] && uses[sid] == 0 {
+                    // Unused entries cost nothing (selection follows the
+                    // cover) — deactivate without an evaluation.
+                    active[sid] = false;
+                    continue;
+                }
+                if !active[sid]
+                    && save(d.len as u32) * d.instances.len() as i64 <= entry_cost(sid)
+                {
+                    continue; // cannot pay for itself even unopposed
+                }
+                active[sid] = !active[sid];
+                let trial: Vec<(usize, BlockCover)> = blocks_of[sid]
+                    .iter()
+                    .map(|&bi| (bi, dp_block(bi, &active)))
+                    .collect();
+                let mut delta = 0i64;
+                let mut delta_uses: HashMap<u32, i64> = HashMap::new();
+                for (bi, (v, c)) in &trial {
+                    delta += v - covers[*bi].0;
+                    for &(_, _, s2) in &covers[*bi].1 {
+                        *delta_uses.entry(s2).or_insert(0) -= 1;
+                    }
+                    for &(_, _, s2) in c {
+                        *delta_uses.entry(s2).or_insert(0) += 1;
+                    }
+                }
+                let mut used_delta = 0i64;
+                for (&s2, &du) in &delta_uses {
+                    let u0 = uses[s2 as usize];
+                    if u0 == 0 && u0 + du > 0 {
+                        delta -= entry_cost(s2 as usize);
+                        used_delta += 1;
+                    } else if u0 > 0 && u0 + du == 0 {
+                        delta += entry_cost(s2 as usize);
+                        used_delta -= 1;
+                    }
+                }
+                let used_now = uses.iter().filter(|u| **u > 0).count() as i64;
+                if delta > 0 && used_now + used_delta <= budget as i64 {
+                    for (bi, bc) in trial {
+                        for &(_, _, s2) in &covers[bi].1 {
+                            uses[s2 as usize] -= 1;
+                        }
+                        for &(_, _, s2) in &bc.1 {
+                            uses[s2 as usize] += 1;
+                        }
+                        covers[bi] = bc;
+                    }
+                    improved = true;
+                } else {
+                    active[sid] = !active[sid];
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let cover: Vec<(usize, u32, u32)> = covers
+            .iter()
+            .flat_map(|(_, c)| c.iter().copied())
+            .collect();
+
+        // Map the final cover back to per-entry instances; tag entries by
+        // first planted position.
+        let mut instance_of: HashMap<(u32, usize), Instance> = HashMap::new();
+        for (sid, (_, d)) in shape_list.iter().enumerate() {
+            for inst in &d.instances {
+                instance_of.insert((sid as u32, inst.start), *inst);
+            }
+        }
+        let mut order: Vec<u32> = Vec::new();
+        let mut taken: HashMap<u32, Vec<Instance>> = HashMap::new();
+        for &(start, _, sid) in &cover {
+            let slot = taken.entry(sid).or_default();
+            if slot.is_empty() {
+                order.push(sid);
+            }
+            slot.push(instance_of[&(sid, start)]);
+        }
+        let selected = order
+            .iter()
+            .enumerate()
+            .map(|(tag, sid)| (tag as u16, *sid as usize, taken.remove(sid).expect("covered")))
+            .collect();
+        (shape_list, selected)
+    }
+
+    /// Iterative pair-merge (BPE/RePair-style) candidate growth: tokenize
+    /// every basic block, then repeatedly merge the most frequent
+    /// adjacent token pair, canonicalizing each merged occurrence window
+    /// through [`Compressor::shape_of`] and proposing every eligible
+    /// merged shape as a dictionary candidate. Merging is per occurrence:
+    /// two occurrences of the same symbol pair can canonicalize
+    /// differently once joined (register equality across the seam), so
+    /// the merged symbol is recomputed per window.
+    fn merge_candidates(&self, graph: &Cfg, insts: &[(u64, Inst)]) -> HashSet<Vec<InstSpec>> {
+        let cfg = &self.config;
+        #[derive(Clone, Copy)]
+        struct Span {
+            start: usize,
+            len: usize,
+            sym: u32,
+        }
+        #[derive(PartialEq, Eq, Hash)]
+        enum SymKey {
+            Shape(Vec<InstSpec>),
+            /// Ineligible single instructions still participate as opaque
+            /// tokens so eligible neighbors can pair across them later.
+            Raw(Inst),
+        }
+
+        let mut proposals: HashSet<Vec<InstSpec>> = HashSet::new();
+        let mut sym_ids: HashMap<SymKey, u32> = HashMap::new();
+        let mut streams: Vec<Vec<Span>> = Vec::with_capacity(graph.blocks.len());
+        let mut idx_base = 0usize;
+        for block in &graph.blocks {
+            let mut stream = Vec::with_capacity(block.insts.len());
+            for i in 0..block.insts.len() {
+                let start = idx_base + i;
+                let key = match self.shape_of(&insts[start..start + 1], start) {
+                    Some((shape, _)) => {
+                        if cfg.min_seq_len <= 1 {
+                            proposals.insert(shape.clone());
+                        }
+                        SymKey::Shape(shape)
+                    }
+                    None => SymKey::Raw(insts[start].1),
+                };
+                let next = sym_ids.len() as u32;
+                let sym = *sym_ids.entry(key).or_insert(next);
+                stream.push(Span { start, len: 1, sym });
+            }
+            streams.push(stream);
+            idx_base += block.insts.len();
+        }
+
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        let mut banned: HashSet<(u32, u32)> = HashSet::new();
+        // Every round either merges (shrinking a stream — at most `total`
+        // times) or bans a pair; the cap is a safety net, and candidate
+        // completeness is backstopped by the frequency sweep either way.
+        for _round in 0..(2 * total + 64) {
+            let mut pair_freq: HashMap<(u32, u32), u32> = HashMap::new();
+            for stream in &streams {
+                for w in stream.windows(2) {
+                    if w[0].len + w[1].len > cfg.max_seq_len {
+                        continue;
+                    }
+                    let key = (w[0].sym, w[1].sym);
+                    if !banned.contains(&key) {
+                        *pair_freq.entry(key).or_insert(0) += 1;
+                    }
+                }
+            }
+            use std::cmp::Reverse;
+            let Some((&pair, _)) = pair_freq
+                .iter()
+                .filter(|&(_, &c)| c >= 2)
+                .max_by_key(|&(&(a, b), &c)| (c, Reverse(a), Reverse(b)))
+            else {
+                break;
+            };
+            let mut merged_any = false;
+            for stream in &mut streams {
+                let mut out: Vec<Span> = Vec::with_capacity(stream.len());
+                let mut i = 0usize;
+                while i < stream.len() {
+                    let joinable = i + 1 < stream.len()
+                        && (stream[i].sym, stream[i + 1].sym) == pair
+                        && stream[i].len + stream[i + 1].len <= cfg.max_seq_len;
+                    if joinable {
+                        let start = stream[i].start;
+                        let len = stream[i].len + stream[i + 1].len;
+                        if let Some((shape, _)) = self.shape_of(&insts[start..start + len], start)
+                        {
+                            if len >= cfg.min_seq_len {
+                                proposals.insert(shape.clone());
+                            }
+                            let next = sym_ids.len() as u32;
+                            let sym = *sym_ids.entry(SymKey::Shape(shape)).or_insert(next);
+                            out.push(Span { start, len, sym });
+                            merged_any = true;
+                            i += 2;
+                            continue;
+                        }
+                        // An ineligible joined window would only hide its
+                        // halves from other merges — leave the pair split.
+                    }
+                    out.push(stream[i]);
+                    i += 1;
+                }
+                *stream = out;
+            }
+            if !merged_any {
+                banned.insert(pair);
+            }
+        }
+        proposals
     }
 
     /// Computes the (shape, instance) of one candidate window, or `None`
@@ -744,24 +1302,27 @@ mod tests {
             m.run(100_000).unwrap();
             m.reg(Reg::r(9))
         };
-        for config in [
-            CompressionConfig::dedicated(),
-            CompressionConfig::dedicated_no_single(),
-            CompressionConfig::dise_unparameterized(),
-            CompressionConfig::dise_parameterized(),
-            CompressionConfig::dise_full(),
-        ] {
-            let c = Compressor::new(config).compress(&p).unwrap();
-            let mut m = Machine::load(&c.program);
-            c.attach(&mut m, EngineConfig::default().perfect_rt()).unwrap();
-            m.set_reg(Reg::R2, data);
-            m.set_reg(Reg::r(4), data + 512);
-            for i in 0..200 {
-                m.mem.store_u64(data + i * 8, i);
+        for select in [SelectAlgo::V1, SelectAlgo::V2] {
+            for config in [
+                CompressionConfig::dedicated(),
+                CompressionConfig::dedicated_no_single(),
+                CompressionConfig::dise_unparameterized(),
+                CompressionConfig::dise_parameterized(),
+                CompressionConfig::dise_full(),
+            ] {
+                let config = config.with_select(select);
+                let c = Compressor::new(config).compress(&p).unwrap();
+                let mut m = Machine::load(&c.program);
+                c.attach(&mut m, EngineConfig::default().perfect_rt()).unwrap();
+                m.set_reg(Reg::R2, data);
+                m.set_reg(Reg::r(4), data + 512);
+                for i in 0..200 {
+                    m.mem.store_u64(data + i * 8, i);
+                }
+                let r = m.run(100_000).unwrap();
+                assert!(r.halted(), "{config:?}");
+                assert_eq!(m.reg(Reg::r(9)), run_orig, "{config:?}");
             }
-            let r = m.run(100_000).unwrap();
-            assert!(r.halted(), "{config:?}");
-            assert_eq!(m.reg(Reg::r(9)), run_orig, "{config:?}");
         }
     }
 
@@ -862,5 +1423,62 @@ mod tests {
         );
         assert!(s.code_ratio() < 1.0);
         assert!(s.total_ratio() <= 1.0 + f64::EPSILON + 1.0);
+        // Arena accounting: stride bounds every entry, occupancy in (0,1].
+        assert!(s.arena_stride <= CompressionConfig::dise_full().max_seq_len);
+        assert!(s.arena_uops <= (s.entries * s.arena_stride) as u64);
+        assert!(s.arena_occupancy() > 0.0 && s.arena_occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn select_env_parses_strictly() {
+        assert_eq!(parse_select("v1"), Ok(SelectAlgo::V1));
+        assert_eq!(parse_select("v2"), Ok(SelectAlgo::V2));
+        for bad in ["", "V1", "v3", "on"] {
+            let err = parse_select(bad).unwrap_err();
+            assert!(err.contains("DISE_ACF_SELECT"), "{err}");
+            assert!(err.contains("default (v2)"), "{err}");
+        }
+    }
+
+    #[test]
+    fn v2_selection_never_loses_to_v1_here() {
+        let p = redundant_program();
+        for config in [
+            CompressionConfig::dedicated(),
+            CompressionConfig::dise_parameterized(),
+            CompressionConfig::dise_full(),
+        ] {
+            let v1 = Compressor::new(config.with_select(SelectAlgo::V1))
+                .compress(&p)
+                .unwrap();
+            let v2 = Compressor::new(config.with_select(SelectAlgo::V2))
+                .compress(&p)
+                .unwrap();
+            assert!(
+                v2.stats.total_ratio() <= v1.stats.total_ratio() + 1e-12,
+                "{config:?}: v2 {} vs v1 {}",
+                v2.stats.total_ratio(),
+                v1.stats.total_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn compression_registry_carries_static_stats() {
+        let p = redundant_program();
+        let c = Compressor::new(CompressionConfig::dise_full())
+            .compress(&p)
+            .unwrap();
+        let r = c.stats.registry();
+        let get = |name: &str| r.get(name).expect(name).as_f64();
+        assert_eq!(get("acf.compress.entries"), c.stats.entries as f64);
+        assert_eq!(get("acf.compress.instances"), c.stats.instances as f64);
+        assert_eq!(get("acf.compress.code_ratio"), c.stats.code_ratio());
+        assert_eq!(
+            get("acf.compress.arena_occupancy"),
+            c.stats.arena_occupancy()
+        );
+        // Registry names sort so `acf.*` merges ahead of `sim.*` blocks.
+        assert!(r.entries().windows(2).all(|w| w[0].0 < w[1].0));
     }
 }

@@ -45,7 +45,9 @@ pub mod specialize;
 pub mod trace;
 pub mod watch;
 
-pub use compress::{CompressedProgram, CompressionConfig, CompressionStats, Compressor};
+pub use compress::{
+    parse_select, CompressedProgram, CompressionConfig, CompressionStats, Compressor, SelectAlgo,
+};
 pub use dsm::Dsm;
 pub use monitor::JumpMonitor;
 pub use mfi::{Mfi, MfiVariant};

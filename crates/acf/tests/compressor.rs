@@ -170,3 +170,34 @@ fn jump_compression_preserves_return_addresses() {
     }
     assert_eq!(m.reg(Reg::R4), 6, "all six calls returned correctly");
 }
+
+#[test]
+fn entry_budget_is_capped_by_codeword_format() {
+    // Both codeword formats carry an 11-bit dictionary index, so a
+    // budget beyond 2048 entries is unencodable: asking for one must be
+    // an actionable configuration error, not a latent encode panic.
+    let p = workload();
+    for base in [
+        CompressionConfig::dedicated(),      // 2-byte short codewords
+        CompressionConfig::dise_full(),      // 4-byte DISE codewords
+    ] {
+        assert_eq!(base.entry_cap(), 2048, "{base:?}");
+        let over = CompressionConfig {
+            max_entries: 4096,
+            ..base
+        };
+        let err = Compressor::new(over).compress(&p).unwrap_err().to_string();
+        assert!(err.contains("max_entries"), "{err}");
+        assert!(err.contains("4096") && err.contains("2048"), "{err}");
+        assert!(
+            err.contains(if base.two_byte_codewords { "2-byte" } else { "4-byte" }),
+            "{err}"
+        );
+        // Exactly at the cap is fine.
+        let at_cap = CompressionConfig {
+            max_entries: base.entry_cap(),
+            ..base
+        };
+        Compressor::new(at_cap).compress(&p).unwrap();
+    }
+}

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// v2: the branch predictor indexes PHT/BTB at 2-byte PC granularity
 /// (cycle counts shift for every workload), and entries carry the named
 /// per-run stats snapshot alongside the figure values.
-pub const CACHE_VERSION: u32 = 2;
+pub const CACHE_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a — the cache's content-address hash. Stable across
 /// platforms and Rust versions, unlike `DefaultHasher`.

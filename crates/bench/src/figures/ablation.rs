@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use dise_acf::compress::CompressionConfig;
+use dise_acf::compress::{CompressionConfig, SelectAlgo};
 use dise_acf::mfi::{Mfi, MfiVariant};
 use dise_core::{DiseEngine, EngineConfig, RtOrganization};
 use dise_isa::Program;
@@ -57,7 +57,7 @@ pub fn mfi(sweep: &Sweep) -> String {
 /// PT/RT miss-penalty sensitivity for DISE decompression.
 pub fn rtmiss(sweep: &Sweep) -> String {
     let penalties = [10u64, 30, 100, 300];
-    let cc = CompressionConfig::dise_full();
+    let cc = CompressionConfig::dise_full().with_select(SelectAlgo::V2);
     // Small RT so misses actually occur; 8KB I$ like Figure 7 bottom.
     let sim = SimConfig::default().with_icache_size(Some(8 * 1024));
     let mut cells = Vec::new();
@@ -164,7 +164,7 @@ pub fn ctx(sweep: &Sweep) -> String {
 /// RT block coalescing sweep (§2.2).
 pub fn rtblock(sweep: &Sweep) -> String {
     let blocks = [1u32, 2, 4, 8];
-    let cc = CompressionConfig::dise_full();
+    let cc = CompressionConfig::dise_full().with_select(SelectAlgo::V2);
     let sim = SimConfig::default().with_icache_size(Some(8 * 1024));
     let mut cells = Vec::new();
     for &bench in &sweep.benches {

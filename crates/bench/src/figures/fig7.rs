@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use dise_acf::compress::CompressionConfig;
+use dise_acf::compress::{CompressionConfig, SelectAlgo};
 use dise_core::{EngineConfig, RtOrganization};
 use dise_sim::SimConfig;
 
@@ -10,15 +10,19 @@ use super::{baseline_cell, compressed_cell, ratio_cell};
 use crate::{compress, format_table, Sweep};
 
 /// Top panel: static compression ratio (code, and code+dictionary) over
-/// the six-configuration feature walk.
+/// the six-configuration feature walk, plus the pair-merge (v2)
+/// selection on the full configuration. The walk pins v1 selection and
+/// the last column pins v2, so the table is byte-stable regardless of
+/// `DISE_ACF_SELECT`.
 pub fn ratio(sweep: &Sweep) -> String {
-    let configs: [(&str, CompressionConfig); 6] = [
-        ("dedicated", CompressionConfig::dedicated()),
-        ("-1insn", CompressionConfig::dedicated_no_single()),
-        ("-2byteCW", CompressionConfig::dise_unparameterized()),
-        ("+8byteDE", CompressionConfig::dise_wide_entries()),
-        ("+3param", CompressionConfig::dise_parameterized()),
-        ("DISE", CompressionConfig::dise_full()),
+    let configs: [(&str, CompressionConfig); 7] = [
+        ("dedicated", CompressionConfig::dedicated().with_select(SelectAlgo::V1)),
+        ("-1insn", CompressionConfig::dedicated_no_single().with_select(SelectAlgo::V1)),
+        ("-2byteCW", CompressionConfig::dise_unparameterized().with_select(SelectAlgo::V1)),
+        ("+8byteDE", CompressionConfig::dise_wide_entries().with_select(SelectAlgo::V1)),
+        ("+3param", CompressionConfig::dise_parameterized().with_select(SelectAlgo::V1)),
+        ("DISE", CompressionConfig::dise_full().with_select(SelectAlgo::V1)),
+        ("DISE-v2", CompressionConfig::dise_full().with_select(SelectAlgo::V2)),
     ];
     let mut cells = Vec::new();
     for &bench in &sweep.benches {
@@ -63,7 +67,7 @@ pub fn perf(sweep: &Sweep) -> String {
         Some(128 * 1024),
         None,
     ];
-    let cc = CompressionConfig::dise_full();
+    let cc = CompressionConfig::dise_full().with_select(SelectAlgo::V2);
     let mut cells = Vec::new();
     for &bench in &sweep.benches {
         let p = Arc::new(sweep.workload(bench));
@@ -115,7 +119,7 @@ pub fn rt(sweep: &Sweep) -> String {
         ("2K-2way", 2048, RtOrganization::SetAssociative(2)),
         ("perfect", 0, RtOrganization::Perfect),
     ];
-    let cc = CompressionConfig::dise_full();
+    let cc = CompressionConfig::dise_full().with_select(SelectAlgo::V2);
     // Small I-cache so decompression matters; compare RT realism.
     let sim = SimConfig::default().with_icache_size(Some(8 * 1024));
     let mut cells = Vec::new();

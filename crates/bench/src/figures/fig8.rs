@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use dise_acf::compress::CompressionConfig;
+use dise_acf::compress::{CompressionConfig, SelectAlgo};
 use dise_core::{EngineConfig, RtOrganization};
 use dise_isa::Program;
 use dise_rewrite::{DedicatedDecompressor, RewriteMfi};
@@ -22,7 +22,7 @@ fn rewrite_compress_cell(
     engine: EngineConfig,
     sim: SimConfig,
 ) -> Cell {
-    let cc = CompressionConfig::dise_full();
+    let cc = CompressionConfig::dise_full().with_select(SelectAlgo::V2);
     let key = cell_key(
         sweep,
         "rewrite_compress",
@@ -57,7 +57,7 @@ pub fn cache(sweep: &Sweep) -> String {
         Some(128 * 1024),
         None,
     ];
-    let cc = CompressionConfig::dise_full();
+    let cc = CompressionConfig::dise_full().with_select(SelectAlgo::V2);
     let perfect = EngineConfig::default().perfect_rt();
     let mut cells = Vec::new();
     for &bench in &sweep.benches {
@@ -109,7 +109,7 @@ pub fn rt(sweep: &Sweep) -> String {
         ("2K-DM", 2048, RtOrganization::DirectMapped),
         ("2K-2way", 2048, RtOrganization::SetAssociative(2)),
     ];
-    let cc = CompressionConfig::dise_full();
+    let cc = CompressionConfig::dise_full().with_select(SelectAlgo::V2);
     let sim = SimConfig::default().with_icache_size(Some(8 * 1024));
     let mut cells = Vec::new();
     for &bench in &sweep.benches {

@@ -28,7 +28,19 @@ use dise_sim::{ExpansionCost, SimConfig};
 use dise_workloads::{Benchmark, WorkloadConfig};
 
 use crate::cache::{CellOutput, CACHE_VERSION};
-use crate::{stat_pairs, Cell, Sweep};
+use crate::{registry_pairs, stat_pairs, Cell, Sweep};
+
+/// Merges a run's simulation stats with the static `acf.compress.*`
+/// counters of the compressed program it executed, name-sorted so the
+/// snapshot stays byte-stable.
+fn with_compress_stats(
+    mut pairs: Vec<(String, f64)>,
+    c: &CompressedProgram,
+) -> Vec<(String, f64)> {
+    pairs.extend(registry_pairs(&c.stats.registry()));
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    pairs
+}
 
 /// The content-address key for one cell: version, run kind, workload
 /// identity, and the configuration detail string.
@@ -117,7 +129,10 @@ pub(crate) fn ratio_cell(
     let p = Arc::clone(p);
     Cell::new(key, move || {
         let c = crate::compress(&p, cc);
-        CellOutput::bare(vec![c.stats.code_ratio(), c.stats.total_ratio()])
+        CellOutput {
+            values: vec![c.stats.code_ratio(), c.stats.total_ratio()],
+            stats: registry_pairs(&c.stats.registry()),
+        }
     })
 }
 
@@ -144,7 +159,7 @@ pub(crate) fn compressed_cell(
         let stats = crate::run_compressed(&c, engine, sim, fuel);
         CellOutput {
             values: vec![stats.cycles as f64],
-            stats: stat_pairs(&stats),
+            stats: with_compress_stats(stat_pairs(&stats), &c),
         }
     })
 }
@@ -172,7 +187,7 @@ pub(crate) fn composed_cell(
         let stats = crate::run_composed_dise(&c, engine, sim, eager, fuel);
         CellOutput {
             values: vec![stats.cycles as f64],
-            stats: stat_pairs(&stats),
+            stats: with_compress_stats(stat_pairs(&stats), &c),
         }
     })
 }

@@ -239,9 +239,14 @@ pub fn parse_telemetry_args(args: &mut Vec<String>) -> Option<PathBuf> {
 /// Flattens a run's stats registry into the `(name, value)` pairs a
 /// [`CellOutput`] snapshot stores.
 pub fn stat_pairs(stats: &SimStats) -> Vec<(String, f64)> {
-    stats
-        .registry()
-        .entries()
+    registry_pairs(&stats.registry())
+}
+
+/// Flattens any telemetry registry (e.g. the static
+/// [`dise_acf::CompressionStats::registry`] counters) into the
+/// `(name, value)` pairs a [`CellOutput`] snapshot stores.
+pub fn registry_pairs(reg: &dise_sim::telemetry::StatsRegistry) -> Vec<(String, f64)> {
+    reg.entries()
         .iter()
         .map(|(name, v)| (name.clone(), v.as_f64()))
         .collect()

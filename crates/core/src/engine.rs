@@ -18,7 +18,7 @@
 use crate::controller::Controller;
 use crate::frontend::{self, SharedFrontend};
 use crate::production::{ProductionSet, ReplacementId};
-use crate::spec::InstSpec;
+use crate::spec::{ImmDirective, InstSpec, OpDirective, RegDirective};
 use crate::{CoreError, Result};
 use dise_isa::{Inst, Op};
 use std::collections::HashMap;
@@ -383,6 +383,38 @@ impl RtStore {
         }
     }
 
+    /// Read-only half of [`RtStore::stamp_verified`]: does `slot` still
+    /// hold `(id, disepc)`'s block? No LRU effect — callers that verify a
+    /// whole group up front pair this with [`RtStore::stamp_slot`] per
+    /// executed µop so the stamp order matches the per-µop path exactly.
+    #[inline]
+    fn slot_holds(&self, slot: u32, id: ReplacementId, disepc: u8) -> bool {
+        let base = self.base_of(disepc);
+        let off = (disepc - base) as u64;
+        match self {
+            RtStore::Perfect { .. } => false,
+            RtStore::Cache { keys, .. } => {
+                let k = keys[slot as usize];
+                k & !0xFF == rt_tag(id, base) && k & 0xFF > off
+            }
+        }
+    }
+
+    /// Stamp half of [`RtStore::stamp_verified`]: re-references `slot`
+    /// without re-checking its key. Sound only when [`RtStore::slot_holds`]
+    /// was observed and no fill or invalidation has intervened (stamps
+    /// never change keys).
+    #[inline]
+    fn stamp_slot(&mut self, slot: u32) {
+        match self {
+            RtStore::Perfect { .. } => {}
+            RtStore::Cache { stamps, clock, .. } => {
+                *clock += 1;
+                stamps[slot as usize] = *clock;
+            }
+        }
+    }
+
     /// The spec at `disepc`, if its block is resident. Updates LRU state.
     fn get(&mut self, id: ReplacementId, disepc: u8) -> Option<(&InstSpec, u8)> {
         let base = self.base_of(disepc);
@@ -457,6 +489,40 @@ impl RtStore {
         }
     }
 
+    /// Whether, given `tags` — every `(id, base)` key a fill could
+    /// insert under the current production set — no insertion can ever
+    /// evict a live entry: each set has at least as many ways as the
+    /// distinct tags (potential or currently resident) that map to it.
+    /// Fills then always land on their own tag or a free slot, the LRU
+    /// victim choice is never made, and a slot that once held an entry
+    /// holds it until the next invalidation (see
+    /// [`DiseEngine::rt_static`]). Trivially true for the perfect RT.
+    fn conflict_free(&self, tags: &[(ReplacementId, u8)]) -> bool {
+        match self {
+            RtStore::Perfect { .. } => true,
+            RtStore::Cache {
+                keys,
+                num_sets,
+                assoc,
+                ..
+            } => {
+                let mut sets: Vec<Vec<u64>> = vec![Vec::new(); *num_sets];
+                for (i, &k) in keys.iter().enumerate() {
+                    if k != 0 && !sets[i / *assoc].contains(&(k & !0xFF)) {
+                        sets[i / *assoc].push(k & !0xFF);
+                    }
+                }
+                for &(id, base) in tags {
+                    let set = &mut sets[Self::set_index(*num_sets, id, base)];
+                    if !set.contains(&rt_tag(id, base)) {
+                        set.push(rt_tag(id, base));
+                    }
+                }
+                sets.iter().all(|s| s.len() <= *assoc)
+            }
+        }
+    }
+
     /// Inserts a whole sequence, one block entry per `block` specs.
     fn insert_sequence(&mut self, id: ReplacementId, seq_len: u8, specs: &[InstSpec]) {
         let block = self.block();
@@ -518,6 +584,261 @@ const INST_MEMO_SLOTS: usize = 32768;
 /// instantiate differently at different trigger addresses.
 type InstMemoKey = (ReplacementId, u8, u32, u64);
 
+/// Parses a `DISE_ACF_ARENA` setting: `"on"` enables the dense
+/// replacement-sequence arena (fixed-stride pre-instantiated slots — the
+/// expansion fast path), `"off"` disables it (every instantiation walks
+/// the `ReplacementSpec` directives).
+///
+/// # Errors
+///
+/// Any other value is rejected with an actionable message.
+pub fn parse_acf_arena(v: &str) -> std::result::Result<bool, String> {
+    match v {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        _ => Err(format!(
+            "DISE_ACF_ARENA must be \"on\" or \"off\", got {v:?}; unset it to use the default (on)"
+        )),
+    }
+}
+
+/// The process-wide `DISE_ACF_ARENA` default (read once). Panics with the
+/// [`parse_acf_arena`] message on an invalid setting — a silently ignored
+/// typo would miscredit every benchmark run after it. The arena is a pure
+/// speed device: results and statistics are bit-identical either way.
+pub fn acf_arena_env() -> bool {
+    static ENV_GATE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENV_GATE.get_or_init(|| match std::env::var("DISE_ACF_ARENA") {
+        Ok(v) => match parse_acf_arena(&v) {
+            Ok(enabled) => enabled,
+            Err(why) => panic!("{why}"),
+        },
+        Err(_) => true,
+    })
+}
+
+/// Maximum sequence length (in replacement instructions) the dense arena
+/// holds. Longer sequences — none of the shipped ACFs produce any — fall
+/// back to the directive-walking path.
+const ARENA_MAX_LEN: usize = 8;
+
+/// A deferred (trigger-dependent) field of an arena-baked replacement
+/// instruction. Literal fields are pre-resolved into the arena at build
+/// time; only these survive to instantiation.
+#[derive(Debug, Clone, Copy)]
+enum ArenaFixup {
+    /// `T.INSN` — the whole instruction is the trigger.
+    Whole,
+    /// `T.OP`.
+    Op,
+    /// Trigger-dependent `ra` field.
+    Ra(RegDirective),
+    /// Trigger-dependent `rb` field.
+    Rb(RegDirective),
+    /// Trigger-dependent `rc` field.
+    Rc(RegDirective),
+    /// Trigger-dependent immediate.
+    Imm(ImmDirective),
+}
+
+/// Dense replacement-sequence arena: every installed sequence of at most
+/// [`ARENA_MAX_LEN`] instructions, *post-composition*, laid out
+/// contiguously in fixed-stride slots with every literal directive
+/// pre-resolved. Expanding a codeword is then one bounds-checked slice
+/// copy plus a (usually short) fixup list patching the trigger-dependent
+/// fields in place — instead of walking `ReplacementSpec` directive
+/// enums per field per µop.
+///
+/// Built from [`Controller::resolve_spec`], so compose-on-miss
+/// configurations bake the *composed* sequence (identical to what RT
+/// fills install under the same id). Rebuilt on runtime installs; RT and
+/// PT state never affect it (it caches architectural content only).
+/// Instantiations that could error return `None` instead — callers fall
+/// back to the directive walk, which reproduces the identical error.
+#[derive(Debug, Default)]
+struct SpecArena {
+    /// Slot stride in instructions (the longest baked sequence).
+    stride: usize,
+    /// Baked sequence ids, sorted for binary search.
+    ids: Vec<ReplacementId>,
+    /// Per row: sequence length.
+    lens: Vec<u8>,
+    /// `ids.len() * stride` pre-instantiated instructions; row `r`'s
+    /// sequence occupies `ops[r*stride..r*stride + lens[r]]`.
+    ops: Vec<Inst>,
+    /// Per row: range into `fixups`.
+    fixup_ranges: Vec<(u32, u32)>,
+    /// `(disepc, fixup)` pairs, grouped by row, ordered by disepc then
+    /// field order.
+    fixups: Vec<(u8, ArenaFixup)>,
+}
+
+impl SpecArena {
+    /// Bakes every eligible sequence of `controller`'s production set.
+    fn build(controller: &Controller) -> SpecArena {
+        let mut ids: Vec<ReplacementId> = controller
+            .productions()
+            .seqs()
+            .map(|(id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let resolved: Vec<(ReplacementId, std::borrow::Cow<'_, crate::spec::ReplacementSpec>)> =
+            ids.into_iter()
+                .filter_map(|id| {
+                    let (spec, _) = controller.resolve_spec(id).ok()?;
+                    ((1..=ARENA_MAX_LEN).contains(&spec.len())).then_some((id, spec))
+                })
+                .collect();
+        let stride = resolved.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+        let mut arena = SpecArena {
+            stride,
+            ..SpecArena::default()
+        };
+        for (id, spec) in &resolved {
+            let fix_start = arena.fixups.len() as u32;
+            for (d, s) in spec.insts.iter().enumerate() {
+                let d = d as u8;
+                let baked = match s {
+                    InstSpec::Trigger => {
+                        arena.fixups.push((d, ArenaFixup::Whole));
+                        Inst::nop()
+                    }
+                    InstSpec::Templated {
+                        op,
+                        ra,
+                        rb,
+                        rc,
+                        imm,
+                        uses_lit,
+                        dise_branch,
+                    } => {
+                        let mut inst = Inst::nop();
+                        inst.uses_lit = *uses_lit;
+                        inst.dise_branch = *dise_branch;
+                        match op {
+                            OpDirective::Literal(o) => inst.op = *o,
+                            OpDirective::Trigger => arena.fixups.push((d, ArenaFixup::Op)),
+                        }
+                        match ra {
+                            RegDirective::Literal(r) => inst.ra = *r,
+                            dir => arena.fixups.push((d, ArenaFixup::Ra(*dir))),
+                        }
+                        match rb {
+                            RegDirective::Literal(r) => inst.rb = *r,
+                            dir => arena.fixups.push((d, ArenaFixup::Rb(*dir))),
+                        }
+                        match rc {
+                            RegDirective::Literal(r) => inst.rc = *r,
+                            dir => arena.fixups.push((d, ArenaFixup::Rc(*dir))),
+                        }
+                        match imm {
+                            ImmDirective::Literal(v) => inst.imm = *v,
+                            dir => arena.fixups.push((d, ArenaFixup::Imm(*dir))),
+                        }
+                        inst
+                    }
+                };
+                arena.ops.push(baked);
+            }
+            arena
+                .ops
+                .resize(arena.ops.len() + stride - spec.len(), Inst::nop());
+            arena.ids.push(*id);
+            arena.lens.push(spec.len() as u8);
+            arena
+                .fixup_ranges
+                .push((fix_start, arena.fixups.len() as u32));
+        }
+        arena
+    }
+
+    /// The arena row for `id`, if baked.
+    #[inline]
+    fn row(&self, id: ReplacementId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Instantiates replacement `disepc` of sequence `id` against
+    /// `trigger`. `None` when the sequence is not baked, `disepc` is out
+    /// of range, or a fixup cannot resolve — callers fall back to the
+    /// directive-walking path, which reproduces the identical error.
+    #[inline]
+    fn instantiate(
+        &self,
+        id: ReplacementId,
+        disepc: u8,
+        trigger: &Inst,
+        trigger_pc: u64,
+    ) -> Option<Inst> {
+        let row = self.row(id)?;
+        if disepc >= self.lens[row] {
+            return None;
+        }
+        let mut inst = self.ops[row * self.stride + disepc as usize];
+        let (s, e) = self.fixup_ranges[row];
+        for &(d, fix) in &self.fixups[s as usize..e as usize] {
+            if d != disepc {
+                continue;
+            }
+            match fix {
+                ArenaFixup::Whole => inst = *trigger,
+                ArenaFixup::Op => inst.op = trigger.op,
+                ArenaFixup::Ra(dir) => inst.ra = dir.resolve(trigger).ok()?,
+                ArenaFixup::Rb(dir) => inst.rb = dir.resolve(trigger).ok()?,
+                ArenaFixup::Rc(dir) => inst.rc = dir.resolve(trigger).ok()?,
+                ArenaFixup::Imm(dir) => inst.imm = dir.resolve(trigger, trigger_pc).ok()?,
+            }
+        }
+        Some(inst)
+    }
+
+    /// Instantiates the whole sequence `id` into `out` — one slice copy
+    /// of the row followed by the in-place fixups ("memcpy-shaped"
+    /// expansion). Returns the sequence length, or `None` under the same
+    /// fallback conditions as [`SpecArena::instantiate`] (with `out`
+    /// restored to its original length).
+    fn instantiate_span(
+        &self,
+        id: ReplacementId,
+        trigger: &Inst,
+        trigger_pc: u64,
+        out: &mut Vec<Inst>,
+    ) -> Option<u8> {
+        let row = self.row(id)?;
+        let len = self.lens[row] as usize;
+        let mark = out.len();
+        let at = row * self.stride;
+        out.extend_from_slice(&self.ops[at..at + len]);
+        let (s, e) = self.fixup_ranges[row];
+        for &(d, fix) in &self.fixups[s as usize..e as usize] {
+            let inst = &mut out[mark + d as usize];
+            let ok = match fix {
+                ArenaFixup::Whole => {
+                    *inst = *trigger;
+                    true
+                }
+                ArenaFixup::Op => {
+                    inst.op = trigger.op;
+                    true
+                }
+                ArenaFixup::Ra(dir) => dir.resolve(trigger).map(|r| inst.ra = r).is_ok(),
+                ArenaFixup::Rb(dir) => dir.resolve(trigger).map(|r| inst.rb = r).is_ok(),
+                ArenaFixup::Rc(dir) => dir.resolve(trigger).map(|r| inst.rc = r).is_ok(),
+                ArenaFixup::Imm(dir) => dir
+                    .resolve(trigger, trigger_pc)
+                    .map(|v| inst.imm = v)
+                    .is_ok(),
+            };
+            if !ok {
+                out.truncate(mark);
+                return None;
+            }
+        }
+        Some(len as u8)
+    }
+}
+
 /// The DISE engine: PT + RT + pattern-counter table + instantiation logic,
 /// fed by a [`Controller`] that owns the architectural production set.
 ///
@@ -560,6 +881,10 @@ pub struct DiseEngine {
     /// trigger PC and fields, which don't amortize across cells.
     inst_memo: Box<[Option<(InstMemoKey, Inst)>]>,
     rt: RtStore,
+    /// Dense pre-instantiated replacement arena (see [`SpecArena`]);
+    /// empty when `DISE_ACF_ARENA=off`, in which case every lookup misses
+    /// and instantiation walks the directives.
+    arena: SpecArena,
     stats: EngineStats,
     /// Monotonic invalidation epoch for outcome-holding caches *outside*
     /// the engine (the simulator's translated-block cache). Bumped by
@@ -570,6 +895,11 @@ pub struct DiseEngine {
     /// and external caches replay RT references per use (see
     /// [`DiseEngine::block_expand_hit`]).
     generation: u64,
+    /// Cached [`RtStore::conflict_free`] verdict over the current
+    /// production set (see [`DiseEngine::rt_static`]). Recomputed
+    /// whenever the production set or the resident RT contents can
+    /// change other than by fills of that same set's sequences.
+    rt_static: bool,
 }
 
 impl DiseEngine {
@@ -606,7 +936,12 @@ impl DiseEngine {
             }
         }
         let op_rules = Arc::new(frontend::build_op_rules(controller.productions().rules()));
-        DiseEngine {
+        let arena = if acf_arena_env() {
+            SpecArena::build(&controller)
+        } else {
+            SpecArena::default()
+        };
+        let mut engine = DiseEngine {
             rt: RtStore::new(&config),
             config,
             controller,
@@ -616,8 +951,67 @@ impl DiseEngine {
             shared: None,
             exp_memo: Box::default(),
             inst_memo: Box::default(),
+            arena,
             stats: EngineStats::default(),
             generation: 0,
+            rt_static: false,
+        };
+        engine.recompute_rt_static();
+        engine
+    }
+
+    /// True when the RT is *statically conflict-free* under the current
+    /// production set: every `(id, base)` key a fill could ever insert
+    /// maps to a set with at least as many ways as distinct tags, so no
+    /// fill can evict a live entry within the current generation (the
+    /// only other RT mutations — invalidations and context switches —
+    /// bump the generation and recompute this flag). Block executors
+    /// holding a recorded, generation-checked RT slot may then skip
+    /// both the key re-verification (the slot provably still holds the
+    /// entry) and the LRU stamps (victimless caches never read them) —
+    /// results and statistics stay bit-identical.
+    #[inline]
+    pub fn rt_static(&self) -> bool {
+        self.rt_static
+    }
+
+    /// Recomputes [`DiseEngine::rt_static`]: enumerates every RT key the
+    /// current production set can fill (one per `rt_block` chunk of each
+    /// resolvable sequence) and asks the store whether they — plus
+    /// whatever is already resident — fit without evictions.
+    fn recompute_rt_static(&mut self) {
+        let block = self.rt.block();
+        let mut ids: Vec<ReplacementId> = self
+            .controller
+            .productions()
+            .seqs()
+            .map(|(id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut tags = Vec::new();
+        for id in ids {
+            let Ok((spec, _)) = self.controller.resolve_spec(id) else {
+                continue;
+            };
+            // An unvalidatable geometry (bases past the 8-bit DISEPC)
+            // can never be declared static.
+            if spec.len() > 256 {
+                self.rt_static = false;
+                return;
+            }
+            for base in (0..spec.len()).step_by(block) {
+                tags.push((id, base as u8));
+            }
+        }
+        self.rt_static = self.rt.conflict_free(&tags);
+    }
+
+    /// Rebuilds the replacement arena after a runtime production install
+    /// (the architectural set changed; RT/PT state is irrelevant to it).
+    fn rebuild_arena(&mut self) {
+        if acf_arena_env() {
+            self.arena = SpecArena::build(&self.controller);
         }
     }
 
@@ -782,11 +1176,29 @@ impl DiseEngine {
         trigger: &Inst,
         trigger_pc: u64,
     ) -> Result<Inst> {
+        if let Some(inst) = self.arena.instantiate(id, disepc, trigger, trigger_pc) {
+            return Ok(inst);
+        }
         let (spec, _) = self.controller.resolve_spec(id)?;
         spec.insts
             .get(disepc as usize)
             .ok_or(CoreError::UnknownSequence(id))?
             .instantiate(trigger, trigger_pc)
+    }
+
+    /// Whole-sequence [`DiseEngine::instantiate_block`]: appends sequence
+    /// `id` instantiated against `trigger` to `out` with one arena slice
+    /// copy plus in-place fixups, returning its length. `None` when the
+    /// sequence is not arena-baked (arena disabled, over-long, or a fixup
+    /// that cannot resolve) — callers fall back to the per-µop path.
+    pub fn instantiate_block_span(
+        &self,
+        id: ReplacementId,
+        trigger: &Inst,
+        trigger_pc: u64,
+        out: &mut Vec<Inst>,
+    ) -> Option<u8> {
+        self.arena.instantiate_span(id, trigger, trigger_pc, out)
     }
 
     /// Replays the inspection a baked `Expand` outcome skipped: the RT
@@ -863,6 +1275,94 @@ impl DiseEngine {
     #[inline]
     pub fn block_replacement_stamp(&mut self, slot: u32, id: ReplacementId, disepc: u8) -> bool {
         self.rt.stamp_verified(slot, id, disepc)
+    }
+
+    /// Read-only verification that every recorded touch plan of a
+    /// straight expand group still holds its RT entry: `plans[d]` must be
+    /// nonzero and slot `plans[d] - 1` must hold `(id, d)`'s block. No
+    /// LRU effect — the caller then replays the reference string with
+    /// [`DiseEngine::block_group_enter`] + [`DiseEngine::block_stamp_unchecked`]
+    /// in the per-µop order. Sound because nothing between the verify and
+    /// the stamps can change RT keys: stamps only move LRU state, and
+    /// straight groups execute no instruction that reaches the engine.
+    #[inline]
+    pub fn block_group_verify(&self, id: ReplacementId, plans: &[u32]) -> bool {
+        plans
+            .iter()
+            .enumerate()
+            .all(|(d, &p)| p != 0 && self.rt.slot_holds(p - 1, id, d as u8))
+    }
+
+    /// Read-only entry-only verification (solo groups skip the per-µop
+    /// replay, so only `(id, 0)`'s plan needs to hold).
+    #[inline]
+    pub fn block_entry_holds(&self, slot: u32, id: ReplacementId) -> bool {
+        self.rt.slot_holds(slot, id, 0)
+    }
+
+    /// Entry half of a verified group's replay: the group-entry
+    /// inspection statistics of [`DiseEngine::block_expand_stamp`] plus
+    /// the entry slot's LRU stamp. Must follow a successful
+    /// [`DiseEngine::block_group_verify`] / [`DiseEngine::block_entry_holds`].
+    #[inline]
+    pub fn block_group_enter(&mut self, slot: u32, len: u8) {
+        self.rt.stamp_slot(slot);
+        self.stats.inspected += 1;
+        self.stats.expansions += 1;
+        self.stats.replacement_insts += len as u64;
+    }
+
+    /// Per-µop half of a verified group's replay: stamps a slot already
+    /// verified by [`DiseEngine::block_group_verify`], with exactly the
+    /// LRU effect of [`DiseEngine::block_replacement_stamp`]'s success
+    /// path and no key re-check.
+    #[inline]
+    pub fn block_stamp_unchecked(&mut self, slot: u32) {
+        self.rt.stamp_slot(slot);
+    }
+
+    /// [`DiseEngine::block_group_enter`] without the LRU stamp, for
+    /// statically conflict-free RTs (see [`DiseEngine::rt_static`]):
+    /// when no fill can ever evict, stamps only feed a victim choice
+    /// that is never made, so the group replay reduces to its
+    /// inspection statistics.
+    #[inline]
+    pub fn block_group_enter_static(&mut self, len: u8) {
+        self.stats.inspected += 1;
+        self.stats.expansions += 1;
+        self.stats.replacement_insts += len as u64;
+    }
+
+    /// [`DiseEngine::block_group_enter_static`] for a whole straight
+    /// segment at once: `expands` verified expansion groups totalling
+    /// `repl` replacement instructions retire in one statistics update
+    /// (the executor precomputed both at translation time). Only valid
+    /// on a statically conflict-free RT, where the skipped stamps are
+    /// provably unobservable.
+    #[inline]
+    pub fn block_segment_enter(&mut self, expands: u64, repl: u64) {
+        self.stats.inspected += expands;
+        self.stats.expansions += expands;
+        self.stats.replacement_insts += repl;
+    }
+
+    /// Whole-group replay of a verified multi-block straight group's RT
+    /// reference string in one call: the entry stamp and statistics of
+    /// [`DiseEngine::block_group_enter`] followed by every per-µop stamp
+    /// of [`DiseEngine::block_stamp_unchecked`], in the slow path's
+    /// exact order. Stamps commute with the group's µop execution
+    /// (straight groups execute nothing that reaches the engine), so
+    /// hoisting them above it leaves RT state bit-identical while the
+    /// executor's µop loop runs engine-free.
+    #[inline]
+    pub fn block_group_replay(&mut self, plans: &[u32], len: u8) {
+        self.rt.stamp_slot(plans[0] - 1);
+        self.stats.inspected += 1;
+        self.stats.expansions += 1;
+        self.stats.replacement_insts += len as u64;
+        for &p in plans {
+            self.rt.stamp_slot(p - 1);
+        }
     }
 
     /// True when a length-`len` sequence's every RT reference lands on
@@ -1075,6 +1575,11 @@ impl DiseEngine {
             self.stats.rt_misses += 1;
             self.stats.stall_cycles += penalty;
         }
+        // The RT `get` already has the spec in hand, so the directive
+        // walk is the cheapest instantiation here — the arena's packed
+        // rows pay off in the whole-sequence paths
+        // ([`DiseEngine::instantiate_block_span`]), not per µop on top
+        // of a completed RT reference.
         let (spec, _) = self
             .rt
             .get(id, disepc)
@@ -1150,6 +1655,8 @@ impl DiseEngine {
         // previously memoized `None` outcomes may now expand.
         self.detach_shared();
         self.invalidate_memos();
+        self.rebuild_arena();
+        self.recompute_rt_static();
         self.generation += 1;
         Ok(id)
     }
@@ -1184,6 +1691,8 @@ impl DiseEngine {
         // `rt.invalidate` just broke).
         self.detach_shared();
         self.invalidate_memos();
+        self.rebuild_arena();
+        self.recompute_rt_static();
         self.generation += 1;
         Ok(id)
     }
@@ -1204,6 +1713,7 @@ impl DiseEngine {
         }
         self.rt = RtStore::new(&self.config);
         self.invalidate_memos();
+        self.recompute_rt_static();
         self.generation += 1;
     }
 

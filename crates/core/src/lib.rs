@@ -80,7 +80,10 @@ pub mod production;
 pub mod spec;
 
 pub use controller::{Controller, MissKind};
-pub use engine::{BlockOutcome, DiseEngine, EngineConfig, EngineStats, Expansion, RtOrganization};
+pub use engine::{
+    acf_arena_env, parse_acf_arena, BlockOutcome, DiseEngine, EngineConfig, EngineStats,
+    Expansion, RtOrganization,
+};
 pub use frontend::SharedFrontend;
 pub use pattern::{ImmPredicate, Pattern};
 pub use production::{Production, ProductionSet, ReplacementId, SeqRef};

@@ -29,7 +29,7 @@ pub enum RegDirective {
 }
 
 impl RegDirective {
-    fn resolve(&self, trigger: &Inst) -> Result<Reg> {
+    pub(crate) fn resolve(&self, trigger: &Inst) -> Result<Reg> {
         let missing = |what: &str| {
             Err(CoreError::Instantiate(format!(
                 "trigger `{trigger}` has no {what}"
@@ -112,7 +112,7 @@ pub enum ImmDirective {
 }
 
 impl ImmDirective {
-    fn resolve(&self, trigger: &Inst, trigger_pc: u64) -> Result<i64> {
+    pub(crate) fn resolve(&self, trigger: &Inst, trigger_pc: u64) -> Result<i64> {
         let param = |slot: u8| -> Result<u8> {
             if !trigger.op.is_codeword() {
                 return Err(CoreError::Instantiate(format!(

@@ -49,7 +49,7 @@
 
 use crate::machine::DedicatedDict;
 use dise_core::{BlockOutcome, DiseEngine, ReplacementId};
-use dise_isa::{Inst, Op, Predecode, TextItem};
+use dise_isa::{Inst, Op, OpClass, Predecode, TextItem};
 
 /// Hard cap on fetched items per block — bounds translation latency and
 /// keeps the suspend/resume state machine simple.
@@ -76,12 +76,15 @@ pub struct BlockStats {
     /// Expand-group entries that searched the RT sets (and tried to
     /// record a fresh plan).
     pub searched_groups: u64,
+    /// Groups retired through the straight-segment batch path (each
+    /// segment entry counts all the groups it spans).
+    pub seg_groups: u64,
 }
 
 impl BlockStats {
     /// The counters as `(name, value)` pairs, in stable order — the same
     /// convention the telemetry registry uses for other counter groups.
-    pub fn named_counters(&self) -> [(&'static str, u64); 6] {
+    pub fn named_counters(&self) -> [(&'static str, u64); 7] {
         [
             ("block_hits", self.hits),
             ("block_misses", self.misses),
@@ -89,6 +92,7 @@ impl BlockStats {
             ("block_fallbacks", self.fallbacks),
             ("block_planned_groups", self.planned_groups),
             ("block_searched_groups", self.searched_groups),
+            ("block_seg_groups", self.seg_groups),
         ]
     }
 }
@@ -96,8 +100,15 @@ impl BlockStats {
 /// What one group replays besides its µops.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum GroupKind {
-    /// One unexpanded instruction.
-    Single,
+    /// One unexpanded instruction. `run` counts the consecutive
+    /// *straight* singles starting here (this one included): plain
+    /// dataflow instructions whose `exec` provably returns `Ctrl::Next`
+    /// — no branch, halt, or fault, and no PC observation — so the
+    /// executor may retire the whole run in one batched loop with a
+    /// single PC/fuel/counter update. 0 when this single is not itself
+    /// straight (branches, halts). Consecutive singles push one µop
+    /// each, so a run's µops are contiguous in [`Block::ops`].
+    Single { run: u16 },
     /// A DISE expansion: the trigger and its pre-instantiated sequence.
     /// `raw` is the trigger's encoded word (blocks are only built over
     /// predecoded text, so it is always known) — it keys the engine's
@@ -112,9 +123,18 @@ pub(crate) enum GroupKind {
         trigger: Inst,
         raw: u32,
         solo: bool,
+        /// No µop before the last can branch, jump, halt, or redirect
+        /// DISEPC (and none is a DISE branch), so the executor may run
+        /// the whole baked sequence as one batched loop after verifying
+        /// every touch plan up front — the expansion fast path. Baked
+        /// under `DISE_ACF_ARENA=on` only; `false` keeps the per-µop
+        /// reference path.
+        straight: bool,
     },
     /// A dedicated-decompressor expansion (dictionary index and length).
-    Dedicated { ix: u16, len: u8 },
+    /// `straight` as for `Expand` (no RT interplay here — it just gates
+    /// the batched loop).
+    Dedicated { ix: u16, len: u8, straight: bool },
 }
 
 /// One fetched item inside a block.
@@ -126,7 +146,36 @@ pub(crate) struct Group {
     pub fetch_size: u64,
     /// Index of the group's first µop in [`Block::ops`].
     pub first: u32,
+    /// `1 + index` into [`Block::segs`] when this group heads a straight
+    /// segment; 0 otherwise.
+    pub seg: u16,
     pub kind: GroupKind,
+}
+
+/// A *straight segment*: a maximal run of two or more consecutive
+/// wholly-straight groups — every µop, the last of every group included,
+/// is plain dataflow (`exec` provably returns `Ctrl::Next`, cannot
+/// fault, and never observes the PC). The executor retires the whole
+/// segment as one loop over its contiguous µop span with a single
+/// PC/fuel/counter/engine-statistics update, all precomputed here; the
+/// per-group paths remain for partial fuel, unverified plans, and
+/// non-static RTs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Seg {
+    /// Groups spanned (always ≥ 2).
+    pub groups: u32,
+    /// Total µops spanned (contiguous in [`Block::ops`] from the head
+    /// group's `first`).
+    pub uops: u32,
+    /// `Single` groups among them (each one pass-through inspection).
+    pub singles: u32,
+    /// `Expand` groups among them (each one engine inspection +
+    /// expansion).
+    pub expands: u32,
+    /// Total replacement instructions of the `Expand` groups.
+    pub repl: u64,
+    /// Total fetch bytes (the segment's PC advance).
+    pub advance: u64,
 }
 
 /// A translated basic block. `groups.is_empty()` marks a PC where nothing
@@ -150,6 +199,32 @@ pub(crate) struct Block {
     /// no slots to stamp, so it never plans.)
     pub plan: Vec<u32>,
     pub groups: Vec<Group>,
+    /// Straight segments (see [`Seg`]), referenced by `Group::seg`.
+    pub segs: Vec<Seg>,
+}
+
+impl Block {
+    /// True when every recorded RT touch plan the segment headed by
+    /// group `gi` (spanning `n` groups) would replay is present: the
+    /// entry plan for solo expand groups, every per-µop plan otherwise.
+    /// On a statically conflict-free RT a present plan provably still
+    /// holds its entry (see the executor's group-level fast path), so
+    /// this is the segment's entire verification. Singles and dedicated
+    /// groups have no RT interplay and pass vacuously.
+    #[inline]
+    pub(crate) fn seg_plans_ok(&self, gi: usize, n: usize) -> bool {
+        self.groups[gi..gi + n].iter().all(|g| match g.kind {
+            GroupKind::Single { .. } | GroupKind::Dedicated { .. } => true,
+            GroupKind::Expand { len, solo, .. } => {
+                let base = g.first as usize;
+                if solo {
+                    self.plan[base] != 0
+                } else {
+                    self.plan[base..base + len as usize].iter().all(|&p| p != 0)
+                }
+            }
+        })
+    }
 }
 
 const NO_BLOCK: u32 = u32::MAX;
@@ -243,6 +318,38 @@ fn bakeable_uop(inst: &Inst, seq_len: u8) -> bool {
     true
 }
 
+/// True when a lone application instruction is plain dataflow: `exec`
+/// can only return `Ctrl::Next` for it — it cannot branch, jump, halt,
+/// or fault, and its semantics never observe the PC (only control
+/// transfers read `next_pc`, only codewords read the fault PC). Runs of
+/// such singles batch into one executor loop.
+fn straight_single(inst: &Inst) -> bool {
+    !inst.dise_branch
+        && !inst.op.is_codeword()
+        && !matches!(
+            inst.op.class(),
+            OpClass::CondBranch | OpClass::UncondBranch | OpClass::IndirectJump
+        )
+        && inst.op != Op::Halt
+}
+
+/// True when a baked µop run is *straight*: every µop before the last is
+/// plain dataflow (`exec` can only return `Ctrl::Next` or fault — no
+/// branch, jump, or halt) and no µop is a DISE branch. Such a group's
+/// dynamic path is the static one, so the executor may verify all RT
+/// touch plans up front and run the µops in one batched loop.
+fn straight_group(uops: &[Inst]) -> bool {
+    let last = uops.len() - 1;
+    uops.iter().enumerate().all(|(i, u)| {
+        !u.dise_branch
+            && (i == last
+                || (!matches!(
+                    u.op.class(),
+                    OpClass::CondBranch | OpClass::UncondBranch | OpClass::IndirectJump
+                ) && u.op != Op::Halt))
+    })
+}
+
 /// Translates the basic block entered at `entry`. Pure with respect to
 /// the engine: only `block_outcome` / `instantiate_block` (both `&self`)
 /// are consulted, so translation itself perturbs no statistics and no
@@ -260,8 +367,13 @@ pub(crate) fn translate(
         ops: Vec::new(),
         plan: Vec::new(),
         groups: Vec::new(),
+        segs: Vec::new(),
     };
     let mut pc = entry;
+    // The batched executor paths ride the same toggle as the engine's
+    // replacement arena: `DISE_ACF_ARENA=off` pins every group to the
+    // per-µop reference path (the ablation the CI gate compares).
+    let arena_fast = dise_core::acf_arena_env();
     while block.groups.len() < MAX_GROUPS && block.ops.len() < MAX_UOPS {
         let Some(pi) = predecode.get(pc) else { break };
         let first = block.ops.len() as u32;
@@ -278,7 +390,15 @@ pub(crate) fn translate(
                     break;
                 }
                 block.ops.extend_from_slice(seq);
-                (GroupKind::Dedicated { ix, len }, 2, seq[seq.len() - 1].op)
+                (
+                    GroupKind::Dedicated {
+                        ix,
+                        len,
+                        straight: arena_fast && straight_group(seq),
+                    },
+                    2,
+                    seq[seq.len() - 1].op,
+                )
             }
             TextItem::Inst(inst) => {
                 let outcome = match engine {
@@ -295,25 +415,39 @@ pub(crate) fn translate(
                             break;
                         }
                         block.ops.push(inst);
-                        (GroupKind::Single, 4, inst.op)
+                        (GroupKind::Single { run: 0 }, 4, inst.op)
                     }
                     BlockOutcome::Expand { id, len } => {
                         let Some(engine) = engine else { unreachable!() };
-                        let mut ok = true;
-                        for d in 0..len {
-                            match engine.instantiate_block(id, d, &inst, pc) {
-                                Ok(u) if bakeable_uop(&u, len) => block.ops.push(u),
-                                _ => {
-                                    ok = false;
-                                    break;
+                        // Arena-baked sequences land in one slice copy
+                        // (plus in-place fixups); everything else walks
+                        // the per-µop directive path.
+                        let baked =
+                            match engine.instantiate_block_span(id, &inst, pc, &mut block.ops) {
+                                Some(l) => {
+                                    debug_assert_eq!(l, len);
+                                    true
                                 }
-                            }
-                        }
-                        if !ok {
+                                None => (0..len).all(|d| {
+                                    match engine.instantiate_block(id, d, &inst, pc) {
+                                        Ok(u) => {
+                                            block.ops.push(u);
+                                            true
+                                        }
+                                        Err(_) => false,
+                                    }
+                                }),
+                            };
+                        if !baked
+                            || !block.ops[first as usize..]
+                                .iter()
+                                .all(|u| bakeable_uop(u, len))
+                        {
                             block.ops.truncate(first as usize);
                             break;
                         }
-                        let last = block.ops[block.ops.len() - 1].op;
+                        let uops = &block.ops[first as usize..];
+                        let last = uops[uops.len() - 1].op;
                         (
                             GroupKind::Expand {
                                 id,
@@ -321,6 +455,7 @@ pub(crate) fn translate(
                                 trigger: inst,
                                 raw: pi.raw,
                                 solo: engine.single_block_sequences(len),
+                                straight: arena_fast && straight_group(uops),
                             },
                             4,
                             last,
@@ -333,6 +468,7 @@ pub(crate) fn translate(
             pc,
             fetch_size,
             first,
+            seg: 0,
             kind,
         });
         if always_exits(last_op) {
@@ -340,6 +476,84 @@ pub(crate) fn translate(
         }
         pc += fetch_size;
     }
+    // Backward pass marking runs of straight singles (see
+    // [`GroupKind::Single`]): `run` at each straight single is one more
+    // than its successor's. The batched executor also relies on the
+    // run's µops being contiguous, which holds by construction —
+    // consecutive singles push exactly one µop each.
+    let mut run_next: u16 = 0;
+    let mut first_next: u32 = u32::MAX;
+    for g in block.groups.iter_mut().rev() {
+        if let GroupKind::Single { run } = &mut g.kind {
+            if arena_fast && straight_single(&block.ops[g.first as usize]) {
+                debug_assert!(run_next == 0 || first_next == g.first + 1, "contiguous runs");
+                run_next = run_next.saturating_add(1);
+                *run = run_next;
+            } else {
+                run_next = 0;
+            }
+        } else {
+            run_next = 0;
+        }
+        first_next = g.first;
+    }
+    // Forward pass grouping maximal runs of wholly-straight groups into
+    // segments (see [`Seg`]). Singles qualify exactly when the run pass
+    // above marked them; expansion groups when `straight` holds *and*
+    // the final µop is itself plain dataflow (the `straight` flag only
+    // constrains the interior). µop contiguity across a segment holds by
+    // construction: every group pushes its µops consecutively.
+    let mut i = 0;
+    while i < block.groups.len() {
+        if !wholly_straight(&block.groups[i], &block.ops) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < block.groups.len() && wholly_straight(&block.groups[j], &block.ops) {
+            j += 1;
+        }
+        if j - i >= 2 {
+            let mut seg = Seg {
+                groups: (j - i) as u32,
+                uops: 0,
+                singles: 0,
+                expands: 0,
+                repl: 0,
+                advance: 0,
+            };
+            for g in &block.groups[i..j] {
+                seg.advance += g.fetch_size;
+                match g.kind {
+                    GroupKind::Single { .. } => {
+                        seg.singles += 1;
+                        seg.uops += 1;
+                    }
+                    GroupKind::Expand { len, .. } => {
+                        seg.expands += 1;
+                        seg.uops += len as u32;
+                        seg.repl += len as u64;
+                    }
+                    GroupKind::Dedicated { len, .. } => seg.uops += len as u32,
+                }
+            }
+            block.segs.push(seg);
+            block.groups[i].seg = block.segs.len() as u16;
+        }
+        i = j;
+    }
     block.plan = vec![0; block.ops.len()];
     block
+}
+
+/// True when every µop of `g` — the last included — is plain dataflow,
+/// so the group as a whole provably retires with `Ctrl::Next` (the
+/// segment-membership test; see [`Seg`]).
+fn wholly_straight(g: &Group, ops: &[Inst]) -> bool {
+    match g.kind {
+        GroupKind::Single { run } => run >= 1,
+        GroupKind::Expand { len, straight, .. } | GroupKind::Dedicated { len, straight, .. } => {
+            straight && straight_single(&ops[g.first as usize + len as usize - 1])
+        }
+    }
 }

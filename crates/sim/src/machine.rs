@@ -26,36 +26,64 @@ use dise_isa::{Inst, Op, OpClass, Predecode, Program, Reg, TextItem};
 
 /// The dictionary of a dedicated hardware decompressor: entry `i` is the
 /// instruction sequence that a 2-byte codeword with index `i` expands to.
+///
+/// Entries live in one dense arena with fixed-stride slots (the stride is
+/// the longest entry), so expanding a codeword is a single bounds-checked
+/// slice of contiguous memory — no per-entry allocation, no pointer
+/// chase — mirroring the fixed-width-copy layout bounded-length
+/// dictionary compressors use for fast decompression.
 #[derive(Debug, Clone, Default)]
 pub struct DedicatedDict {
-    entries: Vec<Vec<Inst>>,
+    /// `lens.len() * stride` instructions; entry `i` occupies
+    /// `ops[i*stride..i*stride + lens[i]]`, the slack is NOPs.
+    ops: Vec<Inst>,
+    /// Real length of each entry.
+    lens: Vec<u8>,
+    /// Slot stride in instructions (the longest entry; 0 when empty).
+    stride: usize,
 }
 
 impl DedicatedDict {
-    /// Creates a dictionary from entries.
+    /// Creates a dictionary from entries, packing them into the arena.
     pub fn new(entries: Vec<Vec<Inst>>) -> DedicatedDict {
-        DedicatedDict { entries }
+        let stride = entries.iter().map(Vec::len).max().unwrap_or(0);
+        let mut ops = Vec::with_capacity(entries.len() * stride);
+        let mut lens = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            debug_assert!(u8::try_from(entry.len()).is_ok(), "entry too long");
+            lens.push(entry.len() as u8);
+            ops.extend_from_slice(entry);
+            ops.resize(ops.len() + stride - entry.len(), Inst::nop());
+        }
+        DedicatedDict { ops, lens, stride }
     }
 
     /// The sequence for codeword index `ix`.
     pub fn get(&self, ix: u16) -> Option<&[Inst]> {
-        self.entries.get(ix as usize).map(Vec::as_slice)
+        let len = *self.lens.get(ix as usize)? as usize;
+        let at = ix as usize * self.stride;
+        Some(&self.ops[at..at + len])
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lens.len()
     }
 
     /// True if the dictionary is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lens.is_empty()
+    }
+
+    /// Arena slot stride in instructions (the longest entry).
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
     /// Total dictionary size in bytes (4 bytes per instruction — entries
-    /// are unparameterized).
+    /// are unparameterized; arena slack is not counted).
     pub fn size_bytes(&self) -> u64 {
-        self.entries.iter().map(|e| e.len() as u64 * 4).sum()
+        self.lens.iter().map(|&l| l as u64 * 4).sum()
     }
 }
 
@@ -774,13 +802,101 @@ impl Machine {
             }
             let g = blk.groups[gi];
             debug_assert_eq!(self.pc, g.pc);
+            // Straight-segment fast path: a translate-time-marked run of
+            // wholly-straight groups retires as one loop over its
+            // contiguous µop span. Every µop is plain dataflow (`exec`
+            // provably returns `Ctrl::Next`, cannot fault, never
+            // observes the PC), so the PC/fuel/counter updates and the
+            // engine's inspection statistics collapse to one batched
+            // update each from the segment's precomputed totals, and the
+            // loop body is nothing but execution. Requires a statically
+            // conflict-free RT when expansions are present (stamps and
+            // key re-verifies are then provably vacuous — see
+            // [`DiseEngine::rt_static`]) and every spanned touch plan
+            // recorded; otherwise the per-group paths below run the
+            // segment's groups one at a time, exactly as before.
+            if g.seg != 0 {
+                let seg = blk.segs[g.seg as usize - 1];
+                if *fuel >= seg.uops as u64
+                    && (seg.expands == 0
+                        || self.engine.as_ref().is_some_and(|e| e.rt_static()))
+                    && blk.seg_plans_ok(gi, seg.groups as usize)
+                {
+                    stats.seg_groups += seg.groups as u64;
+                    if seg.expands > 0 {
+                        stats.planned_groups += seg.expands as u64;
+                        self.engine
+                            .as_mut()
+                            .expect("expand groups need an engine")
+                            .block_segment_enter(seg.expands as u64, seg.repl);
+                    }
+                    if count_inspected {
+                        *inspected += seg.singles as u64;
+                    }
+                    *fuel -= seg.uops as u64;
+                    self.total_insts += seg.uops as u64;
+                    self.app_insts += seg.groups as u64;
+                    let base = g.first as usize;
+                    for i in 0..seg.uops as usize {
+                        // Plain-dataflow µops never read the item size
+                        // (only control transfers compute a next PC).
+                        match self.exec_fast(blk.ops[base + i], 4) {
+                            Ok(ctrl) => {
+                                debug_assert!(matches!(ctrl, Ctrl::Next), "wholly straight")
+                            }
+                            Err(_) => unreachable!("segment µops are plain dataflow"),
+                        }
+                    }
+                    self.pc += seg.advance;
+                    gi += seg.groups as usize;
+                    continue;
+                }
+            }
             match g.kind {
-                GroupKind::Single => {
+                GroupKind::Single { run } => {
+                    // A marked run of straight singles retires in one
+                    // batched loop: every instruction provably produces
+                    // `Ctrl::Next` without observing the PC, so the
+                    // PC/fuel/counter updates collapse to one per run and
+                    // the per-group dispatch disappears. (The defensive
+                    // unwind mirrors the group batches; straight singles
+                    // cannot actually fault.)
+                    let run = run as u64;
+                    if run >= 1 && *fuel >= run {
+                        if count_inspected {
+                            *inspected += run;
+                        }
+                        *fuel -= run;
+                        self.total_insts += run;
+                        self.app_insts += run;
+                        let first = g.first as usize;
+                        for i in 0..run as usize {
+                            match self.exec_fast(blk.ops[first + i], g.fetch_size) {
+                                Ok(ctrl) => {
+                                    debug_assert!(matches!(ctrl, Ctrl::Next), "straight single");
+                                }
+                                Err(e) => {
+                                    let rest = run - i as u64;
+                                    if count_inspected {
+                                        *inspected -= rest - 1;
+                                    }
+                                    *fuel += rest;
+                                    self.total_insts -= rest;
+                                    self.app_insts -= rest;
+                                    self.pc += 4 * i as u64;
+                                    return Err(e);
+                                }
+                            }
+                        }
+                        self.pc += 4 * run;
+                        gi += run as usize;
+                        continue;
+                    }
                     let inst = blk.ops[g.first as usize];
                     if count_inspected {
                         *inspected += 1;
                     }
-                    let (ctrl, _, _) = self.exec(inst, g.fetch_size)?;
+                    let ctrl = self.exec_fast(inst, g.fetch_size)?;
                     *fuel -= 1;
                     self.total_insts += 1;
                     self.app_insts += 1;
@@ -809,9 +925,104 @@ impl Machine {
                     trigger,
                     raw,
                     solo,
+                    straight,
                 } => {
                     let engine = self.engine.as_mut().expect("Expand group needs engine");
                     let base = g.first as usize;
+                    // Arena fast path: a straight group (no DISE branches,
+                    // no interior control) whose recorded touch plan fully
+                    // verifies replays the slow path's reference string as
+                    // an upfront read-only verify followed by unchecked
+                    // stamps in per-µop order — bit-identical RT state,
+                    // one branchless run over the arena-baked µops. Any
+                    // verify miss falls through to the general path below,
+                    // which re-searches and re-records exactly as before.
+                    if straight && *fuel >= len as u64 {
+                        let plans = &blk.plan[base..base + len as usize];
+                        // On a statically conflict-free RT
+                        // ([`DiseEngine::rt_static`]) a recorded plan
+                        // slot provably still holds its entry — no fill
+                        // can evict within a generation, and generation
+                        // bumps retranslate the block — so the key
+                        // compares are vacuous and the LRU stamps feed a
+                        // victim choice that is never made. The replay
+                        // then reduces to plan-recorded checks plus the
+                        // inspection statistics.
+                        let rt_static = engine.rt_static();
+                        let verified = plans[0] != 0
+                            && if rt_static {
+                                solo || plans.iter().all(|&p| p != 0)
+                            } else if solo {
+                                engine.block_entry_holds(plans[0] - 1, id)
+                            } else {
+                                engine.block_group_verify(id, plans)
+                            };
+                        if verified {
+                            stats.planned_groups += 1;
+                            // The whole reference string replays before
+                            // the µops run (stamps commute with straight
+                            // execution), and the counters batch to one
+                            // update (unwound on the cold error path), so
+                            // the loop below is pure execution.
+                            if rt_static {
+                                engine.block_group_enter_static(len);
+                            } else if solo {
+                                engine.block_group_enter(plans[0] - 1, len);
+                            } else {
+                                engine.block_group_replay(plans, len);
+                            }
+                            *fuel -= len as u64;
+                            self.total_insts += len as u64;
+                            self.app_insts += 1;
+                            // Interior µops of a straight group are
+                            // architecturally `Ctrl::Next` (the translator
+                            // verified no branch/halt opcodes and no DISE
+                            // branches), so only the last µop's control
+                            // needs dispatching.
+                            let last = len as usize - 1;
+                            for d in 0..last {
+                                match self.exec_fast(blk.ops[base + d], g.fetch_size) {
+                                    Ok(ctrl) => {
+                                        debug_assert!(
+                                            matches!(ctrl, Ctrl::Next),
+                                            "straight-checked"
+                                        );
+                                    }
+                                    Err(e) => {
+                                        self.batch_unwind(fuel, d as u64, len as u64);
+                                        return Err(e);
+                                    }
+                                }
+                            }
+                            let ctrl = match self.exec_fast(blk.ops[base + last], g.fetch_size) {
+                                Ok(ctrl) => ctrl,
+                                Err(e) => {
+                                    self.batch_unwind(fuel, last as u64, len as u64);
+                                    return Err(e);
+                                }
+                            };
+                            match ctrl {
+                                Ctrl::Next => {
+                                    self.pc += g.fetch_size;
+                                    gi += 1;
+                                }
+                                Ctrl::AppJump(t) => {
+                                    self.pc = t;
+                                    return Ok(BlockExit::Chain);
+                                }
+                                Ctrl::Halt => {
+                                    self.halted = true;
+                                    self.disepc = last as u8;
+                                    self.exp = None;
+                                    return Ok(BlockExit::Suspend);
+                                }
+                                Ctrl::DiseJump(_) => {
+                                    unreachable!("straight groups have no DISE branches")
+                                }
+                            }
+                            continue;
+                        }
+                    }
                     // Nonzero plan entries replay their RT reference by
                     // stamping the recorded slot directly — one verify-
                     // compare against the slot's key instead of a set
@@ -901,7 +1112,7 @@ impl Machine {
                                 }
                             }
                         };
-                        let (ctrl, _, _) = self.exec(inst, g.fetch_size)?;
+                        let ctrl = self.exec_fast(inst, g.fetch_size)?;
                         *fuel -= 1;
                         self.total_insts += 1;
                         if d == 0 {
@@ -956,12 +1167,63 @@ impl Machine {
                         }
                     }
                 }
-                GroupKind::Dedicated { ix: dict_ix, len } => {
+                GroupKind::Dedicated {
+                    ix: dict_ix,
+                    len,
+                    straight,
+                } => {
                     let base = g.first as usize;
+                    // Straight dedicated groups batch the same way as
+                    // straight expand groups, minus the engine replay
+                    // (dedicated expansion never references the RT).
+                    if straight && *fuel >= len as u64 {
+                        *fuel -= len as u64;
+                        self.total_insts += len as u64;
+                        self.app_insts += 1;
+                        let last = len as usize - 1;
+                        for d in 0..last {
+                            match self.exec_fast(blk.ops[base + d], g.fetch_size) {
+                                Ok(ctrl) => {
+                                    debug_assert!(matches!(ctrl, Ctrl::Next), "straight-checked");
+                                }
+                                Err(e) => {
+                                    self.batch_unwind(fuel, d as u64, len as u64);
+                                    return Err(e);
+                                }
+                            }
+                        }
+                        let ctrl = match self.exec_fast(blk.ops[base + last], g.fetch_size) {
+                            Ok(ctrl) => ctrl,
+                            Err(e) => {
+                                self.batch_unwind(fuel, last as u64, len as u64);
+                                return Err(e);
+                            }
+                        };
+                        match ctrl {
+                            Ctrl::Next => {
+                                self.pc += g.fetch_size;
+                                gi += 1;
+                            }
+                            Ctrl::AppJump(t) => {
+                                self.pc = t;
+                                return Ok(BlockExit::Chain);
+                            }
+                            Ctrl::Halt => {
+                                self.halted = true;
+                                self.disepc = last as u8;
+                                self.exp = None;
+                                return Ok(BlockExit::Suspend);
+                            }
+                            Ctrl::DiseJump(_) => {
+                                unreachable!("straight groups have no DISE branches")
+                            }
+                        }
+                        continue;
+                    }
                     let mut d: u8 = 0;
                     loop {
                         let inst = blk.ops[base + d as usize];
-                        let (ctrl, _, _) = self.exec(inst, g.fetch_size)?;
+                        let ctrl = self.exec_fast(inst, g.fetch_size)?;
                         *fuel -= 1;
                         self.total_insts += 1;
                         if d == 0 {
@@ -1011,9 +1273,50 @@ impl Machine {
         Ok(BlockExit::Chain)
     }
 
+    /// Restores the reference path's counter state after a µop errs
+    /// mid-way through a batched straight group: the batch charged the
+    /// whole group up front, but the slow path charges per µop *after*
+    /// a successful exec, so the erroring µop and everything behind it
+    /// must be refunded. (`executed` = µops fully retired before the
+    /// error.) Keeps machine state bit-identical with the interpreter
+    /// even when a run is inspected after an error.
+    #[cold]
+    fn batch_unwind(&mut self, fuel: &mut u64, executed: u64, group_len: u64) {
+        let rest = group_len - executed;
+        *fuel += rest;
+        self.total_insts -= rest;
+        if executed == 0 {
+            self.app_insts -= 1;
+        }
+    }
+
     /// Executes one instruction's semantics, returning control outcome,
     /// effective address, and taken-ness (for application control).
     fn exec(&mut self, inst: Inst, item_size: u64) -> Result<(Ctrl, Option<u64>, Option<bool>)> {
+        let mut mem_addr = None;
+        let mut taken = None;
+        let ctrl = self.exec_inner::<true>(inst, item_size, &mut mem_addr, &mut taken)?;
+        Ok((ctrl, mem_addr, taken))
+    }
+
+    /// [`Machine::exec`] without materializing the effective-address and
+    /// taken-ness outputs — the translated-block executors run every
+    /// instruction through here and discard both, and the `TRACK = false`
+    /// monomorphization lets the compiler drop the output stores and the
+    /// aggregate return from the hottest loop in the simulator. Semantics
+    /// are [`Machine::exec`]'s exactly (one shared body).
+    #[inline]
+    fn exec_fast(&mut self, inst: Inst, item_size: u64) -> Result<Ctrl> {
+        self.exec_inner::<false>(inst, item_size, &mut None, &mut None)
+    }
+
+    fn exec_inner<const TRACK: bool>(
+        &mut self,
+        inst: Inst,
+        item_size: u64,
+        mem_addr: &mut Option<u64>,
+        taken: &mut Option<bool>,
+    ) -> Result<Ctrl> {
         use Op::*;
         let ra = self.reg(inst.ra);
         let rb = self.reg(inst.rb);
@@ -1021,8 +1324,6 @@ impl Machine {
         let imm = inst.imm;
         let op2 = if inst.uses_lit { imm as u64 } else { rb };
 
-        let mut mem_addr = None;
-        let mut taken = None;
         let ctrl = match inst.op {
             Halt => Ctrl::Halt,
             Nop => Ctrl::Next,
@@ -1036,33 +1337,43 @@ impl Machine {
             }
             Ldl => {
                 let addr = rb.wrapping_add_signed(imm);
-                mem_addr = Some(addr);
+                if TRACK {
+                    *mem_addr = Some(addr);
+                }
                 let v = self.mem.load_u32(addr) as i32 as i64 as u64;
                 self.set_reg(inst.ra, v);
                 Ctrl::Next
             }
             Ldq => {
                 let addr = rb.wrapping_add_signed(imm);
-                mem_addr = Some(addr);
+                if TRACK {
+                    *mem_addr = Some(addr);
+                }
                 let v = self.mem.load_u64(addr);
                 self.set_reg(inst.ra, v);
                 Ctrl::Next
             }
             Stl => {
                 let addr = rb.wrapping_add_signed(imm);
-                mem_addr = Some(addr);
+                if TRACK {
+                    *mem_addr = Some(addr);
+                }
                 self.mem.store_u32(addr, ra as u32);
                 Ctrl::Next
             }
             Stq => {
                 let addr = rb.wrapping_add_signed(imm);
-                mem_addr = Some(addr);
+                if TRACK {
+                    *mem_addr = Some(addr);
+                }
                 self.mem.store_u64(addr, ra);
                 Ctrl::Next
             }
             Br | Bsr => {
                 self.set_reg(inst.ra, next_pc);
-                taken = Some(true);
+                if TRACK {
+                    *taken = Some(true);
+                }
                 Ctrl::AppJump(next_pc.wrapping_add_signed(imm))
             }
             Beq | Bne | Blt | Ble | Bgt | Bge | Blbc | Blbs => {
@@ -1084,7 +1395,9 @@ impl Machine {
                         Ctrl::Next
                     }
                 } else {
-                    taken = Some(cond);
+                    if TRACK {
+                        *taken = Some(cond);
+                    }
                     if cond {
                         Ctrl::AppJump(next_pc.wrapping_add_signed(imm))
                     } else {
@@ -1094,7 +1407,9 @@ impl Machine {
             }
             Jmp | Jsr | Ret => {
                 self.set_reg(inst.ra, next_pc);
-                taken = Some(true);
+                if TRACK {
+                    *taken = Some(true);
+                }
                 Ctrl::AppJump(rb)
             }
             Addq => {
@@ -1193,7 +1508,7 @@ impl Machine {
                 return Err(SimError::UnexpandedCodeword { pc: self.pc });
             }
         };
-        Ok((ctrl, mem_addr, taken))
+        Ok(ctrl)
     }
 }
 

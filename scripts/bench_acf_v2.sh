@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Measures ACF compression v2 (pair-merge selection + dictionary arena +
+# batched block execution) against the pre-v2 build.
+#
+# Checks the given commit (default: HEAD — pass the commit *before* the
+# ACF v2 work landed, e.g. HEAD~1 once it is merged) into a scratch
+# worktree, builds that tree's sim_speed harness, and alternates rounds
+# of three runs: the baseline build, the current build pinned to
+# `DISE_ACF_SELECT=v1` (the equal-compression-ratio configuration, so
+# dynamic instruction counts match the baseline and the insts
+# cross-check holds), and the current build with `DISE_ACF_ARENA=off`
+# (ablation: how much of the win is the arena + batched execution versus
+# other changes since the baseline). Alternating whole rounds and taking
+# each build's per-scenario best across rounds is deliberate: wall-clock
+# noise on a shared host dwarfs run-to-run differences, and
+# best-of-rounds pits each build's least-throttled window against the
+# others'.
+#
+# A fourth (cheap, deterministic) run reports the static compression
+# ratios of v1 vs v2 selection per benchmark via the acf_ratio binary.
+#
+#   ./scripts/bench_acf_v2.sh <pre-acf-v2-commit>
+#
+# DISE_BENCH_DYN / DISE_BENCH_FILTER pass through to every run (keep
+# them identical or the insts cross-check fails). DISE_BENCH_ROUNDS
+# (default 3) sets the alternating-round count, DISE_BENCH_REPS the
+# best-of count within each run. DISE_BENCH_JOBS defaults to 1: rate
+# measurements contend for the machine at higher job counts.
+#
+# Writes results/BENCH_acf_v2.json and fails unless v2 selection
+# strictly improves the total compression ratio on every benchmark AND
+# the current build's compress-scenario KIPS beats the baseline build by
+# at least 1.15x at the equal-ratio configuration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WT=.acfwt
+BASE_COMMIT=$(git rev-parse "${1:-HEAD}")
+
+export DISE_BENCH_JOBS="${DISE_BENCH_JOBS:-1}"
+export DISE_BENCH_REPS="${DISE_BENCH_REPS:-5}"
+ROUNDS="${DISE_BENCH_ROUNDS:-3}"
+
+if [ ! -d "$WT" ]; then
+    git worktree add "$WT" "$BASE_COMMIT"
+fi
+(cd "$WT" && cargo build --release -p dise-bench --bin sim_speed)
+cargo build --release -p dise-bench --bin sim_speed --bin acf_ratio
+
+mkdir -p results
+rm -f results/.acf_v2_*.json
+
+for r in $(seq 1 "$ROUNDS"); do
+    echo "== round $r/$ROUNDS: baseline build ($BASE_COMMIT) =="
+    (cd "$WT" && DISE_BENCH_OUT="$PWD/../results/.acf_v2_base$r.json" \
+        ./target/release/sim_speed)
+    echo "== round $r/$ROUNDS: current build, v1 selection (equal ratio) =="
+    DISE_ACF_SELECT=v1 DISE_BENCH_OUT="results/.acf_v2_head$r.json" \
+        ./target/release/sim_speed
+    echo "== round $r/$ROUNDS: current build, v1 selection, arena off =="
+    DISE_ACF_SELECT=v1 DISE_ACF_ARENA=off \
+        DISE_BENCH_OUT="results/.acf_v2_off$r.json" \
+        ./target/release/sim_speed
+done
+
+echo "== static compression ratios, v1 vs v2 selection =="
+DISE_BENCH_OUT=results/.acf_v2_ratio.json ./target/release/acf_ratio
+
+jq -n \
+    --slurpfile base <(cat results/.acf_v2_base*.json) \
+    --slurpfile head <(cat results/.acf_v2_head*.json) \
+    --slurpfile off <(cat results/.acf_v2_off*.json) \
+    --slurpfile ratio results/.acf_v2_ratio.json \
+    --arg commit "$BASE_COMMIT" --argjson rounds "$ROUNDS" '
+    def insts(f): [f[0].benchmarks[].runs[]
+                   | select(.scenario != "baseline") | .insts] | add;
+    def agg(f; n): [f[][].aggregate[] | select(.scenario == n) | .kips_fast]
+                   | max;
+    def speed(n): (agg([$head]; n) / agg([$base]; n)) * 1000 | round / 1000;
+    if insts($base) != insts($head) or insts($head) != insts($off) then
+        error("dynamic instruction counts diverged between builds — rerun with identical DISE_BENCH_DYN/FILTER")
+    elif [$ratio[0].benchmarks[] | select(.total_v2 >= .total_v1)] != [] then
+        error("v2 selection failed to strictly improve the total ratio on: " +
+              ([$ratio[0].benchmarks[] | select(.total_v2 >= .total_v1)
+                | .benchmark] | join(", ")))
+    elif speed("compress") < 1.15 then
+        error("compress-scenario speedup \(speed("compress")) below the 1.15x bar")
+    else {
+        bench: "acf_v2",
+        base_commit: $commit,
+        rounds: $rounds,
+        headline_speedup: speed("compress"),
+        headline: "engine-attached compress-scenario aggregate KIPS, this build (v1 selection: equal compression ratio) vs pre-v2 build, best of \($rounds) alternating rounds",
+        engine_insts: insts($head),
+        scenarios: [$head[0].aggregate[].scenario as $n | {
+            scenario: $n,
+            kips_base: agg([$base]; $n),
+            kips_arena_off: agg([$off]; $n),
+            kips_head: agg([$head]; $n),
+            speedup_vs_base: speed($n),
+        }],
+        ratios: [$ratio[0].benchmarks[] | {
+            benchmark,
+            total_v1,
+            total_v2,
+            improvement_pct: ((1 - .total_v2 / .total_v1) * 1000 | round / 10),
+        }],
+    } end' > results/BENCH_acf_v2.json
+
+rm -f results/.acf_v2_*.json
+cat results/BENCH_acf_v2.json
+echo "wrote results/BENCH_acf_v2.json (baseline $BASE_COMMIT)"
+echo "remove the scratch worktree with: git worktree remove --force $WT"

@@ -57,6 +57,41 @@ cmp "$BLKTMP/on.json" "$BLKTMP/off.json" || {
     rm -rf "$BLKTMP"; exit 1; }
 rm -rf "$BLKTMP"
 
+echo "== ci: fig7 compression smoke ($(date)) =="
+# Golden compression ratios: dictionary selection is deterministic, so
+# the smoke sweep's acf.compress.total_ratio telemetry must cover the
+# same cells as scripts/fig7_smoke_golden.json and never regress
+# (grow) on any of them. Improvements fail too — regenerate the golden
+# deliberately (see the comment inside it) so ratio movement is always
+# an explicit decision in review.
+ACFTMP=$(mktemp -d)
+DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gzip DISE_BENCH_JOBS=2 \
+    DISE_BENCH_CACHE="$ACFTMP/on" \
+    ./target/release/fig7_compression --stats-json "$ACFTMP/on.json" > /dev/null
+jq '[to_entries[] | select(.value["acf.compress.total_ratio"] != null)
+     | {cell: .key, ratio: .value["acf.compress.total_ratio"]}]' \
+    "$ACFTMP/on.json" > "$ACFTMP/ratios.json"
+jq -e -n --slurpfile cur "$ACFTMP/ratios.json" \
+    --slurpfile gold scripts/fig7_smoke_golden.json '
+    ($cur[0] | map({(.cell): .ratio}) | add) as $c |
+    ($gold[0].cells | map({(.cell): .ratio}) | add) as $g |
+    ($c | keys) == ($g | keys) and
+    all($g | keys[]; $c[.] <= $g[.] + 1e-9 and $c[.] >= $g[.] - 1e-9)' \
+    > /dev/null || {
+    echo "fig7 smoke ratios diverged from scripts/fig7_smoke_golden.json"
+    rm -rf "$ACFTMP"; exit 1; }
+# Arena ablation: the dictionary arena and its batched expansion fast
+# path are pure speed devices — one smoke sweep with DISE_ACF_ARENA=off
+# must produce byte-identical stats-JSON to the default (arena on).
+# Fresh cache dirs on both sides, as for the block-cache ablation.
+DISE_ACF_ARENA=off DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gzip \
+    DISE_BENCH_JOBS=2 DISE_BENCH_CACHE="$ACFTMP/off" \
+    ./target/release/fig7_compression --stats-json "$ACFTMP/off.json" > /dev/null
+cmp "$ACFTMP/on.json" "$ACFTMP/off.json" || {
+    echo "arena-off stats-JSON diverged from the default (arena on)"
+    rm -rf "$ACFTMP"; exit 1; }
+rm -rf "$ACFTMP"
+
 echo "== ci: serve round-trip ($(date)) =="
 # The service must produce the same stats-JSON, byte for byte, as the
 # figure binary running the same cells directly — with heartbeat,
