@@ -1,37 +1,55 @@
-//! `dise_serve` — the daemonized sweep service (ISSUE 5 tentpole).
+//! `dise_serve` — the daemonized sweep service (ISSUE 5 tentpole,
+//! reworked into a concurrent multi-tenant job-queue service in ISSUE 8).
 //!
-//! Accepts cell jobs (see `dise_bench::serve` for the job grammar) and
-//! runs them across the harness pool, narrating through the
-//! observability layer: per-cell heartbeats and completion events,
-//! per-cell stats as `metrics` records, anomaly reports shipped through
-//! the installed sink, and a phase-profile snapshot plus an arena reap
-//! between jobs so a long-lived service does not grow monotonically.
+//! Accepts cell jobs (see `dise_bench::serve` for the job grammar and
+//! the response protocol) from many concurrent clients: one reader
+//! thread per connection feeds a bounded [`JobQueue`] with per-client
+//! round-robin fairness, a single scheduler thread dispatches queued
+//! jobs to the shared harness pool, and each job's responses —
+//! `queued <id>`, heartbeat-paced `progress <id> done/total`, and a
+//! final `ok`/`error:` line — stream back on the submitting client's
+//! connection. Submissions over the admission bound are refused with an
+//! explicit `busy:` line. A client that disconnects mid-job does not
+//! perturb the job: it finishes, ships its records, and populates the
+//! cell cache; the writer notices the dead peer and discards.
+//!
+//! Observability: per-cell heartbeats and completion events, per-cell
+//! stats as `metrics` records — all tagged with the job's `id` — plus
+//! anomaly reports through the installed sink, and a phase-profile
+//! snapshot plus an arena reap between jobs so a long-lived service
+//! does not grow monotonically.
 //!
 //! Modes:
 //!
 //! ```text
-//! dise_serve --socket PATH [--obs-dir DIR] [--heartbeat-ms N] [--stats-json PATH]
+//! dise_serve --socket PATH [--obs-dir DIR] [--heartbeat-ms N] [--queue N] [--stats-json PATH]
 //! dise_serve --oneshot JOBFILE [--obs-dir DIR] [--heartbeat-ms N] [--stats-json PATH]
 //! dise_serve --submit PATH JOB...
 //! ```
 //!
-//! Socket mode binds a Unix socket and serves newline-delimited jobs —
-//! one `ok`/`error:` response line per job line, `shutdown` stops the
-//! daemon. Oneshot mode replays a job file and exits (the conformance
-//! tests and CI use it). Submit mode is the matching client.
+//! Socket mode binds a Unix socket (refusing to clobber a live daemon's
+//! socket — only a *stale* socket file is reclaimed) and serves
+//! newline-delimited jobs; `shutdown` drains the queue and stops the
+//! daemon. Oneshot mode replays a job file serially and exits (the
+//! conformance tests and CI use it). Submit mode is the matching
+//! protocol-aware client: it exits non-zero if any submitted job was
+//! rejected or failed, even when a `shutdown` follows.
 //!
 //! The sweep configuration comes from the usual harness environment
 //! (`DISE_BENCH_DYN`, `DISE_BENCH_FILTER`, `DISE_BENCH_JOBS`,
 //! `DISE_BENCH_CACHE`); the sink comes from `--obs-dir` (rotating JSONL
 //! files) or `DISE_OBS_SINK` (`jsonl:<dir>` or `uds:<path>`).
 
-use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-use dise_bench::serve::{parse_job, run_job};
+use dise_bench::serve::{
+    busy_line, claim_socket_path, draining_line, job_ok_line, parse_heartbeat_ms, parse_job,
+    parse_queue_bound, progress_line, queued_line, rejected_line, run_job_tagged, Job, JobQueue,
+    ServerLine, StatsLog, SubmitRejection, DEFAULT_QUEUE_BOUND, SHUTDOWN_ACK,
+};
 use dise_bench::{stats_json_doc, write_stats_json, Sweep};
 use dise_obs::{JsonlFileSink, Session, Sink};
 
@@ -44,13 +62,14 @@ struct Opts {
     submit: Option<(PathBuf, Vec<String>)>,
     obs_dir: Option<PathBuf>,
     heartbeat_ms: u64,
+    queue_bound: usize,
     stats_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dise_serve --socket PATH | --oneshot JOBFILE | --submit PATH JOB...\n\
-         \x20      [--obs-dir DIR] [--heartbeat-ms N] [--stats-json PATH]"
+         \x20      [--obs-dir DIR] [--heartbeat-ms N] [--queue N] [--stats-json PATH]"
     );
     std::process::exit(2);
 }
@@ -64,6 +83,7 @@ fn parse_opts() -> Opts {
         submit: None,
         obs_dir: None,
         heartbeat_ms: DEFAULT_HEARTBEAT_MS,
+        queue_bound: DEFAULT_QUEUE_BOUND,
         stats_out,
     };
     let mut i = 0;
@@ -81,8 +101,15 @@ fn parse_opts() -> Opts {
             "--obs-dir" => opts.obs_dir = Some(PathBuf::from(value(&args, &mut i, "--obs-dir"))),
             "--heartbeat-ms" => {
                 let v = value(&args, &mut i, "--heartbeat-ms");
-                opts.heartbeat_ms = v.parse().unwrap_or_else(|_| {
-                    eprintln!("--heartbeat-ms wants a positive integer, got {v:?}");
+                opts.heartbeat_ms = parse_heartbeat_ms(&v).unwrap_or_else(|why| {
+                    eprintln!("{why}");
+                    usage()
+                });
+            }
+            "--queue" => {
+                let v = value(&args, &mut i, "--queue");
+                opts.queue_bound = parse_queue_bound(&v).unwrap_or_else(|why| {
+                    eprintln!("{why}");
                     usage()
                 });
             }
@@ -145,30 +172,46 @@ fn session_for(opts: &Opts) -> Arc<Session> {
     session
 }
 
-/// State shared by every job the daemon runs.
-struct Service {
+/// The write half of one client connection. Response lines from the
+/// reader thread (`queued`/`busy:`/`error:`) and the scheduler
+/// (`progress`/finals) interleave under the mutex; once a write fails
+/// the peer is considered dead and every further line is discarded —
+/// the job itself is never disturbed.
+struct ClientConn {
+    stream: Mutex<Option<UnixStream>>,
+}
+
+impl ClientConn {
+    fn new(stream: UnixStream) -> ClientConn {
+        ClientConn {
+            stream: Mutex::new(Some(stream)),
+        }
+    }
+
+    fn send(&self, line: &str) {
+        let mut slot = self.stream.lock().expect("client writer lock");
+        if let Some(s) = slot.as_mut() {
+            if writeln!(s, "{line}").is_err() {
+                *slot = None; // dead peer: discard from here on
+            }
+        }
+    }
+}
+
+/// State shared by the reader threads and the scheduler.
+struct Daemon {
     sweep: Sweep,
     session: Arc<Session>,
     heartbeat_ms: u64,
-    stats: Mutex<BTreeMap<String, Vec<(String, f64)>>>,
+    stats: StatsLog,
+    queue: JobQueue<(Job, Arc<ClientConn>)>,
 }
 
-impl Service {
-    /// Parses and runs one job line, then reaps the arena and ships the
-    /// phase-profile counters. Returns the response line for the client.
-    fn handle(&self, line: &str) -> Result<String, String> {
-        let job = parse_job(&self.sweep, line)?;
-        let n = job.cells.len();
-        run_job(
-            &self.sweep,
-            &self.session,
-            &job,
-            self.heartbeat_ms,
-            &self.stats,
-        );
-        // Between jobs the service sheds arena entries no live machine
-        // references and exports the accumulated wall-clock phase
-        // profile (never part of per-cell stats — see DESIGN §11).
+impl Daemon {
+    /// Between jobs the service sheds arena entries no live machine
+    /// references and exports the accumulated wall-clock phase
+    /// profile (never part of per-cell stats — see DESIGN §11).
+    fn after_job(&self) {
         let reaped = dise_sim::arena::reap_unreferenced();
         self.session
             .event("-", "arena_reap", None, &[("reaped", reaped as f64)]);
@@ -176,7 +219,6 @@ impl Service {
         if !profile.is_empty() {
             self.session.metrics("harness.profile", &profile);
         }
-        Ok(format!("ok {} ({n} cells)", job.name))
     }
 
     fn stats_json(&self) -> String {
@@ -187,126 +229,237 @@ impl Service {
     }
 }
 
-fn serve_socket(service: &Service, path: &PathBuf) {
-    let _ = std::fs::remove_file(path);
+/// One connection's reader loop: parse each line, admit it to the queue
+/// (streaming the `queued`/`busy:`/`error:` acknowledgment), and flip
+/// the queue into draining on `shutdown`. The connection stays open
+/// after `shutdown` so finals for still-running jobs can stream.
+fn serve_client(daemon: &Daemon, client: u64, stream: UnixStream) {
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("clone stream: {e}");
+            return;
+        }
+    };
+    let conn = Arc::new(ClientConn::new(writer));
+    for line in BufReader::new(stream).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "shutdown" {
+            daemon.queue.shutdown();
+            conn.send(SHUTDOWN_ACK);
+            continue;
+        }
+        match parse_job(&daemon.sweep, trimmed) {
+            Err(why) => conn.send(&rejected_line(&why)),
+            Ok(job) => match daemon.queue.submit(client, (job, Arc::clone(&conn))) {
+                Ok(id) => conn.send(&queued_line(id)),
+                Err(SubmitRejection::Busy { admitted, bound }) => {
+                    conn.send(&busy_line(admitted, bound))
+                }
+                Err(SubmitRejection::Draining) => conn.send(&draining_line()),
+            },
+        }
+    }
+    // EOF: the client went away. Its admitted jobs stay queued and still
+    // run to completion — results land in the stats log and cell cache,
+    // and the dead ClientConn swallows the response lines.
+}
+
+fn serve_socket(daemon: &Arc<Daemon>, path: &PathBuf) {
+    if let Err(why) = claim_socket_path(path) {
+        eprintln!("{why}");
+        std::process::exit(1);
+    }
     let listener = UnixListener::bind(path).unwrap_or_else(|e| {
         eprintln!("cannot bind {}: {e}", path.display());
         std::process::exit(1);
     });
-    eprintln!("dise_serve listening on {}", path.display());
-    service.session.event("-", "serve_start", None, &[]);
-    'accept: for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("accept failed: {e}");
-                continue;
+    eprintln!(
+        "dise_serve listening on {} (queue bound {})",
+        path.display(),
+        daemon.queue.bound()
+    );
+    daemon.session.event("-", "serve_start", None, &[]);
+
+    // Accept loop: one detached reader thread per connection. The thread
+    // dies with the process once the scheduler drains after shutdown.
+    {
+        let daemon = Arc::clone(daemon);
+        std::thread::spawn(move || {
+            let mut next_client = 1u64;
+            for stream in listener.incoming() {
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("accept failed: {e}");
+                        continue;
+                    }
+                };
+                let client = next_client;
+                next_client += 1;
+                let daemon = Arc::clone(&daemon);
+                std::thread::spawn(move || serve_client(&daemon, client, stream));
             }
-        };
-        let mut writer = match stream.try_clone() {
-            Ok(w) => w,
-            Err(e) => {
-                eprintln!("clone stream: {e}");
-                continue;
-            }
-        };
-        for line in BufReader::new(stream).lines() {
-            let line = match line {
-                Ok(l) => l,
-                Err(_) => break,
-            };
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            if trimmed == "shutdown" {
-                let _ = writeln!(writer, "ok shutting down");
-                break 'accept;
-            }
-            let response = match service.handle(trimmed) {
-                Ok(ok) => ok,
-                Err(why) => format!("error: {why}"),
-            };
-            if writeln!(writer, "{response}").is_err() {
-                break; // client went away; its job still ran and shipped
-            }
-        }
+        });
     }
-    service.session.event("-", "serve_stop", None, &[]);
-    service.session.sink().flush();
+
+    // Scheduler: one job at a time through the shared pool (cells fan
+    // out inside the job), per-client round-robin over the backlog.
+    while let Some(queued) = daemon.queue.next() {
+        let (job, conn) = queued.payload;
+        let cells = job.cells.len();
+        let progress = |done: u64, total: u64| conn.send(&progress_line(queued.id, done, total));
+        run_job_tagged(
+            &daemon.sweep,
+            &daemon.session,
+            &job,
+            daemon.heartbeat_ms,
+            &daemon.stats,
+            Some(queued.id),
+            &progress,
+        );
+        daemon.after_job();
+        conn.send(&job_ok_line(queued.id, &job.name, cells));
+        daemon.queue.finish();
+    }
+
+    daemon.session.event("-", "serve_stop", None, &[]);
+    daemon.session.sink().flush();
     let _ = std::fs::remove_file(path);
 }
 
-fn run_oneshot(service: &Service, jobfile: &PathBuf) {
+fn run_oneshot(daemon: &Daemon, jobfile: &PathBuf) {
     let text = std::fs::read_to_string(jobfile).unwrap_or_else(|e| {
         eprintln!("cannot read job file {}: {e}", jobfile.display());
         std::process::exit(1);
     });
+    let mut next_id = 1u64;
     for line in text.lines() {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        match service.handle(trimmed) {
-            Ok(ok) => println!("{ok}"),
+        match parse_job(&daemon.sweep, trimmed) {
+            Ok(job) => {
+                let id = next_id;
+                next_id += 1;
+                run_job_tagged(
+                    &daemon.sweep,
+                    &daemon.session,
+                    &job,
+                    daemon.heartbeat_ms,
+                    &daemon.stats,
+                    Some(id),
+                    &|_, _| {},
+                );
+                daemon.after_job();
+                println!("ok {} ({} cells)", job.name, job.cells.len());
+            }
             Err(why) => {
                 eprintln!("error: {why}");
+                // Flush before exiting: records queued behind a JSONL or
+                // UDS sink for the jobs that *did* run would otherwise be
+                // silently dropped by the exit.
+                daemon.session.sink().flush();
                 std::process::exit(1);
             }
         }
     }
-    service.session.sink().flush();
+    daemon.session.sink().flush();
 }
 
-fn submit(sock: &PathBuf, jobs: &[String]) {
+/// The protocol-aware submit client: sends every job, then follows the
+/// multiplexed response stream until each submitted job has both its
+/// acknowledgment (`queued`/`busy:`/`error:`) and — if admitted — its
+/// final (`ok <id>`/`error: <id>`), plus the `shutdown` ack when one was
+/// sent. Exits non-zero if anything was rejected or failed.
+fn submit(sock: &PathBuf, jobs: &[String]) -> i32 {
     let stream = UnixStream::connect(sock).unwrap_or_else(|e| {
         eprintln!("cannot connect to {}: {e}", sock.display());
         std::process::exit(1);
     });
     let mut writer = stream.try_clone().expect("clone stream");
-    let mut reader = BufReader::new(stream);
-    let mut failed = false;
+    let reader = BufReader::new(stream);
+
+    let mut expected_acks = 0usize;
+    let mut shutdown_sent = false;
     for job in jobs {
-        writeln!(writer, "{job}").expect("send job");
+        writeln!(writer, "{}", job.trim()).expect("send job");
         if job.trim() == "shutdown" {
-            // The daemon acks and exits; nothing further to read.
-            let mut response = String::new();
-            let _ = reader.read_line(&mut response);
-            print!("{response}");
-            return;
+            shutdown_sent = true;
+        } else {
+            expected_acks += 1;
         }
-        let mut response = String::new();
-        if reader.read_line(&mut response).unwrap_or(0) == 0 {
-            eprintln!("server closed the connection");
-            std::process::exit(1);
+    }
+
+    let mut acks = 0usize;
+    let mut outstanding = 0i64; // admitted jobs awaiting their final
+    let mut failed = false;
+    let mut shutdown_acked = !shutdown_sent;
+    let mut lines = reader.lines();
+    while acks < expected_acks || outstanding > 0 || !shutdown_acked {
+        let Some(line) = lines.next() else {
+            eprintln!("server closed the connection with work outstanding");
+            return 1;
+        };
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("read response: {e}");
+                return 1;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
         }
-        print!("{response}");
-        failed |= response.starts_with("error:");
+        println!("{line}");
+        match ServerLine::parse(&line) {
+            ServerLine::Queued { .. } => {
+                acks += 1;
+                outstanding += 1;
+            }
+            ServerLine::Busy | ServerLine::Rejected => {
+                acks += 1;
+                failed = true;
+            }
+            ServerLine::JobOk { .. } => outstanding -= 1,
+            ServerLine::JobError { .. } => {
+                outstanding -= 1;
+                failed = true;
+            }
+            ServerLine::ShutdownAck => shutdown_acked = true,
+            ServerLine::Progress { .. } | ServerLine::Other => {}
+        }
     }
-    if failed {
-        std::process::exit(1);
-    }
+    i32::from(failed)
 }
 
 fn main() {
     let opts = parse_opts();
     if let Some((sock, jobs)) = &opts.submit {
-        submit(sock, jobs);
-        return;
+        std::process::exit(submit(sock, jobs));
     }
-    let service = Service {
+    let daemon = Arc::new(Daemon {
         sweep: Sweep::from_env(),
         session: session_for(&opts),
         heartbeat_ms: opts.heartbeat_ms,
-        stats: Mutex::new(BTreeMap::new()),
-    };
+        stats: StatsLog::default(),
+        queue: JobQueue::new(opts.queue_bound),
+    });
     if let Some(jobfile) = &opts.oneshot {
-        run_oneshot(&service, jobfile);
+        run_oneshot(&daemon, jobfile);
     } else if let Some(sock) = &opts.socket {
-        serve_socket(&service, sock);
+        serve_socket(&daemon, sock);
     }
     if let Some(path) = &opts.stats_out {
-        if let Err(why) = write_stats_json(path, &service.stats_json()) {
+        if let Err(why) = write_stats_json(path, &daemon.stats_json()) {
             eprintln!("{why}");
             std::process::exit(1);
         }

@@ -1,8 +1,9 @@
-//! The sweep service behind `dise_serve`: parses cell jobs, fans them
-//! across the harness [`Pool`], and narrates progress through the
-//! installed observability session — per-cell start/done events, a
-//! periodic heartbeat, per-cell stats as delta-encoded `metrics`
-//! records, and a completion record per job.
+//! The sweep service behind `dise_serve`: parses cell jobs, queues them
+//! across concurrent clients, fans each across the harness [`Pool`], and
+//! narrates progress both through the installed observability session
+//! (per-cell start/done events, periodic heartbeats, per-cell
+//! delta-encoded `metrics` records — all tagged with the job's `id`) and
+//! back to the submitting client as a streamed line protocol.
 //!
 //! A *job* is one line of text:
 //!
@@ -17,9 +18,41 @@
 //! computed by the service has the same content-address key — and
 //! byte-identical stats — as the same cell computed by `fig6_mfi`.
 //! `tests/serve.rs` and the CI round-trip step hold that line.
+//!
+//! ## The job queue
+//!
+//! [`JobQueue`] is the daemon's admission control: a bounded multi-client
+//! queue with per-client round-robin dispatch. Each connection's reader
+//! thread submits parsed jobs; one scheduler thread pops them and runs
+//! them through the shared pool. The bound counts *admitted* jobs
+//! (queued plus running); a submission over the bound is rejected
+//! immediately with a `busy:` line rather than blocking the client —
+//! backpressure is explicit, never silent. `shutdown` flips the queue
+//! into draining: already-admitted jobs still run (and stream their
+//! results), new submissions are refused, and [`JobQueue::next`] returns
+//! `None` once the backlog is empty.
+//!
+//! ## The response protocol
+//!
+//! Every server→client line is one of ([`ServerLine`] parses them):
+//!
+//! ```text
+//! queued <id>                      job admitted under id
+//! progress <id> <done>/<total>     heartbeat-paced progress while it runs
+//! ok <id> <name> (<n> cells)       success final
+//! error: <id> <why>                failure final (reserved)
+//! error: <why>                     submission rejected (never admitted)
+//! busy: ...                        admission refused (queue full / draining)
+//! ok shutting down                 shutdown acknowledged
+//! ```
+//!
+//! Responses for one client are multiplexed on its own connection only,
+//! so concurrent clients see disjoint, correctly-demultiplexed streams.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use dise_acf::mfi::MfiVariant;
@@ -30,6 +63,12 @@ use dise_workloads::Benchmark;
 use crate::figures::{baseline_cell, dise_mfi_cell, rewrite_mfi_cell};
 use crate::pool::RunObserver;
 use crate::{Cell, Sweep};
+
+/// Default admission bound for the daemon's [`JobQueue`].
+pub const DEFAULT_QUEUE_BOUND: usize = 16;
+
+/// The shutdown acknowledgment line.
+pub const SHUTDOWN_ACK: &str = "ok shutting down";
 
 /// A parsed job: its original spelling (used to tag records) and the
 /// cells it expands to.
@@ -92,28 +131,376 @@ pub fn parse_job(sweep: &Sweep, line: &str) -> Result<Job, String> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Flag validation
+
+/// Validates a `--heartbeat-ms` value, mirroring [`crate::Pool::parse_jobs`]:
+/// malformed input is rejected with an actionable message instead of
+/// being papered over. `0` is rejected because a zero period would spin
+/// the heartbeat thread — drop the flag to get the default.
+pub fn parse_heartbeat_ms(v: &str) -> Result<u64, String> {
+    match v.trim().parse::<u64>() {
+        Ok(0) => Err(
+            "--heartbeat-ms must be at least 1 (got 0); drop the flag for the default period"
+                .to_string(),
+        ),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "--heartbeat-ms wants a positive integer (milliseconds between heartbeats), got {v:?}"
+        )),
+    }
+}
+
+/// Validates a `--queue` admission bound, mirroring
+/// [`crate::Pool::parse_jobs`]. `0` is rejected: a zero bound would
+/// refuse every job, which is never what the operator meant.
+pub fn parse_queue_bound(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(0) => Err(
+            "--queue must be at least 1 (got 0): a zero bound would reject every job"
+                .to_string(),
+        ),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--queue wants a positive integer, got {v:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Socket-path claiming
+
+/// Decides whether the daemon may bind `path`, protecting a live daemon
+/// from being silently clobbered: probe the path with a connect, and
+/// only unlink it when the connection is *refused* (a stale socket left
+/// by a dead daemon). A successful connect means another daemon is
+/// serving there — error out. A path that exists but is not a socket is
+/// never removed.
+pub fn claim_socket_path(path: &Path) -> Result<(), String> {
+    use std::io::ErrorKind;
+    match std::os::unix::net::UnixStream::connect(path) {
+        Ok(_probe) => Err(format!(
+            "refusing to bind {}: another daemon is already listening there \
+             (submit jobs to it, or pick a different --socket path)",
+            path.display()
+        )),
+        Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
+        Err(e) if e.kind() == ErrorKind::ConnectionRefused => {
+            let is_socket = std::fs::symlink_metadata(path)
+                .map(|m| std::os::unix::fs::FileTypeExt::is_socket(&m.file_type()))
+                .unwrap_or(false);
+            if !is_socket {
+                return Err(format!(
+                    "refusing to replace {}: it exists but is not a socket",
+                    path.display()
+                ));
+            }
+            std::fs::remove_file(path)
+                .map_err(|e| format!("cannot remove stale socket {}: {e}", path.display()))
+        }
+        Err(e) => Err(format!(
+            "cannot probe {}: {e} (remove it manually if it is stale)",
+            path.display()
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response protocol
+
+/// Formats the `queued <id>` admission line.
+pub fn queued_line(id: u64) -> String {
+    format!("queued {id}")
+}
+
+/// Formats a `progress <id> <done>/<total>` line.
+pub fn progress_line(id: u64, done: u64, total: u64) -> String {
+    format!("progress {id} {done}/{total}")
+}
+
+/// Formats the `ok <id> <name> (<n> cells)` success final.
+pub fn job_ok_line(id: u64, name: &str, cells: usize) -> String {
+    format!("ok {id} {name} ({cells} cells)")
+}
+
+/// Formats the `error: <id> <why>` failure final.
+pub fn job_error_line(id: u64, why: &str) -> String {
+    format!("error: {id} {why}")
+}
+
+/// Formats the `error: <why>` submission rejection (job never admitted).
+pub fn rejected_line(why: &str) -> String {
+    format!("error: {why}")
+}
+
+/// Formats the `busy:` backpressure rejection, naming the queue depth.
+pub fn busy_line(admitted: usize, bound: usize) -> String {
+    format!("busy: {admitted} jobs in flight (bound {bound}); retry later")
+}
+
+/// Formats the `busy:` rejection a draining daemon sends.
+pub fn draining_line() -> String {
+    "busy: shutting down; retry later".to_string()
+}
+
+/// One parsed server→client protocol line (see the module docs for the
+/// grammar). The submit client drives its bookkeeping off this, and the
+/// conformance tests assert stream shape with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerLine {
+    /// `queued <id>` — the job was admitted.
+    Queued {
+        /// The daemon-assigned job id.
+        id: u64,
+    },
+    /// `progress <id> <done>/<total>` — heartbeat-paced progress.
+    Progress {
+        /// The job this progress belongs to.
+        id: u64,
+        /// Cells completed so far.
+        done: u64,
+        /// Cells in the job.
+        total: u64,
+    },
+    /// `ok <id> ...` — the job completed successfully.
+    JobOk {
+        /// The completed job.
+        id: u64,
+    },
+    /// `error: <id> ...` — the job failed after admission.
+    JobError {
+        /// The failed job.
+        id: u64,
+    },
+    /// `error: <why>` — the submission was rejected before admission
+    /// (malformed job line, unknown benchmark, …).
+    Rejected,
+    /// `busy: ...` — admission refused (queue full, or draining).
+    Busy,
+    /// `ok shutting down` — the daemon acknowledged `shutdown`.
+    ShutdownAck,
+    /// Anything else (unknown/extension lines; clients ignore these).
+    Other,
+}
+
+impl ServerLine {
+    /// Parses one server line.
+    pub fn parse(line: &str) -> ServerLine {
+        let line = line.trim();
+        if line == SHUTDOWN_ACK {
+            return ServerLine::ShutdownAck;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next();
+        let id = |w: Option<&str>| w.and_then(|w| w.parse::<u64>().ok());
+        match head {
+            Some("queued") => match id(words.next()) {
+                Some(id) => ServerLine::Queued { id },
+                None => ServerLine::Other,
+            },
+            Some("progress") => {
+                let job = id(words.next());
+                let frac = words.next().and_then(|w| {
+                    let (d, t) = w.split_once('/')?;
+                    Some((d.parse::<u64>().ok()?, t.parse::<u64>().ok()?))
+                });
+                match (job, frac) {
+                    (Some(id), Some((done, total))) => ServerLine::Progress { id, done, total },
+                    _ => ServerLine::Other,
+                }
+            }
+            Some("ok") => match id(words.next()) {
+                Some(id) => ServerLine::JobOk { id },
+                None => ServerLine::Other,
+            },
+            Some("error:") => match id(words.next()) {
+                Some(id) => ServerLine::JobError { id },
+                None => ServerLine::Rejected,
+            },
+            Some("busy:") => ServerLine::Busy,
+            _ => ServerLine::Other,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The bounded multi-client job queue
+
+/// One admitted queue entry: the daemon-assigned job id, the submitting
+/// client, and the caller's payload (the daemon stores the parsed job
+/// plus the client's reply handle).
+#[derive(Debug)]
+pub struct QueuedJob<T> {
+    /// Daemon-assigned job id (monotonic from 1).
+    pub id: u64,
+    /// The submitting client's id.
+    pub client: u64,
+    /// The caller's payload.
+    pub payload: T,
+}
+
+/// Why a submission was refused (see [`JobQueue::submit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitRejection {
+    /// The admission bound is reached; the client should retry later.
+    Busy {
+        /// Jobs currently admitted (queued + running).
+        admitted: usize,
+        /// The configured admission bound.
+        bound: usize,
+    },
+    /// The daemon is draining after `shutdown`; no new jobs are admitted.
+    Draining,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    next_id: u64,
+    /// Per-client FIFO backlogs. An entry exists iff its deque is
+    /// non-empty (and then its client id is in `rotation` exactly once).
+    per_client: BTreeMap<u64, VecDeque<QueuedJob<T>>>,
+    /// Round-robin order over clients with queued jobs.
+    rotation: VecDeque<u64>,
+    /// Jobs admitted and not yet finished (queued + running).
+    admitted: usize,
+    draining: bool,
+}
+
+/// A bounded multi-client job queue with per-client round-robin
+/// dispatch — the admission-control heart of the daemon (module docs).
+///
+/// Fairness: [`JobQueue::next`] serves clients in rotation — a client
+/// with a deep backlog cannot starve one submitting a single job; with
+/// clients A(3 jobs) and B(1), dispatch order is A B A A. Within a
+/// client, jobs run in submission order.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+    bound: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `bound` jobs at once (clamped to ≥ 1).
+    pub fn new(bound: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                next_id: 1,
+                per_client: BTreeMap::new(),
+                rotation: VecDeque::new(),
+                admitted: 0,
+                draining: false,
+            }),
+            ready: Condvar::new(),
+            bound: bound.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Jobs currently admitted (queued + running).
+    pub fn admitted(&self) -> usize {
+        self.inner.lock().expect("job queue lock").admitted
+    }
+
+    /// Admits a job for `client`, assigning its id, or rejects it
+    /// immediately: over-bound submissions get [`SubmitRejection::Busy`]
+    /// (explicit backpressure — the reader thread never blocks a client
+    /// on queue space), post-shutdown ones [`SubmitRejection::Draining`].
+    pub fn submit(&self, client: u64, payload: T) -> Result<u64, SubmitRejection> {
+        let mut q = self.inner.lock().expect("job queue lock");
+        if q.draining {
+            return Err(SubmitRejection::Draining);
+        }
+        if q.admitted >= self.bound {
+            return Err(SubmitRejection::Busy {
+                admitted: q.admitted,
+                bound: self.bound,
+            });
+        }
+        q.admitted += 1;
+        let id = q.next_id;
+        q.next_id += 1;
+        if !q.per_client.contains_key(&client) {
+            q.rotation.push_back(client);
+        }
+        let backlog = q.per_client.entry(client).or_default();
+        backlog.push_back(QueuedJob {
+            id,
+            client,
+            payload,
+        });
+        self.ready.notify_all();
+        Ok(id)
+    }
+
+    /// Pops the next job under round-robin fairness, blocking while the
+    /// queue is empty. Returns `None` once the queue is draining *and*
+    /// empty — the scheduler's signal to exit.
+    pub fn next(&self) -> Option<QueuedJob<T>> {
+        let mut q = self.inner.lock().expect("job queue lock");
+        loop {
+            if let Some(client) = q.rotation.pop_front() {
+                let backlog = q.per_client.get_mut(&client).expect("rotation client queued");
+                let job = backlog.pop_front().expect("rotation backlog non-empty");
+                if backlog.is_empty() {
+                    q.per_client.remove(&client);
+                } else {
+                    q.rotation.push_back(client);
+                }
+                return Some(job);
+            }
+            if q.draining {
+                return None;
+            }
+            q = self.ready.wait(q).expect("job queue lock");
+        }
+    }
+
+    /// Releases one admitted slot — the scheduler calls this after a
+    /// popped job fully completes (results streamed), so the bound
+    /// covers running work, not just the backlog.
+    pub fn finish(&self) {
+        let mut q = self.inner.lock().expect("job queue lock");
+        q.admitted = q.admitted.saturating_sub(1);
+    }
+
+    /// Starts draining: already-admitted jobs still run, new submissions
+    /// are refused, and [`JobQueue::next`] returns `None` once empty.
+    pub fn shutdown(&self) {
+        self.inner.lock().expect("job queue lock").draining = true;
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job execution
+
 /// Observer wiring pool scheduling into the session: `cell_start` /
-/// `cell_done` events and the shared in-flight/done counters the
-/// heartbeat thread reads.
+/// `cell_done` events (tagged with the job id) and the shared
+/// in-flight/done counters the heartbeat thread reads.
 struct ServeObserver<'a> {
     session: &'a Session,
     job: &'a str,
+    id: Option<u64>,
     keys: Vec<String>,
     in_flight: AtomicUsize,
-    done: Arc<AtomicUsize>,
+    done: &'a AtomicUsize,
 }
 
 impl RunObserver for ServeObserver<'_> {
     fn started(&self, index: usize) {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         self.session
-            .event(&self.keys[index], "cell_start", Some(self.job), &[]);
+            .event_tagged(self.id, &self.keys[index], "cell_start", Some(self.job), &[]);
     }
 
     fn finished(&self, index: usize) {
         let in_flight = self.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
         let done = self.done.fetch_add(1, Ordering::SeqCst) + 1;
-        self.session.event(
+        self.session.event_tagged(
+            self.id,
             &self.keys[index],
             "cell_done",
             Some(self.job),
@@ -122,74 +509,110 @@ impl RunObserver for ServeObserver<'_> {
     }
 }
 
+/// The per-job stats log shape shared by the daemon and [`Sweep`]:
+/// cell key → name-sorted stat pairs.
+pub type StatsLog = Mutex<std::collections::BTreeMap<String, Vec<(String, f64)>>>;
+
 /// Runs one job through the sweep's pool and cache, narrating through
 /// `session`, and folds each cell's stats into `stats_log` (the same
 /// key-sorted shape [`Sweep::stats_json`] renders). Returns the values
 /// of every cell in job order.
 ///
-/// Heartbeats: one `heartbeat` event immediately at job start (so even a
-/// cache-warm job that finishes in microseconds leaves one), then one
-/// every `heartbeat_ms` until the job completes, each carrying
-/// done/total/in-flight counts.
+/// Equivalent to [`run_job_tagged`] with no job id and no progress
+/// stream — the in-process/oneshot entry point.
 pub fn run_job(
     sweep: &Sweep,
     session: &Arc<Session>,
     job: &Job,
     heartbeat_ms: u64,
-    stats_log: &Mutex<std::collections::BTreeMap<String, Vec<(String, f64)>>>,
+    stats_log: &StatsLog,
+) -> Vec<Vec<f64>> {
+    run_job_tagged(sweep, session, job, heartbeat_ms, stats_log, None, &|_, _| {})
+}
+
+/// [`run_job`] as the daemon's scheduler invokes it: every record the
+/// job emits is tagged with `id`, and `progress(done, total)` is called
+/// on every heartbeat tick so the client's connection streams
+/// `progress` lines at the same cadence.
+///
+/// Heartbeats: one `heartbeat` event immediately at job start (so even a
+/// cache-warm job that finishes in microseconds leaves one), then one
+/// every `heartbeat_ms` until the job completes, each carrying
+/// done/total counts. The heartbeat thread parks on a `Condvar` rather
+/// than sleeping, so job completion interrupts it immediately — a long
+/// `--heartbeat-ms` never stalls the final response by up to a period.
+pub fn run_job_tagged(
+    sweep: &Sweep,
+    session: &Arc<Session>,
+    job: &Job,
+    heartbeat_ms: u64,
+    stats_log: &StatsLog,
+    id: Option<u64>,
+    progress: &(dyn Fn(u64, u64) + Sync),
 ) -> Vec<Vec<f64>> {
     let total = job.cells.len();
-    session.event(
+    session.event_tagged(
+        id,
         "-",
         "job_start",
         Some(&job.name),
         &[("cells", total as f64)],
     );
-    let done = Arc::new(AtomicUsize::new(0));
+    let done = AtomicUsize::new(0);
     let observer = ServeObserver {
         session: session.as_ref(),
         job: &job.name,
+        id,
         keys: job.cells.iter().map(|c| c.key().to_string()).collect(),
         in_flight: AtomicUsize::new(0),
-        done: Arc::clone(&done),
+        done: &done,
     };
+    // Paired stop flag + condvar: the heartbeat waits with a timeout and
+    // the scheduler's completion notify wakes it immediately, so joining
+    // never costs a heartbeat period.
+    let stop = (Mutex::new(false), Condvar::new());
 
-    let stop = Arc::new(AtomicBool::new(false));
-    let heartbeat = {
-        let (session, stop, done) = (Arc::clone(session), Arc::clone(&stop), Arc::clone(&done));
-        let name = job.name.clone();
-        std::thread::spawn(move || {
-            loop {
-                session.event(
-                    "-",
-                    "heartbeat",
-                    Some(&name),
-                    &[
-                        ("done", done.load(Ordering::SeqCst) as f64),
-                        ("total", total as f64),
-                    ],
-                );
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(heartbeat_ms.max(1)));
+    let outs = std::thread::scope(|s| {
+        let heartbeat = s.spawn(|| loop {
+            let d = done.load(Ordering::SeqCst) as u64;
+            session.event_tagged(
+                id,
+                "-",
+                "heartbeat",
+                Some(&job.name),
+                &[("done", d as f64), ("total", total as f64)],
+            );
+            progress(d, total as u64);
+            let (lock, cvar) = &stop;
+            let stopped = lock.lock().expect("heartbeat stop lock");
+            if *stopped {
+                break;
             }
-        })
-    };
+            let (stopped, _timeout) = cvar
+                .wait_timeout(stopped, Duration::from_millis(heartbeat_ms))
+                .expect("heartbeat stop lock");
+            if *stopped {
+                break;
+            }
+        });
 
-    let outs = sweep.pool.run_observed(&job.cells, &observer, |_, cell| {
-        // Tag everything raised while this cell runs — anomaly reports
-        // most importantly — with the cell's content-address key.
-        let _scope = dise_obs::cell_scope(cell.key());
-        let out = sweep.cache.get_or(cell.key(), || cell.compute());
-        if !out.stats.is_empty() {
-            session.metrics(cell.key(), &out.stats);
-        }
-        out
+        let outs = sweep.pool.run_observed(&job.cells, &observer, |_, cell| {
+            // Tag everything raised while this cell runs — anomaly reports
+            // most importantly — with the cell's content-address key.
+            let _scope = dise_obs::cell_scope(cell.key());
+            let out = sweep.cache.get_or(cell.key(), || cell.compute());
+            if !out.stats.is_empty() {
+                session.metrics_tagged(id, cell.key(), &out.stats);
+            }
+            out
+        });
+
+        *stop.0.lock().expect("heartbeat stop lock") = true;
+        stop.1.notify_all();
+        heartbeat.join().expect("heartbeat thread");
+        outs
     });
 
-    stop.store(true, Ordering::SeqCst);
-    heartbeat.join().expect("heartbeat thread");
     let mut log = stats_log.lock().expect("serve stats log");
     for (cell, out) in job.cells.iter().zip(&outs) {
         if !out.stats.is_empty() {
@@ -197,7 +620,8 @@ pub fn run_job(
         }
     }
     drop(log);
-    session.event(
+    session.event_tagged(
+        id,
         "-",
         "job_done",
         Some(&job.name),
@@ -238,5 +662,166 @@ mod tests {
         assert!(job.cells[0].key().contains("baseline"));
         assert!(job.cells[1].key().contains("rewrite_mfi"));
         assert!(job.cells[2].key().contains("dise_mfi"));
+    }
+
+    #[test]
+    fn heartbeat_ms_rejects_zero_and_garbage() {
+        assert_eq!(parse_heartbeat_ms("250"), Ok(250));
+        assert_eq!(parse_heartbeat_ms(" 1 "), Ok(1));
+        let zero = parse_heartbeat_ms("0").unwrap_err();
+        assert!(zero.contains("at least 1"), "actionable: {zero}");
+        let garbage = parse_heartbeat_ms("fast").unwrap_err();
+        assert!(garbage.contains("positive integer"), "actionable: {garbage}");
+        assert!(garbage.contains("fast"), "echoes the input: {garbage}");
+    }
+
+    #[test]
+    fn queue_bound_rejects_zero_and_garbage() {
+        assert_eq!(parse_queue_bound("16"), Ok(16));
+        let zero = parse_queue_bound("0").unwrap_err();
+        assert!(zero.contains("reject every job"), "actionable: {zero}");
+        let garbage = parse_queue_bound("deep").unwrap_err();
+        assert!(garbage.contains("positive integer"), "actionable: {garbage}");
+    }
+
+    #[test]
+    fn server_lines_round_trip_through_the_parser() {
+        assert_eq!(ServerLine::parse(&queued_line(3)), ServerLine::Queued { id: 3 });
+        assert_eq!(
+            ServerLine::parse(&progress_line(3, 2, 6)),
+            ServerLine::Progress { id: 3, done: 2, total: 6 }
+        );
+        assert_eq!(
+            ServerLine::parse(&job_ok_line(3, "fig6_top gzip", 6)),
+            ServerLine::JobOk { id: 3 }
+        );
+        assert_eq!(
+            ServerLine::parse(&job_error_line(3, "boom")),
+            ServerLine::JobError { id: 3 }
+        );
+        assert_eq!(
+            ServerLine::parse(&rejected_line("unknown benchmark \"quake3\"")),
+            ServerLine::Rejected
+        );
+        assert_eq!(ServerLine::parse(&busy_line(4, 4)), ServerLine::Busy);
+        assert_eq!(ServerLine::parse(&draining_line()), ServerLine::Busy);
+        assert_eq!(ServerLine::parse(SHUTDOWN_ACK), ServerLine::ShutdownAck);
+        assert_eq!(ServerLine::parse("hello world"), ServerLine::Other);
+        assert_eq!(ServerLine::parse("queued lots"), ServerLine::Other);
+    }
+
+    #[test]
+    fn queue_dispatches_clients_round_robin() {
+        let q: JobQueue<&str> = JobQueue::new(8);
+        // Client 1 floods; client 2 submits one job later — it must not
+        // wait behind the whole flood.
+        assert_eq!(q.submit(1, "a"), Ok(1));
+        assert_eq!(q.submit(1, "b"), Ok(2));
+        assert_eq!(q.submit(1, "c"), Ok(3));
+        assert_eq!(q.submit(2, "d"), Ok(4));
+        let order: Vec<(u64, &str)> = std::iter::from_fn(|| {
+            q.shutdown(); // idempotent; makes next() non-blocking when empty
+            q.next().map(|j| (j.client, j.payload))
+        })
+        .collect();
+        assert_eq!(order, vec![(1, "a"), (2, "d"), (1, "b"), (1, "c")]);
+    }
+
+    #[test]
+    fn queue_bounds_admissions_and_frees_slots_on_finish() {
+        let q: JobQueue<u32> = JobQueue::new(2);
+        assert_eq!(q.submit(1, 10), Ok(1));
+        assert_eq!(q.submit(1, 11), Ok(2));
+        assert_eq!(
+            q.submit(2, 12),
+            Err(SubmitRejection::Busy { admitted: 2, bound: 2 })
+        );
+        // Popping alone does not free the slot — the job is running.
+        let job = q.next().expect("job queued");
+        assert_eq!(job.payload, 10);
+        assert_eq!(
+            q.submit(2, 12),
+            Err(SubmitRejection::Busy { admitted: 2, bound: 2 })
+        );
+        q.finish();
+        assert_eq!(q.submit(2, 12), Ok(3));
+        assert_eq!(q.admitted(), 2);
+    }
+
+    #[test]
+    fn queue_drains_on_shutdown_and_refuses_new_work() {
+        let q: JobQueue<&str> = JobQueue::new(4);
+        q.submit(1, "before").unwrap();
+        q.shutdown();
+        assert_eq!(q.submit(1, "after"), Err(SubmitRejection::Draining));
+        // The already-admitted job still comes out, then None.
+        assert_eq!(q.next().map(|j| j.payload), Some("before"));
+        assert!(q.next().is_none());
+    }
+
+    #[test]
+    fn queue_next_blocks_until_work_arrives() {
+        let q: Arc<JobQueue<&str>> = Arc::new(JobQueue::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.next().map(|j| j.payload))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        q.submit(9, "late").unwrap();
+        assert_eq!(waiter.join().expect("waiter"), Some("late"));
+    }
+
+    #[test]
+    fn claim_socket_path_distinguishes_live_stale_and_foreign() {
+        let dir = std::env::temp_dir().join(format!("dise-claim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Absent path: claimable.
+        let fresh = dir.join("fresh.sock");
+        assert_eq!(claim_socket_path(&fresh), Ok(()));
+
+        // Live listener: refused, and the socket is left alone.
+        let live = dir.join("live.sock");
+        let listener = std::os::unix::net::UnixListener::bind(&live).unwrap();
+        let err = claim_socket_path(&live).unwrap_err();
+        assert!(err.contains("already listening"), "actionable: {err}");
+        assert!(live.exists(), "a live socket must not be unlinked");
+        drop(listener);
+
+        // Stale socket (listener gone, file remains): reclaimed.
+        assert_eq!(claim_socket_path(&live), Ok(()));
+        assert!(!live.exists(), "stale socket should be unlinked");
+
+        // A regular file is never removed.
+        let file = dir.join("not-a-socket");
+        std::fs::write(&file, "hello").unwrap();
+        let err = claim_socket_path(&file).unwrap_err();
+        assert!(err.contains("not a socket"), "actionable: {err}");
+        assert!(file.exists(), "foreign files must not be unlinked");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn long_heartbeat_period_does_not_stall_job_completion() {
+        // Regression for the heartbeat join: with the old
+        // `thread::sleep`, a 60 s period stalled `run_job`'s return by up
+        // to a full minute after the cells finished. The condvar wait is
+        // interrupted by completion, so the whole job — simulation
+        // included — finishes promptly.
+        let s = sweep();
+        let job = parse_job(&s, "baseline gzip").unwrap();
+        let session = Arc::new(Session::new(
+            Arc::new(dise_obs::MemSink::new()) as Arc<dyn dise_obs::Sink>,
+            "hb-test",
+        ));
+        let stats = StatsLog::default();
+        let start = std::time::Instant::now();
+        run_job(&s, &session, &job, 60_000, &stats);
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "run_job stalled {:?} — heartbeat join must be interruptible",
+            start.elapsed()
+        );
     }
 }

@@ -105,12 +105,23 @@ impl Session {
     /// `anomaly` emitters, this does not serialize with emission —
     /// callers building records by hand own their own ordering.
     pub fn record(&self, kind: &str, cell: &str) -> (Record, u64) {
+        self.record_tagged(kind, cell, None)
+    }
+
+    /// [`Session::record`] with an optional job tag: records produced on
+    /// behalf of a queued service job carry its numeric `id` alongside
+    /// `cell`, so a consumer can demultiplex one daemon's stream back
+    /// into per-job histories.
+    pub fn record_tagged(&self, kind: &str, cell: &str, job: Option<u64>) -> (Record, u64) {
         let seq = self.next_seq();
-        let rec = Record::new()
+        let mut rec = Record::new()
             .str("kind", kind)
             .str("run", &self.run_id)
             .u64("seq", seq)
             .str("cell", cell);
+        if let Some(id) = job {
+            rec = rec.u64("id", id);
+        }
         (rec, seq)
     }
 
@@ -123,8 +134,21 @@ impl Session {
         text: Option<&str>,
         data: &[(&str, f64)],
     ) -> u64 {
+        self.event_tagged(None, cell, name, text, data)
+    }
+
+    /// [`Session::event`] tagged with a service job `id` (see
+    /// [`Session::record_tagged`]).
+    pub fn event_tagged(
+        &self,
+        job: Option<u64>,
+        cell: &str,
+        name: &str,
+        text: Option<&str>,
+        data: &[(&str, f64)],
+    ) -> u64 {
         let _order = self.emit_lock.lock().expect("emit lock");
-        let (mut rec, seq) = self.record("event", cell);
+        let (mut rec, seq) = self.record_tagged("event", cell, job);
         rec = rec.str("name", name);
         if let Some(text) = text {
             rec = rec.str("text", text);
@@ -142,6 +166,19 @@ impl Session {
     /// subsequent ones carry only entries whose value changed (or are
     /// new). Returns `(sequence number, entries shipped)`.
     pub fn metrics(&self, cell: &str, stats: &[(String, f64)]) -> (u64, usize) {
+        self.metrics_tagged(None, cell, stats)
+    }
+
+    /// [`Session::metrics`] tagged with a service job `id` (see
+    /// [`Session::record_tagged`]). Delta encoding stays keyed by cell
+    /// alone: two jobs replaying the same cell delta against each other,
+    /// exactly like two plain `metrics` calls.
+    pub fn metrics_tagged(
+        &self,
+        job: Option<u64>,
+        cell: &str,
+        stats: &[(String, f64)],
+    ) -> (u64, usize) {
         let mut last = self.last_metrics.lock().expect("metrics state lock");
         let prev = last.get(cell);
         let full = prev.is_none();
@@ -161,7 +198,7 @@ impl Session {
         drop(last);
         let shipped = delta.len();
         let _order = self.emit_lock.lock().expect("emit lock");
-        let (rec, seq) = self.record("metrics", cell);
+        let (rec, seq) = self.record_tagged("metrics", cell, job);
         let rec = rec
             .bool("full", full)
             .u64("dropped", self.sink.dropped())
@@ -311,6 +348,22 @@ mod tests {
         assert!(lines[1].contains("\"seq\":1"));
         assert!(lines[2].contains("\"seq\":2"));
         assert!(lines[2].contains("\"report\":{\"reason\":\"x\"}"));
+    }
+
+    #[test]
+    fn job_tagged_records_carry_the_id_after_the_cell() {
+        let (sink, session) = mem_session();
+        session.event_tagged(Some(7), "cellA", "cell_start", None, &[]);
+        session.metrics_tagged(Some(7), "cellA", &[("sim.cycles".into(), 1.0)]);
+        session.event("cellA", "cell_done", None, &[]);
+        let lines = sink.lines();
+        assert!(
+            lines[0].contains("\"cell\":\"cellA\",\"id\":7,\"name\":\"cell_start\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"id\":7"), "{}", lines[1]);
+        assert!(!lines[2].contains("\"id\""), "untagged records stay id-free: {}", lines[2]);
     }
 
     #[test]

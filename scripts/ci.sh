@@ -92,15 +92,17 @@ cmp "$ACFTMP/on.json" "$ACFTMP/off.json" || {
     rm -rf "$ACFTMP"; exit 1; }
 rm -rf "$ACFTMP"
 
-echo "== ci: serve round-trip ($(date)) =="
-# The service must produce the same stats-JSON, byte for byte, as the
-# figure binary running the same cells directly — with heartbeat,
-# completion and metrics records arriving through the sink. A shared
-# warm cache keeps the round-trip fast; identical cell keys guarantee
-# the comparison is meaningful either way.
+echo "== ci: serve concurrency round-trip ($(date)) =="
+# The multi-tenant service must produce the same stats-JSON, byte for
+# byte, as the figure binary running the same cells directly — with two
+# clients submitting concurrently, each getting a correctly
+# demultiplexed response stream, and heartbeat/completion/metrics
+# records arriving through the sink. A shared warm cache keeps the
+# round-trip fast; identical cell keys guarantee the comparison is
+# meaningful either way.
 SERVE_TMP=$(mktemp -d)
 trap 'rm -rf "$SERVE_TMP"' EXIT
-DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc DISE_BENCH_JOBS=2 \
+DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc,gzip DISE_BENCH_JOBS=2 \
     DISE_BENCH_CACHE="$SERVE_TMP/cache" \
     ./target/release/fig6_mfi top --stats-json "$SERVE_TMP/direct.json" > /dev/null
 DISE_BENCH_DYN=20000 DISE_BENCH_JOBS=2 DISE_BENCH_CACHE="$SERVE_TMP/cache" \
@@ -113,10 +115,28 @@ for i in $(seq 1 100); do
     sleep 0.1
 done
 [ -S "$SERVE_TMP/serve.sock" ] || { echo "dise_serve never bound its socket"; exit 1; }
-./target/release/dise_serve --submit "$SERVE_TMP/serve.sock" "fig6_top gcc" shutdown
+./target/release/dise_serve --submit "$SERVE_TMP/serve.sock" "fig6_top gcc" \
+    > "$SERVE_TMP/client_a.out" &
+CLIENT_A=$!
+./target/release/dise_serve --submit "$SERVE_TMP/serve.sock" "fig6_top gzip" \
+    > "$SERVE_TMP/client_b.out" &
+CLIENT_B=$!
+wait $CLIENT_A || { echo "serve client A failed"; cat "$SERVE_TMP/client_a.out"; exit 1; }
+wait $CLIENT_B || { echo "serve client B failed"; cat "$SERVE_TMP/client_b.out"; exit 1; }
+grep -q "fig6_top gcc (6 cells)" "$SERVE_TMP/client_a.out" || {
+    echo "client A never saw its final"; cat "$SERVE_TMP/client_a.out"; exit 1; }
+grep -q "fig6_top gzip (6 cells)" "$SERVE_TMP/client_b.out" || {
+    echo "client B never saw its final"; cat "$SERVE_TMP/client_b.out"; exit 1; }
+if grep -q gzip "$SERVE_TMP/client_a.out"; then
+    echo "client A saw client B's stream"; cat "$SERVE_TMP/client_a.out"; exit 1
+fi
+if grep -q gcc "$SERVE_TMP/client_b.out"; then
+    echo "client B saw client A's stream"; cat "$SERVE_TMP/client_b.out"; exit 1
+fi
+./target/release/dise_serve --submit "$SERVE_TMP/serve.sock" shutdown > /dev/null
 wait $SERVE_PID
 cmp "$SERVE_TMP/direct.json" "$SERVE_TMP/served.json" || {
-    echo "serve stats-JSON diverged from the direct run"; exit 1; }
+    echo "concurrent serve stats-JSON diverged from the serial direct run"; exit 1; }
 for needle in '"name":"heartbeat"' '"name":"cell_done"' '"kind":"metrics"'; do
     grep -q "$needle" "$SERVE_TMP/obs/obs.jsonl" || {
         echo "missing $needle in serve obs stream"; exit 1; }
