@@ -4,7 +4,8 @@
 //! bit-identically with the uncompressed original — same final
 //! architectural state, same retired-instruction count. (Mirrors the
 //! `block_cache.rs` fuzz style in `dise-sim`: pre-generated inputs, a
-//! reference run, and exhaustive observable-state comparison.)
+//! reference run, and exhaustive observable-state comparison; seeds are
+//! part of the shared corpus documented in `dise_workloads::fuzz`.)
 //!
 //! The retired-count invariant is the ACF contract itself: every
 //! dictionary entry expands to exactly the instructions it replaced
@@ -15,8 +16,9 @@
 
 use dise_acf::compress::{CompressionConfig, Compressor, SelectAlgo};
 use dise_core::EngineConfig;
-use dise_isa::{Program, Reg};
+use dise_isa::Program;
 use dise_sim::Machine;
+use dise_workloads::fuzz::arch_state as regs;
 use dise_workloads::{Benchmark, WorkloadConfig};
 
 /// The six Figure 7 configurations, walk order.
@@ -32,7 +34,7 @@ fn fig7_configs() -> [(&'static str, CompressionConfig); 6] {
 }
 
 fn arch_state(m: &Machine) -> Vec<u64> {
-    (0..48).map(|i| m.reg(Reg::from_index(i))).collect()
+    regs(m, 48)
 }
 
 /// Compares final register files across the compression boundary. Data

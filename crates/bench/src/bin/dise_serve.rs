@@ -22,7 +22,7 @@
 //! Modes:
 //!
 //! ```text
-//! dise_serve --socket PATH [--obs-dir DIR] [--heartbeat-ms N] [--queue N] [--stats-json PATH]
+//! dise_serve --socket PATH [--checkpoint-dir DIR] [--obs-dir DIR] [--heartbeat-ms N] [--queue N] [--stats-json PATH]
 //! dise_serve --oneshot JOBFILE [--obs-dir DIR] [--heartbeat-ms N] [--stats-json PATH]
 //! dise_serve --submit PATH JOB...
 //! ```
@@ -35,6 +35,19 @@
 //! protocol-aware client: it exits non-zero if any submitted job was
 //! rejected or failed, even when a `shutdown` follows.
 //!
+//! `--checkpoint-dir DIR` makes the daemon crash-safe (ISSUE 9): each
+//! admitted job is journaled under `DIR/jobs/<id>.job` until its final
+//! ships, long cells periodically persist simulator snapshots under
+//! `DIR` (period from `DISE_SNAPSHOT=every:<n>`, default one
+//! heartbeat-scale slice — see `dise_bench::checkpoint`), and every
+//! persisted checkpoint is narrated to the submitting client as a
+//! `checkpoint <id>` line. A restarted daemon re-admits the journaled
+//! jobs under their original ids, resumes their cells from the on-disk
+//! snapshots, and tells every connecting client `resumed <id>`; the
+//! bit-identical-resume contract (`tests/snapshot_resume.rs`) makes the
+//! kill/restart cycle invisible in the exported stats
+//! (`tests/serve_restart.rs`).
+//!
 //! The sweep configuration comes from the usual harness environment
 //! (`DISE_BENCH_DYN`, `DISE_BENCH_FILTER`, `DISE_BENCH_JOBS`,
 //! `DISE_BENCH_CACHE`); the sink comes from `--obs-dir` (rotating JSONL
@@ -46,11 +59,12 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use dise_bench::serve::{
-    busy_line, claim_socket_path, draining_line, job_ok_line, parse_heartbeat_ms, parse_job,
-    parse_queue_bound, progress_line, queued_line, rejected_line, run_job_tagged, Job, JobQueue,
-    ServerLine, StatsLog, SubmitRejection, DEFAULT_QUEUE_BOUND, SHUTDOWN_ACK,
+    busy_line, checkpoint_line, claim_socket_path, draining_line, job_ok_line, parse_heartbeat_ms,
+    parse_job, parse_queue_bound, progress_line, queued_line, rejected_line, resumed_line,
+    run_job_tagged, Job, JobJournal, JobQueue, ServerLine, StatsLog, SubmitRejection,
+    DEFAULT_QUEUE_BOUND, SHUTDOWN_ACK,
 };
-use dise_bench::{stats_json_doc, write_stats_json, Sweep};
+use dise_bench::{checkpoint, stats_json_doc, write_stats_json, Sweep};
 use dise_obs::{JsonlFileSink, Session, Sink};
 
 /// Default heartbeat period while a job is in flight.
@@ -64,12 +78,14 @@ struct Opts {
     heartbeat_ms: u64,
     queue_bound: usize,
     stats_out: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dise_serve --socket PATH | --oneshot JOBFILE | --submit PATH JOB...\n\
-         \x20      [--obs-dir DIR] [--heartbeat-ms N] [--queue N] [--stats-json PATH]"
+         \x20      [--obs-dir DIR] [--heartbeat-ms N] [--queue N] [--stats-json PATH]\n\
+         \x20      [--checkpoint-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -85,6 +101,7 @@ fn parse_opts() -> Opts {
         heartbeat_ms: DEFAULT_HEARTBEAT_MS,
         queue_bound: DEFAULT_QUEUE_BOUND,
         stats_out,
+        checkpoint_dir: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -99,6 +116,10 @@ fn parse_opts() -> Opts {
             "--socket" => opts.socket = Some(PathBuf::from(value(&args, &mut i, "--socket"))),
             "--oneshot" => opts.oneshot = Some(PathBuf::from(value(&args, &mut i, "--oneshot"))),
             "--obs-dir" => opts.obs_dir = Some(PathBuf::from(value(&args, &mut i, "--obs-dir"))),
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir =
+                    Some(PathBuf::from(value(&args, &mut i, "--checkpoint-dir")));
+            }
             "--heartbeat-ms" => {
                 let v = value(&args, &mut i, "--heartbeat-ms");
                 opts.heartbeat_ms = parse_heartbeat_ms(&v).unwrap_or_else(|why| {
@@ -188,6 +209,15 @@ impl ClientConn {
         }
     }
 
+    /// A connection with no peer: response lines for a journaled job
+    /// re-admitted after a restart (its original client is long gone)
+    /// are discarded, exactly like a disconnected client's.
+    fn discard() -> ClientConn {
+        ClientConn {
+            stream: Mutex::new(None),
+        }
+    }
+
     fn send(&self, line: &str) {
         let mut slot = self.stream.lock().expect("client writer lock");
         if let Some(s) = slot.as_mut() {
@@ -205,6 +235,13 @@ struct Daemon {
     heartbeat_ms: u64,
     stats: StatsLog,
     queue: JobQueue<(Job, Arc<ClientConn>)>,
+    /// The in-flight job journal (`--checkpoint-dir` only): admitted
+    /// jobs are journaled until their final ships, so a killed daemon's
+    /// work survives a restart.
+    journal: Option<JobJournal>,
+    /// Journaled jobs re-admitted at startup and not yet finished; every
+    /// connecting client is told `resumed <id>` for each.
+    resumed: Mutex<Vec<u64>>,
 }
 
 impl Daemon {
@@ -242,6 +279,11 @@ fn serve_client(daemon: &Daemon, client: u64, stream: UnixStream) {
         }
     };
     let conn = Arc::new(ClientConn::new(writer));
+    // A restarted daemon announces the journaled jobs it re-admitted, so
+    // an operator reconnecting after a crash knows their work survived.
+    for id in daemon.resumed.lock().expect("resumed list").iter() {
+        conn.send(&resumed_line(*id));
+    }
     for line in BufReader::new(stream).lines() {
         let line = match line {
             Ok(l) => l,
@@ -258,13 +300,21 @@ fn serve_client(daemon: &Daemon, client: u64, stream: UnixStream) {
         }
         match parse_job(&daemon.sweep, trimmed) {
             Err(why) => conn.send(&rejected_line(&why)),
-            Ok(job) => match daemon.queue.submit(client, (job, Arc::clone(&conn))) {
-                Ok(id) => conn.send(&queued_line(id)),
-                Err(SubmitRejection::Busy { admitted, bound }) => {
-                    conn.send(&busy_line(admitted, bound))
+            Ok(job) => {
+                let name = job.name.clone();
+                match daemon.queue.submit(client, (job, Arc::clone(&conn))) {
+                    Ok(id) => {
+                        if let Some(journal) = &daemon.journal {
+                            journal.record(id, &name);
+                        }
+                        conn.send(&queued_line(id));
+                    }
+                    Err(SubmitRejection::Busy { admitted, bound }) => {
+                        conn.send(&busy_line(admitted, bound))
+                    }
+                    Err(SubmitRejection::Draining) => conn.send(&draining_line()),
                 }
-                Err(SubmitRejection::Draining) => conn.send(&draining_line()),
-            },
+            }
         }
     }
     // EOF: the client went away. Its admitted jobs stay queued and still
@@ -287,6 +337,32 @@ fn serve_socket(daemon: &Arc<Daemon>, path: &PathBuf) {
         daemon.queue.bound()
     );
     daemon.session.event("-", "serve_start", None, &[]);
+
+    // Resume-on-restart: re-admit every journaled job under its
+    // original id. Its cells resume from their checkpoint files; the
+    // final response goes nowhere (the original client is gone), but
+    // stats land in the log and the cell cache exactly as if the first
+    // daemon had finished.
+    if let Some(journal) = &daemon.journal {
+        for (id, line) in journal.scan() {
+            match parse_job(&daemon.sweep, &line) {
+                Ok(job) => {
+                    eprintln!("resuming journaled job {id}: {line}");
+                    daemon
+                        .session
+                        .event_tagged(Some(id), "-", "job_resume", Some(&line), &[]);
+                    daemon
+                        .queue
+                        .restore(0, id, (job, Arc::new(ClientConn::discard())));
+                    daemon.resumed.lock().expect("resumed list").push(id);
+                }
+                Err(why) => {
+                    eprintln!("dropping unparseable journaled job {id} ({line:?}): {why}");
+                    journal.complete(id);
+                }
+            }
+        }
+    }
 
     // Accept loop: one detached reader thread per connection. The thread
     // dies with the process once the scheduler drains after shutdown.
@@ -316,6 +392,15 @@ fn serve_socket(daemon: &Arc<Daemon>, path: &PathBuf) {
         let (job, conn) = queued.payload;
         let cells = job.cells.len();
         let progress = |done: u64, total: u64| conn.send(&progress_line(queued.id, done, total));
+        // While this job runs, every checkpoint its cells persist is
+        // narrated to the submitting client as `checkpoint <id>`.
+        if daemon.journal.is_some() {
+            let conn = Arc::clone(&conn);
+            let id = queued.id;
+            checkpoint::set_notifier(Some(Arc::new(move |_key, _insts| {
+                conn.send(&checkpoint_line(id));
+            })));
+        }
         run_job_tagged(
             &daemon.sweep,
             &daemon.session,
@@ -325,8 +410,13 @@ fn serve_socket(daemon: &Arc<Daemon>, path: &PathBuf) {
             Some(queued.id),
             &progress,
         );
+        checkpoint::set_notifier(None);
         daemon.after_job();
         conn.send(&job_ok_line(queued.id, &job.name, cells));
+        if let Some(journal) = &daemon.journal {
+            journal.complete(queued.id);
+        }
+        daemon.resumed.lock().expect("resumed list").retain(|&id| id != queued.id);
         daemon.queue.finish();
     }
 
@@ -435,7 +525,10 @@ fn submit(sock: &PathBuf, jobs: &[String]) -> i32 {
                 failed = true;
             }
             ServerLine::ShutdownAck => shutdown_acked = true,
-            ServerLine::Progress { .. } | ServerLine::Other => {}
+            ServerLine::Progress { .. }
+            | ServerLine::Checkpoint { .. }
+            | ServerLine::Resumed { .. }
+            | ServerLine::Other => {}
         }
     }
     i32::from(failed)
@@ -446,12 +539,26 @@ fn main() {
     if let Some((sock, jobs)) = &opts.submit {
         std::process::exit(submit(sock, jobs));
     }
+    if let Some(dir) = &opts.checkpoint_dir {
+        // Arm cell checkpointing under the journal's directory. The
+        // period comes from DISE_SNAPSHOT when set; the default is one
+        // heartbeat-scale slice.
+        checkpoint::install(
+            dir,
+            dise_sim::snapshot_env().unwrap_or(checkpoint::DEFAULT_EVERY),
+        );
+    }
     let daemon = Arc::new(Daemon {
         sweep: Sweep::from_env(),
         session: session_for(&opts),
         heartbeat_ms: opts.heartbeat_ms,
         stats: StatsLog::default(),
         queue: JobQueue::new(opts.queue_bound),
+        journal: opts
+            .checkpoint_dir
+            .as_deref()
+            .map(JobJournal::in_checkpoint_dir),
+        resumed: Mutex::new(Vec::new()),
     });
     if let Some(jobfile) = &opts.oneshot {
         run_oneshot(&daemon, jobfile);

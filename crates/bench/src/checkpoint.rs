@@ -1,0 +1,378 @@
+//! Heartbeat-paced checkpointing of long simulation cells.
+//!
+//! With checkpointing armed — `DISE_SNAPSHOT=every:<n>` in the
+//! environment, or [`install`] from `dise_serve --checkpoint-dir` — the
+//! harness runners route every timing run through [`run_sim`], which
+//! slices the run at the checkpoint period and writes the simulator
+//! snapshot (`dise_sim::save_simulator`) to disk at each slice boundary.
+//! A run that starts with a valid checkpoint on disk *resumes* from it
+//! instead of restarting; completion deletes the file. A killed sweep or
+//! daemon therefore loses at most one period of work per in-flight cell.
+//!
+//! Checkpoints are keyed by the cell's content-address key (the same key
+//! the [`crate::CellCache`] uses), set for the computing thread by
+//! [`key_scope`]. The file layout mirrors the cell cache: the file name
+//! is the FNV-1a hash of the key, the key itself is stored on the first
+//! line and verified on read, so a collision degrades to a cold start,
+//! never to a wrong resume. Writes go through a unique temporary file
+//! plus `rename`, so a crash mid-write leaves the previous checkpoint
+//! intact.
+//!
+//! Correctness is the snapshot subsystem's bit-identical-resume contract
+//! (`tests/snapshot_resume.rs`, DESIGN §15): slicing a run and resuming
+//! it from a snapshot both produce byte-identical final state and
+//! telemetry, which is why `DISE_SNAPSHOT` is deliberately *not* part of
+//! the cell cache key — and why [`Sweep::run_cells`](crate::Sweep)
+//! re-proves that equivalence on one cell per suite in debug builds. A
+//! restore that fails (stale format, mismatched scenario fingerprint,
+//! torn file) logs the reason, drops the file, and starts cold — a
+//! checkpoint can delay a result, never corrupt one.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dise_sim::{restore_simulator, save_simulator, SimError, SimResult, Simulator};
+
+use crate::cache::fnv1a;
+
+/// Where and how often cells checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory checkpoint files live in (created on first write).
+    pub dir: PathBuf,
+    /// Checkpoint period, in dynamic instructions between snapshots.
+    pub every: u64,
+}
+
+/// Default checkpoint period when armed without an explicit
+/// `DISE_SNAPSHOT=every:<n>`: about a heartbeat of simulation.
+pub const DEFAULT_EVERY: u64 = 1_000_000;
+
+static INSTALLED: OnceLock<Option<CheckpointConfig>> = OnceLock::new();
+
+/// Installs the process-wide checkpoint configuration (first call wins,
+/// like [`crate::set_telemetry`]). `dise_serve --checkpoint-dir` calls
+/// this before any cell runs; the figure binaries rely on the
+/// environment default instead (see [`active`]).
+pub fn install(dir: impl Into<PathBuf>, every: u64) {
+    let _ = INSTALLED.set(Some(CheckpointConfig {
+        dir: dir.into(),
+        every: every.max(1),
+    }));
+}
+
+/// The active checkpoint configuration: an explicit [`install`] wins;
+/// otherwise `DISE_SNAPSHOT=every:<n>` arms checkpointing with the
+/// directory from `DISE_CHECKPOINT_DIR` (default `results/checkpoints`).
+/// `None` means runs are not sliced and nothing touches disk.
+pub fn active() -> Option<CheckpointConfig> {
+    INSTALLED
+        .get_or_init(|| {
+            dise_sim::snapshot_env().map(|every| CheckpointConfig {
+                dir: PathBuf::from(
+                    std::env::var("DISE_CHECKPOINT_DIR")
+                        .unwrap_or_else(|_| "results/checkpoints".to_string()),
+                ),
+                every,
+            })
+        })
+        .clone()
+}
+
+/// The checkpoint file for a cell key under `dir` (see the module docs
+/// for the format).
+pub fn checkpoint_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{:016x}.ckpt", fnv1a(key.as_bytes())))
+}
+
+thread_local! {
+    static CURRENT_KEY: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+    static FORCE_SLICE: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// RAII guard naming the cell the current thread is computing;
+/// [`run_sim`] files checkpoints under this key. [`crate::Sweep`] and the
+/// serve scheduler set it around each cell's compute closure.
+pub struct KeyScope {
+    prev: Option<String>,
+}
+
+/// Marks `key` as the current thread's cell until the guard drops.
+pub fn key_scope(key: &str) -> KeyScope {
+    let prev = CURRENT_KEY.with(|k| k.replace(Some(key.to_string())));
+    KeyScope { prev }
+}
+
+impl Drop for KeyScope {
+    fn drop(&mut self) {
+        CURRENT_KEY.with(|k| *k.borrow_mut() = self.prev.take());
+    }
+}
+
+fn current_key() -> Option<String> {
+    CURRENT_KEY.with(|k| k.borrow().clone())
+}
+
+/// Runs `f` with [`run_sim`] forced to slice at `every` instructions on
+/// this thread — without touching disk and regardless of whether
+/// checkpointing is armed. This is the slicing-only toggle the per-suite
+/// cache audit uses: it recomputes a cell with the snapshot knob flipped
+/// and `cmp`s the outputs.
+pub fn with_forced_slice<R>(every: u64, f: impl FnOnce() -> R) -> R {
+    let prev = FORCE_SLICE.with(|s| s.replace(Some(every.max(1))));
+    let out = f();
+    FORCE_SLICE.with(|s| s.set(prev));
+    out
+}
+
+type Notifier = Arc<dyn Fn(&str, u64) + Send + Sync>;
+
+static NOTIFIER: Mutex<Option<Notifier>> = Mutex::new(None);
+
+/// Installs a callback invoked (with the cell key and the instruction
+/// count) after every checkpoint write — `dise_serve` uses it to stream
+/// `checkpoint <id>` protocol lines to the submitting client. Replaces
+/// any previous notifier; `None` clears it.
+pub fn set_notifier(notifier: Option<Notifier>) {
+    *NOTIFIER.lock().expect("checkpoint notifier lock") = notifier;
+}
+
+fn notify(key: &str, insts: u64) {
+    let n = NOTIFIER.lock().expect("checkpoint notifier lock").clone();
+    if let Some(n) = n {
+        n(key, insts);
+    }
+}
+
+fn event(cell: &str, name: &str, text: Option<&str>, data: &[(&str, f64)]) {
+    if let Some(session) = dise_obs::global() {
+        session.event(cell, name, text, data);
+    }
+}
+
+/// Runs `sim` for up to `fuel` dynamic instructions, exactly like
+/// `Simulator::run`, but sliced at the checkpoint period when
+/// checkpointing is armed: each slice boundary persists the simulator
+/// snapshot under the current [`key_scope`] cell key, a valid
+/// preexisting checkpoint resumes the run instead of restarting it, and
+/// completion (halt or any terminal error) deletes the file. Thanks to
+/// the bit-identical-resume contract the result — stats, telemetry,
+/// final state — is byte-identical to the unsliced call.
+///
+/// With checkpointing off (or no cell key on this thread) this is
+/// `sim.run(fuel)` verbatim.
+///
+/// # Errors
+///
+/// Exactly those of `Simulator::run`: the fuel budget spans the whole
+/// logical run, so a resumed cell keeps the budget it would have had
+/// uninterrupted.
+pub fn run_sim(sim: &mut Simulator, fuel: u64) -> Result<SimResult, SimError> {
+    if let Some(every) = FORCE_SLICE.with(|s| s.get()) {
+        return run_sliced(sim, fuel, every, None, "");
+    }
+    let Some(cfg) = active() else {
+        return sim.run(fuel);
+    };
+    let Some(key) = current_key() else {
+        return sim.run(fuel);
+    };
+    let path = checkpoint_path(&cfg.dir, &key);
+    try_resume(sim, &path, &key);
+    run_sliced(sim, fuel, cfg.every, Some((&cfg.dir, &path)), &key)
+}
+
+/// The sliced run loop. `file` carries `(dir, path)` when slices persist
+/// to disk; `None` slices without I/O (the audit toggle).
+fn run_sliced(
+    sim: &mut Simulator,
+    fuel: u64,
+    every: u64,
+    file: Option<(&Path, &Path)>,
+    key: &str,
+) -> Result<SimResult, SimError> {
+    loop {
+        let consumed = sim.machine().inst_counts().0;
+        let remaining = fuel.saturating_sub(consumed);
+        match sim.run(remaining.min(every)) {
+            Ok(r) => {
+                if let Some((_, path)) = file {
+                    let _ = std::fs::remove_file(path);
+                }
+                return Ok(r);
+            }
+            Err(SimError::OutOfFuel) => {
+                if sim.machine().inst_counts().0 >= fuel {
+                    // The whole budget is spent: surface the same
+                    // exhaustion the unsliced run would have reported,
+                    // keeping the last checkpoint for a larger retry.
+                    return Err(SimError::OutOfFuel);
+                }
+                if let Some((dir, path)) = file {
+                    write_checkpoint(dir, path, key, sim);
+                }
+            }
+            Err(e) => {
+                // Terminal failure: a checkpoint would resume straight
+                // back into the same error, so drop it.
+                if let Some((_, path)) = file {
+                    let _ = std::fs::remove_file(path);
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Atomically persists one checkpoint: key line, then the raw
+/// `save_simulator` bytes.
+fn write_checkpoint(dir: &Path, path: &Path, key: &str, sim: &Simulator) {
+    let snap = save_simulator(sim);
+    let mut content = Vec::with_capacity(key.len() + 1 + snap.len());
+    content.extend_from_slice(key.as_bytes());
+    content.push(b'\n');
+    content.extend_from_slice(&snap);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("checkpoint dir {} is unwritable: {e}", dir.display());
+        return;
+    }
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let tmp = dir.join(format!(
+        ".ckpt-tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    if std::fs::write(&tmp, content).is_ok() && std::fs::rename(&tmp, path).is_ok() {
+        let insts = sim.machine().inst_counts().0;
+        event(key, "checkpoint", None, &[("insts", insts as f64)]);
+        notify(key, insts);
+    } else {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Attempts to resume `sim` from the checkpoint at `path`. Failure is
+/// never fatal: a missing file is a cold start, and an unusable one
+/// (foreign key, stale version, fingerprint mismatch, torn write) is
+/// logged, deleted and ignored — the cell recomputes from scratch.
+fn try_resume(sim: &mut Simulator, path: &Path, key: &str) {
+    let Ok(content) = std::fs::read(path) else {
+        return;
+    };
+    let Some(split) = content.iter().position(|&b| b == b'\n') else {
+        let _ = std::fs::remove_file(path);
+        return;
+    };
+    if &content[..split] != key.as_bytes() {
+        // FNV collision with another cell's checkpoint: leave the file
+        // (its owner may still want it) and start cold.
+        return;
+    }
+    match restore_simulator(sim, &content[split + 1..]) {
+        Ok(()) => {
+            let insts = sim.machine().inst_counts().0;
+            event(key, "checkpoint_resume", None, &[("insts", insts as f64)]);
+        }
+        Err(e) => {
+            eprintln!(
+                "checkpoint {} is unusable ({e}); recomputing the cell from scratch",
+                path.display()
+            );
+            event(key, "checkpoint_invalid", Some(&e.to_string()), &[]);
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_sim::{Machine, SimConfig};
+    use dise_workloads::{Benchmark, WorkloadConfig};
+
+    fn program() -> dise_isa::Program {
+        Benchmark::Gzip.build(&WorkloadConfig::tiny().with_dyn_insts(3_000))
+    }
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig::default(), Machine::load(&program()))
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dise-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn forced_slicing_is_result_neutral_and_diskless() {
+        let reference = sim().run(u64::MAX).unwrap();
+        let sliced = with_forced_slice(97, || run_sim(&mut sim(), u64::MAX)).unwrap();
+        assert_eq!(sliced, reference);
+    }
+
+    #[test]
+    fn sliced_fuel_exhaustion_matches_the_unsliced_report() {
+        let mut direct = sim();
+        assert!(matches!(direct.run(500), Err(SimError::OutOfFuel)));
+        let mut sliced = sim();
+        let r = with_forced_slice(97, || run_sim(&mut sliced, 500));
+        assert!(matches!(r, Err(SimError::OutOfFuel)));
+        assert_eq!(
+            dise_sim::save_simulator(&sliced),
+            dise_sim::save_simulator(&direct),
+            "sliced exhaustion must stop at the same state"
+        );
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips_and_collisions_start_cold() {
+        let dir = tmpdir("roundtrip");
+        let key = "cell key";
+        let path = checkpoint_path(&dir, key);
+
+        let mut s = sim();
+        assert!(matches!(s.run(700), Err(SimError::OutOfFuel)));
+        write_checkpoint(&dir, &path, key, &s);
+        assert!(path.exists(), "checkpoint must land");
+
+        let mut resumed = sim();
+        try_resume(&mut resumed, &path, key);
+        assert_eq!(
+            dise_sim::save_simulator(&resumed),
+            dise_sim::save_simulator(&s),
+            "resume must restore the checkpointed state"
+        );
+
+        // A different key hashing to the same file is someone else's
+        // checkpoint: ignored, left on disk.
+        let mut cold = sim();
+        let before = dise_sim::save_simulator(&cold);
+        try_resume(&mut cold, &path, "another key");
+        assert_eq!(dise_sim::save_simulator(&cold), before);
+        assert!(path.exists(), "a foreign checkpoint must not be deleted");
+
+        // A torn/garbage checkpoint is logged, dropped, and ignored.
+        std::fs::write(&path, format!("{key}\nnot a snapshot")).unwrap();
+        try_resume(&mut cold, &path, key);
+        assert_eq!(dise_sim::save_simulator(&cold), before);
+        assert!(!path.exists(), "an unusable checkpoint must be dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_scope_nests_and_restores() {
+        assert_eq!(current_key(), None);
+        {
+            let _outer = key_scope("outer");
+            assert_eq!(current_key().as_deref(), Some("outer"));
+            {
+                let _inner = key_scope("inner");
+                assert_eq!(current_key().as_deref(), Some("inner"));
+            }
+            assert_eq!(current_key().as_deref(), Some("outer"));
+        }
+        assert_eq!(current_key(), None);
+    }
+}

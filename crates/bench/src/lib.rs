@@ -34,6 +34,7 @@
 //! benchmark set.
 
 pub mod cache;
+pub mod checkpoint;
 pub mod figures;
 pub mod pool;
 pub mod serve;
@@ -378,10 +379,15 @@ impl Sweep {
     /// [`Sweep::stats_json`].
     pub fn run_cells(&self, cells: &[Cell]) -> Vec<Vec<f64>> {
         let outs = self.pool.run(cells, |_, cell| {
+            let _ckpt = checkpoint::key_scope(cell.key());
             let out = self.cache.get_or(cell.key(), || cell.compute());
             eprintln!("  [done] {}", cell.key());
             out
         });
+        #[cfg(debug_assertions)]
+        if let (Some(cell), Some(out)) = (cells.first(), outs.first()) {
+            audit_snapshot_neutrality(cell, out);
+        }
         let mut log = self.stats.lock().expect("stats log poisoned");
         for (cell, out) in cells.iter().zip(&outs) {
             if !out.stats.is_empty() {
@@ -401,6 +407,30 @@ impl Sweep {
             log.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         stats_json_doc(&entries)
     }
+}
+
+/// Debug-build audit backing the [`CellCache`] key policy: the key
+/// deliberately ignores snapshot-class env toggles (`DISE_SNAPSHOT`,
+/// `DISE_BLOCK_CACHE`, `DISE_ACF_ARENA`) because each is proven
+/// output-neutral. Re-prove the snapshot leg on one cell per suite:
+/// recompute the first cell with forced run slicing — the checkpoint
+/// knob flipped — and require the exact same output the keyed lookup
+/// returned.
+#[cfg(debug_assertions)]
+fn audit_snapshot_neutrality(cell: &Cell, out: &CellOutput) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static AUDITED: AtomicBool = AtomicBool::new(false);
+    if AUDITED.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    let sliced = checkpoint::with_forced_slice(1_013, || cell.compute());
+    assert_eq!(
+        &sliced,
+        out,
+        "cell {:?}: sliced recompute diverged — the cell cache key ignores DISE_SNAPSHOT \
+         only because run slicing is output-neutral",
+        cell.key()
+    );
 }
 
 /// When `--shadow` is armed, attaches a slow-path shadow oracle built by
@@ -426,7 +456,7 @@ pub fn run_baseline(program: &Program, config: SimConfig, fuel: u64) -> SimStats
         Machine::with_config(program, MachineConfig::default().slow_path())
     });
     let _t = dise_obs::profile::scope("timing_run");
-    sim.run(fuel).expect("baseline run").stats
+    checkpoint::run_sim(&mut sim, fuel).expect("baseline run").stats
 }
 
 /// Builds the MFI production set for `program` (error handler at its
@@ -475,7 +505,7 @@ pub fn run_dise_mfi(
         s
     });
     let _t = dise_obs::profile::scope("timing_run");
-    sim.run(fuel).expect("DISE MFI run").stats
+    checkpoint::run_sim(&mut sim, fuel).expect("DISE MFI run").stats
 }
 
 /// Runs a program under binary-rewriting memory fault isolation.
@@ -490,7 +520,7 @@ pub fn run_rewrite_mfi(program: &Program, config: SimConfig, fuel: u64) -> SimSt
         Machine::with_config(&rewritten, MachineConfig::default().slow_path())
     });
     let _t = dise_obs::profile::scope("timing_run");
-    sim.run(fuel).expect("rewrite MFI run").stats
+    checkpoint::run_sim(&mut sim, fuel).expect("rewrite MFI run").stats
 }
 
 /// Compresses a program under a Figure 7 configuration.
@@ -525,7 +555,7 @@ pub fn run_compressed(
         s
     });
     let _t = dise_obs::profile::scope("timing_run");
-    sim.run(fuel).expect("compressed run").stats
+    checkpoint::run_sim(&mut sim, fuel).expect("compressed run").stats
 }
 
 /// Runs the full DISE+DISE composition: a compressed program whose aware
@@ -579,7 +609,7 @@ pub fn run_composed_dise(
         s
     });
     let _t = dise_obs::profile::scope("timing_run");
-    sim.run(fuel).expect("composed run").stats
+    checkpoint::run_sim(&mut sim, fuel).expect("composed run").stats
 }
 
 /// Formats one table row.

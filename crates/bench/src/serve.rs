@@ -50,7 +50,7 @@
 //! so concurrent clients see disjoint, correctly-demultiplexed streams.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -226,6 +226,19 @@ pub fn job_error_line(id: u64, why: &str) -> String {
     format!("error: {id} {why}")
 }
 
+/// Formats the `checkpoint <id>` line streamed each time a running
+/// job's cell persists a crash-resume checkpoint (only when the daemon
+/// runs with `--checkpoint-dir`).
+pub fn checkpoint_line(id: u64) -> String {
+    format!("checkpoint {id}")
+}
+
+/// Formats the `resumed <id>` line a restarted daemon sends to every
+/// connecting client for each journaled job it re-admitted.
+pub fn resumed_line(id: u64) -> String {
+    format!("resumed {id}")
+}
+
 /// Formats the `error: <why>` submission rejection (job never admitted).
 pub fn rejected_line(why: &str) -> String {
     format!("error: {why}")
@@ -275,6 +288,18 @@ pub enum ServerLine {
     Rejected,
     /// `busy: ...` — admission refused (queue full, or draining).
     Busy,
+    /// `checkpoint <id>` — a cell of the job persisted a crash-resume
+    /// checkpoint.
+    Checkpoint {
+        /// The job that checkpointed.
+        id: u64,
+    },
+    /// `resumed <id>` — a restarted daemon re-admitted this journaled
+    /// job from its checkpoint directory.
+    Resumed {
+        /// The re-admitted job.
+        id: u64,
+    },
     /// `ok shutting down` — the daemon acknowledged `shutdown`.
     ShutdownAck,
     /// Anything else (unknown/extension lines; clients ignore these).
@@ -309,6 +334,14 @@ impl ServerLine {
             }
             Some("ok") => match id(words.next()) {
                 Some(id) => ServerLine::JobOk { id },
+                None => ServerLine::Other,
+            },
+            Some("checkpoint") => match id(words.next()) {
+                Some(id) => ServerLine::Checkpoint { id },
+                None => ServerLine::Other,
+            },
+            Some("resumed") => match id(words.next()) {
+                Some(id) => ServerLine::Resumed { id },
                 None => ServerLine::Other,
             },
             Some("error:") => match id(words.next()) {
@@ -435,6 +468,26 @@ impl<T> JobQueue<T> {
         Ok(id)
     }
 
+    /// Re-admits a journaled job under its *original* id (daemon
+    /// restart — see [`JobJournal`]): bumps the id allocator past it so
+    /// fresh submissions never collide, and deliberately ignores the
+    /// admission bound — refusing recovery work would silently drop a
+    /// job the daemon already accepted before it crashed.
+    pub fn restore(&self, client: u64, id: u64, payload: T) {
+        let mut q = self.inner.lock().expect("job queue lock");
+        q.admitted += 1;
+        q.next_id = q.next_id.max(id + 1);
+        if !q.per_client.contains_key(&client) {
+            q.rotation.push_back(client);
+        }
+        q.per_client.entry(client).or_default().push_back(QueuedJob {
+            id,
+            client,
+            payload,
+        });
+        self.ready.notify_all();
+    }
+
     /// Pops the next job under round-robin fairness, blocking while the
     /// queue is empty. Returns `None` once the queue is draining *and*
     /// empty — the scheduler's signal to exit.
@@ -471,6 +524,67 @@ impl<T> JobQueue<T> {
     pub fn shutdown(&self) {
         self.inner.lock().expect("job queue lock").draining = true;
         self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The on-disk job journal (resume-on-restart)
+
+/// On-disk journal of admitted jobs, enabling resume-on-restart: one
+/// file per in-flight job under `<checkpoint-dir>/jobs/`, written at
+/// admission (`<id>.job`, holding the job line) and removed once the
+/// job's final response ships. A daemon started with `--checkpoint-dir`
+/// re-parses every journaled job, re-admits it under its original id
+/// ([`JobQueue::restore`]), and announces `resumed <id>` to every
+/// connecting client; the job's cells then resume from their checkpoint
+/// files instead of recomputing (see [`crate::checkpoint`]).
+#[derive(Debug)]
+pub struct JobJournal {
+    dir: PathBuf,
+}
+
+impl JobJournal {
+    /// The journal under a checkpoint directory.
+    pub fn in_checkpoint_dir(checkpoint_dir: &Path) -> JobJournal {
+        JobJournal {
+            dir: checkpoint_dir.join("jobs"),
+        }
+    }
+
+    fn path_of(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("{id}.job"))
+    }
+
+    /// Records an admitted job (best-effort: an unwritable journal costs
+    /// resumability, never the job itself).
+    pub fn record(&self, id: u64, name: &str) {
+        if std::fs::create_dir_all(&self.dir).is_ok() {
+            let _ = std::fs::write(self.path_of(id), format!("{name}\n"));
+        }
+    }
+
+    /// Drops a completed job from the journal.
+    pub fn complete(&self, id: u64) {
+        let _ = std::fs::remove_file(self.path_of(id));
+    }
+
+    /// Every journaled job, id-sorted: what a restarted daemon re-admits.
+    pub fn scan(&self) -> Vec<(u64, String)> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut jobs: Vec<(u64, String)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let id = name.strip_suffix(".job")?.parse::<u64>().ok()?;
+                let line = std::fs::read_to_string(e.path()).ok()?;
+                let line = line.trim().to_string();
+                (!line.is_empty()).then_some((id, line))
+            })
+            .collect();
+        jobs.sort_unstable();
+        jobs
     }
 }
 
@@ -600,6 +714,7 @@ pub fn run_job_tagged(
             // Tag everything raised while this cell runs — anomaly reports
             // most importantly — with the cell's content-address key.
             let _scope = dise_obs::cell_scope(cell.key());
+            let _ckpt = crate::checkpoint::key_scope(cell.key());
             let out = sweep.cache.get_or(cell.key(), || cell.compute());
             if !out.stats.is_empty() {
                 session.metrics_tagged(id, cell.key(), &out.stats);
@@ -708,6 +823,57 @@ mod tests {
         assert_eq!(ServerLine::parse(SHUTDOWN_ACK), ServerLine::ShutdownAck);
         assert_eq!(ServerLine::parse("hello world"), ServerLine::Other);
         assert_eq!(ServerLine::parse("queued lots"), ServerLine::Other);
+    }
+
+    #[test]
+    fn checkpoint_and_resumed_lines_round_trip() {
+        assert_eq!(
+            ServerLine::parse(&checkpoint_line(7)),
+            ServerLine::Checkpoint { id: 7 }
+        );
+        assert_eq!(ServerLine::parse(&resumed_line(7)), ServerLine::Resumed { id: 7 });
+        assert_eq!(ServerLine::parse("checkpoint soon"), ServerLine::Other);
+        assert_eq!(ServerLine::parse("resumed maybe"), ServerLine::Other);
+    }
+
+    #[test]
+    fn journal_records_scans_and_completes() {
+        let dir = std::env::temp_dir().join(format!("dise-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = JobJournal::in_checkpoint_dir(&dir);
+        assert!(journal.scan().is_empty(), "fresh journal must be empty");
+        journal.record(3, "mfi gzip");
+        journal.record(11, "fig6_top gcc");
+        journal.record(2, "baseline mcf");
+        assert_eq!(
+            journal.scan(),
+            vec![
+                (2, "baseline mcf".to_string()),
+                (3, "mfi gzip".to_string()),
+                (11, "fig6_top gcc".to_string()),
+            ]
+        );
+        journal.complete(3);
+        assert_eq!(journal.scan().len(), 2);
+        journal.complete(3); // idempotent
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queue_restore_keeps_ids_and_bypasses_the_bound() {
+        let q: JobQueue<&str> = JobQueue::new(1);
+        q.submit(1, "live").unwrap();
+        // Recovery work is admitted even though the bound is full, under
+        // its original id; fresh submissions then allocate past it.
+        q.restore(0, 7, "recovered");
+        assert_eq!(q.admitted(), 2);
+        let first = q.next().expect("live job");
+        assert_eq!((first.id, first.payload), (1, "live"));
+        let second = q.next().expect("recovered job");
+        assert_eq!((second.id, second.payload), (7, "recovered"));
+        q.finish();
+        q.finish();
+        assert_eq!(q.submit(2, "fresh"), Ok(8), "ids must not collide with restores");
     }
 
     #[test]

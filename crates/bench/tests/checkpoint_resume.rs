@@ -1,0 +1,121 @@
+//! Harness-level checkpointing (ISSUE 9): a cell killed mid-run leaves a
+//! checkpoint on disk, a rerun resumes from it and finishes byte-identical
+//! to an uninterrupted run, and a whole Figure-6 sweep with checkpointing
+//! armed stays byte-identical across job counts.
+//!
+//! Checkpointing is installed process-wide (first call wins), so every
+//! test in this binary shares one armed configuration via [`armed`].
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use dise_bench::cache::CellCache;
+use dise_bench::figures::fig6;
+use dise_bench::{checkpoint, Pool, Sweep};
+use dise_sim::{restore_simulator, save_simulator, Machine, SimConfig, SimError, Simulator};
+use dise_workloads::{Benchmark, WorkloadConfig};
+
+/// Checkpoint period the whole binary runs under: small enough that even
+/// tiny workloads cross several slice boundaries.
+const EVERY: u64 = 700;
+
+/// Arms checkpointing once for the process and returns its directory.
+fn armed() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let d = std::env::temp_dir().join(format!("dise-ckpt-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        checkpoint::install(&d, EVERY);
+        d
+    })
+}
+
+fn program() -> dise_isa::Program {
+    Benchmark::Gzip.build(&WorkloadConfig::tiny().with_dyn_insts(3_000))
+}
+
+fn sim() -> Simulator {
+    Simulator::new(SimConfig::default(), Machine::load(&program()))
+}
+
+/// The crash-resume contract end to end: an interrupted cell leaves its
+/// last periodic checkpoint on disk, a fresh run under the same key
+/// resumes from it (provably — the file decodes to the slice boundary,
+/// not the start), completes byte-identical to an uninterrupted run, and
+/// completion clears the file.
+#[test]
+fn interrupted_cell_resumes_and_finishes_byte_identical() {
+    let dir = armed();
+    let key = "checkpoint-resume/interrupted-cell";
+    let path = checkpoint::checkpoint_path(dir, key);
+
+    let mut direct = sim();
+    let reference = direct.run(u64::MAX).expect("uninterrupted run completes");
+    let reference_state = save_simulator(&direct);
+    assert!(
+        direct.machine().inst_counts().0 > 1_500,
+        "workload too short to interrupt meaningfully"
+    );
+
+    // The "crash": the budget runs out mid-cell and the process would
+    // die here. The last slice boundary before 1_500 must be on disk.
+    {
+        let _k = checkpoint::key_scope(key);
+        let mut victim = sim();
+        let r = checkpoint::run_sim(&mut victim, 1_500);
+        assert!(matches!(r, Err(SimError::OutOfFuel)), "got {r:?}");
+    }
+    assert!(path.exists(), "an interrupted cell must leave a checkpoint");
+    let content = std::fs::read(&path).unwrap();
+    let split = content.iter().position(|&b| b == b'\n').unwrap();
+    assert_eq!(&content[..split], key.as_bytes(), "key line mismatch");
+    let mut probe = sim();
+    restore_simulator(&mut probe, &content[split + 1..]).expect("checkpoint restores");
+    assert_eq!(
+        probe.machine().inst_counts().0,
+        1_400,
+        "checkpoint must sit on the last slice boundary before the crash"
+    );
+
+    // The rerun: a fresh simulator under the same key resumes from the
+    // checkpoint and runs to completion.
+    let _k = checkpoint::key_scope(key);
+    let mut resumed = sim();
+    let result = checkpoint::run_sim(&mut resumed, u64::MAX).expect("resumed run completes");
+    assert_eq!(result, reference, "resumed result diverged");
+    assert_eq!(
+        save_simulator(&resumed),
+        reference_state,
+        "resumed final state diverged"
+    );
+    assert!(!path.exists(), "completion must clear the checkpoint");
+}
+
+/// With checkpointing armed for the whole sweep, Figure-6 tables and the
+/// stats-JSON export stay byte-identical between jobs=1 and jobs=8 — the
+/// ISSUE 9 acceptance bar for the harness wiring.
+#[test]
+fn checkpointed_fig6_sweep_is_job_count_neutral() {
+    let _ = armed();
+    let sweep = |jobs| {
+        Sweep::new(
+            2_000,
+            vec![Benchmark::Gzip, Benchmark::Parser],
+            Pool::new(jobs),
+            CellCache::disabled(),
+        )
+    };
+
+    let serial = sweep(1);
+    let table_serial = fig6::top(&serial);
+    let json_serial = serial.stats_json();
+
+    let parallel = sweep(8);
+    let table_parallel = fig6::top(&parallel);
+    assert_eq!(table_serial, table_parallel, "fig6 table diverged across job counts");
+    assert_eq!(
+        json_serial,
+        parallel.stats_json(),
+        "stats JSON diverged across job counts"
+    );
+}

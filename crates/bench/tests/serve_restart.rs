@@ -1,0 +1,219 @@
+//! Daemon crash-resume (ISSUE 9, satellite 4): kill `dise_serve`
+//! mid-job with `--checkpoint-dir` armed, restart it over the same
+//! state, and require that (a) a reconnecting client is told
+//! `resumed <id>`, (b) the resumed job completes and the daemon's
+//! `--stats-json` export is byte-identical to an uninterrupted direct
+//! run of the same job, (c) the restarted daemon's observability log
+//! records the `checkpoint_resume` event.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Long enough that the job is nowhere near done when the first
+/// checkpoint lands, short enough that the resumed run finishes fast.
+const DYN_INSTS: &str = "200000";
+/// Checkpoint period in dynamic instructions: the first `checkpoint 1`
+/// line arrives ~1% into the job, so the kill always lands mid-job.
+const SNAPSHOT: &str = "every:2000";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dise-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Spawns the daemon with checkpointing armed, isolated from the
+/// developer's environment.
+fn daemon(socket: &Path, ckpt: &Path, obs: &Path, stats_json: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_dise_serve"))
+        .arg("--socket")
+        .arg(socket)
+        .arg("--checkpoint-dir")
+        .arg(ckpt)
+        .arg("--obs-dir")
+        .arg(obs)
+        .arg("--stats-json")
+        .arg(stats_json)
+        .arg("--heartbeat-ms")
+        .arg("200")
+        .env("DISE_BENCH_DYN", DYN_INSTS)
+        .env("DISE_BENCH_JOBS", "1")
+        .env("DISE_BENCH_CACHE", "off")
+        .env("DISE_SNAPSHOT", SNAPSHOT)
+        .env_remove("DISE_CHECKPOINT_DIR")
+        .env_remove("DISE_OBS_SINK")
+        .env_remove("DISE_BENCH_FILTER")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dise_serve daemon")
+}
+
+fn await_socket(path: &Path) {
+    for _ in 0..600 {
+        if UnixStream::connect(path).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("daemon socket {} never came up", path.display());
+}
+
+/// A raw protocol client with a read timeout, so a missing line fails
+/// the test instead of hanging it.
+fn connect(path: &Path) -> (UnixStream, BufReader<UnixStream>) {
+    let stream = UnixStream::connect(path).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+fn read_line(reader: &mut BufReader<UnixStream>) -> String {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => panic!("daemon closed the connection early"),
+        Ok(_) => line.trim_end().to_string(),
+        Err(e) => panic!("protocol read failed (timeout?): {e}"),
+    }
+}
+
+fn obs_text(dir: &Path) -> String {
+    let mut text = String::new();
+    for f in dise_obs::JsonlFileSink::rotated_in(dir) {
+        text.push_str(&std::fs::read_to_string(f).unwrap_or_default());
+    }
+    text.push_str(&std::fs::read_to_string(dir.join(dise_obs::ACTIVE_FILE)).unwrap_or_default());
+    text
+}
+
+#[test]
+fn killed_daemon_resumes_its_job_and_matches_an_uninterrupted_run() {
+    let dir = tmpdir("resume");
+    let sock = dir.join("serve.sock");
+    let ckpt = dir.join("ckpt");
+    let stats_served = dir.join("served.json");
+
+    // Phase 1: submit a long job and kill the daemon the moment the
+    // first checkpoint is on disk (the `checkpoint 1` line confirms the
+    // write completed — the kill is guaranteed to land mid-job, with
+    // ~99% of the work still ahead).
+    let mut first = daemon(&sock, &ckpt, &dir.join("obs-a"), &stats_served);
+    await_socket(&sock);
+    {
+        let (mut stream, mut reader) = connect(&sock);
+        writeln!(stream, "mfi gzip").unwrap();
+        // The scheduler's `progress` line can race the reader thread's
+        // `queued` ack, so order is free — but both must arrive before
+        // the first checkpoint, and nothing else may.
+        let mut queued = false;
+        loop {
+            let line = read_line(&mut reader);
+            if line == "checkpoint 1" {
+                break;
+            }
+            if line == "queued 1" {
+                queued = true;
+            } else {
+                assert!(
+                    line.starts_with("progress 1 "),
+                    "unexpected protocol line before the first checkpoint: {line:?}"
+                );
+            }
+        }
+        assert!(queued, "the job was never acknowledged as queued");
+        first.kill().expect("kill daemon");
+        first.wait().expect("reap daemon");
+    }
+
+    // The crash left the restart state behind: the job journal entry
+    // and at least one cell checkpoint.
+    let journal = ckpt.join("jobs").join("1.job");
+    let journal_text = std::fs::read_to_string(&journal).expect("job journal survives the kill");
+    assert_eq!(journal_text.trim(), "mfi gzip");
+    let ckpts = std::fs::read_dir(&ckpt)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+        .count();
+    assert!(ckpts >= 1, "no .ckpt file survived the kill");
+    assert!(!stats_served.exists(), "the killed daemon must not have exported stats");
+
+    // Phase 2: restart over the same state. The journaled job is
+    // re-admitted under its original id, a connecting client is told so,
+    // and the daemon drains it to completion after `shutdown`.
+    let second = daemon(&sock, &ckpt, &dir.join("obs-b"), &stats_served);
+    await_socket(&sock);
+    {
+        let (mut stream, mut reader) = connect(&sock);
+        assert_eq!(
+            read_line(&mut reader),
+            "resumed 1",
+            "a reconnecting client must learn its job survived"
+        );
+        writeln!(stream, "shutdown").unwrap();
+        loop {
+            if read_line(&mut reader) == "ok shutting down" {
+                break;
+            }
+        }
+    }
+    let out = second.wait_with_output().expect("wait for restarted daemon");
+    assert!(out.status.success(), "restarted daemon exited non-zero");
+    let served = std::fs::read(&stats_served).expect("restarted daemon exports stats");
+
+    // The resumed run went through a restore, and completion cleaned up
+    // both the journal and the checkpoint.
+    assert!(
+        obs_text(&dir.join("obs-b")).contains("\"name\":\"checkpoint_resume\""),
+        "the restarted daemon never resumed from the checkpoint"
+    );
+    assert!(!journal.exists(), "a completed job must leave the journal");
+    let leftover = std::fs::read_dir(&ckpt)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+        .count();
+    assert_eq!(leftover, 0, "a completed job must clear its checkpoints");
+
+    // Phase 3: the kill/resume cycle is invisible in the results — the
+    // export matches an uninterrupted oneshot run of the same job with
+    // checkpointing disarmed, byte for byte.
+    let jobfile = dir.join("jobs.txt");
+    std::fs::write(&jobfile, "mfi gzip\n").unwrap();
+    let stats_direct = dir.join("direct.json");
+    let direct = Command::new(env!("CARGO_BIN_EXE_dise_serve"))
+        .arg("--oneshot")
+        .arg(&jobfile)
+        .arg("--obs-dir")
+        .arg(dir.join("obs-direct"))
+        .arg("--stats-json")
+        .arg(&stats_direct)
+        .arg("--heartbeat-ms")
+        .arg("200")
+        .env("DISE_BENCH_DYN", DYN_INSTS)
+        .env("DISE_BENCH_JOBS", "1")
+        .env("DISE_BENCH_CACHE", "off")
+        .env_remove("DISE_SNAPSHOT")
+        .env_remove("DISE_CHECKPOINT_DIR")
+        .env_remove("DISE_OBS_SINK")
+        .env_remove("DISE_BENCH_FILTER")
+        .output()
+        .expect("run oneshot reference");
+    assert!(
+        direct.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&direct.stderr)
+    );
+    assert_eq!(
+        served,
+        std::fs::read(&stats_direct).unwrap(),
+        "a killed-and-resumed job must export the same stats as an uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1766,6 +1766,264 @@ impl DiseEngine {
             Ok(self.config.miss_penalty)
         }
     }
+
+    /// Extracts the engine's *mutable* state for checkpointing: PT
+    /// residency, RT keys/LRU state, and statistics. Replacement-sequence
+    /// payloads are deliberately **not** exported — they are a pure
+    /// function of the (immutable, fingerprint-identified) production
+    /// set and are re-derived on [`DiseEngine::import_state`]. Memos,
+    /// the spec arena, and the shared frontend are likewise excluded:
+    /// they are rebuildable caches, and the import bumps
+    /// [`DiseEngine::generation`] so no externally baked translation
+    /// survives either.
+    pub fn export_state(&self) -> EngineState {
+        let rt = match &self.rt {
+            RtStore::Cache { keys, stamps, .. } => {
+                // Canonical LRU form. The victim choice is the minimum
+                // stamp among a set's occupied slots, so only the
+                // *relative order* of stamps is observable — raw tick
+                // values legitimately differ between the per-µop path
+                // and the block executor's batched replays (which skip
+                // provably order-preserving MRU re-stamps). Densely
+                // re-ranking the stamps makes behaviorally identical
+                // engines export identical state. On a statically
+                // conflict-free RT the victim choice is never made at
+                // all, so the stamps are dead state and export as
+                // zeros.
+                let (stamps, clock) = if self.rt_static {
+                    (vec![0; stamps.len()], 0)
+                } else {
+                    let mut order: Vec<usize> =
+                        (0..stamps.len()).filter(|&i| keys[i] != 0).collect();
+                    order.sort_unstable_by_key(|&i| stamps[i]);
+                    let mut ranked = vec![0u64; stamps.len()];
+                    for (rank, &i) in order.iter().enumerate() {
+                        ranked[i] = rank as u64 + 1;
+                    }
+                    let clock = order.len() as u64;
+                    (ranked, clock)
+                };
+                RtState::Cache {
+                    keys: keys.clone(),
+                    stamps,
+                    clock,
+                }
+            }
+            RtStore::Perfect { map, .. } => {
+                let mut resident: Vec<(ReplacementId, u8)> = map.keys().copied().collect();
+                resident.sort_unstable();
+                RtState::Perfect { resident }
+            }
+        };
+        EngineState {
+            pt_resident: self.pt_resident.clone(),
+            rt,
+            stats: self.stats,
+        }
+    }
+
+    /// Reinjects state captured by [`DiseEngine::export_state`] into an
+    /// engine freshly constructed over the *same* configuration and
+    /// production set (callers validate both via content fingerprints
+    /// before getting here; the checks below catch corrupt snapshots with
+    /// actionable errors rather than undefined replay).
+    ///
+    /// Restored RT payloads come from [`Controller::resolve_spec`] — the
+    /// exact source RT fills use — chunked at the original block bases,
+    /// with keys replayed verbatim and LRU stamps in the canonical rank
+    /// form [`DiseEngine::export_state`] produces. Victim choice only
+    /// compares stamps, so every future hit/miss/victim decision is
+    /// bit-identical to the uninterrupted engine. All memos are dropped
+    /// and the generation is bumped: caches rebuild cold, stale
+    /// translations cannot survive.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Restore`] when the state names a rule index, RT
+    /// geometry, or sequence shape the current engine cannot hold.
+    pub fn import_state(&mut self, state: &EngineState) -> Result<()> {
+        let rules_len = self.controller.productions().rules().len();
+        if state.pt_resident.len() > self.config.pt_entries {
+            return Err(CoreError::Restore(format!(
+                "snapshot holds {} PT-resident rules but the engine has {} PT entries",
+                state.pt_resident.len(),
+                self.config.pt_entries
+            )));
+        }
+        for (n, &idx) in state.pt_resident.iter().enumerate() {
+            if idx >= rules_len {
+                return Err(CoreError::Restore(format!(
+                    "PT-resident rule index {idx} out of range ({rules_len} rules installed)"
+                )));
+            }
+            if state.pt_resident[..n].contains(&idx) {
+                return Err(CoreError::Restore(format!(
+                    "PT-resident rule index {idx} appears twice"
+                )));
+            }
+        }
+
+        let mut rt = RtStore::new(&self.config);
+        let block = rt.block();
+        // Payload re-derivation: decode each live key, resolve its
+        // sequence through the controller, and slice the original block.
+        let chunk = |id: ReplacementId, base: u8, count: usize| -> Result<RtSeq> {
+            let (spec, _) = self.controller.resolve_spec(id).map_err(|e| {
+                CoreError::Restore(format!(
+                    "RT-resident sequence R{id} no longer resolves: {e}"
+                ))
+            })?;
+            let b = base as usize;
+            let specs = spec.insts.get(b..b + count).ok_or_else(|| {
+                CoreError::Restore(format!(
+                    "RT entry for R{id} base {base} count {count} exceeds the resolved \
+                     sequence length {}",
+                    spec.len()
+                ))
+            })?;
+            Ok(RtSeq {
+                seq_len: spec.len() as u8,
+                specs: specs.to_vec(),
+            })
+        };
+        match (&mut rt, &state.rt) {
+            (
+                RtStore::Cache {
+                    keys,
+                    seqs,
+                    stamps,
+                    clock,
+                    ..
+                },
+                RtState::Cache {
+                    keys: skeys,
+                    stamps: sstamps,
+                    clock: sclock,
+                },
+            ) => {
+                if skeys.len() != keys.len() || sstamps.len() != skeys.len() {
+                    return Err(CoreError::Restore(format!(
+                        "RT geometry mismatch: snapshot has {} slots, engine config \
+                         allocates {}",
+                        skeys.len(),
+                        keys.len()
+                    )));
+                }
+                for (i, &k) in skeys.iter().enumerate() {
+                    if k == 0 {
+                        continue;
+                    }
+                    let id = (k >> 16) as ReplacementId;
+                    let base = ((k >> 8) & 0xFF) as u8;
+                    seqs[i] = chunk(id, base, (k & 0xFF) as usize)?;
+                    keys[i] = k;
+                }
+                stamps.copy_from_slice(sstamps);
+                *clock = *sclock;
+            }
+            (RtStore::Perfect { map, .. }, RtState::Perfect { resident }) => {
+                for &(id, base) in resident {
+                    let b = base as usize;
+                    if !b.is_multiple_of(block) {
+                        return Err(CoreError::Restore(format!(
+                            "perfect-RT key R{id} base {base} is not aligned to the \
+                             {block}-spec block size"
+                        )));
+                    }
+                    let (spec, _) = self.controller.resolve_spec(id).map_err(|e| {
+                        CoreError::Restore(format!(
+                            "RT-resident sequence R{id} no longer resolves: {e}"
+                        ))
+                    })?;
+                    let len = spec.len();
+                    if b >= len {
+                        return Err(CoreError::Restore(format!(
+                            "perfect-RT key R{id} base {base} exceeds the resolved \
+                             sequence length {len}"
+                        )));
+                    }
+                    let end = (b + block).min(len);
+                    map.insert(
+                        (id, base),
+                        RtSeq {
+                            seq_len: len as u8,
+                            specs: spec.insts[b..end].to_vec(),
+                        },
+                    );
+                }
+            }
+            (_, _) => {
+                return Err(CoreError::Restore(format!(
+                    "snapshot RT organization does not match the engine's {:?}",
+                    self.config.rt_org
+                )));
+            }
+        }
+
+        self.pt_resident = state.pt_resident.clone();
+        let rules = self.controller.productions().rules();
+        for c in &mut self.counters {
+            c.1 = 0;
+        }
+        for &idx in &self.pt_resident {
+            for o in rules[idx].pattern.opcodes() {
+                self.counters[o.number() as usize].1 += 1;
+            }
+        }
+        self.rt = rt;
+        self.stats = state.stats;
+        self.invalidate_memos();
+        self.recompute_rt_static();
+        self.generation += 1;
+        Ok(())
+    }
+}
+
+/// Serializable mutable RT contents (see [`EngineState`]). Payloads are
+/// never part of the state — only placement (which keys live in which
+/// slots) and LRU history, which together determine all future RT
+/// behavior once payloads are re-derived from the production set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtState {
+    /// Finite organizations: the full packed-key and LRU-stamp arrays
+    /// (dead slots included, so slot placement survives) plus the
+    /// reference clock.
+    Cache {
+        /// Packed `(id, base, spec-count)` key words, `0` = empty slot.
+        keys: Vec<u64>,
+        /// LRU stamps, parallel to `keys`, in canonical form: occupied
+        /// slots hold their dense recency rank (`1` = LRU-most across
+        /// the whole table), empty slots hold `0`, and a statically
+        /// conflict-free RT — whose stamps are dead state — exports all
+        /// zeros. Only the relative order is ever observed (the fill
+        /// victim is a set's minimum stamp), so ranks replay the exact
+        /// live behavior.
+        stamps: Vec<u64>,
+        /// Reference tick feeding post-restore stamps: the number of
+        /// ranked (occupied) slots in canonical form.
+        clock: u64,
+    },
+    /// Perfect RT: the resident block keys, sorted (it has no LRU state).
+    Perfect {
+        /// Resident `(id, base DISEPC)` block keys.
+        resident: Vec<(ReplacementId, u8)>,
+    },
+}
+
+/// The engine's mutable state, as extracted by
+/// [`DiseEngine::export_state`]: everything snapshot/restore must carry
+/// beyond the (immutable, separately fingerprinted) production set and
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineState {
+    /// Indices of PT-resident rules, MRU-first — exactly the engine's
+    /// working list, so fill/evict order replays identically. Resident
+    /// pattern counters are recomputed from this on import.
+    pub pt_resident: Vec<usize>,
+    /// RT placement and LRU state.
+    pub rt: RtState,
+    /// Accumulated statistics.
+    pub stats: EngineStats,
 }
 
 #[cfg(test)]
@@ -2498,5 +2756,127 @@ mod tests {
         assert_eq!(e.stats().replacement_insts, 20);
         e.reset_stats();
         assert_eq!(e.stats(), EngineStats::default());
+    }
+
+    /// Warm an engine (PT + RT resident, stats accumulated), export, and
+    /// import into a freshly constructed twin: every observable —
+    /// inspection outcomes, fetched replacements, statistics, and the
+    /// re-exported state itself — must match the original, and the
+    /// import must bump the generation so stale external translations
+    /// die.
+    #[test]
+    fn export_import_round_trips_bit_identically() {
+        let configs = [
+            EngineConfig::default(),
+            EngineConfig {
+                rt_entries: 4,
+                rt_org: RtOrganization::DirectMapped,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                rt_entries: 8,
+                rt_org: RtOrganization::SetAssociative(2),
+                rt_block: 2,
+                ..EngineConfig::default()
+            },
+            EngineConfig::default().perfect_rt(),
+        ];
+        for config in configs {
+            let mut warm = engine_with_store_rule(config);
+            let st = i("stq r1, 0(r2)");
+            let ld_st = i("stl r3, 8(r2)");
+            for _ in 0..6 {
+                let _ = warm.inspect(&st);
+                let _ = warm.inspect(&ld_st);
+            }
+            let state = warm.export_state();
+
+            let mut cold = engine_with_store_rule(config);
+            let g0 = cold.generation();
+            cold.import_state(&state).unwrap();
+            assert!(cold.generation() > g0, "{config:?}: generation must bump");
+            assert_eq!(cold.stats(), warm.stats(), "{config:?}: stats");
+            assert_eq!(
+                cold.export_state(),
+                state,
+                "{config:?}: re-export diverged"
+            );
+            // Both engines now behave identically, hit-for-hit.
+            for round in 0..8 {
+                let a = warm.inspect(&st);
+                let b = cold.inspect(&st);
+                assert_eq!(a, b, "{config:?} round {round}: outcome");
+                if let Expansion::Expand { id, len } = a {
+                    for d in 0..len {
+                        assert_eq!(
+                            warm.fetch_replacement(id, d, &st, 0x2000).unwrap(),
+                            cold.fetch_replacement(id, d, &st, 0x2000).unwrap(),
+                            "{config:?} round {round} disepc {d}"
+                        );
+                    }
+                }
+                assert_eq!(warm.stats(), cold.stats(), "{config:?} round {round}");
+            }
+        }
+    }
+
+    /// Import validation: geometry, organization, and rule-index
+    /// mismatches fail with errors that name what diverged.
+    #[test]
+    fn import_rejects_mismatched_state() {
+        let small = EngineConfig {
+            rt_entries: 4,
+            rt_org: RtOrganization::DirectMapped,
+            ..EngineConfig::default()
+        };
+        let mut warm = engine_with_store_rule(small);
+        let st = i("stq r1, 0(r2)");
+        for _ in 0..4 {
+            let _ = warm.inspect(&st);
+        }
+        let state = warm.export_state();
+
+        // Wrong geometry (more slots than the target allocates).
+        let mut bigger = engine_with_store_rule(EngineConfig {
+            rt_entries: 16,
+            ..small
+        });
+        let err = bigger.import_state(&state).unwrap_err().to_string();
+        assert!(
+            err.contains("RT geometry mismatch") && err.contains("slots"),
+            "unhelpful geometry error: {err}"
+        );
+
+        // Wrong organization.
+        let mut perfect = engine_with_store_rule(small.perfect_rt());
+        let err = perfect.import_state(&state).unwrap_err().to_string();
+        assert!(
+            err.contains("organization") && err.contains("Perfect"),
+            "unhelpful organization error: {err}"
+        );
+
+        // A PT-resident rule index past the installed rule count.
+        let mut bad = state.clone();
+        bad.pt_resident = vec![7];
+        let mut target = engine_with_store_rule(small);
+        let err = target.import_state(&bad).unwrap_err().to_string();
+        assert!(
+            err.contains("rule index 7") && err.contains("out of range"),
+            "unhelpful rule-index error: {err}"
+        );
+
+        // An RT key naming a sequence the production set doesn't hold.
+        if let RtState::Cache { keys, .. } = &mut bad.rt {
+            if let Some(k) = keys.iter_mut().find(|k| **k != 0) {
+                *k = (999u64 << 16) | (*k & 0xFFFF);
+            }
+        }
+        bad.pt_resident = state.pt_resident.clone();
+        let mut target = engine_with_store_rule(small);
+        let err = target.import_state(&bad).unwrap_err().to_string();
+        assert!(
+            err.contains("R999") && err.contains("no longer resolves"),
+            "unhelpful unknown-sequence error: {err}"
+        );
     }
 }

@@ -81,8 +81,8 @@ pub mod spec;
 
 pub use controller::{Controller, MissKind};
 pub use engine::{
-    acf_arena_env, parse_acf_arena, BlockOutcome, DiseEngine, EngineConfig, EngineStats,
-    Expansion, RtOrganization,
+    acf_arena_env, parse_acf_arena, BlockOutcome, DiseEngine, EngineConfig, EngineState,
+    EngineStats, Expansion, RtOrganization, RtState,
 };
 pub use frontend::SharedFrontend;
 pub use pattern::{ImmPredicate, Pattern};
@@ -106,6 +106,9 @@ pub enum CoreError {
     /// ACF composition failed (e.g. statically undecidable pattern match or
     /// no free dedicated registers for renaming).
     Compose(String),
+    /// Reinjecting exported engine state failed (snapshot restore against
+    /// a mismatched production set, RT geometry, or PT capacity).
+    Restore(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -116,6 +119,7 @@ impl std::fmt::Display for CoreError {
             CoreError::BadProduction(why) => write!(f, "bad production: {why}"),
             CoreError::Dsl(why) => write!(f, "production DSL error: {why}"),
             CoreError::Compose(why) => write!(f, "composition failed: {why}"),
+            CoreError::Restore(why) => write!(f, "engine state restore failed: {why}"),
         }
     }
 }

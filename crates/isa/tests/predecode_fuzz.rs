@@ -6,106 +6,16 @@
 //! mid-instruction offsets whose bytes happen to decode (control can land
 //! on any even byte, so the table must model them all).
 //!
-//! Same offline-fuzz idiom as `tests/props.rs`: deterministic seeds, a
-//! printed case index on failure.
+//! Same offline-fuzz idiom as `tests/props.rs`: deterministic seeds from
+//! the shared corpus in `dise_workloads::fuzz`, a printed case index on
+//! failure.
 
-use dise_isa::{Inst, Op, Predecode, Program, Reg, TextItem};
+use dise_isa::{Inst, Predecode, Program, TextItem};
+use dise_workloads::fuzz::{random_items, SEED_PREDECODE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const FUZZ_SEED: u64 = 0xD15E_0004;
-
-fn arch_reg(rng: &mut StdRng) -> Reg {
-    Reg::r(rng.gen_range(0..32u8))
-}
-
-fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
-    xs[rng.gen_range(0..xs.len())]
-}
-
-/// An arbitrary encodable instruction (the `tests/props.rs` generator,
-/// minus nothing: every shape the assembler can emit).
-fn encodable_inst(rng: &mut StdRng) -> Inst {
-    const MEM_OPS: [Op; 6] = [Op::Lda, Op::Ldah, Op::Ldl, Op::Ldq, Op::Stl, Op::Stq];
-    const BRANCH_OPS: [Op; 10] = [
-        Op::Br,
-        Op::Bsr,
-        Op::Beq,
-        Op::Bne,
-        Op::Blt,
-        Op::Ble,
-        Op::Bgt,
-        Op::Bge,
-        Op::Blbc,
-        Op::Blbs,
-    ];
-    const JUMP_OPS: [Op; 3] = [Op::Jmp, Op::Jsr, Op::Ret];
-    const ALU_OPS: [Op; 12] = [
-        Op::Addq,
-        Op::Subq,
-        Op::Mulq,
-        Op::And,
-        Op::Bis,
-        Op::Xor,
-        Op::Sll,
-        Op::Srl,
-        Op::Sra,
-        Op::Cmpeq,
-        Op::Cmplt,
-        Op::Cmovne,
-    ];
-    match rng.gen_range(0..8u32) {
-        0 => Inst::mem(
-            pick(rng, &MEM_OPS),
-            arch_reg(rng),
-            arch_reg(rng),
-            rng.gen_range(i16::MIN..=i16::MAX),
-        ),
-        1 => Inst::branch(
-            pick(rng, &BRANCH_OPS),
-            arch_reg(rng),
-            rng.gen_range(-(1i32 << 20)..(1i32 << 20)),
-        ),
-        2 => Inst::jump(pick(rng, &JUMP_OPS), arch_reg(rng), arch_reg(rng)),
-        3 => Inst::alu_rr(
-            pick(rng, &ALU_OPS),
-            arch_reg(rng),
-            arch_reg(rng),
-            arch_reg(rng),
-        ),
-        4 => Inst::alu_ri(
-            pick(rng, &ALU_OPS),
-            arch_reg(rng),
-            rng.gen_range(0..=255u8),
-            arch_reg(rng),
-        ),
-        5 => Inst::codeword(
-            Op::Cw0,
-            rng.gen_range(0..32u8),
-            rng.gen_range(0..32u8),
-            rng.gen_range(0..32u8),
-            rng.gen_range(0..2048u16),
-        ),
-        6 => Inst::nop(),
-        _ => Inst::halt(),
-    }
-}
-
-/// A randomized text segment: full instructions interleaved with 2-byte
-/// short codewords, so item starts land on both word and halfword
-/// alignments.
-fn random_items(rng: &mut StdRng) -> Vec<TextItem> {
-    let n = rng.gen_range(4..48usize);
-    (0..n)
-        .map(|_| {
-            if rng.gen_range(0..4u32) == 0 {
-                TextItem::Short(rng.gen_range(0..=0x7FFu16))
-            } else {
-                TextItem::Inst(encodable_inst(rng))
-            }
-        })
-        .collect()
-}
+const FUZZ_SEED: u64 = SEED_PREDECODE;
 
 /// `Predecode` agrees with the byte-accurate cold decode at every
 /// byte-granular PC around and inside the image.

@@ -128,7 +128,11 @@ impl std::fmt::Write for FnvWriter {
     }
 }
 
-fn program_fingerprint(program: &Program) -> u64 {
+/// Content fingerprint of a program image (text base + text bytes,
+/// FNV-1a). Keys the arena and names immutable state in snapshot files:
+/// restore re-resolves the image through the caller-provided machine and
+/// uses this fingerprint to prove it is the same one.
+pub fn program_fingerprint(program: &Program) -> u64 {
     let mut h = FNV_OFFSET;
     fnv1a(&mut h, &program.text_base.to_le_bytes());
     fnv1a(&mut h, &program.text);
@@ -137,10 +141,22 @@ fn program_fingerprint(program: &Program) -> u64 {
 
 /// Fingerprints the architectural production state via the controller's
 /// `Debug` form — deterministic because `ProductionSet` stores rules in a
-/// `Vec` and sequences in a `BTreeMap`.
-fn controller_fingerprint(controller: &Controller) -> u64 {
+/// `Vec` and sequences in a `BTreeMap`. Shared with the snapshot format,
+/// which records it instead of serializing the (immutable) production
+/// set.
+pub fn controller_fingerprint(controller: &Controller) -> u64 {
     let mut w = FnvWriter(FNV_OFFSET);
     write!(w, "{controller:?}").expect("hashing never fails");
+    w.0
+}
+
+/// FNV-1a fingerprint of any value's `Debug` form. The snapshot format
+/// uses it for configuration state whose types already maintain a
+/// canonical, result-complete `Debug` representation (`SimConfig`,
+/// `DedicatedDict`).
+pub(crate) fn debug_fingerprint<T: std::fmt::Debug>(value: &T) -> u64 {
+    let mut w = FnvWriter(FNV_OFFSET);
+    write!(w, "{value:?}").expect("hashing never fails");
     w.0
 }
 

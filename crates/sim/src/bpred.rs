@@ -164,6 +164,99 @@ impl BranchPredictor {
         hit
     }
 
+    /// Serializes the predictor's mutable state: the full PHT (it is
+    /// dense — initialized to weakly-not-taken and trained everywhere),
+    /// the global history, occupied BTB slots only (the empty sentinel
+    /// `(u64::MAX, 0)` is unreachable as a real mapping because tags are
+    /// full PCs and `u64::MAX` is not a fetchable PC), the RAS
+    /// bottom-first, and the counters.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::Writer) {
+        w.u64(self.pht.len() as u64);
+        w.bytes(&self.pht);
+        w.u64(self.history);
+        let occupied = self.btb.iter().filter(|&&e| e != (u64::MAX, 0)).count();
+        w.u64(occupied as u64);
+        for (ix, &(pc, target)) in self.btb.iter().enumerate() {
+            if (pc, target) == (u64::MAX, 0) {
+                continue;
+            }
+            w.u64(ix as u64);
+            w.u64(pc);
+            w.u64(target);
+        }
+        w.u64(self.ras.len() as u64);
+        for &ra in &self.ras {
+            w.u64(ra);
+        }
+        w.u64(self.stats.cond_predictions);
+        w.u64(self.stats.cond_mispredicts);
+        w.u64(self.stats.target_mispredicts);
+    }
+
+    /// Parses a [`BranchPredictor::save_state`] section, validating it
+    /// against this predictor's configuration without mutating anything.
+    pub(crate) fn read_state(
+        &self,
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> crate::Result<BpredState> {
+        let corrupt = |what: String| crate::SimError::Snapshot(format!("snapshot corrupt: {what}"));
+        let pht_len = r.len_prefix(1)?;
+        if pht_len != self.pht.len() {
+            return Err(corrupt(format!(
+                "PHT of {pht_len} entries does not fit a {}-entry gshare table",
+                self.pht.len()
+            )));
+        }
+        let pht = r.bytes(pht_len)?.to_vec();
+        let history = r.u64()?;
+        let n = r.len_prefix(24)?;
+        let mut btb = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ix = r.u64()? as usize;
+            if ix >= self.btb.len() {
+                return Err(corrupt(format!(
+                    "BTB slot {ix} out of range for {} entries",
+                    self.btb.len()
+                )));
+            }
+            btb.push((ix, (r.u64()?, r.u64()?)));
+        }
+        let n = r.len_prefix(8)?;
+        if n > self.config.ras_depth {
+            return Err(corrupt(format!(
+                "RAS of {n} frames exceeds the configured depth {}",
+                self.config.ras_depth
+            )));
+        }
+        let mut ras = Vec::with_capacity(n);
+        for _ in 0..n {
+            ras.push(r.u64()?);
+        }
+        Ok(BpredState {
+            pht,
+            history,
+            btb,
+            ras,
+            stats: BpredStats {
+                cond_predictions: r.u64()?,
+                cond_mispredicts: r.u64()?,
+                target_mispredicts: r.u64()?,
+            },
+        })
+    }
+
+    /// Installs a parsed state (resetting the BTB to cold first).
+    pub(crate) fn apply_state(&mut self, state: BpredState) {
+        self.pht.copy_from_slice(&state.pht);
+        self.history = state.history;
+        self.btb.fill((u64::MAX, 0));
+        for (ix, entry) in state.btb {
+            self.btb[ix] = entry;
+        }
+        self.ras = state.ras;
+        self.stats = state.stats;
+    }
+
     /// Looks `pc` up in the BTB and installs/updates the mapping. Returns
     /// true if the correct target was present.
     fn btb_lookup_update(&mut self, pc: u64, target: u64) -> bool {
@@ -175,6 +268,17 @@ impl BranchPredictor {
         self.btb[ix] = (pc, target);
         hit
     }
+}
+
+/// Parsed, configuration-validated mutable state of the predictor.
+#[derive(Debug)]
+pub(crate) struct BpredState {
+    pht: Vec<u8>,
+    history: u64,
+    /// `(slot, (pc, target))` for every occupied BTB slot.
+    btb: Vec<(usize, (u64, u64))>,
+    ras: Vec<u64>,
+    stats: BpredStats,
 }
 
 #[cfg(test)]

@@ -187,6 +187,77 @@ impl Cache {
     pub fn straddles(&self, addr: u64, len: u64) -> bool {
         len > 0 && (addr / self.config.line) != ((addr + len - 1) / self.config.line)
     }
+
+    /// Serializes occupied sets only (resident tags in MRU order) plus the
+    /// hit/miss counters. Unoccupied ways beyond `lens[i]` are never
+    /// written, so a save → restore → save round trip is byte-stable even
+    /// though the flat array holds junk past each set's length.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::Writer) {
+        let occupied = self.lens.iter().filter(|&&l| l > 0).count();
+        w.u64(occupied as u64);
+        for (set, &len) in self.lens.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            w.u64(set as u64);
+            w.u32(len);
+            for &tag in &self.tags[set * self.assoc..][..len as usize] {
+                w.u64(tag);
+            }
+        }
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.misses);
+    }
+
+    /// Parses a [`Cache::save_state`] section, validating it against this
+    /// cache's geometry without mutating anything.
+    pub(crate) fn read_state(&self, r: &mut crate::snapshot::Reader<'_>) -> crate::Result<CacheState> {
+        let n = r.len_prefix(8 + 4)?;
+        let mut sets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let set = r.u64()? as usize;
+            let len = r.u32()?;
+            if set >= self.lens.len() || len == 0 || len as usize > self.assoc {
+                return Err(crate::SimError::Snapshot(format!(
+                    "snapshot corrupt: cache set {set} with {len} ways does not fit a \
+                     {}-set {}-way cache",
+                    self.lens.len(),
+                    self.assoc
+                )));
+            }
+            let mut ways = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                ways.push(r.u64()?);
+            }
+            sets.push((set, ways));
+        }
+        Ok(CacheState {
+            sets,
+            stats: CacheStats {
+                accesses: r.u64()?,
+                misses: r.u64()?,
+            },
+        })
+    }
+
+    /// Installs a parsed state (resetting to cold first, so sets absent
+    /// from the snapshot end up empty).
+    pub(crate) fn apply_state(&mut self, state: CacheState) {
+        self.lens.fill(0);
+        for (set, ways) in state.sets {
+            self.lens[set] = ways.len() as u32;
+            self.tags[set * self.assoc..][..ways.len()].copy_from_slice(&ways);
+        }
+        self.stats = state.stats;
+    }
+}
+
+/// Parsed, geometry-validated mutable state of one cache.
+#[derive(Debug)]
+pub(crate) struct CacheState {
+    /// `(set index, MRU-first resident tags)` for every occupied set.
+    sets: Vec<(usize, Vec<u64>)>,
+    stats: CacheStats,
 }
 
 /// Latencies and configuration for the full hierarchy.
@@ -295,6 +366,41 @@ impl MemoryHierarchy {
     pub fn l2_stats(&self) -> CacheStats {
         self.l2.stats()
     }
+
+    /// Serializes all three caches' mutable state.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::Writer) {
+        self.icache.save_state(w);
+        self.dcache.save_state(w);
+        self.l2.save_state(w);
+    }
+
+    /// Parses a [`MemoryHierarchy::save_state`] section (validating each
+    /// cache against its configured geometry) without mutating anything.
+    pub(crate) fn read_state(
+        &self,
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> crate::Result<HierarchyState> {
+        Ok(HierarchyState {
+            icache: self.icache.read_state(r)?,
+            dcache: self.dcache.read_state(r)?,
+            l2: self.l2.read_state(r)?,
+        })
+    }
+
+    /// Installs a parsed state.
+    pub(crate) fn apply_state(&mut self, state: HierarchyState) {
+        self.icache.apply_state(state.icache);
+        self.dcache.apply_state(state.dcache);
+        self.l2.apply_state(state.l2);
+    }
+}
+
+/// Parsed mutable state of the full hierarchy.
+#[derive(Debug)]
+pub(crate) struct HierarchyState {
+    icache: CacheState,
+    dcache: CacheState,
+    l2: CacheState,
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ pub mod machine;
 pub mod mem;
 pub mod pipeline;
 pub mod ring;
+pub mod snapshot;
 pub mod telemetry;
 
 pub use block::BlockStats;
@@ -63,6 +64,10 @@ pub use cache::{Cache, CacheConfig, MemoryHierarchy, MemoryHierarchyConfig};
 pub use machine::{parse_block_cache, DedicatedDict, Machine, MachineConfig, RunResult, StepInfo};
 pub use mem::Memory;
 pub use pipeline::{ExpansionCost, SimConfig, SimResult, SimStats, Simulator};
+pub use snapshot::{
+    parse_snapshot, restore_machine, restore_simulator, save_machine, save_simulator,
+    snapshot_env, SNAPSHOT_VERSION,
+};
 pub use telemetry::{AnomalyReport, EventRing, StallCause, StatValue, StatsRegistry, TraceEvent, TraceKind};
 
 /// Errors produced by functional or timing simulation.
@@ -96,6 +101,14 @@ pub enum SimError {
         /// The trigger reason (the report's headline).
         String,
     ),
+    /// Snapshot serialization or restore failed: unknown format version,
+    /// truncated bytes, or a fingerprint that does not match the restore
+    /// target (see [`crate::snapshot`]). The message names the offending
+    /// version or fingerprint values.
+    Snapshot(
+        /// What went wrong, with the expected/found values spelled out.
+        String,
+    ),
 }
 
 impl std::fmt::Display for SimError {
@@ -111,6 +124,7 @@ impl std::fmt::Display for SimError {
             }
             SimError::OutOfFuel => f.write_str("simulation budget exhausted before halt"),
             SimError::Anomaly(reason) => write!(f, "simulator anomaly: {reason}"),
+            SimError::Snapshot(why) => write!(f, "snapshot error: {why}"),
         }
     }
 }

@@ -286,6 +286,21 @@ enum ExpState {
     Dedicated { ix: u16 },
 }
 
+/// Parsed, fingerprint-validated mutable state of a machine (see
+/// [`Machine::read_state`]); applied with [`Machine::apply_state`].
+#[derive(Debug)]
+pub(crate) struct MachineState {
+    regs: [u64; 64],
+    pc: u64,
+    disepc: u8,
+    halted: bool,
+    total_insts: u64,
+    app_insts: u64,
+    exp: Option<ExpState>,
+    mem: Memory,
+    engine: Option<dise_core::EngineState>,
+}
+
 /// The functional machine. See the module docs.
 #[derive(Debug)]
 pub struct Machine {
@@ -394,6 +409,209 @@ impl Machine {
     /// All zeros when the cache is disabled or was never exercised.
     pub fn block_stats(&self) -> BlockStats {
         self.blocks.as_ref().map(|c| c.stats).unwrap_or_default()
+    }
+
+    /// Serializes the machine's mutable state (see [`crate::snapshot`]).
+    /// The program, production set and dedicated dictionary are recorded
+    /// as fingerprints only; the predecode table and block cache are
+    /// derived state and not recorded at all.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::Writer) {
+        w.u64(crate::arena::program_fingerprint(&self.program));
+        match &self.engine {
+            Some(e) => {
+                w.bool(true);
+                w.u64(crate::arena::controller_fingerprint(e.controller()));
+            }
+            None => w.bool(false),
+        }
+        match &self.dedicated {
+            Some(d) => {
+                w.bool(true);
+                w.u64(crate::arena::debug_fingerprint(d));
+            }
+            None => w.bool(false),
+        }
+        for &v in &self.regs {
+            w.u64(v);
+        }
+        w.u64(self.pc);
+        w.u8(self.disepc);
+        w.bool(self.halted);
+        w.u64(self.total_insts);
+        w.u64(self.app_insts);
+        match &self.exp {
+            None => w.u8(0),
+            Some(ExpState::Single(inst)) => {
+                w.u8(1);
+                crate::snapshot::write_inst(w, inst);
+            }
+            Some(ExpState::Dise {
+                id,
+                len,
+                trigger,
+                raw,
+            }) => {
+                w.u8(2);
+                w.u32(*id);
+                w.u8(*len);
+                crate::snapshot::write_inst(w, trigger);
+                match raw {
+                    Some(word) => {
+                        w.bool(true);
+                        w.u32(*word);
+                    }
+                    None => w.bool(false),
+                }
+            }
+            Some(ExpState::Dedicated { ix }) => {
+                w.u8(3);
+                w.u32(*ix as u32);
+            }
+        }
+        self.mem.save_state(w);
+        if let Some(e) = &self.engine {
+            crate::snapshot::write_engine_state(w, &e.export_state());
+        }
+    }
+
+    /// Parses a [`Machine::save_state`] section, checking the recorded
+    /// fingerprints against this machine's scenario. Mutates nothing —
+    /// the caller applies the returned state only once the whole snapshot
+    /// has validated.
+    pub(crate) fn read_state(
+        &self,
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<MachineState> {
+        crate::snapshot::check_fingerprint(
+            "program image",
+            r.u64()?,
+            crate::arena::program_fingerprint(&self.program),
+        )?;
+        let snap_engine = r.bool()?;
+        match (snap_engine, &self.engine) {
+            (true, Some(e)) => crate::snapshot::check_fingerprint(
+                "production set",
+                r.u64()?,
+                crate::arena::controller_fingerprint(e.controller()),
+            )?,
+            (false, None) => {}
+            (true, None) => {
+                return Err(SimError::Snapshot(
+                    "the snapshot was taken with a DISE engine attached but the restore \
+                     target has none; attach the identical engine before restoring"
+                        .into(),
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(SimError::Snapshot(
+                    "the snapshot was taken without a DISE engine but the restore target \
+                     has one attached; restore into an engine-less machine"
+                        .into(),
+                ))
+            }
+        }
+        let snap_dedicated = r.bool()?;
+        match (snap_dedicated, &self.dedicated) {
+            (true, Some(d)) => crate::snapshot::check_fingerprint(
+                "dedicated dictionary",
+                r.u64()?,
+                crate::arena::debug_fingerprint(d),
+            )?,
+            (false, None) => {}
+            (true, None) => {
+                return Err(SimError::Snapshot(
+                    "the snapshot was taken with a dedicated dictionary attached but the \
+                     restore target has none; attach the identical dictionary first"
+                        .into(),
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(SimError::Snapshot(
+                    "the snapshot was taken without a dedicated dictionary but the restore \
+                     target has one attached; restore into a machine without one"
+                        .into(),
+                ))
+            }
+        }
+        let mut regs = [0u64; 64];
+        for v in regs.iter_mut() {
+            *v = r.u64()?;
+        }
+        let pc = r.u64()?;
+        let disepc = r.u8()?;
+        let halted = r.bool()?;
+        let total_insts = r.u64()?;
+        let app_insts = r.u64()?;
+        let exp = match r.u8()? {
+            0 => None,
+            1 => Some(ExpState::Single(crate::snapshot::read_inst(r)?)),
+            2 => {
+                let id = r.u32()?;
+                let len = r.u8()?;
+                let trigger = crate::snapshot::read_inst(r)?;
+                let raw = if r.bool()? { Some(r.u32()?) } else { None };
+                Some(ExpState::Dise {
+                    id,
+                    len,
+                    trigger,
+                    raw,
+                })
+            }
+            3 => {
+                let ix = r.u32()?;
+                let ix = u16::try_from(ix).map_err(|_| {
+                    SimError::Snapshot(format!(
+                        "snapshot corrupt: dedicated codeword index {ix} exceeds u16"
+                    ))
+                })?;
+                Some(ExpState::Dedicated { ix })
+            }
+            other => {
+                return Err(SimError::Snapshot(format!(
+                    "snapshot corrupt: unknown expansion-state tag {other}"
+                )))
+            }
+        };
+        let mem = Memory::read_state(r)?;
+        let engine = snap_engine
+            .then(|| crate::snapshot::read_engine_state(r))
+            .transpose()?;
+        Ok(MachineState {
+            regs,
+            pc,
+            disepc,
+            halted,
+            total_insts,
+            app_insts,
+            exp,
+            mem,
+            engine,
+        })
+    }
+
+    /// Installs a parsed state. The engine import validates before it
+    /// mutates and everything after it is infallible, so a failure here
+    /// leaves the machine untouched. The block cache is dropped — the
+    /// engine bumps its generation on import, so stale translations
+    /// cannot survive even if one were kept.
+    pub(crate) fn apply_state(&mut self, state: MachineState) -> Result<()> {
+        if let Some(engine_state) = &state.engine {
+            self.engine
+                .as_mut()
+                .expect("engine presence was validated in read_state")
+                .import_state(engine_state)
+                .map_err(|e| SimError::Snapshot(format!("engine section rejected: {e}")))?;
+        }
+        self.regs = state.regs;
+        self.pc = state.pc;
+        self.disepc = state.disepc;
+        self.halted = state.halted;
+        self.total_insts = state.total_insts;
+        self.app_insts = state.app_insts;
+        self.exp = state.exp;
+        self.mem = state.mem;
+        self.blocks = None;
+        Ok(())
     }
 
     /// Reads a register (the zero register reads 0).

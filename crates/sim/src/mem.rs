@@ -145,6 +145,34 @@ impl Memory {
             self.store_u8(addr.wrapping_add(i as u64), *b);
         }
     }
+
+    /// Serializes every resident page, sorted by page number so the bytes
+    /// are a deterministic function of memory contents (the map's
+    /// iteration order is not).
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::Writer) {
+        let mut page_nos: Vec<u64> = self.pages.keys().copied().collect();
+        page_nos.sort_unstable();
+        w.u64(page_nos.len() as u64);
+        for no in page_nos {
+            w.u64(no);
+            w.bytes(&self.pages[&no][..]);
+        }
+    }
+
+    /// Parses a [`Memory::save_state`] section into a fresh memory (the
+    /// caller swaps it in only once the whole snapshot has validated).
+    pub(crate) fn read_state(r: &mut crate::snapshot::Reader<'_>) -> crate::Result<Memory> {
+        let n = r.len_prefix(8 + PAGE_SIZE)?;
+        let mut mem = Memory::new();
+        for _ in 0..n {
+            let no = r.u64()?;
+            let bytes = r.bytes(PAGE_SIZE)?;
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page.copy_from_slice(bytes);
+            mem.pages.insert(no, page);
+        }
+        Ok(mem)
+    }
 }
 
 #[cfg(test)]

@@ -363,6 +363,216 @@ impl StoreTable {
             }
         }
     }
+
+    /// Serializes the table contents exactly as stored — occupied
+    /// direct-mapped slots by index plus the overflow map — rather than
+    /// as an insert-replay: which of the two homes a granule lives in
+    /// depends on probe order, so replaying inserts into a fresh table
+    /// could place entries differently and de-synchronize a re-save.
+    /// Map-ordered sections are sorted by granule for deterministic bytes.
+    fn save_state(&self, w: &mut crate::snapshot::Writer) {
+        match self {
+            StoreTable::Fast {
+                tags,
+                times,
+                overflow,
+            } => {
+                w.u8(0);
+                let occupied = tags.iter().filter(|&&t| t != STORE_EMPTY).count();
+                w.u64(occupied as u64);
+                for (ix, &tag) in tags.iter().enumerate() {
+                    if tag == STORE_EMPTY {
+                        continue;
+                    }
+                    w.u32(ix as u32);
+                    w.u64(tag);
+                    w.u64(times[ix]);
+                }
+                let mut spills: Vec<(u64, u64)> =
+                    overflow.iter().map(|(&g, &t)| (g, t)).collect();
+                spills.sort_unstable();
+                w.u64(spills.len() as u64);
+                for (g, t) in spills {
+                    w.u64(g);
+                    w.u64(t);
+                }
+            }
+            StoreTable::Slow(map) => {
+                w.u8(1);
+                let mut pairs: Vec<(u64, u64)> = map.iter().map(|(&g, &t)| (g, t)).collect();
+                pairs.sort_unstable();
+                w.u64(pairs.len() as u64);
+                for (g, t) in pairs {
+                    w.u64(g);
+                    w.u64(t);
+                }
+            }
+        }
+    }
+
+    /// Parses a [`StoreTable::save_state`] section, validating the
+    /// variant and slot indexes without mutating anything.
+    fn read_state(&self, r: &mut crate::snapshot::Reader<'_>) -> Result<StoreState> {
+        let variant = r.u8()?;
+        match (variant, self) {
+            (0, StoreTable::Fast { .. }) => {
+                let n = r.len_prefix(20)?;
+                let mut slots = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ix = r.u32()? as usize;
+                    if ix >= 1 << STORE_BITS {
+                        return Err(SimError::Snapshot(format!(
+                            "snapshot corrupt: store-table slot {ix} out of range"
+                        )));
+                    }
+                    slots.push((ix, r.u64()?, r.u64()?));
+                }
+                let n = r.len_prefix(16)?;
+                let mut spills = Vec::with_capacity(n);
+                for _ in 0..n {
+                    spills.push((r.u64()?, r.u64()?));
+                }
+                Ok(StoreState::Fast { slots, spills })
+            }
+            (1, StoreTable::Slow(_)) => {
+                let n = r.len_prefix(16)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((r.u64()?, r.u64()?));
+                }
+                Ok(StoreState::Slow(pairs))
+            }
+            _ => Err(SimError::Snapshot(format!(
+                "snapshot corrupt: store-table variant tag {variant} does not match the \
+                 configured fast_path (the timing-configuration fingerprint should have \
+                 caught this)"
+            ))),
+        }
+    }
+
+    /// Installs a parsed state (resetting to empty first).
+    fn apply_state(&mut self, state: StoreState) {
+        match (self, state) {
+            (
+                StoreTable::Fast {
+                    tags,
+                    times,
+                    overflow,
+                },
+                StoreState::Fast { slots, spills },
+            ) => {
+                tags.fill(STORE_EMPTY);
+                times.fill(0);
+                overflow.clear();
+                for (ix, tag, time) in slots {
+                    tags[ix] = tag;
+                    times[ix] = time;
+                }
+                overflow.extend(spills);
+            }
+            (StoreTable::Slow(map), StoreState::Slow(pairs)) => {
+                map.clear();
+                map.extend(pairs);
+            }
+            _ => unreachable!("variant validated in read_state"),
+        }
+    }
+}
+
+/// Parsed, configuration-validated mutable state of a simulator (see
+/// [`Simulator::read_state`]); applied with [`Simulator::apply_state`].
+#[derive(Debug)]
+pub(crate) struct SimulatorState {
+    machine: crate::machine::MachineState,
+    /// Fetch slot allocator `(cycle, used)`.
+    fetch: (u64, u64),
+    /// Commit slot allocator `(cycle, used)`.
+    commit: (u64, u64),
+    rob: Vec<u64>,
+    rs: Vec<u64>,
+    reg_ready: [u64; dise_isa::reg::NUM_REGS],
+    store: StoreState,
+    last_commit: u64,
+    seq: u64,
+    stats: SimStats,
+    hierarchy: crate::cache::HierarchyState,
+    bpred: crate::bpred::BpredState,
+}
+
+/// Serializes every [`SimStats`] counter in declaration order.
+fn save_sim_stats(stats: &SimStats, w: &mut crate::snapshot::Writer) {
+    w.u64(stats.cycles);
+    w.u64(stats.app_insts);
+    w.u64(stats.total_insts);
+    for c in [stats.icache, stats.dcache, stats.l2] {
+        w.u64(c.accesses);
+        w.u64(c.misses);
+    }
+    w.u64(stats.bpred.cond_predictions);
+    w.u64(stats.bpred.cond_mispredicts);
+    w.u64(stats.bpred.target_mispredicts);
+    w.u64(stats.redirects);
+    w.u64(stats.dise_stall_cycles);
+    w.u64(stats.expansions);
+    let e = &stats.engine;
+    for v in [
+        e.inspected,
+        e.expansions,
+        e.replacement_insts,
+        e.pt_misses,
+        e.rt_misses,
+        e.composed_fills,
+        e.stall_cycles,
+    ] {
+        w.u64(v);
+    }
+}
+
+/// Parses a [`save_sim_stats`] section.
+fn read_sim_stats(r: &mut crate::snapshot::Reader<'_>) -> Result<SimStats> {
+    let cache = |r: &mut crate::snapshot::Reader<'_>| -> Result<CacheStats> {
+        Ok(CacheStats {
+            accesses: r.u64()?,
+            misses: r.u64()?,
+        })
+    };
+    Ok(SimStats {
+        cycles: r.u64()?,
+        app_insts: r.u64()?,
+        total_insts: r.u64()?,
+        icache: cache(r)?,
+        dcache: cache(r)?,
+        l2: cache(r)?,
+        bpred: BpredStats {
+            cond_predictions: r.u64()?,
+            cond_mispredicts: r.u64()?,
+            target_mispredicts: r.u64()?,
+        },
+        redirects: r.u64()?,
+        dise_stall_cycles: r.u64()?,
+        expansions: r.u64()?,
+        engine: EngineStats {
+            inspected: r.u64()?,
+            expansions: r.u64()?,
+            replacement_insts: r.u64()?,
+            pt_misses: r.u64()?,
+            rt_misses: r.u64()?,
+            composed_fills: r.u64()?,
+            stall_cycles: r.u64()?,
+        },
+    })
+}
+
+/// Parsed mutable state of the store-to-load forwarding table.
+#[derive(Debug)]
+enum StoreState {
+    Fast {
+        /// `(slot, granule tag, completion time)` for occupied slots.
+        slots: Vec<(usize, u64, u64)>,
+        /// Granule-sorted overflow entries.
+        spills: Vec<(u64, u64)>,
+    },
+    Slow(Vec<(u64, u64)>),
 }
 
 /// An in-flight window (ROB or RS) of timestamps: a fixed ring that never
@@ -404,6 +614,50 @@ impl Window {
         match self {
             Window::Fast(r) => r.pop(),
             Window::Slow(q) => q.pop_front(),
+        }
+    }
+
+    /// Serializes the in-flight timestamps oldest-first.
+    fn save_state(&self, w: &mut crate::snapshot::Writer) {
+        w.u64(self.len() as u64);
+        match self {
+            Window::Fast(r) => {
+                for v in r.iter() {
+                    w.u64(v);
+                }
+            }
+            Window::Slow(q) => {
+                for &v in q {
+                    w.u64(v);
+                }
+            }
+        }
+    }
+
+    /// Parses a [`Window::save_state`] section (occupancy must fit `cap`).
+    fn read_state(
+        r: &mut crate::snapshot::Reader<'_>,
+        cap: usize,
+        what: &str,
+    ) -> Result<Vec<u64>> {
+        let n = r.len_prefix(8)?;
+        if n > cap {
+            return Err(SimError::Snapshot(format!(
+                "snapshot corrupt: {what} occupancy {n} exceeds the configured capacity {cap}"
+            )));
+        }
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(r.u64()?);
+        }
+        Ok(values)
+    }
+
+    /// Replaces the window contents with `values` (oldest first).
+    fn apply_state(&mut self, values: &[u64]) {
+        while self.pop().is_some() {}
+        for &v in values {
+            self.push(v);
         }
     }
 }
@@ -496,6 +750,100 @@ impl Simulator {
     /// registers before running).
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
+    }
+
+    /// Serializes the simulator's mutable state (see [`crate::snapshot`]).
+    /// The timing configuration is recorded as a fingerprint of its
+    /// `Debug` form — the same result-affecting-fields-only rendering the
+    /// figure harness cache keys on, so telemetry knobs do not perturb
+    /// it. Telemetry state (trace ring, watchdog, shadow oracle) is
+    /// observability-only and not serialized.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::Writer) {
+        w.u64(crate::arena::debug_fingerprint(&self.config));
+        self.machine.save_state(w);
+        for alloc in [&self.fetch, &self.commit] {
+            w.u64(alloc.cycle);
+            w.u64(alloc.used);
+        }
+        self.rob.save_state(w);
+        self.rs.save_state(w);
+        for &v in &self.reg_ready {
+            w.u64(v);
+        }
+        self.store_ready.save_state(w);
+        w.u64(self.last_commit);
+        w.u64(self.seq);
+        save_sim_stats(&self.stats, w);
+        self.mem.save_state(w);
+        self.bpred.save_state(w);
+    }
+
+    /// Parses a [`Simulator::save_state`] section, checking the recorded
+    /// fingerprints against this simulator's configuration and scenario.
+    /// Mutates nothing.
+    pub(crate) fn read_state(
+        &self,
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<SimulatorState> {
+        crate::snapshot::check_fingerprint(
+            "timing configuration",
+            r.u64()?,
+            crate::arena::debug_fingerprint(&self.config),
+        )?;
+        let machine = self.machine.read_state(r)?;
+        let fetch = (r.u64()?, r.u64()?);
+        let commit = (r.u64()?, r.u64()?);
+        let rob = Window::read_state(r, self.rob_cap, "ROB")?;
+        let rs = Window::read_state(r, self.rs_cap, "RS")?;
+        let mut reg_ready = [0u64; dise_isa::reg::NUM_REGS];
+        for v in reg_ready.iter_mut() {
+            *v = r.u64()?;
+        }
+        let store = self.store_ready.read_state(r)?;
+        let last_commit = r.u64()?;
+        let seq = r.u64()?;
+        let stats = read_sim_stats(r)?;
+        let hierarchy = self.mem.read_state(r)?;
+        let bpred = self.bpred.read_state(r)?;
+        Ok(SimulatorState {
+            machine,
+            fetch,
+            commit,
+            rob,
+            rs,
+            reg_ready,
+            store,
+            last_commit,
+            seq,
+            stats,
+            hierarchy,
+            bpred,
+        })
+    }
+
+    /// Installs a parsed state. The only fallible step — the machine's
+    /// engine import — runs first and validates before mutating, so a
+    /// failure leaves the simulator untouched. The shadow oracle (if one
+    /// was enabled) is dropped: it tracks the primary machine from load,
+    /// and a restored primary has nothing for it to have shadowed.
+    pub(crate) fn apply_state(&mut self, state: SimulatorState) -> Result<()> {
+        self.machine.apply_state(state.machine)?;
+        self.fetch.cycle = state.fetch.0;
+        self.fetch.used = state.fetch.1;
+        self.commit.cycle = state.commit.0;
+        self.commit.used = state.commit.1;
+        self.rob.apply_state(&state.rob);
+        self.rs.apply_state(&state.rs);
+        self.reg_ready = state.reg_ready;
+        self.store_ready.apply_state(state.store);
+        self.last_commit = state.last_commit;
+        self.seq = state.seq;
+        self.stats = state.stats;
+        self.mem.apply_state(state.hierarchy);
+        self.bpred.apply_state(state.bpred);
+        self.pending_anomaly = None;
+        self.shadow = None;
+        Ok(())
     }
 
     /// Attaches a shadow functional oracle, stepped in lockstep with the

@@ -60,6 +60,18 @@ impl Ring {
         self.len += 1;
     }
 
+    /// Iterates the in-flight timestamps oldest-first without draining
+    /// them (snapshot serialization walks the window in FIFO order).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| {
+            let mut ix = self.head + i;
+            if ix >= self.buf.len() {
+                ix -= self.buf.len();
+            }
+            self.buf[ix]
+        })
+    }
+
     /// Removes and returns the oldest timestamp.
     #[inline]
     pub fn pop(&mut self) -> Option<u64> {

@@ -9,91 +9,19 @@
 //! the slow-path reference interpreter.
 
 use dise_core::pattern::Pattern;
-use dise_core::spec::{ImmDirective, InstSpec, OpDirective, RegDirective, ReplacementSpec};
 use dise_core::{DiseEngine, EngineConfig, RtOrganization};
-use dise_isa::{Assembler, Op, OpClass, Program, Reg};
+use dise_isa::{OpClass, Program, Reg};
 use dise_sim::{parse_block_cache, Machine, MachineConfig};
+use dise_workloads::fuzz::{
+    arch_state as regs, aware_spec, engine_program as program, schedule, store_spec, Action,
+    AWARE_PAIRS,
+};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-/// A looping workload that mixes plain ALU work, memory traffic (expanded
-/// transparently), and codewords under every aware `(cw_op, tag)` pair the
-/// fuzz schedule reinstalls.
-fn program() -> Program {
-    Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
-        .assemble(
-            "       lda r1, 400(r31)
-             loop:  addq r9, r1, r9
-                    cw0 r9, r3, r4, tag=1
-                    stq r9, 0(r10)
-                    ldq r5, 0(r10)
-                    cw0 r5, r6, r7, tag=2
-                    sll r5, #3, r6
-                    cw1 r3, r5, r6, tag=1
-                    subq r1, #1, r1
-                    stl r6, 8(r10)
-                    cw2 r1, r9, r5, tag=0
-                    bne r1, loop
-                    halt",
-        )
-        .unwrap()
-}
-
-/// The aware `(cw_op, tag)` pairs the program triggers.
-const AWARE_PAIRS: [(Op, u16); 4] = [
-    (Op::Cw0, 1),
-    (Op::Cw0, 2),
-    (Op::Cw1, 1),
-    (Op::Cw2, 0),
-];
-
-/// A random aware replacement sequence. Sources may read codeword
-/// parameters; destinations come from a pool the loop control never
-/// reads, so a reinstalled production changes observable dataflow without
-/// ever hanging the workload.
-fn aware_spec(rng: &mut StdRng) -> ReplacementSpec {
-    const OPS: [Op; 6] = [Op::Srl, Op::Addq, Op::Xor, Op::Subq, Op::Sll, Op::Cmpeq];
-    let len = rng.gen_range(1..=4);
-    let insts = (0..len)
-        .map(|_| {
-            let src = |rng: &mut StdRng| {
-                if rng.gen_bool_fair() {
-                    RegDirective::Param(rng.gen_range(0..3u8))
-                } else {
-                    RegDirective::Literal(Reg::r(rng.gen_range(16..28u8)))
-                }
-            };
-            InstSpec::Templated {
-                op: OpDirective::Literal(OPS[rng.gen_range(0..OPS.len())]),
-                ra: src(rng),
-                rb: src(rng),
-                rc: RegDirective::Literal(Reg::r(rng.gen_range(16..28u8))),
-                imm: ImmDirective::Literal(rng.gen_range(0..64)),
-                uses_lit: rng.gen_bool_fair(),
-                dise_branch: false,
-            }
-        })
-        .collect();
-    ReplacementSpec::new(insts)
-}
-
-/// Transparent store protection (an MFI-flavored production): one
-/// templated instruction plus the trigger, so every store becomes a
-/// 2-instruction replacement sequence.
-fn store_spec() -> ReplacementSpec {
-    ReplacementSpec::new(vec![
-        InstSpec::Templated {
-            op: OpDirective::Literal(Op::Srl),
-            ra: RegDirective::TriggerRs,
-            rb: RegDirective::Literal(Reg::ZERO),
-            rc: RegDirective::Literal(Reg::dr(1)),
-            imm: ImmDirective::Literal(26),
-            uses_lit: true,
-            dise_branch: false,
-        },
-        InstSpec::Trigger,
-    ])
-}
+// The workload, production generators, and event schedule live in
+// `dise_workloads::fuzz` (shared seed corpus documented there); this file
+// keeps only the block-cache-specific differential driver.
 
 /// Builds one machine over `p` with a freshly seeded production set.
 /// `slow` selects the reference interpreter (no predecode, no block
@@ -116,32 +44,6 @@ fn machine(p: &Program, econfig: EngineConfig, rng: &mut StdRng, slow: bool) -> 
     m.attach_engine(engine);
     m.set_reg(Reg::r(10), Program::segment_base(Program::DATA_SEGMENT));
     m
-}
-
-/// One fuzzed event, pre-generated so both machines see the identical
-/// schedule.
-#[derive(Debug)]
-enum Action {
-    Run(u64),
-    Step(u8),
-    Interrupt,
-    ContextSwitch,
-    InstallAware(Op, u16, ReplacementSpec),
-}
-
-fn schedule(rng: &mut StdRng, rounds: usize) -> Vec<Action> {
-    (0..rounds)
-        .map(|_| match rng.gen_range(0..100u32) {
-            0..=49 => Action::Run(rng.gen_range(1..40)),
-            50..=64 => Action::Step(rng.gen_range(1..6)),
-            65..=74 => Action::Interrupt,
-            75..=84 => Action::ContextSwitch,
-            _ => {
-                let (cw, tag) = AWARE_PAIRS[rng.gen_range(0..AWARE_PAIRS.len())];
-                Action::InstallAware(cw, tag, aware_spec(rng))
-            }
-        })
-        .collect()
 }
 
 /// Applies one action and folds every observable outcome into a string so
@@ -172,7 +74,7 @@ fn apply(m: &mut Machine, a: &Action) -> String {
 }
 
 fn arch_state(m: &Machine) -> Vec<u64> {
-    (0..48).map(|i| m.reg(Reg::from_index(i))).collect()
+    regs(m, 48)
 }
 
 /// Runs one seeded schedule against a (block-cache, slow-path) machine

@@ -38,6 +38,7 @@
 //! assert!(m.run(20_000_000).unwrap().halted());
 //! ```
 
+pub mod fuzz;
 mod gen;
 mod profile;
 

@@ -13,6 +13,10 @@
 #             forced-private construction, byte-identical at jobs 1/8)
 #   shadow  — one figure cell with the --shadow lockstep oracle armed
 #             (cache off: warm cells skip simulation and prove nothing)
+#   snapshot — the bit-identical-resume matrices under --release (they
+#             are `ignore`d in debug builds: minutes-slow unoptimized)
+#             plus a fig6 smoke cell checkpointing at every instruction,
+#             cmp-equal to the plain run
 set -e
 cd "$(dirname "$0")/.."
 
@@ -91,6 +95,44 @@ cmp "$ACFTMP/on.json" "$ACFTMP/off.json" || {
     echo "arena-off stats-JSON diverged from the default (arena on)"
     rm -rf "$ACFTMP"; exit 1; }
 rm -rf "$ACFTMP"
+
+echo "== ci: snapshot resume ($(date)) =="
+# The differential snapshot fuzz suite, release-only: the two big
+# scenario × RT-organization matrices are `ignore`d under
+# debug_assertions (the tier-1 `cargo test -q` above), so this is the
+# gate that actually runs them.
+cargo test --release -q --test snapshot_resume
+# Harness checkpointing: unit tests (slicing neutrality, file
+# round-trip), in-process crash-resume + job-count neutrality with
+# checkpointing armed, and the SIGKILL-the-daemon restart round-trip.
+cargo test -q -p dise-bench --lib
+cargo test -q -p dise-bench --test checkpoint_resume --test serve_restart
+# Checkpointing is a pure availability device: a smoke cell persisting
+# (and immediately superseding) a snapshot after *every* instruction
+# must export byte-identical stats-JSON to the plain run. Fresh cache
+# dirs on both sides — a warm cell would replay cached stats without
+# simulating — and a throwaway checkpoint dir that must be empty of
+# .ckpt files afterwards (completed cells clean up after themselves).
+# Smaller budget than the other smoke stages, and scratch space on
+# tmpfs when the host has one: every:1 persists one ~100KB checkpoint
+# file per dynamic instruction, and on a writeback-throttled disk the
+# D-state wait (not CPU) would dominate the stage by an order of
+# magnitude.
+SNAPTMP=$(mktemp -d -p /dev/shm 2>/dev/null || mktemp -d)
+DISE_BENCH_DYN=5000 DISE_BENCH_FILTER=gcc DISE_BENCH_JOBS=2 \
+    DISE_BENCH_CACHE="$SNAPTMP/plain" \
+    ./target/release/fig6_mfi top --stats-json "$SNAPTMP/plain.json" > /dev/null
+DISE_SNAPSHOT=every:1 DISE_CHECKPOINT_DIR="$SNAPTMP/ckpt" \
+    DISE_BENCH_DYN=5000 DISE_BENCH_FILTER=gcc DISE_BENCH_JOBS=2 \
+    DISE_BENCH_CACHE="$SNAPTMP/snap" \
+    ./target/release/fig6_mfi top --stats-json "$SNAPTMP/snap.json" > /dev/null
+cmp "$SNAPTMP/plain.json" "$SNAPTMP/snap.json" || {
+    echo "checkpointed stats-JSON diverged from the plain run"
+    rm -rf "$SNAPTMP"; exit 1; }
+if ls "$SNAPTMP/ckpt"/*.ckpt > /dev/null 2>&1; then
+    echo "completed cells left checkpoints behind"
+    rm -rf "$SNAPTMP"; exit 1; fi
+rm -rf "$SNAPTMP"
 
 echo "== ci: serve concurrency round-trip ($(date)) =="
 # The multi-tenant service must produce the same stats-JSON, byte for

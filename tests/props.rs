@@ -4,104 +4,20 @@
 //!
 //! These were originally written against `proptest`; the offline build
 //! environment cannot fetch it, so the same properties are exercised by
-//! deterministic seeded fuzz loops over hand-rolled generators. Every
-//! run checks the same cases, and a failure prints the case index so it
-//! can be replayed under a debugger by re-running the loop.
+//! deterministic seeded fuzz loops over the shared generators in
+//! `dise_workloads::fuzz` (seed corpus documented there). Every run
+//! checks the same cases, and a failure prints the case index so it can
+//! be replayed under a debugger by re-running the loop.
 
 use dise::acf::compress::{CompressionConfig, Compressor};
 use dise::engine::{DiseEngine, EngineConfig, ImmPredicate, Pattern, RtOrganization};
-use dise::isa::{Inst, Op, OpClass, Program, ProgramBuilder, Reg};
+use dise::isa::{Inst, OpClass, Program, Reg};
 use dise::sim::Machine;
+use dise_workloads::fuzz::{arb_program, encodable_inst, pick, SEED_PROPS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const FUZZ_SEED: u64 = 0xD15E_0001;
-
-/// Any architectural register.
-fn arch_reg(rng: &mut StdRng) -> Reg {
-    Reg::r(rng.gen_range(0..32u8))
-}
-
-fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
-    xs[rng.gen_range(0..xs.len())]
-}
-
-/// An arbitrary *encodable* instruction.
-fn encodable_inst(rng: &mut StdRng) -> Inst {
-    const MEM_OPS: [Op; 6] = [Op::Lda, Op::Ldah, Op::Ldl, Op::Ldq, Op::Stl, Op::Stq];
-    const BRANCH_OPS: [Op; 10] = [
-        Op::Br,
-        Op::Bsr,
-        Op::Beq,
-        Op::Bne,
-        Op::Blt,
-        Op::Ble,
-        Op::Bgt,
-        Op::Bge,
-        Op::Blbc,
-        Op::Blbs,
-    ];
-    const JUMP_OPS: [Op; 3] = [Op::Jmp, Op::Jsr, Op::Ret];
-    const ALU_OPS: [Op; 22] = [
-        Op::Addq,
-        Op::Subq,
-        Op::Addl,
-        Op::Subl,
-        Op::S4addq,
-        Op::S8addq,
-        Op::Mulq,
-        Op::And,
-        Op::Bis,
-        Op::Xor,
-        Op::Bic,
-        Op::Ornot,
-        Op::Sll,
-        Op::Srl,
-        Op::Sra,
-        Op::Cmpeq,
-        Op::Cmplt,
-        Op::Cmple,
-        Op::Cmpult,
-        Op::Cmpule,
-        Op::Cmoveq,
-        Op::Cmovne,
-    ];
-    match rng.gen_range(0..8u32) {
-        0 => Inst::mem(
-            pick(rng, &MEM_OPS),
-            arch_reg(rng),
-            arch_reg(rng),
-            rng.gen_range(i16::MIN..=i16::MAX),
-        ),
-        1 => Inst::branch(
-            pick(rng, &BRANCH_OPS),
-            arch_reg(rng),
-            rng.gen_range(-(1i32 << 20)..(1i32 << 20)),
-        ),
-        2 => Inst::jump(pick(rng, &JUMP_OPS), arch_reg(rng), arch_reg(rng)),
-        3 => Inst::alu_rr(
-            pick(rng, &ALU_OPS),
-            arch_reg(rng),
-            arch_reg(rng),
-            arch_reg(rng),
-        ),
-        4 => Inst::alu_ri(
-            pick(rng, &ALU_OPS),
-            arch_reg(rng),
-            rng.gen_range(0..=255u8),
-            arch_reg(rng),
-        ),
-        5 => Inst::codeword(
-            Op::Cw0,
-            rng.gen_range(0..32u8),
-            rng.gen_range(0..32u8),
-            rng.gen_range(0..32u8),
-            rng.gen_range(0..2048u16),
-        ),
-        6 => Inst::nop(),
-        _ => Inst::halt(),
-    }
-}
+const FUZZ_SEED: u64 = SEED_PROPS;
 
 /// encode ∘ decode is the identity on encodable instructions.
 #[test]
@@ -188,48 +104,6 @@ fn pattern_disjointness_sound() {
             );
         }
     }
-}
-
-/// Builds a random but *well-formed* straight-line-plus-loops program.
-/// All memory traffic goes through r2 (pointed at the data segment),
-/// every loop is counted, and the program halts.
-fn arb_program(rng: &mut StdRng) -> Program {
-    let steps = rng.gen_range(4..60usize);
-    let mut b = ProgramBuilder::new(Program::segment_base(Program::TEXT_SEGMENT));
-    b.push(Inst::li(3, Reg::r(20)));
-    b.label("outer");
-    for _ in 0..steps {
-        let kind: u8 = rng.gen_range(0..6);
-        let x = Reg::r(rng.gen_range(1..8u8));
-        let y = Reg::r(rng.gen_range(1..8u8));
-        let k: u8 = rng.gen_range(0..16);
-        match kind {
-            0 => {
-                b.push(Inst::mem(Op::Ldq, x, Reg::R2, (k as i16) * 8));
-            }
-            1 => {
-                b.push(Inst::mem(Op::Stq, x, Reg::R2, (k as i16) * 8));
-            }
-            2 => {
-                b.push(Inst::alu_rr(Op::Addq, x, y, x));
-            }
-            3 => {
-                b.push(Inst::alu_ri(Op::Sll, x, k % 8, y));
-            }
-            4 => {
-                b.push(Inst::alu_rr(Op::Xor, x, y, y));
-            }
-            _ => {
-                b.push(Inst::alu_ri(Op::Subq, x, 1, x));
-            }
-        }
-    }
-    b.push(Inst::alu_ri(Op::Subq, Reg::r(20), 1, Reg::r(20)));
-    b.branch_to(Op::Bne, Reg::r(20), "outer");
-    b.push(Inst::halt());
-    let mut p = b.finish().unwrap();
-    p.entry = p.text_base;
-    p
 }
 
 fn run_to_state(p: &Program, attach: impl FnOnce(&mut Machine)) -> Vec<u64> {

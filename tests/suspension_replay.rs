@@ -1,0 +1,150 @@
+//! Regression pinning the symmetric suspension wedge: a reinstall may
+//! shrink a sequence below a suspended DISEPC, after which resuming
+//! reports an out-of-range replacement fetch — deterministically, on
+//! every retry, without ever halting — until an OS-style handler
+//! restarts the trigger from DISEPC 0 via [`Machine::set_pc`]. The
+//! wedge, its replay stability, the recovery path, and a snapshot taken
+//! *inside* the wedged state are all pinned here.
+
+use dise::engine::{
+    DiseEngine, EngineConfig, ImmDirective, InstSpec, OpDirective, Pattern, RegDirective,
+    ReplacementSpec,
+};
+use dise::isa::{Op, OpClass, Program, Reg};
+use dise::sim::{restore_machine, save_machine, Machine, MachineConfig, SimError};
+use dise::workloads::fuzz::{engine_program, store_spec, AWARE_PAIRS};
+
+/// A deterministic aware sequence of `len` plain ALU instructions whose
+/// destinations stay in the `r16..r28` pool [`engine_program`]'s loop
+/// control never reads — reinstalls change dataflow, never liveness.
+fn spec_of_len(len: u8) -> ReplacementSpec {
+    let insts = (0..len)
+        .map(|d| InstSpec::Templated {
+            op: OpDirective::Literal(Op::Addq),
+            ra: RegDirective::Param(0),
+            rb: RegDirective::Literal(Reg::r(16 + d % 8)),
+            rc: RegDirective::Literal(Reg::r(16 + (d + 1) % 8)),
+            imm: ImmDirective::Literal(d as i64),
+            uses_lit: false,
+            dise_branch: false,
+        })
+        .collect();
+    ReplacementSpec::new(insts)
+}
+
+/// Builds the fixed wedge scenario: [`engine_program`] under transparent
+/// store protection and length-4 productions on every aware pair.
+fn machine() -> Machine {
+    let mut engine = DiseEngine::new(EngineConfig::default());
+    engine
+        .install_transparent(Pattern::opclass(OpClass::Store), store_spec())
+        .unwrap();
+    for (cw, tag) in AWARE_PAIRS {
+        engine.install_aware(cw, tag, spec_of_len(4)).unwrap();
+    }
+    let mut m = Machine::with_config(&engine_program(), MachineConfig::default());
+    m.attach_engine(engine);
+    m.set_reg(Reg::r(10), Program::segment_base(Program::DATA_SEGMENT));
+    m
+}
+
+/// Smallest fuel that leaves [`machine`] suspended at DISEPC >= 2 —
+/// provably inside a length-4 aware sequence (the only other expansion,
+/// store protection, is 2 long and cannot suspend past DISEPC 1).
+fn wedge_fuel() -> u64 {
+    for fuel in 1..200 {
+        let mut m = machine();
+        assert!(
+            matches!(m.run(fuel), Err(SimError::OutOfFuel)),
+            "fuel {fuel}: workload ended before a deep suspension appeared"
+        );
+        if m.pc().1 >= 2 {
+            return fuel;
+        }
+    }
+    panic!("no DISEPC >= 2 suspension in the first 200 steps");
+}
+
+/// Shrinks every aware sequence to a single instruction, dropping any
+/// suspended DISEPC >= 1 out of range.
+fn shrink_all(m: &mut Machine) {
+    for (cw, tag) in AWARE_PAIRS {
+        m.engine_mut()
+            .unwrap()
+            .install_aware(cw, tag, spec_of_len(1))
+            .unwrap();
+    }
+}
+
+#[test]
+fn reinstall_below_suspended_disepc_wedges_then_recovers() {
+    let mut m = machine();
+    let fuel = wedge_fuel();
+    assert!(matches!(m.run(fuel), Err(SimError::OutOfFuel)));
+    let (pc, disepc) = m.pc();
+    assert!(disepc >= 2);
+
+    shrink_all(&mut m);
+
+    // Resuming fetches replacement `disepc` of a now-shorter sequence:
+    // an error, not a halt — and a stable one, every retry alike.
+    let first = format!("{:?}", m.run(1_000));
+    assert!(first.starts_with("Err("), "wedged resume returned {first}");
+    assert!(!m.halted(), "the wedge must not halt the machine");
+    assert_eq!(m.pc(), (pc, disepc), "the wedge must not move the machine");
+    let again = format!("{:?}", m.run(1_000));
+    assert_eq!(first, again, "wedge replay is not stable");
+    assert_eq!(m.pc(), (pc, disepc));
+
+    // OS-style recovery: restart the trigger from DISEPC 0. The
+    // shrunk sequence then expands cleanly and the workload halts.
+    m.set_pc(pc);
+    assert_eq!(m.pc(), (pc, 0), "set_pc must reset the suspension");
+    let r = m.run(u64::MAX).unwrap();
+    assert!(r.halted, "recovered machine must run to completion");
+}
+
+/// A snapshot taken inside the wedge round-trips exactly: the restored
+/// twin reports the identical wedge error, and after identical `set_pc`
+/// recovery both machines finish byte-identical.
+#[test]
+fn wedged_state_snapshot_round_trips() {
+    let mut wedged = machine();
+    let fuel = wedge_fuel();
+    assert!(matches!(wedged.run(fuel), Err(SimError::OutOfFuel)));
+    let (pc, disepc) = wedged.pc();
+    shrink_all(&mut wedged);
+    let snap = save_machine(&wedged);
+
+    // The twin rebuilds the scenario — including the reinstalls, which
+    // are part of the production-set fingerprint — but never runs.
+    let mut twin = machine();
+    shrink_all(&mut twin);
+    restore_machine(&mut twin, &snap).unwrap();
+    assert_eq!(save_machine(&twin), snap, "restore → re-save is not byte-stable");
+    assert_eq!(twin.pc(), (pc, disepc), "suspension must survive restore");
+
+    // A twin without the reinstalls has a different production set; the
+    // snapshot must refuse it by fingerprint, naming the mismatch.
+    let mut stale = machine();
+    let err = restore_machine(&mut stale, &snap).unwrap_err().to_string();
+    assert!(
+        err.contains("production set") && err.contains("fingerprint mismatch"),
+        "{err}"
+    );
+
+    let wedge_w = format!("{:?}", wedged.run(1_000));
+    let wedge_t = format!("{:?}", twin.run(1_000));
+    assert!(wedge_w.starts_with("Err("));
+    assert_eq!(wedge_w, wedge_t, "restored twin must replay the wedge exactly");
+
+    wedged.set_pc(pc);
+    twin.set_pc(pc);
+    assert!(wedged.run(u64::MAX).unwrap().halted);
+    assert!(twin.run(u64::MAX).unwrap().halted);
+    assert_eq!(
+        save_machine(&wedged),
+        save_machine(&twin),
+        "post-recovery final states diverged"
+    );
+}
