@@ -28,16 +28,22 @@ fn main() {
     let all = args.is_empty();
     let want = |p: &str| all || args.iter().any(|a| a == p);
     let sweep = Sweep::from_env();
+    // Root spans (inert without a DISE_OBS_SINK session): one top-level
+    // trace bar per panel, cells and phases nested underneath.
     if want("mfi") {
+        let _s = dise_obs::span::enter("figure", "ablation_mfi");
         print!("{}", ablation::mfi(&sweep));
     }
     if want("rtmiss") {
+        let _s = dise_obs::span::enter("figure", "ablation_rtmiss");
         print!("{}", ablation::rtmiss(&sweep));
     }
     if want("ctx") {
+        let _s = dise_obs::span::enter("figure", "ablation_ctx");
         print!("{}", ablation::ctx(&sweep));
     }
     if want("rtblock") {
+        let _s = dise_obs::span::enter("figure", "ablation_rtblock");
         print!("{}", ablation::rtblock(&sweep));
     }
     if let Some(path) = stats_out {

@@ -13,6 +13,16 @@
 //! perturb the job: it finishes, ships its records, and populates the
 //! cell cache; the writer notices the dead peer and discards.
 //!
+//! Live introspection (ISSUE 10): a `stats` line on any connection is
+//! answered on that client's reader thread with a one-line JSON
+//! snapshot — queue depth, per-client backlogs, the running job and its
+//! progress, uptime, cumulative/rejected counters, and per-tenant
+//! latency histograms — without touching the scheduler. Each finished
+//! job additionally gets a timed final progress line
+//! (`progress <id> <n>/<n> wait=<w>ms run=<r>ms`) splitting its latency
+//! into queue wait and run time; `--submit` echoes that split as a
+//! `# job <id>: ...` summary.
+//!
 //! Observability: per-cell heartbeats and completion events, per-cell
 //! stats as `metrics` records — all tagged with the job's `id` — plus
 //! anomaly reports through the installed sink, and a phase-profile
@@ -53,16 +63,18 @@
 //! `DISE_BENCH_CACHE`); the sink comes from `--obs-dir` (rotating JSONL
 //! files) or `DISE_OBS_SINK` (`jsonl:<dir>` or `uds:<path>`).
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use dise_bench::serve::{
     busy_line, checkpoint_line, claim_socket_path, draining_line, job_ok_line, parse_heartbeat_ms,
-    parse_job, parse_queue_bound, progress_line, queued_line, rejected_line, resumed_line,
-    run_job_tagged, Job, JobJournal, JobQueue, ServerLine, StatsLog, SubmitRejection,
-    DEFAULT_QUEUE_BOUND, SHUTDOWN_ACK,
+    parse_job, parse_queue_bound, progress_line, progress_line_timed, queued_line, rejected_line,
+    resumed_line, run_job_tagged, Job, JobJournal, JobQueue, ServeStats, ServerLine, StatsLog,
+    SubmitRejection, DEFAULT_QUEUE_BOUND, SHUTDOWN_ACK,
 };
 use dise_bench::{checkpoint, stats_json_doc, write_stats_json, Sweep};
 use dise_obs::{JsonlFileSink, Session, Sink};
@@ -234,7 +246,14 @@ struct Daemon {
     session: Arc<Session>,
     heartbeat_ms: u64,
     stats: StatsLog,
-    queue: JobQueue<(Job, Arc<ClientConn>)>,
+    /// Live fleet introspection behind the `stats` protocol command:
+    /// counters and per-tenant latency histograms updated from the
+    /// scheduler, heartbeat and pool threads, snapshotted on the asking
+    /// client's reader thread so the answer never delays the scheduler.
+    live: ServeStats,
+    /// Queue payload: the parsed job, the submitting client's reply
+    /// handle, and the admission instant (queue-wait = pop − admission).
+    queue: JobQueue<(Job, Arc<ClientConn>, Instant)>,
     /// The in-flight job journal (`--checkpoint-dir` only): admitted
     /// jobs are journaled until their final ships, so a killed daemon's
     /// work survives a restart.
@@ -294,15 +313,32 @@ fn serve_client(daemon: &Daemon, client: u64, stream: UnixStream) {
             continue;
         }
         if trimmed == "shutdown" {
-            daemon.queue.shutdown();
+            // Ack before flipping the queue: once the queue drains, the
+            // scheduler exits the process, and an ack queued behind the
+            // drain could lose that race and never reach the client.
             conn.send(SHUTDOWN_ACK);
+            daemon.queue.shutdown();
+            continue;
+        }
+        if trimmed == "stats" {
+            // Answered right here on the reader thread: the scheduler is
+            // never interrupted, and a running job's heartbeats keep
+            // their cadence while the snapshot is assembled.
+            conn.send(&daemon.live.stats_line(
+                daemon.queue.admitted(),
+                daemon.queue.bound(),
+                &daemon.queue.backlog_depths(),
+            ));
             continue;
         }
         match parse_job(&daemon.sweep, trimmed) {
             Err(why) => conn.send(&rejected_line(&why)),
             Ok(job) => {
                 let name = job.name.clone();
-                match daemon.queue.submit(client, (job, Arc::clone(&conn))) {
+                match daemon
+                    .queue
+                    .submit(client, (job, Arc::clone(&conn), Instant::now()))
+                {
                     Ok(id) => {
                         if let Some(journal) = &daemon.journal {
                             journal.record(id, &name);
@@ -310,9 +346,13 @@ fn serve_client(daemon: &Daemon, client: u64, stream: UnixStream) {
                         conn.send(&queued_line(id));
                     }
                     Err(SubmitRejection::Busy { admitted, bound }) => {
+                        daemon.live.rejection();
                         conn.send(&busy_line(admitted, bound))
                     }
-                    Err(SubmitRejection::Draining) => conn.send(&draining_line()),
+                    Err(SubmitRejection::Draining) => {
+                        daemon.live.rejection();
+                        conn.send(&draining_line())
+                    }
                 }
             }
         }
@@ -351,9 +391,11 @@ fn serve_socket(daemon: &Arc<Daemon>, path: &PathBuf) {
                     daemon
                         .session
                         .event_tagged(Some(id), "-", "job_resume", Some(&line), &[]);
-                    daemon
-                        .queue
-                        .restore(0, id, (job, Arc::new(ClientConn::discard())));
+                    daemon.queue.restore(
+                        0,
+                        id,
+                        (job, Arc::new(ClientConn::discard()), Instant::now()),
+                    );
                     daemon.resumed.lock().expect("resumed list").push(id);
                 }
                 Err(why) => {
@@ -389,8 +431,12 @@ fn serve_socket(daemon: &Arc<Daemon>, path: &PathBuf) {
     // Scheduler: one job at a time through the shared pool (cells fan
     // out inside the job), per-client round-robin over the backlog.
     while let Some(queued) = daemon.queue.next() {
-        let (job, conn) = queued.payload;
+        let (job, conn, submitted) = queued.payload;
         let cells = job.cells.len();
+        let wait_ms = submitted.elapsed().as_millis() as u64;
+        daemon
+            .live
+            .job_started(queued.id, queued.client, &job.name, cells as u64, wait_ms);
         let progress = |done: u64, total: u64| conn.send(&progress_line(queued.id, done, total));
         // While this job runs, every checkpoint its cells persist is
         // narrated to the submitting client as `checkpoint <id>`.
@@ -401,6 +447,7 @@ fn serve_socket(daemon: &Arc<Daemon>, path: &PathBuf) {
                 conn.send(&checkpoint_line(id));
             })));
         }
+        let started = Instant::now();
         run_job_tagged(
             &daemon.sweep,
             &daemon.session,
@@ -409,9 +456,21 @@ fn serve_socket(daemon: &Arc<Daemon>, path: &PathBuf) {
             &daemon.stats,
             Some(queued.id),
             &progress,
+            Some((&daemon.live, queued.client)),
         );
+        let run_ms = started.elapsed().as_millis() as u64;
         checkpoint::set_notifier(None);
+        daemon.live.job_finished(queued.client);
         daemon.after_job();
+        // The timed final progress line tells the client how the job's
+        // latency split between queueing and running before the ok.
+        conn.send(&progress_line_timed(
+            queued.id,
+            cells as u64,
+            cells as u64,
+            wait_ms,
+            run_ms,
+        ));
         conn.send(&job_ok_line(queued.id, &job.name, cells));
         if let Some(journal) = &daemon.journal {
             journal.complete(queued.id);
@@ -448,6 +507,7 @@ fn run_oneshot(daemon: &Daemon, jobfile: &PathBuf) {
                     &daemon.stats,
                     Some(id),
                     &|_, _| {},
+                    None,
                 );
                 daemon.after_job();
                 println!("ok {} ({} cells)", job.name, job.cells.len());
@@ -485,6 +545,8 @@ fn submit(sock: &PathBuf, jobs: &[String]) -> i32 {
         if job.trim() == "shutdown" {
             shutdown_sent = true;
         } else {
+            // Plain jobs are acknowledged with `queued`/`busy:`/`error:`;
+            // a `stats` probe with its one-line JSON snapshot.
             expected_acks += 1;
         }
     }
@@ -493,6 +555,9 @@ fn submit(sock: &PathBuf, jobs: &[String]) -> i32 {
     let mut outstanding = 0i64; // admitted jobs awaiting their final
     let mut failed = false;
     let mut shutdown_acked = !shutdown_sent;
+    // Queue-wait/run split per job, from the timed final progress line;
+    // surfaced as a `# job <id>: ...` summary next to the job's ok.
+    let mut timings: HashMap<u64, (u64, u64)> = HashMap::new();
     let mut lines = reader.lines();
     while acks < expected_acks || outstanding > 0 || !shutdown_acked {
         let Some(line) = lines.next() else {
@@ -519,12 +584,26 @@ fn submit(sock: &PathBuf, jobs: &[String]) -> i32 {
                 acks += 1;
                 failed = true;
             }
-            ServerLine::JobOk { .. } => outstanding -= 1,
+            ServerLine::JobOk { id } => {
+                outstanding -= 1;
+                if let Some((wait_ms, run_ms)) = timings.get(&id) {
+                    println!("# job {id}: queue-wait {wait_ms} ms, run {run_ms} ms");
+                }
+            }
             ServerLine::JobError { .. } => {
                 outstanding -= 1;
                 failed = true;
             }
             ServerLine::ShutdownAck => shutdown_acked = true,
+            ServerLine::Stats => acks += 1,
+            ServerLine::Progress {
+                id,
+                wait_ms: Some(wait_ms),
+                run_ms: Some(run_ms),
+                ..
+            } => {
+                timings.insert(id, (wait_ms, run_ms));
+            }
             ServerLine::Progress { .. }
             | ServerLine::Checkpoint { .. }
             | ServerLine::Resumed { .. }
@@ -553,6 +632,7 @@ fn main() {
         session: session_for(&opts),
         heartbeat_ms: opts.heartbeat_ms,
         stats: StatsLog::default(),
+        live: ServeStats::new(),
         queue: JobQueue::new(opts.queue_bound),
         journal: opts
             .checkpoint_dir

@@ -1,0 +1,157 @@
+//! `dise_trace_export` — convert observability JSONL into a Chrome /
+//! Perfetto trace (ISSUE 10).
+//!
+//! Reads the `kind:"span"` records a traced run emitted (see
+//! `dise_obs::span` for the schema) and writes a
+//! [trace-event-format](https://ui.perfetto.dev) JSON document:
+//! one complete (`"ph":"X"`) event per span, process id = the serve job
+//! id (0 for untagged spans), thread id = the emitting worker, with the
+//! run id, cell key and span/parent ids preserved under `args`. Load the
+//! output in `ui.perfetto.dev` or `chrome://tracing` to see the
+//! job → cell → phase → window hierarchy on a real timeline.
+//!
+//! ```text
+//! dise_trace_export --obs-dir DIR [-o OUT]
+//! dise_trace_export FILE... [-o OUT]
+//! ```
+//!
+//! `--obs-dir` reads a rotating-sink directory in record order (rotated
+//! files oldest first, then the active `obs.jsonl`); bare arguments name
+//! explicit JSONL files. Without `-o` the trace goes to stdout.
+//! Non-span records and unparseable lines are skipped, so the tool runs
+//! directly on a mixed metrics/events/spans stream.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use dise_obs::{escape_into, scan, JsonlFileSink, ACTIVE_FILE};
+
+fn usage() -> ! {
+    eprintln!("usage: dise_trace_export (--obs-dir DIR | FILE...) [-o OUT]");
+    std::process::exit(2);
+}
+
+struct Opts {
+    files: Vec<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn parse_opts() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--obs-dir" => {
+                i += 1;
+                let dir = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--obs-dir wants a directory");
+                    usage()
+                }));
+                files.extend(JsonlFileSink::rotated_in(&dir));
+                let active = dir.join(ACTIVE_FILE);
+                if active.exists() {
+                    files.push(active);
+                }
+            }
+            "-o" | "--out" => {
+                i += 1;
+                out = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("-o wants a path");
+                    usage()
+                })));
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown argument {flag:?}");
+                usage();
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        eprintln!("no input: pass --obs-dir DIR or at least one JSONL file");
+        usage();
+    }
+    Opts { files, out }
+}
+
+/// One span record translated to a complete trace event, or `None` for
+/// anything that is not a well-formed span line.
+fn trace_event(line: &str) -> Option<String> {
+    let fields = scan::fields(line);
+    let raw = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str());
+    let s = |name: &str| raw(name).and_then(scan::str_value);
+    let n = |name: &str| raw(name).and_then(scan::u64_value);
+    if s("kind").as_deref() != Some("span") {
+        return None;
+    }
+    let name = s("name")?;
+    let start_us = n("start_us")?;
+    let dur_us = n("dur_us")?;
+    let tid = n("tid")?;
+    let pid = n("id").unwrap_or(0); // serve job id; 0 = untagged run
+
+    let mut label = String::new();
+    escape_into(&mut label, &name);
+    if let Some(detail) = s("detail") {
+        label.push(' ');
+        escape_into(&mut label, &detail);
+    }
+
+    let mut args = String::new();
+    let mut arg = |key: &str, value: Option<String>| {
+        if let Some(v) = value {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            args.push_str(&format!("\"{key}\":{v}"));
+        }
+    };
+    arg("run", raw("run").map(str::to_string));
+    arg("cell", raw("cell").map(str::to_string));
+    arg("span", n("span").map(|v| v.to_string()));
+    arg("parent", n("parent").map(|v| v.to_string()));
+
+    Some(format!(
+        "{{\"name\":\"{label}\",\"cat\":\"dise\",\"ph\":\"X\",\
+         \"ts\":{start_us},\"dur\":{dur_us},\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{{args}}}}}"
+    ))
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut events = Vec::new();
+    for file in &opts.files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", file.display());
+            std::process::exit(1);
+        });
+        events.extend(text.lines().filter_map(trace_event));
+    }
+
+    let mut doc = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push('\n');
+        doc.push_str(e);
+    }
+    doc.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &doc).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!("wrote {} ({} spans)", path.display(), events.len());
+        }
+        None => {
+            std::io::stdout().write_all(doc.as_bytes()).expect("stdout");
+        }
+    }
+}

@@ -28,13 +28,19 @@ fn main() {
     let all = args.is_empty();
     let want = |p: &str| all || args.iter().any(|a| a == p);
     let sweep = Sweep::from_env();
+    // Root spans (inert without a DISE_OBS_SINK session): each panel is
+    // one top-level bar in an exported Perfetto trace, with its cells
+    // and phases nested underneath.
     if want("top") {
+        let _s = dise_obs::span::enter("figure", "fig6_top");
         print!("{}", fig6::top(&sweep));
     }
     if want("cache") {
+        let _s = dise_obs::span::enter("figure", "fig6_cache");
         print!("{}", fig6::cache(&sweep));
     }
     if want("width") {
+        let _s = dise_obs::span::enter("figure", "fig6_width");
         print!("{}", fig6::width(&sweep));
     }
     if let Some(path) = stats_out {

@@ -27,13 +27,18 @@ fn main() {
     let all = args.is_empty();
     let want = |p: &str| all || args.iter().any(|a| a == p);
     let sweep = Sweep::from_env();
+    // Root spans (inert without a DISE_OBS_SINK session): one top-level
+    // trace bar per panel, cells and phases nested underneath.
     if want("ratio") {
+        let _s = dise_obs::span::enter("figure", "fig7_ratio");
         print!("{}", fig7::ratio(&sweep));
     }
     if want("perf") {
+        let _s = dise_obs::span::enter("figure", "fig7_perf");
         print!("{}", fig7::perf(&sweep));
     }
     if want("rt") {
+        let _s = dise_obs::span::enter("figure", "fig7_rt");
         print!("{}", fig7::rt(&sweep));
     }
     if let Some(path) = stats_out {

@@ -29,10 +29,14 @@ fn main() {
     let all = args.is_empty();
     let want = |p: &str| all || args.iter().any(|a| a == p);
     let sweep = Sweep::from_env();
+    // Root spans (inert without a DISE_OBS_SINK session): one top-level
+    // trace bar per panel, cells and phases nested underneath.
     if want("cache") {
+        let _s = dise_obs::span::enter("figure", "fig8_cache");
         print!("{}", fig8::cache(&sweep));
     }
     if want("rt") {
+        let _s = dise_obs::span::enter("figure", "fig8_rt");
         print!("{}", fig8::rt(&sweep));
     }
     if let Some(path) = stats_out {

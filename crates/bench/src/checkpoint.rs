@@ -31,7 +31,10 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use dise_sim::{restore_simulator, save_simulator, SimError, SimResult, Simulator};
+use dise_sim::{
+    restore_machine, restore_simulator, save_machine, save_simulator, Machine, SimError, SimResult,
+    Simulator,
+};
 
 use crate::cache::fnv1a;
 
@@ -151,6 +154,59 @@ fn event(cell: &str, name: &str, text: Option<&str>, data: &[(&str, f64)]) {
     }
 }
 
+/// A builder for the slow-path shadow oracle of the current scenario,
+/// used to re-arm lockstep checking when an anomaly replay runs in a
+/// cell that was not already running with `--shadow`.
+pub type ShadowBuilder<'a> = &'a (dyn Fn() -> Machine + Sync);
+
+/// Event-ring capacity an anomaly replay arms: deep enough to show the
+/// pipeline context leading into the divergence without the genuinely
+/// huge rings `--trace-last` allows.
+pub const REPLAY_TRACE_LAST: usize = 256;
+
+/// What the last anomaly-triggered time-travel replay on this thread
+/// did. Retrieved with [`last_replay`] after [`run_sim`] returns
+/// [`SimError::Anomaly`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayInfo {
+    /// Dynamic instructions the replay executed: anomaly point minus the
+    /// restored slice boundary — the proof that only the last window was
+    /// re-run, not the whole cell.
+    pub window_insts: u64,
+    /// Instruction count at the restored boundary.
+    pub from_insts: u64,
+    /// Whether the replay reproduced an anomaly (the deterministic
+    /// simulator should always reproduce; `false` flags the interesting
+    /// failure where it did not).
+    pub reproduced: bool,
+    /// The replayed anomaly's headline, or why the replay ended
+    /// anomaly-free.
+    pub reason: String,
+}
+
+thread_local! {
+    static LAST_REPLAY: std::cell::RefCell<Option<ReplayInfo>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The outcome of the most recent anomaly replay on this thread, if the
+/// most recent [`run_sim`] call performed one. Cleared at the start of
+/// every sliced run, so a `Some` always describes the call that just
+/// returned.
+pub fn last_replay() -> Option<ReplayInfo> {
+    LAST_REPLAY.with(|r| r.borrow().clone())
+}
+
+/// An in-memory slice boundary: everything needed to time-travel back to
+/// it without touching disk. `machine_bytes` seeds the replay's shadow
+/// oracle (the shadow's own state when one was attached, otherwise the
+/// primary's architectural state for a freshly built shadow).
+struct Boundary {
+    insts: u64,
+    sim_bytes: Vec<u8>,
+    machine_bytes: Option<Vec<u8>>,
+}
+
 /// Runs `sim` for up to `fuel` dynamic instructions, exactly like
 /// `Simulator::run`, but sliced at the checkpoint period when
 /// checkpointing is armed: each slice boundary persists the simulator
@@ -169,8 +225,33 @@ fn event(cell: &str, name: &str, text: Option<&str>, data: &[(&str, f64)]) {
 /// logical run, so a resumed cell keeps the budget it would have had
 /// uninterrupted.
 pub fn run_sim(sim: &mut Simulator, fuel: u64) -> Result<SimResult, SimError> {
+    run_sim_replay(sim, fuel, None)
+}
+
+/// [`run_sim`] plus anomaly-triggered time-travel replay: when a sliced
+/// run dies with [`SimError::Anomaly`] (watchdog trip or shadow
+/// divergence) after at least one slice boundary, the last in-memory
+/// boundary snapshot is restored and *only the failing window* is re-run
+/// with the event ring and — when `shadow` provides a builder or the
+/// original run already carried one — the shadow oracle armed. The
+/// replayed run regenerates the anomaly as a deep report (`replay`
+/// flag, last-`K` pipeline events, both register files at the
+/// divergence), retrievable via `Simulator::anomaly`; the replay outcome
+/// is retrievable via [`last_replay`]. The original error is still
+/// returned.
+///
+/// # Errors
+///
+/// Exactly those of [`run_sim`]; the replay never changes the returned
+/// result.
+pub fn run_sim_replay(
+    sim: &mut Simulator,
+    fuel: u64,
+    shadow: Option<ShadowBuilder<'_>>,
+) -> Result<SimResult, SimError> {
     if let Some(every) = FORCE_SLICE.with(|s| s.get()) {
-        return run_sliced(sim, fuel, every, None, "");
+        let key = current_key().unwrap_or_default();
+        return run_sliced(sim, fuel, every, None, &key, shadow);
     }
     let Some(cfg) = active() else {
         return sim.run(fuel);
@@ -179,23 +260,53 @@ pub fn run_sim(sim: &mut Simulator, fuel: u64) -> Result<SimResult, SimError> {
         return sim.run(fuel);
     };
     let path = checkpoint_path(&cfg.dir, &key);
-    try_resume(sim, &path, &key);
-    run_sliced(sim, fuel, cfg.every, Some((&cfg.dir, &path)), &key)
+    resume_with_shadow(sim, &path, &key);
+    run_sliced(sim, fuel, cfg.every, Some((&cfg.dir, &path)), &key, shadow)
+}
+
+/// Resumes from a checkpoint while keeping an attached shadow oracle in
+/// lockstep: restoring the simulator drops the shadow (its machine would
+/// be left at program start, instantly "diverging"), so the shadow is
+/// detached first and — if a resume actually happened — synchronized to
+/// the resumed primary's architectural state before re-attaching.
+fn resume_with_shadow(sim: &mut Simulator, path: &Path, key: &str) {
+    let shadow = sim.take_shadow();
+    let resumed = try_resume(sim, path, key);
+    let Some(mut shadow) = shadow else {
+        return;
+    };
+    if resumed {
+        if let Err(e) = restore_machine(&mut shadow, &save_machine(sim.machine())) {
+            event(key, "shadow_resync_failed", Some(&e.to_string()), &[]);
+            return;
+        }
+    }
+    sim.attach_shadow(shadow);
 }
 
 /// The sliced run loop. `file` carries `(dir, path)` when slices persist
-/// to disk; `None` slices without I/O (the audit toggle).
+/// to disk; `None` slices without I/O (the audit toggle and the replay
+/// tests).
 fn run_sliced(
     sim: &mut Simulator,
     fuel: u64,
     every: u64,
     file: Option<(&Path, &Path)>,
     key: &str,
+    shadow: Option<ShadowBuilder<'_>>,
 ) -> Result<SimResult, SimError> {
+    LAST_REPLAY.with(|r| *r.borrow_mut() = None);
+    let mut boundary: Option<Boundary> = None;
+    let mut window = 0u64;
     loop {
         let consumed = sim.machine().inst_counts().0;
         let remaining = fuel.saturating_sub(consumed);
-        match sim.run(remaining.min(every)) {
+        let result = {
+            let _w = window_span(window);
+            sim.run(remaining.min(every))
+        };
+        window += 1;
+        match result {
             Ok(r) => {
                 if let Some((_, path)) = file {
                     let _ = std::fs::remove_file(path);
@@ -212,8 +323,26 @@ fn run_sliced(
                 if let Some((dir, path)) = file {
                     write_checkpoint(dir, path, key, sim);
                 }
+                // The in-memory boundary is what time-travel restores;
+                // keeping it beside the on-disk checkpoint makes replay
+                // work identically for diskless (forced-slice) runs.
+                let machine_bytes = if let Some(sh) = sim.shadow() {
+                    Some(save_machine(sh))
+                } else {
+                    shadow.map(|_| save_machine(sim.machine()))
+                };
+                boundary = Some(Boundary {
+                    insts: sim.machine().inst_counts().0,
+                    sim_bytes: save_simulator(sim),
+                    machine_bytes,
+                });
             }
             Err(e) => {
+                if matches!(e, SimError::Anomaly(_)) {
+                    if let Some(b) = &boundary {
+                        replay_from_boundary(sim, b, fuel, key, shadow);
+                    }
+                }
                 // Terminal failure: a checkpoint would resume straight
                 // back into the same error, so drop it.
                 if let Some((_, path)) = file {
@@ -223,6 +352,67 @@ fn run_sliced(
             }
         }
     }
+}
+
+/// Emits a per-slice `window` span when a tracing session is installed
+/// (inert — not even a format — otherwise).
+fn window_span(window: u64) -> Option<dise_obs::span::SpanGuard> {
+    dise_obs::span::active().then(|| dise_obs::span::enter("window", &format!("w{window}")))
+}
+
+/// Time-travel: restore the last slice boundary and re-run only the
+/// failing window with the event ring armed and — when possible — a
+/// shadow oracle in lockstep, regenerating the anomaly as a deep report.
+fn replay_from_boundary(
+    sim: &mut Simulator,
+    b: &Boundary,
+    fuel: u64,
+    key: &str,
+    builder: Option<ShadowBuilder<'_>>,
+) {
+    // The diverged shadow machine (when there is one) doubles as the
+    // restore target for the boundary shadow bytes: it was constructed
+    // for this exact scenario, so the fingerprints match by definition.
+    let taken = sim.take_shadow();
+    if let Err(e) = restore_simulator(sim, &b.sim_bytes) {
+        event(key, "replay_skipped", Some(&e.to_string()), &[]);
+        return;
+    }
+    if let Some(bytes) = &b.machine_bytes {
+        if let Some(mut shadow) = taken.or_else(|| builder.map(|f| f())) {
+            match restore_machine(&mut shadow, bytes) {
+                Ok(()) => sim.attach_shadow(shadow),
+                Err(e) => event(key, "replay_shadow_skipped", Some(&e.to_string()), &[]),
+            }
+        }
+    }
+    sim.arm_trace(REPLAY_TRACE_LAST);
+    sim.set_replay(true);
+    let _span = dise_obs::span::enter("replay", key);
+    let result = sim.run(fuel.saturating_sub(b.insts));
+    sim.set_replay(false);
+    let (reproduced, reason) = match result {
+        Err(SimError::Anomaly(reason)) => (true, reason),
+        Ok(_) => (false, "replay ran to completion without an anomaly".to_string()),
+        Err(e) => (false, format!("replay ended with a different error: {e}")),
+    };
+    let info = ReplayInfo {
+        window_insts: sim.machine().inst_counts().0.saturating_sub(b.insts),
+        from_insts: b.insts,
+        reproduced,
+        reason,
+    };
+    event(
+        key,
+        "replay",
+        Some(&info.reason),
+        &[
+            ("from_insts", info.from_insts as f64),
+            ("window_insts", info.window_insts as f64),
+            ("reproduced", if info.reproduced { 1.0 } else { 0.0 }),
+        ],
+    );
+    LAST_REPLAY.with(|r| *r.borrow_mut() = Some(info));
 }
 
 /// Atomically persists one checkpoint: key line, then the raw
@@ -252,27 +442,29 @@ fn write_checkpoint(dir: &Path, path: &Path, key: &str, sim: &Simulator) {
     }
 }
 
-/// Attempts to resume `sim` from the checkpoint at `path`. Failure is
-/// never fatal: a missing file is a cold start, and an unusable one
-/// (foreign key, stale version, fingerprint mismatch, torn write) is
-/// logged, deleted and ignored — the cell recomputes from scratch.
-fn try_resume(sim: &mut Simulator, path: &Path, key: &str) {
+/// Attempts to resume `sim` from the checkpoint at `path`, returning
+/// whether it did. Failure is never fatal: a missing file is a cold
+/// start, and an unusable one (foreign key, stale version, fingerprint
+/// mismatch, torn write) is logged, deleted and ignored — the cell
+/// recomputes from scratch.
+fn try_resume(sim: &mut Simulator, path: &Path, key: &str) -> bool {
     let Ok(content) = std::fs::read(path) else {
-        return;
+        return false;
     };
     let Some(split) = content.iter().position(|&b| b == b'\n') else {
         let _ = std::fs::remove_file(path);
-        return;
+        return false;
     };
     if &content[..split] != key.as_bytes() {
         // FNV collision with another cell's checkpoint: leave the file
         // (its owner may still want it) and start cold.
-        return;
+        return false;
     }
     match restore_simulator(sim, &content[split + 1..]) {
         Ok(()) => {
             let insts = sim.machine().inst_counts().0;
             event(key, "checkpoint_resume", None, &[("insts", insts as f64)]);
+            true
         }
         Err(e) => {
             eprintln!(
@@ -281,6 +473,7 @@ fn try_resume(sim: &mut Simulator, path: &Path, key: &str) {
             );
             event(key, "checkpoint_invalid", Some(&e.to_string()), &[]);
             let _ = std::fs::remove_file(path);
+            false
         }
     }
 }

@@ -379,6 +379,8 @@ impl Sweep {
     /// [`Sweep::stats_json`].
     pub fn run_cells(&self, cells: &[Cell]) -> Vec<Vec<f64>> {
         let outs = self.pool.run(cells, |_, cell| {
+            let _obs = dise_obs::cell_scope(cell.key());
+            let _span = dise_obs::span::enter("cell", cell.key());
             let _ckpt = checkpoint::key_scope(cell.key());
             let out = self.cache.get_or(cell.key(), || cell.compute());
             eprintln!("  [done] {}", cell.key());
@@ -438,8 +440,10 @@ fn audit_snapshot_neutrality(cell: &Cell, out: &CellOutput) {
 /// construction exactly (same program, engine productions, register
 /// init) but on the byte-accurate slow path, so the lockstep comparison
 /// cross-checks the fast-path and shared-frontend implementations
-/// against the unshared reference on every retired instruction.
-fn maybe_attach_shadow(sim: &mut Simulator, build: impl FnOnce() -> Machine) {
+/// against the unshared reference on every retired instruction. The same
+/// builder is handed to [`checkpoint::run_sim_replay`], which uses it to
+/// arm a shadow during anomaly replay even when `--shadow` is off.
+fn maybe_attach_shadow(sim: &mut Simulator, build: checkpoint::ShadowBuilder<'_>) {
     if telemetry().shadow {
         sim.attach_shadow(build());
     }
@@ -449,14 +453,15 @@ fn maybe_attach_shadow(sim: &mut Simulator, build: impl FnOnce() -> Machine) {
 pub fn run_baseline(program: &Program, config: SimConfig, fuel: u64) -> SimStats {
     let machine = {
         let _t = dise_obs::profile::scope("predecode");
+        let _s = dise_obs::span::enter("phase", "predecode");
         Machine::load(program)
     };
     let mut sim = Simulator::new(apply_telemetry(config), machine);
-    maybe_attach_shadow(&mut sim, || {
-        Machine::with_config(program, MachineConfig::default().slow_path())
-    });
+    let shadow = || Machine::with_config(program, MachineConfig::default().slow_path());
+    maybe_attach_shadow(&mut sim, &shadow);
     let _t = dise_obs::profile::scope("timing_run");
-    checkpoint::run_sim(&mut sim, fuel).expect("baseline run").stats
+    let _s = dise_obs::span::enter("phase", "timing_run");
+    checkpoint::run_sim_replay(&mut sim, fuel, Some(&shadow)).expect("baseline run").stats
 }
 
 /// Builds the MFI production set for `program` (error handler at its
@@ -478,10 +483,12 @@ pub fn run_dise_mfi(
 ) -> SimStats {
     let mut m = {
         let _t = dise_obs::profile::scope("predecode");
+        let _s = dise_obs::span::enter("phase", "predecode");
         Machine::load(program)
     };
     {
         let _t = dise_obs::profile::scope("engine_setup");
+        let _s = dise_obs::span::enter("phase", "engine_setup");
         m.attach_engine(
             DiseEngine::with_productions(
                 EngineConfig::default(),
@@ -492,7 +499,7 @@ pub fn run_dise_mfi(
         Mfi::init_machine(&mut m);
     }
     let mut sim = Simulator::new(apply_telemetry(config.with_expansion_cost(cost)), m);
-    maybe_attach_shadow(&mut sim, || {
+    let shadow = || {
         let mut s = Machine::with_config(program, MachineConfig::default().slow_path());
         s.attach_engine(
             DiseEngine::with_productions(
@@ -503,9 +510,11 @@ pub fn run_dise_mfi(
         );
         Mfi::init_machine(&mut s);
         s
-    });
+    };
+    maybe_attach_shadow(&mut sim, &shadow);
     let _t = dise_obs::profile::scope("timing_run");
-    checkpoint::run_sim(&mut sim, fuel).expect("DISE MFI run").stats
+    let _s = dise_obs::span::enter("phase", "timing_run");
+    checkpoint::run_sim_replay(&mut sim, fuel, Some(&shadow)).expect("DISE MFI run").stats
 }
 
 /// Runs a program under binary-rewriting memory fault isolation.
@@ -513,14 +522,15 @@ pub fn run_rewrite_mfi(program: &Program, config: SimConfig, fuel: u64) -> SimSt
     let rewritten = RewriteMfi::new().rewrite(program).expect("rewrite").program;
     let machine = {
         let _t = dise_obs::profile::scope("predecode");
+        let _s = dise_obs::span::enter("phase", "predecode");
         Machine::load(&rewritten)
     };
     let mut sim = Simulator::new(apply_telemetry(config), machine);
-    maybe_attach_shadow(&mut sim, || {
-        Machine::with_config(&rewritten, MachineConfig::default().slow_path())
-    });
+    let shadow = || Machine::with_config(&rewritten, MachineConfig::default().slow_path());
+    maybe_attach_shadow(&mut sim, &shadow);
     let _t = dise_obs::profile::scope("timing_run");
-    checkpoint::run_sim(&mut sim, fuel).expect("rewrite MFI run").stats
+    let _s = dise_obs::span::enter("phase", "timing_run");
+    checkpoint::run_sim_replay(&mut sim, fuel, Some(&shadow)).expect("rewrite MFI run").stats
 }
 
 /// Compresses a program under a Figure 7 configuration.
@@ -537,25 +547,29 @@ pub fn run_compressed(
 ) -> SimStats {
     let mut m = {
         let _t = dise_obs::profile::scope("predecode");
+        let _s = dise_obs::span::enter("phase", "predecode");
         Machine::load(&compressed.program)
     };
     {
         let _t = dise_obs::profile::scope("engine_setup");
+        let _s = dise_obs::span::enter("phase", "engine_setup");
         compressed
             .attach(&mut m, engine_config)
             .expect("attach decompressor");
     }
     let mut sim = Simulator::new(apply_telemetry(config), m);
-    maybe_attach_shadow(&mut sim, || {
+    let shadow = || {
         let mut s =
             Machine::with_config(&compressed.program, MachineConfig::default().slow_path());
         compressed
             .attach(&mut s, engine_config.slow_path())
             .expect("attach decompressor");
         s
-    });
+    };
+    maybe_attach_shadow(&mut sim, &shadow);
     let _t = dise_obs::profile::scope("timing_run");
-    checkpoint::run_sim(&mut sim, fuel).expect("compressed run").stats
+    let _s = dise_obs::span::enter("phase", "timing_run");
+    checkpoint::run_sim_replay(&mut sim, fuel, Some(&shadow)).expect("compressed run").stats
 }
 
 /// Runs the full DISE+DISE composition: a compressed program whose aware
@@ -593,23 +607,27 @@ pub fn run_composed_dise(
     };
     let mut m = {
         let _t = dise_obs::profile::scope("predecode");
+        let _s = dise_obs::span::enter("phase", "predecode");
         Machine::load(&compressed.program)
     };
     {
         let _t = dise_obs::profile::scope("engine_setup");
+        let _s = dise_obs::span::enter("phase", "engine_setup");
         m.attach_engine(build_engine(engine_config));
         Mfi::init_machine(&mut m);
     }
     let mut sim = Simulator::new(apply_telemetry(config), m);
-    maybe_attach_shadow(&mut sim, || {
+    let shadow = || {
         let mut s =
             Machine::with_config(&compressed.program, MachineConfig::default().slow_path());
         s.attach_engine(build_engine(engine_config.slow_path()));
         Mfi::init_machine(&mut s);
         s
-    });
+    };
+    maybe_attach_shadow(&mut sim, &shadow);
     let _t = dise_obs::profile::scope("timing_run");
-    checkpoint::run_sim(&mut sim, fuel).expect("composed run").stats
+    let _s = dise_obs::span::enter("phase", "timing_run");
+    checkpoint::run_sim_replay(&mut sim, fuel, Some(&shadow)).expect("composed run").stats
 }
 
 /// Formats one table row.

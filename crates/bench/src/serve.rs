@@ -39,25 +39,37 @@
 //! ```text
 //! queued <id>                      job admitted under id
 //! progress <id> <done>/<total>     heartbeat-paced progress while it runs
+//! progress <id> <d>/<t> wait=<w>ms run=<r>ms   timed final progress
 //! ok <id> <name> (<n> cells)       success final
 //! error: <id> <why>                failure final (reserved)
 //! error: <why>                     submission rejected (never admitted)
 //! busy: ...                        admission refused (queue full / draining)
 //! ok shutting down                 shutdown acknowledged
+//! {...}                            one-line JSON reply to a `stats` command
 //! ```
+//!
+//! ## Live introspection
+//!
+//! `stats` is a protocol command (not a job): the reader thread answers
+//! it immediately with one line of JSON assembled from [`ServeStats`] —
+//! uptime, queue depth and per-client backlogs, the running job and its
+//! progress, cumulative done/rejected counters, and per-tenant
+//! [`Log2Histogram`]s of cell wall time, queue wait and heartbeat gap.
+//! Answering never touches the scheduler: everything is read from
+//! atomics and short-lived mutexes the hot path only brushes.
 //!
 //! Responses for one client are multiplexed on its own connection only,
 //! so concurrent clients see disjoint, correctly-demultiplexed streams.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dise_acf::mfi::MfiVariant;
 use dise_obs::Session;
-use dise_sim::{ExpansionCost, SimConfig};
+use dise_sim::{ExpansionCost, Log2Histogram, SimConfig};
 use dise_workloads::Benchmark;
 
 use crate::figures::{baseline_cell, dise_mfi_cell, rewrite_mfi_cell};
@@ -216,6 +228,13 @@ pub fn progress_line(id: u64, done: u64, total: u64) -> String {
     format!("progress {id} {done}/{total}")
 }
 
+/// Formats the timed final progress line the scheduler sends just before
+/// `ok`: how long the job waited in the queue and how long it ran. The
+/// submit client surfaces the split in its per-job summary.
+pub fn progress_line_timed(id: u64, done: u64, total: u64, wait_ms: u64, run_ms: u64) -> String {
+    format!("progress {id} {done}/{total} wait={wait_ms}ms run={run_ms}ms")
+}
+
 /// Formats the `ok <id> <name> (<n> cells)` success final.
 pub fn job_ok_line(id: u64, name: &str, cells: usize) -> String {
     format!("ok {id} {name} ({cells} cells)")
@@ -264,7 +283,8 @@ pub enum ServerLine {
         /// The daemon-assigned job id.
         id: u64,
     },
-    /// `progress <id> <done>/<total>` — heartbeat-paced progress.
+    /// `progress <id> <done>/<total>` — heartbeat-paced progress, with
+    /// the queue-wait/run-time split on the scheduler's timed final.
     Progress {
         /// The job this progress belongs to.
         id: u64,
@@ -272,6 +292,10 @@ pub enum ServerLine {
         done: u64,
         /// Cells in the job.
         total: u64,
+        /// Milliseconds the job waited in the queue (timed final only).
+        wait_ms: Option<u64>,
+        /// Milliseconds the job spent running (timed final only).
+        run_ms: Option<u64>,
     },
     /// `ok <id> ...` — the job completed successfully.
     JobOk {
@@ -302,6 +326,8 @@ pub enum ServerLine {
     },
     /// `ok shutting down` — the daemon acknowledged `shutdown`.
     ShutdownAck,
+    /// A one-line JSON object — the reply to a `stats` command.
+    Stats,
     /// Anything else (unknown/extension lines; clients ignore these).
     Other,
 }
@@ -312,6 +338,9 @@ impl ServerLine {
         let line = line.trim();
         if line == SHUTDOWN_ACK {
             return ServerLine::ShutdownAck;
+        }
+        if line.starts_with('{') {
+            return ServerLine::Stats;
         }
         let mut words = line.split_whitespace();
         let head = words.next();
@@ -327,8 +356,19 @@ impl ServerLine {
                     let (d, t) = w.split_once('/')?;
                     Some((d.parse::<u64>().ok()?, t.parse::<u64>().ok()?))
                 });
+                let timed = |prefix| {
+                    words.clone().find_map(|w: &str| {
+                        w.strip_prefix(prefix)?.strip_suffix("ms")?.parse::<u64>().ok()
+                    })
+                };
                 match (job, frac) {
-                    (Some(id), Some((done, total))) => ServerLine::Progress { id, done, total },
+                    (Some(id), Some((done, total))) => ServerLine::Progress {
+                        id,
+                        done,
+                        total,
+                        wait_ms: timed("wait="),
+                        run_ms: timed("run="),
+                    },
                     _ => ServerLine::Other,
                 }
             }
@@ -435,6 +475,13 @@ impl<T> JobQueue<T> {
     /// Jobs currently admitted (queued + running).
     pub fn admitted(&self) -> usize {
         self.inner.lock().expect("job queue lock").admitted
+    }
+
+    /// Per-client queued-job counts (clients with a non-empty backlog
+    /// only), client-id-sorted — the `stats` command's backlog view.
+    pub fn backlog_depths(&self) -> Vec<(u64, usize)> {
+        let q = self.inner.lock().expect("job queue lock");
+        q.per_client.iter().map(|(&client, jobs)| (client, jobs.len())).collect()
     }
 
     /// Admits a job for `client`, assigning its id, or rejects it
@@ -589,6 +636,190 @@ impl JobJournal {
 }
 
 // ---------------------------------------------------------------------
+// Live introspection
+
+/// The job the scheduler is currently running, as the `stats` command
+/// reports it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunningJob {
+    /// Daemon-assigned job id.
+    pub id: u64,
+    /// The submitting client's id.
+    pub client: u64,
+    /// The job line as submitted.
+    pub name: String,
+    /// Cells completed so far.
+    pub done: u64,
+    /// Cells in the job.
+    pub total: u64,
+}
+
+/// One client's latency profile, aggregated over every job it has run:
+/// log2-bucket histograms cheap enough to update on the hot path and
+/// compact enough to ship whole in a one-line `stats` reply.
+#[derive(Debug, Default)]
+pub struct TenantStats {
+    /// Jobs completed for this client.
+    pub jobs: u64,
+    /// Wall-clock milliseconds per cell (cache hits included — they are
+    /// the sub-millisecond spike in bucket 0).
+    pub cell_wall_ms: Log2Histogram,
+    /// Milliseconds each job waited between admission and dispatch.
+    pub queue_wait_ms: Log2Histogram,
+    /// Milliseconds between consecutive heartbeat ticks while this
+    /// client's jobs ran — the proof that introspection (or anything
+    /// else) is not delaying the heartbeat cadence.
+    pub heartbeat_gap_ms: Log2Histogram,
+}
+
+impl TenantStats {
+    fn json(&self) -> String {
+        format!(
+            "{{\"jobs\":{},\"cell_wall_ms\":{},\"queue_wait_ms\":{},\"heartbeat_gap_ms\":{}}}",
+            self.jobs,
+            self.cell_wall_ms.to_json_compact(),
+            self.queue_wait_ms.to_json_compact(),
+            self.heartbeat_gap_ms.to_json_compact(),
+        )
+    }
+}
+
+/// The daemon's live introspection state, behind the `stats` protocol
+/// command. Writers are the scheduler, the heartbeat thread and the pool
+/// workers — all through atomics or short-lived mutexes — so reading a
+/// snapshot never perturbs scheduling, and answering `stats` happens on
+/// the asking client's reader thread, not the scheduler.
+#[derive(Debug)]
+pub struct ServeStats {
+    start: Instant,
+    jobs_done: AtomicU64,
+    cells_done: AtomicU64,
+    rejected: AtomicU64,
+    running: Mutex<Option<RunningJob>>,
+    tenants: Mutex<BTreeMap<u64, TenantStats>>,
+}
+
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats::new()
+    }
+}
+
+impl ServeStats {
+    /// Fresh state; the uptime clock starts here.
+    pub fn new() -> ServeStats {
+        ServeStats {
+            start: Instant::now(),
+            jobs_done: AtomicU64::new(0),
+            cells_done: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            running: Mutex::new(None),
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The scheduler popped a job: record its queue wait and publish it
+    /// as the running job.
+    pub fn job_started(&self, id: u64, client: u64, name: &str, total: u64, queue_wait_ms: u64) {
+        self.with_tenant(client, |t| t.queue_wait_ms.record(queue_wait_ms));
+        *self.running.lock().expect("serve stats running") = Some(RunningJob {
+            id,
+            client,
+            name: name.to_string(),
+            done: 0,
+            total,
+        });
+    }
+
+    /// Heartbeat-paced progress of the running job.
+    pub fn progress(&self, done: u64) {
+        if let Some(r) = self.running.lock().expect("serve stats running").as_mut() {
+            r.done = done;
+        }
+    }
+
+    /// The running job finished: clear it and bump the client's totals.
+    pub fn job_finished(&self, client: u64) {
+        *self.running.lock().expect("serve stats running") = None;
+        self.jobs_done.fetch_add(1, Ordering::Relaxed);
+        self.with_tenant(client, |t| t.jobs += 1);
+    }
+
+    /// One cell of `client`'s job completed in `wall_ms`.
+    pub fn cell_done(&self, client: u64, wall_ms: u64) {
+        self.cells_done.fetch_add(1, Ordering::Relaxed);
+        self.with_tenant(client, |t| t.cell_wall_ms.record(wall_ms));
+    }
+
+    /// The observed gap between two heartbeat ticks of `client`'s job.
+    pub fn heartbeat_gap(&self, client: u64, gap_ms: u64) {
+        self.with_tenant(client, |t| t.heartbeat_gap_ms.record(gap_ms));
+    }
+
+    /// A submission was refused (queue full or draining).
+    pub fn rejection(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_done(&self) -> u64 {
+        self.jobs_done.load(Ordering::Relaxed)
+    }
+
+    fn with_tenant(&self, client: u64, f: impl FnOnce(&mut TenantStats)) {
+        let mut tenants = self.tenants.lock().expect("serve stats tenants");
+        f(tenants.entry(client).or_default());
+    }
+
+    /// The one-line JSON `stats` reply: uptime, admission state,
+    /// cumulative counters, the running job, per-client backlogs (from
+    /// [`JobQueue::backlog_depths`]) and per-tenant latency histograms.
+    /// Always a single line starting with `{`, so [`ServerLine::parse`]
+    /// classifies it as [`ServerLine::Stats`].
+    pub fn stats_line(&self, admitted: usize, bound: usize, backlogs: &[(u64, usize)]) -> String {
+        let mut rec = dise_obs::Record::new()
+            .str("kind", "stats")
+            .u64("uptime_ms", self.start.elapsed().as_millis() as u64)
+            .u64("admitted", admitted as u64)
+            .u64("bound", bound as u64)
+            .u64("jobs_done", self.jobs_done.load(Ordering::Relaxed))
+            .u64("cells_done", self.cells_done.load(Ordering::Relaxed))
+            .u64("rejected", self.rejected.load(Ordering::Relaxed));
+        let running = match self.running.lock().expect("serve stats running").as_ref() {
+            Some(r) => dise_obs::Record::new()
+                .u64("id", r.id)
+                .u64("client", r.client)
+                .str("name", &r.name)
+                .u64("done", r.done)
+                .u64("total", r.total)
+                .finish(),
+            None => "null".to_string(),
+        };
+        rec = rec.raw("running", &running);
+        let mut depths = String::from("{");
+        for (i, (client, depth)) in backlogs.iter().enumerate() {
+            if i > 0 {
+                depths.push(',');
+            }
+            depths.push_str(&format!("\"{client}\":{depth}"));
+        }
+        depths.push('}');
+        rec = rec.raw("backlogs", &depths);
+        let tenants = self.tenants.lock().expect("serve stats tenants");
+        let mut t = String::from("{");
+        for (i, (client, stats)) in tenants.iter().enumerate() {
+            if i > 0 {
+                t.push(',');
+            }
+            t.push_str(&format!("\"{client}\":{}", stats.json()));
+        }
+        t.push('}');
+        drop(tenants);
+        rec.raw("tenants", &t).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
 // Job execution
 
 /// Observer wiring pool scheduling into the session: `cell_start` /
@@ -641,7 +872,7 @@ pub fn run_job(
     heartbeat_ms: u64,
     stats_log: &StatsLog,
 ) -> Vec<Vec<f64>> {
-    run_job_tagged(sweep, session, job, heartbeat_ms, stats_log, None, &|_, _| {})
+    run_job_tagged(sweep, session, job, heartbeat_ms, stats_log, None, &|_, _| {}, None)
 }
 
 /// [`run_job`] as the daemon's scheduler invokes it: every record the
@@ -655,6 +886,17 @@ pub fn run_job(
 /// done/total counts. The heartbeat thread parks on a `Condvar` rather
 /// than sleeping, so job completion interrupts it immediately — a long
 /// `--heartbeat-ms` never stalls the final response by up to a period.
+///
+/// Tracing: the whole job runs under a `job` span; each cell runs under
+/// a `cell` span explicitly parented to it (cells execute on pool worker
+/// threads, so the thread-local stack cannot see the job span), with the
+/// run helpers' `phase` and `window` spans nesting below. All of it is
+/// inert without an installed session.
+///
+/// Introspection: with `introspect = Some((stats, client))` the job
+/// feeds the daemon's [`ServeStats`] — per-cell wall time, heartbeat
+/// gaps, and running-job progress.
+#[allow(clippy::too_many_arguments)]
 pub fn run_job_tagged(
     sweep: &Sweep,
     session: &Arc<Session>,
@@ -663,8 +905,12 @@ pub fn run_job_tagged(
     stats_log: &StatsLog,
     id: Option<u64>,
     progress: &(dyn Fn(u64, u64) + Sync),
+    introspect: Option<(&ServeStats, u64)>,
 ) -> Vec<Vec<f64>> {
     let total = job.cells.len();
+    let _job_tag = id.map(dise_obs::job_scope);
+    let job_span = dise_obs::span::enter("job", &job.name);
+    let job_span_id = job_span.id();
     session.event_tagged(
         id,
         "-",
@@ -687,35 +933,51 @@ pub fn run_job_tagged(
     let stop = (Mutex::new(false), Condvar::new());
 
     let outs = std::thread::scope(|s| {
-        let heartbeat = s.spawn(|| loop {
-            let d = done.load(Ordering::SeqCst) as u64;
-            session.event_tagged(
-                id,
-                "-",
-                "heartbeat",
-                Some(&job.name),
-                &[("done", d as f64), ("total", total as f64)],
-            );
-            progress(d, total as u64);
-            let (lock, cvar) = &stop;
-            let stopped = lock.lock().expect("heartbeat stop lock");
-            if *stopped {
-                break;
-            }
-            let (stopped, _timeout) = cvar
-                .wait_timeout(stopped, Duration::from_millis(heartbeat_ms))
-                .expect("heartbeat stop lock");
-            if *stopped {
-                break;
+        let heartbeat = s.spawn(|| {
+            let mut last_tick = Instant::now();
+            loop {
+                let d = done.load(Ordering::SeqCst) as u64;
+                session.event_tagged(
+                    id,
+                    "-",
+                    "heartbeat",
+                    Some(&job.name),
+                    &[("done", d as f64), ("total", total as f64)],
+                );
+                progress(d, total as u64);
+                if let Some((stats, client)) = introspect {
+                    let now = Instant::now();
+                    stats.heartbeat_gap(client, now.duration_since(last_tick).as_millis() as u64);
+                    last_tick = now;
+                    stats.progress(d);
+                }
+                let (lock, cvar) = &stop;
+                let stopped = lock.lock().expect("heartbeat stop lock");
+                if *stopped {
+                    break;
+                }
+                let (stopped, _timeout) = cvar
+                    .wait_timeout(stopped, Duration::from_millis(heartbeat_ms))
+                    .expect("heartbeat stop lock");
+                if *stopped {
+                    break;
+                }
             }
         });
 
         let outs = sweep.pool.run_observed(&job.cells, &observer, |_, cell| {
             // Tag everything raised while this cell runs — anomaly reports
-            // most importantly — with the cell's content-address key.
+            // most importantly — with the cell's content-address key and
+            // the job id (worker threads need their own tag guard).
+            let _tag = id.map(dise_obs::job_scope);
             let _scope = dise_obs::cell_scope(cell.key());
+            let _span = dise_obs::span::enter_under(job_span_id, "cell", cell.key());
             let _ckpt = crate::checkpoint::key_scope(cell.key());
+            let started = Instant::now();
             let out = sweep.cache.get_or(cell.key(), || cell.compute());
+            if let Some((stats, client)) = introspect {
+                stats.cell_done(client, started.elapsed().as_millis() as u64);
+            }
             if !out.stats.is_empty() {
                 session.metrics_tagged(id, cell.key(), &out.stats);
             }
@@ -804,7 +1066,11 @@ mod tests {
         assert_eq!(ServerLine::parse(&queued_line(3)), ServerLine::Queued { id: 3 });
         assert_eq!(
             ServerLine::parse(&progress_line(3, 2, 6)),
-            ServerLine::Progress { id: 3, done: 2, total: 6 }
+            ServerLine::Progress { id: 3, done: 2, total: 6, wait_ms: None, run_ms: None }
+        );
+        assert_eq!(
+            ServerLine::parse(&progress_line_timed(3, 6, 6, 12, 340)),
+            ServerLine::Progress { id: 3, done: 6, total: 6, wait_ms: Some(12), run_ms: Some(340) }
         );
         assert_eq!(
             ServerLine::parse(&job_ok_line(3, "fig6_top gzip", 6)),
@@ -823,6 +1089,51 @@ mod tests {
         assert_eq!(ServerLine::parse(SHUTDOWN_ACK), ServerLine::ShutdownAck);
         assert_eq!(ServerLine::parse("hello world"), ServerLine::Other);
         assert_eq!(ServerLine::parse("queued lots"), ServerLine::Other);
+    }
+
+    #[test]
+    fn stats_replies_parse_as_stats_and_carry_the_fleet_shape() {
+        let stats = ServeStats::new();
+        stats.rejection();
+        stats.job_started(7, 2, "mfi gzip", 6, 12);
+        stats.progress(3);
+        stats.cell_done(2, 40);
+        stats.heartbeat_gap(2, 250);
+        let line = stats.stats_line(1, 4, &[(2, 1), (5, 3)]);
+        assert_eq!(ServerLine::parse(&line), ServerLine::Stats);
+        assert!(!line.contains('\n'), "stats reply must be one line: {line}");
+        for needle in [
+            "\"kind\":\"stats\"",
+            "\"admitted\":1",
+            "\"bound\":4",
+            "\"jobs_done\":0",
+            "\"cells_done\":1",
+            "\"rejected\":1",
+            "\"running\":{\"id\":7,\"client\":2,\"name\":\"mfi gzip\",\"done\":3,\"total\":6}",
+            "\"backlogs\":{\"2\":1,\"5\":3}",
+            "\"queue_wait_ms\":{\"count\":1,\"sum\":12",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+
+        stats.job_finished(2);
+        let line = stats.stats_line(0, 4, &[]);
+        assert!(line.contains("\"running\":null"), "{line}");
+        assert!(line.contains("\"jobs_done\":1"), "{line}");
+        assert_eq!(stats.jobs_done(), 1);
+    }
+
+    #[test]
+    fn backlog_depths_report_per_client_queues_in_client_order() {
+        let queue: JobQueue<u64> = JobQueue::new(8);
+        queue.submit(9, 100).unwrap();
+        queue.submit(4, 101).unwrap();
+        queue.submit(9, 102).unwrap();
+        assert_eq!(queue.backlog_depths(), vec![(4, 1), (9, 2)]);
+        let first = queue.next().unwrap();
+        queue.finish();
+        let after: usize = queue.backlog_depths().iter().map(|&(_, n)| n).sum();
+        assert_eq!(after, 2, "popping one job ({first:?}) leaves two queued");
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Anomaly-triggered time-travel replay: when a sliced run dies on a
+//! watchdog trip or shadow divergence, `checkpoint::run_sim_replay`
+//! restores the last slice boundary and re-runs *only the failing
+//! window* with the event ring and a shadow oracle armed, regenerating
+//! the anomaly as a deep report (replay flag, pinpointed PC, both
+//! register files).
+//!
+//! Both tests use forced slicing, so they exercise the exact replay
+//! machinery of checkpointed runs without touching disk.
+
+use dise_bench::checkpoint::{last_replay, run_sim_replay, with_forced_slice};
+use dise_isa::{Assembler, Program, Reg};
+use dise_sim::{Machine, MachineConfig, SimConfig, SimError, Simulator};
+
+fn asm(listing: &str) -> Program {
+    Assembler::new(Program::segment_base(Program::TEXT_SEGMENT))
+        .assemble(listing)
+        .unwrap()
+}
+
+/// A benign counted delay followed by a store/load loop: the shadow's
+/// different `r2` stays invisible (no step reports it) until the first
+/// `stq` at `loop`, so divergence lands well past several forced-slice
+/// boundaries.
+fn late_store_program() -> Program {
+    asm(
+        "       lda r9, 600(r31)
+         delay: subq r9, #1, r9
+                bne r9, delay
+         loop:  stq r20, 0(r2)
+                ldq r3, 0(r2)
+                addq r3, r3, r4
+                subq r20, #1, r20
+                bne r20, loop
+                halt",
+    )
+}
+
+#[test]
+fn shadow_divergence_replays_only_the_last_window_and_pinpoints_the_pc() {
+    let p = late_store_program();
+    let data = Program::segment_base(Program::DATA_SEGMENT);
+    let mut m = Machine::load(&p);
+    m.set_reg(Reg::R2, data);
+    m.set_reg(Reg::r(20), 50);
+    let mut sim = Simulator::new(SimConfig::default(), m);
+    let mut shadow = Machine::load(&p);
+    shadow.set_reg(Reg::R2, data + 64);
+    shadow.set_reg(Reg::r(20), 50);
+    sim.attach_shadow(shadow);
+
+    let err = with_forced_slice(256, || run_sim_replay(&mut sim, 10_000_000, None)).unwrap_err();
+    assert!(matches!(&err, SimError::Anomaly(r) if r.contains("divergence")), "{err:?}");
+
+    let info = last_replay().expect("an anomaly past the first boundary must trigger a replay");
+    assert!(info.reproduced, "deterministic replay must re-trip: {info:?}");
+    assert!(info.reason.contains("divergence"), "{info:?}");
+    assert!(info.from_insts >= 256, "divergence lands past a boundary: {info:?}");
+    assert!(
+        info.window_insts > 0 && info.window_insts < info.from_insts,
+        "only the last window is re-executed, not the whole cell: {info:?}"
+    );
+
+    // The deep report: flagged as replay, anchored at the diverging
+    // store, with both register files showing the injected skew.
+    let report = sim.anomaly().expect("replay regenerates the report");
+    assert!(report.replay, "report must be marked as coming from the replay");
+    assert_eq!(
+        report.pc,
+        p.symbol("loop").expect("loop label"),
+        "the report pinpoints the diverging instruction"
+    );
+    assert!(!report.events.is_empty(), "replay arms the event ring");
+    assert_eq!(report.regs[2], data);
+    let shadow_regs = report.shadow_regs.as_ref().expect("shadow file captured");
+    assert_eq!(shadow_regs[2], data + 64);
+}
+
+#[test]
+fn watchdog_trip_replays_with_a_freshly_built_shadow() {
+    // Perfect I-cache keeps redirect gaps near the frontend depth; the
+    // one cold `ldq` after the delay loop stalls commit for a full
+    // memory latency, so a threshold between the two trips the watchdog
+    // deterministically — and deterministically late, past several
+    // forced-slice boundaries.
+    let p = asm(
+        "       lda r9, 600(r31)
+         delay: subq r9, #1, r9
+                bne r9, delay
+         miss:  ldq r3, 0(r2)
+                addq r3, #1, r3
+                halt",
+    );
+    let data = Program::segment_base(Program::DATA_SEGMENT);
+    let mut m = Machine::load(&p);
+    m.set_reg(Reg::R2, data);
+    let config = SimConfig::default().with_watchdog(50).with_icache_size(None);
+    let mut sim = Simulator::new(config, m);
+
+    // No shadow on the original run: the replay builds one from this
+    // builder and syncs it to the boundary's primary state.
+    let build = || {
+        let mut s = Machine::with_config(&p, MachineConfig::default().slow_path());
+        s.set_reg(Reg::R2, data);
+        s
+    };
+    let err =
+        with_forced_slice(256, || run_sim_replay(&mut sim, 10_000_000, Some(&build))).unwrap_err();
+    assert!(matches!(&err, SimError::Anomaly(r) if r.contains("watchdog")), "{err:?}");
+
+    let info = last_replay().expect("watchdog trip past a boundary must trigger a replay");
+    assert!(info.reproduced, "{info:?}");
+    assert!(info.reason.contains("watchdog"), "{info:?}");
+    assert!(
+        info.window_insts > 0 && info.window_insts < info.from_insts,
+        "only the last window is re-executed: {info:?}"
+    );
+
+    let report = sim.anomaly().expect("replay regenerates the report");
+    assert!(report.replay);
+    assert!(report.reason.contains("watchdog"), "{}", report.reason);
+    assert!(!report.events.is_empty(), "replay arms the event ring");
+    // The replay armed a lockstep shadow that never diverged: its
+    // register file is present and identical to the primary's.
+    let shadow_regs = report.shadow_regs.as_ref().expect("replay arms a shadow");
+    assert_eq!(shadow_regs, &report.regs);
+}
+
+#[test]
+fn clean_sliced_runs_leave_no_replay_trace() {
+    let p = asm(
+        "       lda r1, 800(r31)
+         loop:  subq r1, #1, r1
+                bne r1, loop
+                halt",
+    );
+    let mut sim = Simulator::new(SimConfig::default(), Machine::load(&p));
+    with_forced_slice(128, || run_sim_replay(&mut sim, 10_000_000, None)).unwrap();
+    assert_eq!(last_replay(), None);
+}

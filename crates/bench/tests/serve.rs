@@ -68,16 +68,29 @@ fn obs_lines(dir: &Path) -> Vec<String> {
     lines
 }
 
-/// Strips the per-run fields (`"run"` id) so two runs' records can be
-/// compared byte-for-byte.
+/// Strips the per-run fields so two runs' records can be compared
+/// byte-for-byte: the `"run"` id, and the `"seq"` stream position —
+/// heartbeats (and span drops) from concurrent threads shift the shared
+/// sequence counter by wall-clock-dependent amounts.
 fn strip_run_id(line: &str) -> String {
-    match (line.find("\"run\":\""), line) {
+    let line = match (line.find("\"run\":\""), line) {
         (Some(start), l) => {
             let rest = &l[start + 8..];
             let end = rest.find('"').expect("run id closes") + start + 8;
             format!("{}{}", &l[..start + 8], &l[end..])
         }
         (None, l) => l.to_string(),
+    };
+    match line.find("\"seq\":") {
+        Some(start) => {
+            let rest = &line[start + 6..];
+            let end = rest
+                .find([',', '}'])
+                .map(|e| start + 6 + e)
+                .expect("seq value closes");
+            format!("{}{}", &line[..start + 6], &line[end..])
+        }
+        None => line,
     }
 }
 
@@ -489,10 +502,12 @@ fn concurrent_clients_get_demultiplexed_streams_and_serial_identical_stats() {
             "{name}: {stdout}"
         );
         assert!(!stdout.contains(other), "{name} saw {other}: {stdout}");
-        // Every line carries the client's own job id as its second
-        // token (`queued <id>` / `progress <id> d/t` / `ok <id> ...`).
+        // Every protocol line carries the client's own job id as its
+        // second token (`queued <id>` / `progress <id> d/t` /
+        // `ok <id> ...`); `#`-prefixed lines are client-side summaries.
         let ids: Vec<&str> = stdout
             .lines()
+            .filter(|l| !l.starts_with('#'))
             .filter_map(|l| l.split_whitespace().nth(1))
             .collect();
         assert!(!ids.is_empty());
@@ -577,6 +592,92 @@ fn a_disconnecting_client_does_not_kill_the_daemon_or_its_job() {
     let served = std::fs::read_to_string(&stats_path).unwrap();
     assert!(served.contains("gzip"), "orphaned job's cells missing: {served}");
     assert!(served.contains("gcc"), "second client's cell missing: {served}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_answers_during_a_running_job_without_delaying_it() {
+    let dir = tmpdir("stats");
+    let sock = dir.join("serve.sock");
+    let child = daemon(&sock, &dir.join("obs"), None, None);
+    await_socket(&sock);
+
+    // Client A submits a six-cell job and keeps its stream open.
+    let a = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+    let mut a_writer = a.try_clone().unwrap();
+    a_writer.write_all(b"fig6_top gzip\n").unwrap();
+    let mut a_lines = BufReader::new(a).lines();
+    // The `queued` ack (reader thread) and the first `progress`
+    // (scheduler) race onto the connection; the first progress line
+    // proves the scheduler picked the job up — from here until the
+    // final it is the running job.
+    loop {
+        let line = a_lines.next().unwrap().unwrap();
+        assert!(
+            line.starts_with("queued ") || line.starts_with("progress "),
+            "{line:?}"
+        );
+        if line.starts_with("progress ") {
+            break;
+        }
+    }
+
+    // While the job runs, client B asks for `stats` and must get the
+    // one-line JSON snapshot promptly — the command is answered on B's
+    // reader thread, never queued behind the scheduler.
+    let b = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut b_writer = b.try_clone().unwrap();
+    b_writer.write_all(b"stats\n").unwrap();
+    let mut snapshot = String::new();
+    BufReader::new(b).read_line(&mut snapshot).unwrap();
+    assert!(snapshot.starts_with('{'), "stats reply: {snapshot:?}");
+    for needle in [
+        "\"kind\":\"stats\"",
+        "\"admitted\":1",
+        "\"running\":{",
+        "fig6_top gzip",
+        "\"tenants\":{",
+    ] {
+        assert!(snapshot.contains(needle), "missing {needle} in {snapshot}");
+    }
+
+    // Client A's stream is undisturbed: progress keeps flowing, the
+    // final timed progress splits the latency, and the ok closes it.
+    let mut timed = None;
+    let mut ok = None;
+    for line in a_lines.by_ref() {
+        let line = line.unwrap();
+        if line.contains("wait=") {
+            timed = Some(line.clone());
+        }
+        if line.starts_with("ok ") {
+            ok = Some(line);
+            break;
+        }
+    }
+    let timed = timed.expect("a timed final progress line before the ok");
+    assert!(
+        timed.contains("6/6") && timed.contains("wait=") && timed.contains("run="),
+        "{timed}"
+    );
+    assert!(ok.unwrap().contains("fig6_top gzip"), "job must finish");
+
+    // The submit client surfaces the split as a summary comment, and a
+    // `stats` probe sent through it prints the snapshot.
+    let client = submit(&sock, &["baseline gcc", "stats", "shutdown"]);
+    assert!(
+        client.status.success(),
+        "client: {}",
+        String::from_utf8_lossy(&client.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&client.stdout);
+    assert!(stdout.contains("\"kind\":\"stats\""), "{stdout}");
+    assert!(
+        stdout.contains("queue-wait") && stdout.contains("ms, run "),
+        "summary missing: {stdout}"
+    );
+    drain_daemon(child);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -17,6 +17,11 @@
 //!   `metrics` (delta-encoded stats-registry snapshots), `event`
 //!   (harness/pipeline happenings: heartbeats, cell completions), and
 //!   `anomaly` (full simulator anomaly reports).
+//! * **Spans** ([`span`]) — hierarchical wall-clock intervals
+//!   (job → cell → phase → sim-window) emitted as `span` records with
+//!   parent ids; the `dise_trace_export` tool converts a stream of them
+//!   into Chrome/Perfetto trace-event JSON ([`scan`] holds the tolerant
+//!   line scanner it is built on).
 //! * **Profiling** ([`profile`]) — process-wide wall-clock phase
 //!   counters (`profile.*`) fed by scope timers, exported as metrics.
 //!
@@ -28,7 +33,9 @@
 
 pub mod profile;
 mod record;
+pub mod scan;
 mod sink;
+pub mod span;
 
 pub use record::{escape_into, Record};
 pub use sink::{
@@ -207,6 +214,41 @@ impl Session {
         (seq, shipped)
     }
 
+    /// Emits a `span` record: one completed wall-clock interval of the
+    /// job → cell → phase → sim-window hierarchy. `span` is the
+    /// process-unique span id, `parent` the enclosing span (if any),
+    /// `tid` a small stable per-thread number, and `start_us`/`dur_us`
+    /// microseconds relative to the process span epoch (see
+    /// [`span::enter`], which is how these records are normally
+    /// produced). Returns the sequence number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        job: Option<u64>,
+        cell: &str,
+        name: &str,
+        detail: Option<&str>,
+        span: u64,
+        parent: Option<u64>,
+        tid: u64,
+        start_us: u64,
+        dur_us: u64,
+    ) -> u64 {
+        let _order = self.emit_lock.lock().expect("emit lock");
+        let (mut rec, seq) = self.record_tagged("span", cell, job);
+        rec = rec.str("name", name);
+        if let Some(detail) = detail {
+            rec = rec.str("detail", detail);
+        }
+        rec = rec.u64("span", span);
+        if let Some(parent) = parent {
+            rec = rec.u64("parent", parent);
+        }
+        rec = rec.u64("tid", tid).u64("start_us", start_us).u64("dur_us", dur_us);
+        self.sink.emit(&rec.finish());
+        seq
+    }
+
     /// Emits an `anomaly` record wrapping a pre-encoded report payload
     /// (a single-line JSON object — see
     /// `dise_sim::AnomalyReport::json_payload`). Returns the sequence
@@ -271,6 +313,38 @@ impl Drop for CellScope {
     fn drop(&mut self) {
         let prev = self.prev.take();
         CELL_CONTEXT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+thread_local! {
+    static JOB_CONTEXT: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// Tags spans entered from this thread (see [`span::enter`]) with the
+/// service job `id` until the returned guard drops; guards nest,
+/// restoring the previous context. The daemon scheduler and its pool
+/// workers set this around each queued job so a multi-tenant trace
+/// demultiplexes by job.
+pub fn job_scope(id: u64) -> JobScope {
+    let prev = JOB_CONTEXT.with(|c| c.replace(Some(id)));
+    JobScope { prev }
+}
+
+/// The current thread's job context, if any.
+pub fn job_context() -> Option<u64> {
+    JOB_CONTEXT.with(|c| c.get())
+}
+
+/// RAII guard restoring the previous job context (see [`job_scope`]).
+#[derive(Debug)]
+pub struct JobScope {
+    prev: Option<u64>,
+}
+
+impl Drop for JobScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        JOB_CONTEXT.with(|c| c.set(prev));
     }
 }
 

@@ -114,6 +114,21 @@ impl Record {
         self
     }
 
+    /// Adds an array-of-integers field (register-file dumps in anomaly
+    /// reports).
+    pub fn u64_array(mut self, name: &str, items: impl IntoIterator<Item = u64>) -> Record {
+        self.key(name);
+        self.buf.push('[');
+        for (i, item) in items.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&item.to_string());
+        }
+        self.buf.push(']');
+        self
+    }
+
     /// Adds an array-of-strings field.
     pub fn str_array<'a>(mut self, name: &str, items: impl IntoIterator<Item = &'a str>) -> Record {
         self.key(name);
@@ -169,10 +184,11 @@ mod tests {
         let line = Record::new()
             .f64_obj("stats", &[("sim.cycles".into(), 123.0), ("l1i.rate".into(), 0.5)])
             .str_array("events", ["a", "b"])
+            .u64_array("regs", [1, 2, 3])
             .finish();
         assert_eq!(
             line,
-            "{\"stats\":{\"sim.cycles\":123,\"l1i.rate\":0.5},\"events\":[\"a\",\"b\"]}"
+            "{\"stats\":{\"sim.cycles\":123,\"l1i.rate\":0.5},\"events\":[\"a\",\"b\"],\"regs\":[1,2,3]}"
         );
     }
 

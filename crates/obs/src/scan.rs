@@ -1,0 +1,204 @@
+//! A tolerant scanner for single-line JSON records.
+//!
+//! `dise-obs` records are flat, single-line JSON objects whose
+//! interesting fields are top-level strings and integers. Consumers
+//! (notably the `dise_trace_export` tool) need to pick a handful of
+//! fields out of millions of lines without a full JSON parser: this
+//! module walks one line left to right, returning each top-level
+//! `"key": value` pair with the value as its raw source text. Nested
+//! objects and arrays are skipped structurally (bracket counting that
+//! respects string escapes), so an `anomaly` record's embedded report
+//! does not confuse the scan. Malformed input never panics — the scan
+//! simply stops at the first byte it cannot make sense of, returning
+//! the fields found so far.
+
+/// One top-level field: the unescaped key and the raw value text
+/// (`"quoted"` for strings, digits for numbers, the bracketed source
+/// for nested values).
+pub type RawField = (String, String);
+
+/// Scans the top-level fields of a single-line JSON object. Returns an
+/// empty vector for anything that does not start with `{`.
+pub fn fields(line: &str) -> Vec<RawField> {
+    let mut out = Vec::new();
+    let bytes = line.trim().as_bytes();
+    if bytes.first() != Some(&b'{') {
+        return out;
+    }
+    let mut i = 1;
+    loop {
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(b'}') | None => return out,
+            Some(b',') => {
+                i += 1;
+                continue;
+            }
+            Some(b'"') => {}
+            Some(_) => return out,
+        }
+        let Some((key, after_key)) = scan_string(bytes, i) else {
+            return out;
+        };
+        i = skip_ws(bytes, after_key);
+        if bytes.get(i) != Some(&b':') {
+            return out;
+        }
+        i = skip_ws(bytes, i + 1);
+        let Some(end) = scan_value(bytes, i) else {
+            return out;
+        };
+        out.push((key, line.trim()[i..end].to_string()));
+        i = end;
+    }
+}
+
+/// The raw value of one top-level field, if present.
+pub fn field(line: &str, name: &str) -> Option<String> {
+    fields(line).into_iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Decodes a raw string value (`"..."` with JSON escapes) to text.
+pub fn str_value(raw: &str) -> Option<String> {
+    let bytes = raw.as_bytes();
+    if bytes.first() != Some(&b'"') {
+        return None;
+    }
+    scan_string(bytes, 0).map(|(s, _)| s)
+}
+
+/// Parses a raw value as an unsigned integer.
+pub fn u64_value(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while matches!(bytes.get(i), Some(b' ' | b'\t')) {
+        i += 1;
+    }
+    i
+}
+
+/// Scans the string starting at `bytes[start] == b'"'`; returns the
+/// unescaped contents and the index just past the closing quote.
+fn scan_string(bytes: &[u8], start: usize) -> Option<(String, usize)> {
+    debug_assert_eq!(bytes.get(start), Some(&b'"'));
+    let mut out = String::new();
+    let mut i = start + 1;
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                let esc = *bytes.get(i + 1)?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(i + 2..i + 6)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+            }
+            _ => {
+                // Multi-byte UTF-8 passes through unchanged.
+                let s = std::str::from_utf8(&bytes[i..]).ok()?;
+                let c = s.chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+/// Returns the index just past the value starting at `i`.
+fn scan_value(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i)? {
+        b'"' => scan_string(bytes, i).map(|(_, end)| end),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut j = i;
+            while let Some(&b) = bytes.get(j) {
+                match b {
+                    b'{' | b'[' => {
+                        depth += 1;
+                        j += 1;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        j += 1;
+                        if depth == 0 {
+                            return Some(j);
+                        }
+                    }
+                    b'"' => j = scan_string(bytes, j)?.1,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            // Number / true / false / null: runs to the next comma or
+            // closing brace.
+            let mut j = i;
+            while let Some(&b) = bytes.get(j) {
+                if matches!(b, b',' | b'}' | b']') {
+                    break;
+                }
+                j += 1;
+            }
+            (j > i).then_some(j)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_fields_scan_in_order() {
+        let line = r#"{"kind":"span","seq":12,"cell":"v3|baseline|gcc|x","dur_us":450}"#;
+        let f = fields(line);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0], ("kind".into(), "\"span\"".into()));
+        assert_eq!(str_value(&f[0].1).as_deref(), Some("span"));
+        assert_eq!(u64_value(&f[1].1), Some(12));
+        assert_eq!(field(line, "dur_us").as_deref(), Some("450"));
+        assert_eq!(field(line, "missing"), None);
+    }
+
+    #[test]
+    fn nested_values_are_skipped_structurally() {
+        let line = r#"{"kind":"anomaly","report":{"reason":"a \"b\" {c}","events":["x,y","{"]},"seq":3}"#;
+        assert_eq!(field(line, "seq").as_deref(), Some("3"));
+        assert_eq!(
+            field(line, "report").as_deref(),
+            Some(r#"{"reason":"a \"b\" {c}","events":["x,y","{"]}"#)
+        );
+    }
+
+    #[test]
+    fn escapes_decode_and_garbage_degrades_gracefully() {
+        assert_eq!(
+            str_value(r#""a\nbA\\""#).as_deref(),
+            Some("a\nbA\\")
+        );
+        assert!(fields("not json").is_empty());
+        assert!(fields("").is_empty());
+        // A truncated line yields the fields before the truncation.
+        let f = fields(r#"{"a":1,"b":"unterminat"#);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].0, "a");
+    }
+}

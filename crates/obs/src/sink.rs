@@ -258,6 +258,13 @@ const UDS_BATCH_BYTES: usize = 1 << 20;
 const UDS_BACKOFF_MAX: Duration = Duration::from_millis(500);
 /// Initial reconnect backoff for [`UdsSink`].
 const UDS_BACKOFF_START: Duration = Duration::from_millis(10);
+/// Successful batch writes on one connection before the reconnect
+/// backoff resets to [`UDS_BACKOFF_START`]. Connecting alone is not
+/// proof of a healthy receiver (a peer can accept and immediately die,
+/// which under reset-on-connect would hammer it at 10 ms forever, and a
+/// flapping peer under no-reset-at-all would leave a recovered sink
+/// stuck at the 500 ms ceiling) — a short run of clean writes is.
+const UDS_CLEAN_WRITES_RESET: u64 = 3;
 
 struct UdsQueue {
     lines: VecDeque<String>,
@@ -272,6 +279,9 @@ struct UdsShared {
     cap: usize,
     dropped: AtomicU64,
     writes: AtomicU64,
+    /// Current reconnect backoff in milliseconds, mirrored out of the
+    /// shipper for introspection ([`UdsSink::current_backoff_ms`]).
+    backoff_ms: AtomicU64,
 }
 
 /// A Unix-domain-socket sink speaking a newline-delimited record
@@ -316,6 +326,7 @@ impl UdsSink {
             cap: cap.max(1),
             dropped: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            backoff_ms: AtomicU64::new(UDS_BACKOFF_START.as_millis() as u64),
         });
         let ship = Arc::clone(&shared);
         let shipper = std::thread::Builder::new()
@@ -336,6 +347,12 @@ impl UdsSink {
     fn shipper(shared: &UdsShared) {
         let mut stream: Option<UnixStream> = None;
         let mut backoff = UDS_BACKOFF_START;
+        // Clean batch writes on the current connection; the backoff only
+        // resets once this reaches UDS_CLEAN_WRITES_RESET (see there).
+        let mut clean_writes = 0u64;
+        let set_backoff = |b: Duration| {
+            shared.backoff_ms.store(b.as_millis() as u64, Ordering::Relaxed);
+        };
         loop {
             // Wait for work (or shutdown), then coalesce everything
             // queued — up to the batch byte ceiling, always at least one
@@ -371,9 +388,13 @@ impl UdsSink {
             loop {
                 if stream.is_none() {
                     match UnixStream::connect(&shared.path) {
+                        // Connecting alone does not reset the backoff —
+                        // an accept-then-die peer would otherwise be
+                        // hammered at the floor interval. The reset
+                        // happens below, after a run of clean writes.
                         Ok(s) => {
                             stream = Some(s);
-                            backoff = UDS_BACKOFF_START;
+                            clean_writes = 0;
                         }
                         Err(_) => {
                             let q = shared.q.lock().expect("uds queue lock");
@@ -385,6 +406,7 @@ impl UdsSink {
                                 .wait_timeout(q, backoff)
                                 .expect("uds queue lock");
                             backoff = (backoff * 2).min(UDS_BACKOFF_MAX);
+                            set_backoff(backoff);
                             continue;
                         }
                     }
@@ -392,9 +414,15 @@ impl UdsSink {
                 let s = stream.as_mut().expect("connected above");
                 if s.write_all(&batch).and_then(|()| s.flush()).is_ok() {
                     shared.writes.fetch_add(1, Ordering::Relaxed);
+                    clean_writes += 1;
+                    if clean_writes >= UDS_CLEAN_WRITES_RESET && backoff != UDS_BACKOFF_START {
+                        backoff = UDS_BACKOFF_START;
+                        set_backoff(backoff);
+                    }
                     break;
                 }
                 stream = None; // broken pipe: reconnect and retry the batch
+                clean_writes = 0;
             }
             let mut q = shared.q.lock().expect("uds queue lock");
             q.in_flight = false;
@@ -406,6 +434,15 @@ impl UdsSink {
     /// burst of N records typically costs far fewer than N writes.
     pub fn socket_writes(&self) -> u64 {
         self.shared.writes.load(Ordering::Relaxed)
+    }
+
+    /// The shipper's current reconnect backoff in milliseconds: 10 at
+    /// rest, doubling to 500 while the receiver is unreachable, and back
+    /// to 10 only after a few clean batch writes on one connection (not
+    /// on connect alone — see the conformance suite's flapping-receiver
+    /// test).
+    pub fn current_backoff_ms(&self) -> u64 {
+        self.shared.backoff_ms.load(Ordering::Relaxed)
     }
 
     /// Waits (up to `timeout`) for the queue to drain and the last

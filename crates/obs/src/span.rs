@@ -1,0 +1,232 @@
+//! Hierarchical wall-clock span tracing.
+//!
+//! A span is one completed wall-clock interval — a job, a cell, a run
+//! phase, or one simulation window — emitted as a `kind:"span"` record
+//! through the installed [`Session`](crate::Session) when its RAII
+//! guard drops. Spans nest: each thread keeps a stack of open spans,
+//! and a new span's parent is the top of that stack (or an explicit id
+//! passed to [`enter_under`], which is how a job span opened on the
+//! daemon scheduler thread parents cell spans running on pool worker
+//! threads).
+//!
+//! Identity and time are process-wide: span ids come from one atomic
+//! counter, thread ids from another (small and stable per thread), and
+//! all timestamps are microseconds relative to a single process epoch
+//! taken at first use — so spans from every thread in a run order and
+//! nest consistently in one trace.
+//!
+//! Spans are observability-only. With no global session installed,
+//! [`enter`] returns an inert guard that allocates nothing, touches no
+//! clock, and emits nothing on drop — the instrumented code paths stay
+//! byte-identical in output and cost one `global()` check. The
+//! `dise_trace_export` tool converts an `obs.jsonl` stream of span
+//! records into Chrome/Perfetto trace-event JSON.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process span epoch: every `start_us` is measured from here.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Small stable per-thread id, allocated on first span.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Open span ids on this thread, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether spans are live: true when a global session is installed.
+/// Callers building an expensive `detail` string can check this first;
+/// [`enter`] itself is inert (and allocation-free) when this is false.
+pub fn active() -> bool {
+    crate::global().is_some()
+}
+
+/// The innermost open span on this thread, if any.
+pub fn current() -> Option<u64> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Opens a span named `name` (one of the hierarchy levels: `"job"`,
+/// `"cell"`, `"phase"`, `"window"`, or anything else) with free-text
+/// `detail` (omitted from the record when empty). The parent is the
+/// innermost span already open on this thread. The span is emitted when
+/// the returned guard drops.
+pub fn enter(name: &str, detail: &str) -> SpanGuard {
+    enter_impl(name, detail, current())
+}
+
+/// [`enter`] with an explicit parent span id, for spans whose logical
+/// parent lives on another thread (a pool worker's cell span under the
+/// scheduler's job span). `None` opens a root span regardless of what
+/// is on this thread's stack.
+pub fn enter_under(parent: Option<u64>, name: &str, detail: &str) -> SpanGuard {
+    enter_impl(name, detail, parent)
+}
+
+fn enter_impl(name: &str, detail: &str, parent: Option<u64>) -> SpanGuard {
+    if !active() {
+        return SpanGuard { inner: None };
+    }
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    STACK.with(|s| s.borrow_mut().push(id));
+    SpanGuard {
+        inner: Some(SpanData {
+            name: name.to_string(),
+            detail: (!detail.is_empty()).then(|| detail.to_string()),
+            id,
+            parent,
+            start: Instant::now(),
+        }),
+    }
+}
+
+struct SpanData {
+    name: String,
+    detail: Option<String>,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+}
+
+/// RAII guard for one open span; emits the span record on drop (see
+/// [`enter`]). Inert when no session was installed at entry.
+pub struct SpanGuard {
+    inner: Option<SpanData>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("id", &self.inner.as_ref().map(|d| d.id))
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpanGuard {
+    /// This span's id, to parent spans opened on other threads via
+    /// [`enter_under`]. `None` for an inert guard.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|d| d.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(data) = self.inner.take() else {
+            return;
+        };
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == data.id) {
+                stack.remove(pos);
+            }
+        });
+        let Some(session) = crate::global() else {
+            return;
+        };
+        let start_us = data.start.duration_since(epoch()).as_micros() as u64;
+        let dur_us = data.start.elapsed().as_micros() as u64;
+        session.span(
+            crate::job_context(),
+            &crate::cell_context(),
+            &data.name,
+            data.detail.as_deref(),
+            data.id,
+            data.parent,
+            TID.with(|t| *t),
+            start_us,
+            dur_us,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemSink, Session, Sink};
+    use std::sync::Arc;
+
+    // The global session is process state shared by every test in this
+    // binary, so all span tests serialize on one lock.
+    fn global_lock() -> &'static std::sync::Mutex<()> {
+        static LOCK: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+    }
+
+    #[test]
+    fn inert_without_a_session() {
+        let _serial = global_lock().lock().unwrap();
+        crate::uninstall();
+        let g = enter("phase", "predecode");
+        assert!(g.id().is_none());
+        assert!(current().is_none(), "inert spans never join the stack");
+        drop(g);
+    }
+
+    #[test]
+    fn spans_nest_and_emit_parent_ids() {
+        let _serial = global_lock().lock().unwrap();
+        let sink = Arc::new(MemSink::new());
+        crate::install(Arc::new(Session::new(
+            Arc::clone(&sink) as Arc<dyn Sink>,
+            "run-s",
+        )));
+        let outer = enter("cell", "k1");
+        let outer_id = outer.id().unwrap();
+        {
+            let inner = enter("phase", "timing_run");
+            assert_eq!(current(), inner.id());
+        }
+        assert_eq!(current(), Some(outer_id));
+        drop(outer);
+        crate::uninstall();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        // Inner drops (and emits) first; it carries the outer as parent.
+        assert!(lines[0].contains("\"name\":\"phase\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"detail\":\"timing_run\""), "{}", lines[0]);
+        assert!(
+            lines[0].contains(&format!("\"parent\":{outer_id}")),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"name\":\"cell\""), "{}", lines[1]);
+        assert!(lines[1].contains(&format!("\"span\":{outer_id}")), "{}", lines[1]);
+        assert!(!lines[1].contains("\"parent\""), "root span: {}", lines[1]);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads_and_job_tags_apply() {
+        let _serial = global_lock().lock().unwrap();
+        let sink = Arc::new(MemSink::new());
+        crate::install(Arc::new(Session::new(
+            Arc::clone(&sink) as Arc<dyn Sink>,
+            "run-x",
+        )));
+        let job = enter("job", "fig6_top gcc");
+        let job_id = job.id().unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _tag = crate::job_scope(9);
+                let _cell = enter_under(Some(job_id), "cell", "v3|baseline|gcc");
+            });
+        });
+        drop(job);
+        crate::uninstall();
+        let lines = sink.lines();
+        let cell = lines.iter().find(|l| l.contains("\"name\":\"cell\"")).unwrap();
+        assert!(cell.contains(&format!("\"parent\":{job_id}")), "{cell}");
+        assert!(cell.contains("\"id\":9"), "job tag rides along: {cell}");
+        let job_line = lines.iter().find(|l| l.contains("\"name\":\"job\"")).unwrap();
+        assert!(job_line.contains("\"dur_us\""), "{job_line}");
+    }
+}

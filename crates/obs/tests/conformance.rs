@@ -317,6 +317,154 @@ fn uds_queue_drops_oldest_when_full_and_counts() {
 }
 
 #[test]
+fn uds_backoff_resets_after_clean_writes_not_on_connect() {
+    let dir = tmpdir("uds-backoff");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("obs.sock");
+
+    // No listener: the shipper's reconnect backoff climbs to the 500 ms
+    // ceiling while one record sits in flight.
+    let sink = UdsSink::connect(&sock);
+    assert_eq!(sink.current_backoff_ms(), 10, "backoff starts at the floor");
+    sink.emit("{\"phase\":\"outage\"}");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while sink.current_backoff_ms() < 500 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "backoff never reached the ceiling (at {} ms)",
+            sink.current_backoff_ms()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The receiver comes back. Connecting and shipping the first batch
+    // must NOT reset the backoff by itself — a peer that accepts and
+    // dies would otherwise be hammered at 10 ms forever.
+    let listener = Collector::listen(&sock);
+    assert!(sink.drain(Duration::from_secs(10)), "outage batch ships");
+    assert!(listener.wait_for("outage", Duration::from_secs(5)));
+    assert_eq!(
+        sink.current_backoff_ms(),
+        500,
+        "one write is not yet proof of a stable connection"
+    );
+
+    // A few clean writes on the same connection are: the backoff drops
+    // back to the 10 ms floor, so the next outage is noticed promptly.
+    for i in 0..4 {
+        sink.emit(&format!("{{\"phase\":\"recovered\",\"n\":{i}}}"));
+        assert!(sink.drain(Duration::from_secs(5)), "record {i} ships");
+    }
+    assert_eq!(
+        sink.current_backoff_ms(),
+        10,
+        "clean writes reset the backoff to the floor"
+    );
+    drop(sink);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn seq_of(line: &str) -> u64 {
+    line.split("\"seq\":")
+        .nth(1)
+        .and_then(|r| r.split([',', '}']).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("record without seq: {line:.80}"))
+}
+
+#[test]
+fn concurrent_tagged_emitters_keep_file_order_equal_to_seq_order() {
+    // N threads interleaving event_tagged/metrics_tagged through one
+    // session must yield globally monotonic seq with file order = seq
+    // order, and an anomaly payload emitted mid-interleave must arrive
+    // unsplit. A real file sink (tiny rotation limit) makes this the
+    // consumer-facing contract, not just MemSink bookkeeping.
+    let dir = tmpdir("concurrent");
+    // Rotation small enough that the interleave spans several files, but
+    // retention generous enough that nothing is pruned — the assertion
+    // below needs every emitted record still on disk.
+    let sink = Arc::new(JsonlFileSink::with_limits(&dir, 16 * 1024, 1024).unwrap());
+    let session = Arc::new(Session::new(
+        Arc::clone(&sink) as Arc<dyn Sink>,
+        "conc",
+    ));
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50;
+    let fat_payload = format!(
+        "{{\"reason\":\"mid-interleave\",\"events\":[\"{}\"]}}",
+        "e".repeat(3000)
+    );
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let session = Arc::clone(&session);
+            let payload = &fat_payload;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    match i % 3 {
+                        0 => {
+                            session.event_tagged(
+                                Some(t),
+                                "cellX",
+                                "tick",
+                                None,
+                                &[("i", i as f64)],
+                            );
+                        }
+                        1 => {
+                            session.metrics_tagged(
+                                Some(t),
+                                &format!("cell-{t}"),
+                                &[("x".to_string(), i as f64)],
+                            );
+                        }
+                        _ => {
+                            session.anomaly(&format!("cell-{t}"), payload);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut all = Vec::new();
+    for f in sink.files() {
+        all.extend(read_lines(&f));
+    }
+    assert_eq!(all.len(), (THREADS * PER_THREAD) as usize);
+    let mut prev = None;
+    for line in &all {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "torn record: {line:.80}"
+        );
+        let seq = seq_of(line);
+        if let Some(p) = prev {
+            assert!(
+                seq > p,
+                "file order must equal seq order: {p} then {seq}"
+            );
+        }
+        prev = Some(seq);
+    }
+    assert_eq!(
+        prev,
+        Some(THREADS * PER_THREAD - 1),
+        "every allocated seq landed exactly once"
+    );
+    // The fat anomaly payloads arrived whole on a single line each.
+    let anomalies: Vec<&String> =
+        all.iter().filter(|l| l.contains("\"kind\":\"anomaly\"")).collect();
+    assert!(!anomalies.is_empty());
+    for a in anomalies {
+        assert!(
+            a.contains(&fat_payload),
+            "anomaly payload split or mangled: {:.80}…",
+            a
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn mem_sink_session_orders_records_with_monotonic_seq() {
     let sink = Arc::new(MemSink::new());
     let session = Session::new(Arc::clone(&sink) as Arc<dyn Sink>, "conf");

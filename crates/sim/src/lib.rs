@@ -68,7 +68,10 @@ pub use snapshot::{
     parse_snapshot, restore_machine, restore_simulator, save_machine, save_simulator,
     snapshot_env, SNAPSHOT_VERSION,
 };
-pub use telemetry::{AnomalyReport, EventRing, StallCause, StatValue, StatsRegistry, TraceEvent, TraceKind};
+pub use telemetry::{
+    AnomalyReport, EventRing, Log2Histogram, StallCause, StatValue, StatsRegistry, TraceEvent,
+    TraceKind,
+};
 
 /// Errors produced by functional or timing simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]

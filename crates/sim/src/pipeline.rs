@@ -703,6 +703,13 @@ pub struct Simulator {
     /// Shadow functional oracle stepped in lockstep with the primary
     /// machine; any divergence of the per-step reports is an anomaly.
     shadow: Option<Box<Machine>>,
+    /// Exact PC of the anomaly trigger, recorded where it is known (the
+    /// divergent step, the wedged commit); [`Simulator::raise_anomaly`]
+    /// falls back to the machine PC when unset.
+    anomaly_pc: Option<u64>,
+    /// Marks anomaly reports raised inside a time-travel replay window
+    /// (see `dise_bench::checkpoint`).
+    replay: bool,
 }
 
 impl Simulator {
@@ -736,6 +743,8 @@ impl Simulator {
             pending_anomaly: None,
             anomaly: None,
             shadow: None,
+            anomaly_pc: None,
+            replay: false,
             config,
             machine,
         }
@@ -843,6 +852,8 @@ impl Simulator {
         self.bpred.apply_state(state.bpred);
         self.pending_anomaly = None;
         self.shadow = None;
+        self.anomaly_pc = None;
+        self.replay = false;
         Ok(())
     }
 
@@ -856,6 +867,39 @@ impl Simulator {
     /// implementations.
     pub fn attach_shadow(&mut self, shadow: Machine) {
         self.shadow = Some(Box::new(shadow));
+    }
+
+    /// The attached shadow oracle, if any (checkpointing snapshots it at
+    /// slice boundaries so a replay can re-arm it in the boundary state).
+    pub fn shadow(&self) -> Option<&Machine> {
+        self.shadow.as_deref()
+    }
+
+    /// Whether a shadow oracle is attached.
+    pub fn has_shadow(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Detaches and returns the shadow oracle. A restore drops any
+    /// attached shadow (see [`Simulator::apply_state`]); callers that
+    /// want to keep it across a restore take it out first and re-attach
+    /// after resetting its state.
+    pub fn take_shadow(&mut self) -> Option<Machine> {
+        self.shadow.take().map(|b| *b)
+    }
+
+    /// (Re)arms the pipeline event ring mid-run with capacity `cap`,
+    /// discarding any previous ring contents. Time-travel replay uses
+    /// this to trace the replayed window at full detail even when the
+    /// original run traced nothing.
+    pub fn arm_trace(&mut self, cap: usize) {
+        self.trace = Some(EventRing::new(cap));
+    }
+
+    /// Marks (or unmarks) this simulator as replaying a checkpoint
+    /// window: anomaly reports raised while set carry `replay: true`.
+    pub fn set_replay(&mut self, replay: bool) {
+        self.replay = replay;
     }
 
     /// The last anomaly report, if one fired this run.
@@ -895,6 +939,11 @@ impl Simulator {
     /// observability sink (tagged with the worker's cell context) when
     /// one exists; with no sink it prints to stderr as before.
     fn raise_anomaly(&mut self, reason: String) -> SimError {
+        fn reg_file(m: &Machine) -> Vec<u64> {
+            (0..dise_isa::reg::NUM_REGS as u8)
+                .map(|i| m.reg(dise_isa::Reg::from_index(i)))
+                .collect()
+        }
         let report = AnomalyReport {
             reason: reason.clone(),
             seq: self.seq,
@@ -902,6 +951,10 @@ impl Simulator {
             rs_occupancy: self.rs.len(),
             registry: self.stats_registry(),
             events: self.trace_events(),
+            pc: self.anomaly_pc.take().unwrap_or_else(|| self.machine.pc().0),
+            regs: reg_file(&self.machine),
+            shadow_regs: self.shadow.as_deref().map(reg_file),
+            replay: self.replay,
         };
         if !dise_obs::ship_anomaly(&report.json_payload()) {
             eprintln!("{report}");
@@ -917,12 +970,14 @@ impl Simulator {
             return Ok(None);
         };
         if !shadow.step_into(out)? {
+            self.anomaly_pc = Some(info.pc);
             return Ok(Some(format!(
                 "oracle divergence at seq {}: shadow halted, primary retired {:?} at pc {:#x}",
                 self.seq, info.inst.op, info.pc
             )));
         }
         if out != info {
+            self.anomaly_pc = Some(info.pc);
             return Ok(Some(format!(
                 "oracle divergence at seq {}: primary {info:?} vs shadow {out:?}",
                 self.seq
@@ -1168,6 +1223,7 @@ impl Simulator {
             && self.rob.len() > 0
             && self.pending_anomaly.is_none()
         {
+            self.anomaly_pc = Some(info.pc);
             self.pending_anomaly = Some(format!(
                 "watchdog: no commit for {} cycles (threshold {}) with {} ROB entries in flight",
                 commit - self.last_commit,

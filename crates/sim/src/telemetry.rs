@@ -169,6 +169,136 @@ impl StatsRegistry {
     }
 }
 
+/// A log2-bucketed histogram of non-negative integer samples
+/// (durations in ms/µs, queue depths, gaps).
+///
+/// Bucket `b` holds samples whose floor(log2) is `b - 1`: bucket 0 is
+/// exactly the value 0, bucket 1 holds {1}, bucket 2 holds {2, 3},
+/// bucket 3 holds {4..8), and so on up to bucket 64 (values ≥ 2^63).
+/// Recording is two instructions (leading-zero count + increment), so
+/// live services can feed one per event without measurable cost. The
+/// JSON export is sparse — `[bucket, count]` pairs for occupied buckets
+/// only — plus exact count/sum/min/max, and [`Log2Histogram::export_into`]
+/// projects the summary into a [`StatsRegistry`] under a prefix.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Log2Histogram::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any were recorded.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any were recorded.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Occupied buckets as `(bucket index, count)`, ascending.
+    pub fn occupied(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+            .collect()
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Compact single-line JSON: exact summary plus sparse
+    /// `[bucket, count]` pairs. `{"count":0,"sum":0,"buckets":[]}` when
+    /// empty (min/max are omitted — they have no value yet).
+    pub fn to_json_compact(&self) -> String {
+        let mut out = format!("{{\"count\":{},\"sum\":{}", self.count, self.sum);
+        if self.count > 0 {
+            out.push_str(&format!(",\"min\":{},\"max\":{}", self.min, self.max));
+        }
+        out.push_str(",\"buckets\":[");
+        for (i, (b, c)) in self.occupied().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{b},{c}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Projects the summary into `registry` as `<prefix>.count`,
+    /// `<prefix>.sum`, `<prefix>.min`, `<prefix>.max` plus one
+    /// `<prefix>.b<NN>` counter per occupied bucket.
+    pub fn export_into(&self, registry: &mut StatsRegistry, prefix: &str) {
+        registry.count(format!("{prefix}.count"), self.count);
+        registry.count(format!("{prefix}.sum"), self.sum);
+        if self.count > 0 {
+            registry.count(format!("{prefix}.min"), self.min);
+            registry.count(format!("{prefix}.max"), self.max);
+        }
+        for (b, c) in self.occupied() {
+            registry.count(format!("{prefix}.b{b:02}"), c);
+        }
+    }
+}
+
 /// Why fetch stalled at a traced instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StallCause {
@@ -337,6 +467,18 @@ pub struct AnomalyReport {
     pub registry: StatsRegistry,
     /// The last-K pipeline events (empty when tracing was disabled).
     pub events: Vec<TraceEvent>,
+    /// Application PC at the trigger (for oracle divergences, the
+    /// divergent instruction's PC).
+    pub pc: u64,
+    /// The primary machine's full register file at the trigger.
+    pub regs: Vec<u64>,
+    /// The shadow oracle's register file at the trigger, when one was
+    /// attached — diff against `regs` to locate the divergent state.
+    pub shadow_regs: Option<Vec<u64>>,
+    /// True when this report came from an anomaly-triggered time-travel
+    /// replay (re-running the last checkpoint window with the event ring
+    /// and shadow oracle armed) rather than the original detection.
+    pub replay: bool,
 }
 
 impl AnomalyReport {
@@ -347,27 +489,53 @@ impl AnomalyReport {
     /// object, and the last-K events in their `Display` form.
     pub fn json_payload(&self) -> String {
         let events: Vec<String> = self.events.iter().map(TraceEvent::to_string).collect();
-        dise_obs::Record::new()
+        let mut rec = dise_obs::Record::new()
             .str("reason", &self.reason)
             .u64("at_seq", self.seq)
+            .u64("pc", self.pc)
+            .bool("replay", self.replay)
             .u64("rob_occupancy", self.rob_occupancy as u64)
             .u64("rs_occupancy", self.rs_occupancy as u64)
             .raw("stats", &self.registry.to_json_compact())
             .str_array("events", events.iter().map(String::as_str))
-            .finish()
+            .u64_array("regs", self.regs.iter().copied());
+        if let Some(shadow) = &self.shadow_regs {
+            rec = rec.u64_array("shadow_regs", shadow.iter().copied());
+        }
+        rec.finish()
     }
 }
 
 impl fmt::Display for AnomalyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== simulator anomaly: {} ==", self.reason)?;
+        let tag = if self.replay { " (time-travel replay)" } else { "" };
+        writeln!(f, "== simulator anomaly{tag}: {} ==", self.reason)?;
         writeln!(
             f,
-            "at seq {} | ROB occupancy {} | RS occupancy {}",
-            self.seq, self.rob_occupancy, self.rs_occupancy
+            "at seq {} | pc {:#x} | ROB occupancy {} | RS occupancy {}",
+            self.seq, self.pc, self.rob_occupancy, self.rs_occupancy
         )?;
         writeln!(f, "-- stats registry --")?;
         f.write_str(&self.registry.to_text())?;
+        if !self.regs.is_empty() {
+            writeln!(f, "-- register file (primary{}) --", if self.shadow_regs.is_some() { " vs shadow, divergent only" } else { "" })?;
+            match &self.shadow_regs {
+                Some(shadow) => {
+                    for (i, (&p, &s)) in self.regs.iter().zip(shadow).enumerate() {
+                        if p != s {
+                            writeln!(f, "r{i:<2} primary {p:#018x}  shadow {s:#018x}")?;
+                        }
+                    }
+                }
+                None => {
+                    for (i, &p) in self.regs.iter().enumerate() {
+                        if p != 0 {
+                            writeln!(f, "r{i:<2} {p:#018x}")?;
+                        }
+                    }
+                }
+            }
+        }
         if self.events.is_empty() {
             writeln!(f, "-- no event trace (run with tracing enabled) --")?;
         } else {
@@ -469,11 +637,58 @@ mod tests {
                     cycles: 12,
                 },
             }],
+            pc: 0x0400_0010,
+            regs: vec![0, 7, 8],
+            shadow_regs: Some(vec![0, 7, 9]),
+            replay: true,
         };
         let text = report.to_string();
         assert!(text.contains("test trigger"));
+        assert!(text.contains("time-travel replay"));
         assert!(text.contains("sim.cycles 42"));
         assert!(text.contains("RobFull"));
         assert!(text.contains("ROB occupancy 3"));
+        assert!(text.contains("pc 0x4000010"));
+        // Only the divergent register prints in the side-by-side dump.
+        assert!(text.contains("r2 "), "{text}");
+        assert!(!text.contains("r1 "), "{text}");
+        let payload = report.json_payload();
+        assert!(payload.contains("\"pc\":67108880"), "{payload}");
+        assert!(payload.contains("\"replay\":true"));
+        assert!(payload.contains("\"regs\":[0,7,8]"));
+        assert!(payload.contains("\"shadow_regs\":[0,7,9]"));
+    }
+
+    #[test]
+    fn log2_histogram_buckets_and_summary() {
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.to_json_compact(), "{\"count\":0,\"sum\":0,\"buckets\":[]}");
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1025);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        // 0 → b0, 1 → b1, {2,3} → b2, {4,7} → b3, 8 → b4, 1000 → b10.
+        assert_eq!(
+            h.occupied(),
+            vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 1), (10, 1)]
+        );
+        assert_eq!(
+            h.to_json_compact(),
+            "{\"count\":8,\"sum\":1025,\"min\":0,\"max\":1000,\
+             \"buckets\":[[0,1],[1,1],[2,2],[3,2],[4,1],[10,1]]}"
+        );
+        let mut other = Log2Histogram::new();
+        other.record(1000);
+        other.merge(&h);
+        assert_eq!(other.count(), 9);
+        assert_eq!(other.occupied().last(), Some(&(10usize, 2u64)));
+        let mut reg = StatsRegistry::new();
+        h.export_into(&mut reg, "serve.queue_wait_ms");
+        assert_eq!(reg.get("serve.queue_wait_ms.count"), Some(StatValue::Count(8)));
+        assert_eq!(reg.get("serve.queue_wait_ms.b10"), Some(StatValue::Count(1)));
+        assert_eq!(reg.get("serve.queue_wait_ms.max"), Some(StatValue::Count(1000)));
     }
 }

@@ -17,6 +17,15 @@
 #             are `ignore`d in debug builds: minutes-slow unoptimized)
 #             plus a fig6 smoke cell checkpointing at every instruction,
 #             cmp-equal to the plain run
+#   tracing — spans are inert (figure output + stats-JSON cmp-equal with
+#             and without a sink) and the exported Perfetto trace is
+#             structurally valid (figure/cell/phase levels, phases
+#             nested under cells)
+#   replay  — the anomaly-triggered time-travel replay suite (release:
+#             it simulates enough to need the fast path)
+#   serve   — the concurrency round-trip also probes the live `stats`
+#             command and validates the job→cell→phase trace exported
+#             from the two-client run
 set -e
 cd "$(dirname "$0")/.."
 
@@ -134,20 +143,69 @@ if ls "$SNAPTMP/ckpt"/*.ckpt > /dev/null 2>&1; then
     rm -rf "$SNAPTMP"; exit 1; fi
 rm -rf "$SNAPTMP"
 
+echo "== ci: span tracing ($(date)) =="
+# Spans are observability-only: the same smoke sweep with and without a
+# sink must print byte-identical figure output and stats-JSON. Fresh
+# cache dirs on both sides — a warm cell replays cached stats without
+# simulating, so it would emit no phase spans and prove nothing.
+TRACETMP=$(mktemp -d)
+DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc DISE_BENCH_JOBS=2 \
+    DISE_BENCH_CACHE="$TRACETMP/plain" \
+    ./target/release/fig6_mfi top --stats-json "$TRACETMP/plain.json" \
+    > "$TRACETMP/plain.out"
+DISE_OBS_SINK="jsonl:$TRACETMP/obs" \
+    DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc DISE_BENCH_JOBS=2 \
+    DISE_BENCH_CACHE="$TRACETMP/spans" \
+    ./target/release/fig6_mfi top --stats-json "$TRACETMP/spans.json" \
+    > "$TRACETMP/spans.out"
+cmp "$TRACETMP/plain.out" "$TRACETMP/spans.out" || {
+    echo "figure output diverged with span tracing armed"
+    rm -rf "$TRACETMP"; exit 1; }
+cmp "$TRACETMP/plain.json" "$TRACETMP/spans.json" || {
+    echo "stats-JSON diverged with span tracing armed"
+    rm -rf "$TRACETMP"; exit 1; }
+grep -rq '"kind":"span"' "$TRACETMP/obs" || {
+    echo "no span records in the traced run"; rm -rf "$TRACETMP"; exit 1; }
+./target/release/dise_trace_export --obs-dir "$TRACETMP/obs" \
+    -o "$TRACETMP/trace.json" 2> /dev/null
+# Structural validation: a non-empty trace of complete events with the
+# figure/cell/phase levels present and every phase nested under a cell.
+jq -e '
+    ([.traceEvents[] | select(.name|startswith("cell ")) | .args.span]) as $cells |
+    ((.traceEvents | length) > 0)
+    and (.traceEvents | all(.ph == "X" and (.ts|type) == "number"
+                            and (.dur|type) == "number"))
+    and (([.traceEvents[] | select(.name|startswith("figure "))] | length) > 0)
+    and (($cells | length) > 0)
+    and ([.traceEvents[] | select(.name|startswith("phase ")) | .args.parent]
+         | (length > 0) and all(. as $p | $cells | index($p) != null))
+    ' "$TRACETMP/trace.json" > /dev/null || {
+    echo "exported trace failed structural validation"
+    rm -rf "$TRACETMP"; exit 1; }
+rm -rf "$TRACETMP"
+
+echo "== ci: time-travel replay ($(date)) =="
+# Deterministic late anomalies (shadow divergence, watchdog trip) in
+# forced-slice runs must replay only the last window and regenerate the
+# deep report. Release: the staged runs simulate hundreds of thousands
+# of instructions before tripping.
+cargo test --release -q -p dise-bench --test replay
+
 echo "== ci: serve concurrency round-trip ($(date)) =="
 # The multi-tenant service must produce the same stats-JSON, byte for
 # byte, as the figure binary running the same cells directly — with two
 # clients submitting concurrently, each getting a correctly
 # demultiplexed response stream, and heartbeat/completion/metrics
-# records arriving through the sink. A shared warm cache keeps the
-# round-trip fast; identical cell keys guarantee the comparison is
-# meaningful either way.
+# records arriving through the sink. The daemon gets a *fresh* cache so
+# its cells actually simulate: determinism makes the comparison exact
+# either way, and a cold run emits the full job→cell→phase span
+# hierarchy the trace validation below depends on.
 SERVE_TMP=$(mktemp -d)
 trap 'rm -rf "$SERVE_TMP"' EXIT
 DISE_BENCH_DYN=20000 DISE_BENCH_FILTER=gcc,gzip DISE_BENCH_JOBS=2 \
     DISE_BENCH_CACHE="$SERVE_TMP/cache" \
     ./target/release/fig6_mfi top --stats-json "$SERVE_TMP/direct.json" > /dev/null
-DISE_BENCH_DYN=20000 DISE_BENCH_JOBS=2 DISE_BENCH_CACHE="$SERVE_TMP/cache" \
+DISE_BENCH_DYN=20000 DISE_BENCH_JOBS=2 DISE_BENCH_CACHE="$SERVE_TMP/servecache" \
     ./target/release/dise_serve --socket "$SERVE_TMP/serve.sock" \
     --obs-dir "$SERVE_TMP/obs" --heartbeat-ms 50 \
     --stats-json "$SERVE_TMP/served.json" &
@@ -175,6 +233,14 @@ fi
 if grep -q gcc "$SERVE_TMP/client_b.out"; then
     echo "client B saw client A's stream"; cat "$SERVE_TMP/client_b.out"; exit 1
 fi
+# Live introspection: a `stats` probe after both finals must report the
+# completed work without perturbing the (still running) daemon.
+./target/release/dise_serve --submit "$SERVE_TMP/serve.sock" stats \
+    > "$SERVE_TMP/stats.out"
+grep -q '"kind":"stats"' "$SERVE_TMP/stats.out" || {
+    echo "stats probe got no snapshot"; cat "$SERVE_TMP/stats.out"; exit 1; }
+grep -q '"jobs_done":2' "$SERVE_TMP/stats.out" || {
+    echo "stats snapshot missed the finished jobs"; cat "$SERVE_TMP/stats.out"; exit 1; }
 ./target/release/dise_serve --submit "$SERVE_TMP/serve.sock" shutdown > /dev/null
 wait $SERVE_PID
 cmp "$SERVE_TMP/direct.json" "$SERVE_TMP/served.json" || {
@@ -183,5 +249,19 @@ for needle in '"name":"heartbeat"' '"name":"cell_done"' '"kind":"metrics"'; do
     grep -q "$needle" "$SERVE_TMP/obs/obs.jsonl" || {
         echo "missing $needle in serve obs stream"; exit 1; }
 done
+# The two-client run's trace covers the full hierarchy: every cell span
+# nests under a job span, every phase span under a cell span.
+./target/release/dise_trace_export --obs-dir "$SERVE_TMP/obs" \
+    -o "$SERVE_TMP/trace.json" 2> /dev/null
+jq -e '
+    ([.traceEvents[] | select(.name|startswith("job ")) | .args.span]) as $jobs |
+    ([.traceEvents[] | select(.name|startswith("cell ")) | .args.span]) as $cells |
+    (($jobs | length) > 0) and (($cells | length) > 0)
+    and ([.traceEvents[] | select(.name|startswith("cell ")) | .args.parent]
+         | all(. as $p | $jobs | index($p) != null))
+    and ([.traceEvents[] | select(.name|startswith("phase ")) | .args.parent]
+         | (length > 0) and all(. as $p | $cells | index($p) != null))
+    ' "$SERVE_TMP/trace.json" > /dev/null || {
+    echo "serve trace failed job→cell→phase validation"; exit 1; }
 
 echo "== ci: ok ($(date)) =="
